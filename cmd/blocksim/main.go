@@ -1,0 +1,112 @@
+// Command blocksim runs the proof-of-work blockchain substrate on its
+// own: it grows a fork-aware chain under a configurable edge/cloud hash
+// power split and propagation delay, then reports fork statistics and
+// per-miner winning shares against the analytic race model.
+//
+// Example:
+//
+//	blocksim -blocks 20000 -delay 120 -miners 5 -edge 4 -cloud 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"minegame"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "blocksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("blocksim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		blocks   = fs.Int("blocks", 10000, "canonical blocks to mine")
+		interval = fs.Float64("interval", 600, "mean block inter-arrival time (s)")
+		delay    = fs.Float64("delay", 120, "cloud propagation delay (s)")
+		miners   = fs.Int("miners", 5, "number of miners")
+		edge     = fs.Float64("edge", 4, "edge units per miner")
+		cloud    = fs.Float64("cloud", 16, "cloud units per miner")
+		seed     = fs.Int64("seed", 1, "random seed")
+		dump     = fs.String("dump", "", "write the full block tree as JSON to this file")
+		topo     = fs.Int("topology", 0, "derive the delay from a 200-node gossip overlay with this many chords per node (overrides -delay)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cloudDelay := *delay
+	if *topo > 0 {
+		overlay, err := minegame.NewGossipNetwork(minegame.GossipConfig{
+			Nodes:       200,
+			Degree:      *topo,
+			MeanLatency: 18,
+		}, *seed)
+		if err != nil {
+			return err
+		}
+		if cloudDelay, err = overlay.PropagationDelay(0.9, 40, minegame.GossipRNG(*seed)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "topology-derived cloud delay (90%% spread, %d chords/node): %.1f s\n", *topo, cloudDelay)
+	}
+	cfg := minegame.RaceConfig{Interval: *interval, CloudDelay: cloudDelay}
+	for i := 1; i <= *miners; i++ {
+		cfg.Allocations = append(cfg.Allocations, minegame.Allocation{
+			MinerID: i, Edge: *edge, Cloud: *cloud,
+		})
+	}
+	net, err := minegame.NewMiningNetwork(cfg, *seed)
+	if err != nil {
+		return err
+	}
+	stats, err := net.Grow(*blocks)
+	if err != nil {
+		return err
+	}
+	ledger := net.Ledger()
+	fmt.Fprintf(out, "mined %d canonical blocks (%d total, %d discarded in forks)\n",
+		ledger.Height(), ledger.Len(), ledger.Forks())
+	fmt.Fprintf(out, "simulated time: %.0f s (%.2f days)\n", net.Now(), net.Now()/86400)
+	fmt.Fprintf(out, "fork rate: %.4f (rounds with a discarded rival)\n", stats.ForkRate())
+	fmt.Fprintf(out, "edge wins: %d  cloud wins: %d\n", stats.EdgeWins, stats.CloudWins)
+
+	var e, s float64
+	for _, a := range cfg.Allocations {
+		e += a.Edge
+		s += a.Edge + a.Cloud
+	}
+	beta := minegame.BetaEdge(e, s, cloudDelay, *interval)
+	fmt.Fprintf(out, "effective β (edge-conflict rate): %.4f\n", beta)
+	fmt.Fprintln(out, "miner  empirical W  analytic W")
+	profile := make([]minegame.Request, len(cfg.Allocations))
+	for i, a := range cfg.Allocations {
+		profile[i] = minegame.Request{E: a.Edge, C: a.Cloud}
+	}
+	analytic := minegame.WinProbsFull(beta, profile)
+	for i, a := range cfg.Allocations {
+		fmt.Fprintf(out, "%5d  %11.4f  %10.4f\n", a.MinerID, stats.WinProb(a.MinerID), analytic[i])
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		werr := ledger.Export(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("dump %s: %w", *dump, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("close %s: %w", *dump, cerr)
+		}
+		fmt.Fprintf(out, "wrote block tree to %s\n", *dump)
+	}
+	return nil
+}

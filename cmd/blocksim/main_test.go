@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-blocks", "500"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"mined 500 canonical blocks",
+		"fork rate:",
+		"effective β",
+		"miner  empirical W  analytic W",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunZeroDelayNeverForks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-blocks", "300", "-delay", "0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "fork rate: 0.0000") {
+		t.Errorf("zero delay must not fork:\n%s", out.String())
+	}
+}
+
+func TestRunDumpWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chain.json")
+	var out bytes.Buffer
+	if err := run([]string{"-blocks", "50", "-dump", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("dump file: %v", err)
+	}
+	var blocks []map[string]any
+	if err := json.Unmarshal(data, &blocks); err != nil {
+		t.Fatalf("dump is not a JSON array: %v", err)
+	}
+	if len(blocks) < 50 {
+		t.Errorf("dumped %d blocks, want at least 50", len(blocks))
+	}
+	if _, ok := blocks[0]["origin"].(string); !ok {
+		t.Error("origin must serialize by name")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-miners", "0"}, &out); err == nil {
+		t.Error("want error for zero miners")
+	}
+	if err := run([]string{"-interval", "0"}, &out); err == nil {
+		t.Error("want error for zero interval")
+	}
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Error("want error for bad flag")
+	}
+}
+
+func TestRunTopologyMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-blocks", "200", "-topology", "4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "topology-derived cloud delay") {
+		t.Errorf("topology mode output missing:\n%s", out.String())
+	}
+}

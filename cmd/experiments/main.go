@@ -1,0 +1,124 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Figs. 2–9 and Table II plus the substrate validity checks), printing
+// text tables and optionally writing CSV files.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run fig4,fig8
+//	experiments -run all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"minegame"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		list   = fs.Bool("list", false, "list available experiments and exit")
+		runID  = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		outDir = fs.String("out", "", "directory for CSV output (optional)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		quick  = fs.Bool("quick", false, "reduced simulation/learning scale")
+		plot   = fs.Bool("plot", false, "render each table as an ASCII chart")
+		md     = fs.String("md", "", "write all results as one Markdown report to this file")
+		reps   = fs.Int("replicate", 0, "run each experiment across N seeds and report mean/std tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := minegame.Experiments()
+	if *list {
+		for _, r := range all {
+			fmt.Fprintf(out, "%-6s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+	var ids []string
+	if *runID == "all" {
+		for _, r := range all {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*runID, ",")
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	cfg := minegame.ExperimentConfig{Seed: *seed, Quick: *quick}
+	var mdFile *os.File
+	if *md != "" {
+		var err error
+		if mdFile, err = os.Create(*md); err != nil {
+			return err
+		}
+		defer mdFile.Close()
+		fmt.Fprintf(mdFile, "# minegame experiment report\n\n(seed %d, quick=%v)\n\n", *seed, *quick)
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		var res minegame.ExperimentResult
+		var err error
+		if *reps > 1 {
+			res, err = minegame.ReplicateExperiment(id, cfg, *reps)
+		} else {
+			res, err = minegame.RunExperiment(id, cfg)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := res.Render(out); err != nil {
+			return err
+		}
+		if mdFile != nil {
+			if err := res.RenderMarkdown(mdFile); err != nil {
+				return fmt.Errorf("markdown %s: %w", id, err)
+			}
+		}
+		if *plot {
+			for i := range res.Tables {
+				if err := minegame.PlotResultTable(out, res.Tables[i]); err != nil {
+					return fmt.Errorf("plot %s: %w", res.Tables[i].ID, err)
+				}
+				fmt.Fprintln(out)
+			}
+		}
+		if *outDir != "" {
+			for i := range res.Tables {
+				path := filepath.Join(*outDir, res.Tables[i].ID+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				werr := res.Tables[i].WriteCSV(f)
+				cerr := f.Close()
+				if werr != nil {
+					return fmt.Errorf("write %s: %w", path, werr)
+				}
+				if cerr != nil {
+					return fmt.Errorf("close %s: %w", path, cerr)
+				}
+				fmt.Fprintf(out, "wrote %s\n", path)
+			}
+		}
+	}
+	return nil
+}

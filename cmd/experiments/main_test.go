@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, id := range []string{"fig2", "fig4", "fig8", "fig9a", "tab2", "ablbeta"} {
+		if !strings.Contains(got, id) {
+			t.Errorf("listing missing %s:\n%s", id, got)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "thm1", "-quick"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Theorem 1 validity") {
+		t.Errorf("output missing table title:\n%s", out.String())
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig4,tab2", "-quick", "-out", dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"fig4.csv", "tab2.csv", "tab2sp.csv"} {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("expected CSV %s: %v", name, err)
+		}
+		if len(data) == 0 || !strings.Contains(string(data), ",") {
+			t.Errorf("%s does not look like CSV", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "nope"}, &out); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("want error for bad flag")
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig4", "-quick", "-plot"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "x: P_c") {
+		t.Errorf("plot legend missing:\n%s", got)
+	}
+	if !strings.Contains(got, "|") {
+		t.Error("plot frame missing")
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.md")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "thm1,tab2", "-quick", "-md", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report file: %v", err)
+	}
+	got := string(data)
+	for _, want := range []string{"# minegame experiment report", "### thm1", "### tab2", "| --- |"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "simw", "-quick", "-replicate", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "mean of 2 seeds") || !strings.Contains(got, "std dev over 2 seeds") {
+		t.Errorf("replicated output incomplete:\n%s", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Command minegame solves instances of the mobile blockchain mining game
+// from the command line: the miner subgame at fixed prices, or the full
+// two-stage Stackelberg game, in either ESP operation mode.
+//
+// Examples:
+//
+//	minegame -stage miners -mode connected -pe 8 -pc 4
+//	minegame -stage full -mode standalone -emax 25 -budget 1000
+//	minegame -stage compare -emax 25 -budget 1000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"minegame"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minegame:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("minegame", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		stage    = fs.String("stage", "full", "what to solve: miners | full | compare | selfbeta | endoh | population")
+		mode     = fs.String("mode", "connected", "ESP operation mode: connected | standalone")
+		n        = fs.Int("n", 5, "number of miners")
+		budget   = fs.Float64("budget", 200, "per-miner budget B")
+		reward   = fs.Float64("reward", 1000, "mining reward R")
+		beta     = fs.Float64("beta", 0.2, "blockchain fork rate β")
+		h        = fs.Float64("h", 0.7, "connected ESP satisfy probability h")
+		emax     = fs.Float64("emax", 60, "standalone ESP capacity E_max")
+		costE    = fs.Float64("ce", 2, "ESP unit cost C_e")
+		costC    = fs.Float64("cc", 1, "CSP unit cost C_c")
+		priceE   = fs.Float64("pe", 8, "ESP unit price P_e (miners/selfbeta/endoh stages)")
+		priceC   = fs.Float64("pc", 4, "CSP unit price P_c (miners/selfbeta/endoh stages)")
+		delay    = fs.Float64("delay", 134, "CSP propagation delay in seconds (selfbeta stage)")
+		interval = fs.Float64("interval", 600, "mean block time in seconds (selfbeta stage)")
+		espUnits = fs.Float64("espunits", 30, "physical ESP computing units (endoh stage)")
+		asJSON   = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		mu       = fs.Float64("mu", 10, "mean miner count (population stage)")
+		sigma    = fs.Float64("sigma", 2, "miner-count std dev (population stage)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := minegame.Config{
+		N:            *n,
+		Budgets:      []float64{*budget},
+		Reward:       *reward,
+		Beta:         *beta,
+		SatisfyProb:  *h,
+		EdgeCapacity: *emax,
+		CostE:        *costE,
+		CostC:        *costC,
+	}
+	switch *mode {
+	case "connected":
+		cfg.Mode = minegame.Connected
+	case "standalone":
+		cfg.Mode = minegame.Standalone
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	emit := func(v any, text func()) error {
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+		text()
+		return nil
+	}
+
+	switch *stage {
+	case "miners":
+		eq, err := minegame.SolveMinerEquilibrium(cfg, minegame.Prices{Edge: *priceE, Cloud: *priceC}, minegame.NEOptions{})
+		if err != nil {
+			return err
+		}
+		return emit(eq, func() { printMinerEquilibrium(out, cfg, eq) })
+	case "full":
+		res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{})
+		if err != nil {
+			return err
+		}
+		return emit(res, func() { printStackelberg(out, cfg, res) })
+	case "compare":
+		cmp, err := minegame.CompareModes(cfg, minegame.StackelbergOptions{})
+		if err != nil {
+			return err
+		}
+		return emit(cmp, func() {
+			fmt.Fprintln(out, "--- connected mode ---")
+			printStackelberg(out, cfg, cmp.Connected)
+			fmt.Fprintln(out, "--- standalone mode ---")
+			printStackelberg(out, cfg, cmp.Standalone)
+		})
+	case "selfbeta":
+		res, err := minegame.SolveSelfConsistentBeta(cfg,
+			minegame.Prices{Edge: *priceE, Cloud: *priceC}, *delay, *interval, minegame.NEOptions{})
+		if err != nil {
+			return err
+		}
+		return emit(res, func() {
+			fmt.Fprintf(out, "self-consistent fork rate (delay %.0fs, block time %.0fs)\n", *delay, *interval)
+			fmt.Fprintf(out, "  exogenous β = %.4f  →  β* = %.6f (converged=%v, %d iterations)\n",
+				res.ExogenousBeta, res.Beta, res.Converged, res.Iterations)
+			printMinerEquilibrium(out, cfg, res.Equilibrium)
+		})
+	case "endoh":
+		res, err := minegame.SolveEndogenousTransfer(cfg,
+			minegame.Prices{Edge: *priceE, Cloud: *priceC}, *espUnits, minegame.NEOptions{})
+		if err != nil {
+			return err
+		}
+		return emit(res, func() {
+			fmt.Fprintf(out, "endogenous transfer rate (ESP owns %.1f units)\n", *espUnits)
+			fmt.Fprintf(out, "  exogenous h = %.3f  →  h* = %.4f at offered load %.3f\n",
+				res.ExogenousH, res.SatisfyProb, res.EdgeDemand)
+			printMinerEquilibrium(out, cfg, res.Equilibrium)
+		})
+	case "population":
+		params := minegame.MinerParams{
+			Reward: *reward, Beta: *beta, H: *h,
+			PriceE: *priceE, PriceC: *priceC,
+		}
+		fixed, err := minegame.SolvePopulationEquilibrium(params,
+			minegame.FixedPopulation(int(*mu)), *budget, minegame.PopulationOptions{})
+		if err != nil {
+			return err
+		}
+		pmf, err := minegame.PopulationModel{Mu: *mu, Sigma: *sigma}.PMF()
+		if err != nil {
+			return err
+		}
+		dyn, err := minegame.SolvePopulationEquilibrium(params, pmf, *budget, minegame.PopulationOptions{})
+		if err != nil {
+			return err
+		}
+		type popOut struct {
+			Fixed, Dynamic minegame.PopulationEquilibrium
+		}
+		return emit(popOut{Fixed: fixed, Dynamic: dyn}, func() {
+			fmt.Fprintf(out, "population uncertainty (μ=%g, σ=%g, budget %g)\n", *mu, *sigma, *budget)
+			fmt.Fprintf(out, "  fixed N=%d:  e*=%.4f c*=%.4f (utility %.3f)\n",
+				int(*mu), fixed.Request.E, fixed.Request.C, fixed.Utility)
+			fmt.Fprintf(out, "  dynamic:     e*=%.4f c*=%.4f (utility %.3f)\n",
+				dyn.Request.E, dyn.Request.C, dyn.Utility)
+			fmt.Fprintf(out, "  uncertainty premium on edge demand: %+.4f per miner\n",
+				dyn.Request.E-fixed.Request.E)
+		})
+	default:
+		return fmt.Errorf("unknown stage %q", *stage)
+	}
+}
+
+func printMinerEquilibrium(out io.Writer, cfg minegame.Config, eq minegame.MinerEquilibrium) {
+	fmt.Fprintf(out, "miner subgame equilibrium (%s mode, %d miners)\n", cfg.Mode, cfg.N)
+	fmt.Fprintf(out, "  converged: %v after %d iterations\n", eq.Converged, eq.Iterations)
+	for i, r := range eq.Requests {
+		fmt.Fprintf(out, "  miner %d: e=%.4f c=%.4f  utility=%.3f  win prob=%.4f\n",
+			i+1, r.E, r.C, eq.Utilities[i], eq.WinProbs[i])
+	}
+	fmt.Fprintf(out, "  aggregate: E=%.4f C=%.4f S=%.4f\n", eq.EdgeDemand, eq.CloudDemand, eq.TotalDemand)
+	if eq.Multiplier > 0 {
+		fmt.Fprintf(out, "  capacity shadow price: %.4f\n", eq.Multiplier)
+	}
+}
+
+func printStackelberg(out io.Writer, cfg minegame.Config, res minegame.StackelbergResult) {
+	fmt.Fprintf(out, "Stackelberg equilibrium (%s mode)\n", cfg.Mode)
+	fmt.Fprintf(out, "  prices: P_e=%.4f P_c=%.4f (converged=%v)\n", res.Prices.Edge, res.Prices.Cloud, res.Converged)
+	fmt.Fprintf(out, "  profits: V_e=%.3f V_c=%.3f\n", res.ProfitE, res.ProfitC)
+	fmt.Fprintf(out, "  demand: E=%.4f C=%.4f\n", res.Follower.EdgeDemand, res.Follower.CloudDemand)
+	if len(res.Follower.Requests) > 0 {
+		r := res.Follower.Requests[0]
+		fmt.Fprintf(out, "  per-miner request: e=%.4f c=%.4f\n", r.E, r.C)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunMinersStage(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-stage", "miners", "-mode", "connected", "-pe", "8", "-pc", "4"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"miner subgame equilibrium", "connected mode", "aggregate:", "miner 5:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunMinersStandaloneShowsShadowPrice(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-stage", "miners", "-mode", "standalone", "-emax", "20"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "capacity shadow price") {
+		t.Errorf("binding capacity should print a shadow price:\n%s", out.String())
+	}
+}
+
+func TestRunFullStage(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-stage", "full", "-mode", "connected"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Stackelberg equilibrium", "prices:", "profits:", "per-miner request"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCompareStage(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-stage", "compare", "-emax", "25", "-budget", "1000"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "--- connected mode ---") || !strings.Contains(got, "--- standalone mode ---") {
+		t.Errorf("compare output incomplete:\n%s", got)
+	}
+}
+
+func TestRunSelfBetaStage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "selfbeta", "-delay", "134"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "self-consistent fork rate") || !strings.Contains(got, "β*") {
+		t.Errorf("selfbeta output incomplete:\n%s", got)
+	}
+}
+
+func TestRunEndogenousHStage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "endoh", "-espunits", "30"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "endogenous transfer rate") || !strings.Contains(got, "h*") {
+		t.Errorf("endoh output incomplete:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown mode", []string{"-mode", "nope"}},
+		{"unknown stage", []string{"-stage", "nope"}},
+		{"bad config", []string{"-n", "1"}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "miners", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var decoded struct {
+		Requests   []struct{ E, C float64 }
+		EdgeDemand float64
+		Converged  bool
+	}
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded.Requests) != 5 || !decoded.Converged || decoded.EdgeDemand <= 0 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestRunPopulationStage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "population", "-mu", "10", "-sigma", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "uncertainty premium on edge demand: +") {
+		t.Errorf("population output should show a positive premium:\n%s", got)
+	}
+}

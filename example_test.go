@@ -1,0 +1,91 @@
+package minegame_test
+
+import (
+	"fmt"
+
+	"minegame"
+)
+
+// ExampleSolveMinerEquilibrium solves the follower stage at fixed prices
+// and prints the homogeneous miners' common request.
+func ExampleSolveMinerEquilibrium() {
+	cfg := minegame.Config{
+		N:           5,
+		Budgets:     []float64{200},
+		Reward:      1000,
+		Beta:        0.2,
+		SatisfyProb: 0.7,
+		Mode:        minegame.Connected,
+		CostE:       2,
+		CostC:       1,
+	}
+	eq, err := minegame.SolveMinerEquilibrium(cfg, minegame.Prices{Edge: 8, Cloud: 4}, minegame.NEOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("e* = %.2f, c* = %.2f\n", eq.Requests[0].E, eq.Requests[0].C)
+	// Output:
+	// e* = 5.60, c* = 26.40
+}
+
+// ExampleHomogeneousConnected evaluates the paper's Theorem 3 closed
+// form directly.
+func ExampleHomogeneousConnected() {
+	p := minegame.MinerParams{Reward: 1000, Beta: 0.2, H: 0.7, PriceE: 8, PriceC: 4}
+	sol, err := minegame.HomogeneousConnected(p, 5, 100) // tight budget: binds
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("budget binding: %v, e* = %.4f\n", sol.BudgetBinding, sol.Request.E)
+	// Output:
+	// budget binding: true, e* = 3.7234
+}
+
+// ExampleWinProbsFull verifies Theorem 1: individual winning
+// probabilities sum to one.
+func ExampleWinProbsFull() {
+	profile := []minegame.Request{
+		{E: 2, C: 1},
+		{E: 1, C: 3},
+	}
+	ws := minegame.WinProbsFull(0.5, profile)
+	fmt.Printf("W1 + W2 = %.3f\n", ws[0]+ws[1])
+	// Output:
+	// W1 + W2 = 1.000
+}
+
+// ExampleClearingPriceEdge computes the standalone ESP's market-clearing
+// price for the Table II scenario.
+func ExampleClearingPriceEdge() {
+	pcStar := minegame.OptimalPriceCloudStandalone(1000, 0.2, 1, 5, 25)
+	peStar := minegame.ClearingPriceEdge(1000, 0.2, pcStar, 5, 25)
+	fmt.Printf("P_c* = %.3f, P_e* = %.3f\n", pcStar, peStar)
+	// Output:
+	// P_c* = 5.060, P_e* = 11.460
+}
+
+// ExampleCollisionCDF shows the near-linear split-rate curve of Fig. 2.
+func ExampleCollisionCDF() {
+	for _, delay := range []float64{0, 60, 120} {
+		fmt.Printf("delay %3.0fs: split rate %.4f\n", delay, minegame.CollisionCDF(delay, 600))
+	}
+	// Output:
+	// delay   0s: split rate 0.0000
+	// delay  60s: split rate 0.0952
+	// delay 120s: split rate 0.1813
+}
+
+// ExampleErlangB evaluates the loss probability that endogenizes the
+// connected ESP's transfer rate.
+func ExampleErlangB() {
+	b, err := minegame.ErlangB(2, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("B(2, 1) = %.1f\n", b)
+	// Output:
+	// B(2, 1) = 0.2
+}

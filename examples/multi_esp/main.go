@@ -1,0 +1,54 @@
+// Multi-ESP competition: the library's extension beyond the paper. Two
+// edge providers — a reliable premium one and a cheap budget one — fight
+// with the cloud for five miners' budgets. Watch demand substitute as the
+// budget provider cuts its price.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minegame"
+)
+
+func main() {
+	base := minegame.MultiESPConfig{
+		N:      5,
+		Budget: 200,
+		Reward: 1000,
+		Beta:   0.2,
+		ESPs: []minegame.MultiESPOffer{
+			{Price: 9, H: 0.9}, // premium edge: rarely transfers
+			{Price: 7, H: 0.4}, // budget edge: often transfers
+		},
+		PriceC: 4,
+	}
+
+	fmt.Println("budget-ESP price sweep (premium at 9, cloud at 4):")
+	fmt.Println("p2     E_premium  E_budget  C_cloud")
+	for _, p2 := range []float64{7.5, 6.5, 5.5, 4.5} {
+		cfg := base
+		cfg.ESPs = []minegame.MultiESPOffer{base.ESPs[0], {Price: p2, H: 0.4}}
+		eq, err := minegame.SolveMultiESP(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4.1f   %9.3f  %8.3f  %7.3f\n",
+			p2, eq.Demands[0], eq.Demands[1], eq.Demands[2])
+	}
+
+	// Sanity: with a single ESP the extension reproduces the paper.
+	single := base
+	single.ESPs = []minegame.MultiESPOffer{{Price: 8, H: 0.7}}
+	eq, err := minegame.SolveMultiESP(single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := minegame.MinerParams{Reward: 1000, Beta: 0.2, H: 0.7, PriceE: 8, PriceC: 4}
+	closed, err := minegame.HomogeneousConnected(params, 5, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nK=1 cross-check: multi-ESP (%.3f, %.3f) vs paper closed form (%.3f, %.3f)\n",
+		eq.Requests[0][0], eq.Requests[0][1], closed.Request.E, closed.Request.C)
+}

@@ -1,0 +1,50 @@
+// Quickstart: configure the default 5-miner network of the paper's
+// evaluation, solve the full two-stage Stackelberg game in connected
+// mode, and verify the follower profile is a Nash equilibrium.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minegame"
+)
+
+func main() {
+	cfg := minegame.Config{
+		N:           5,
+		Budgets:     []float64{200}, // homogeneous miners
+		Reward:      1000,           // mining reward R
+		Beta:        0.2,            // fork rate β from the CSP delay
+		SatisfyProb: 0.7,            // h: edge request served locally
+		Mode:        minegame.Connected,
+		CostE:       2,
+		CostC:       1,
+	}
+
+	res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("equilibrium prices: P_e = %.3f, P_c = %.3f\n", res.Prices.Edge, res.Prices.Cloud)
+	fmt.Printf("provider profits:   V_e = %.2f, V_c = %.2f\n", res.ProfitE, res.ProfitC)
+	fmt.Printf("aggregate demand:   E = %.2f edge units, C = %.2f cloud units\n",
+		res.Follower.EdgeDemand, res.Follower.CloudDemand)
+	r := res.Follower.Requests[0]
+	fmt.Printf("each miner buys:    e = %.3f, c = %.3f (utility %.2f)\n",
+		r.E, r.C, res.Follower.Utilities[0])
+
+	// Certify the follower stage: no miner can gain by deviating.
+	if dev := minegame.Deviation(cfg, res.Prices, res.Follower.Requests); dev < 1e-3 {
+		fmt.Printf("equilibrium certified: best unilateral gain = %.2g\n", dev)
+	} else {
+		fmt.Printf("WARNING: profitable deviation of %.4f exists\n", dev)
+	}
+
+	// Cross-check against the closed form of Theorem 3 / Corollary 1.
+	sol, err := minegame.HomogeneousConnected(cfg.Params(res.Prices), cfg.N, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closed form agrees: e* = %.3f, c* = %.3f\n", sol.Request.E, sol.Request.C)
+}

@@ -1,0 +1,3 @@
+module minegame
+
+go 1.22

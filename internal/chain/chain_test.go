@@ -1,0 +1,154 @@
+package chain
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLedgerLinearGrowth(t *testing.T) {
+	l := NewLedger()
+	parent := l.Tip().ID
+	for i := 0; i < 5; i++ {
+		b, err := l.Append(parent, i, OriginEdge, float64(i), float64(i))
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if b.Height != i+1 {
+			t.Errorf("height = %d, want %d", b.Height, i+1)
+		}
+		parent = b.ID
+	}
+	if l.Height() != 5 || l.Len() != 5 || l.Forks() != 0 {
+		t.Errorf("height=%d len=%d forks=%d, want 5/5/0", l.Height(), l.Len(), l.Forks())
+	}
+}
+
+func TestLedgerForkDetection(t *testing.T) {
+	l := NewLedger()
+	a, err := l.Append(GenesisID, 1, OriginEdge, 1, 1)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// A rival at the same height on the same parent is a fork.
+	b, err := l.Append(GenesisID, 2, OriginCloud, 1.5, 2.5)
+	if err != nil {
+		t.Fatalf("Append rival: %v", err)
+	}
+	if !b.Discarded {
+		t.Error("same-height rival must be discarded")
+	}
+	if l.Forks() != 1 {
+		t.Errorf("forks = %d, want 1", l.Forks())
+	}
+	if l.Tip().ID != a.ID {
+		t.Errorf("tip = %d, want first-seen block %d", l.Tip().ID, a.ID)
+	}
+}
+
+func TestLedgerUnknownParent(t *testing.T) {
+	l := NewLedger()
+	if _, err := l.Append(999, 1, OriginEdge, 0, 0); !errors.Is(err, ErrUnknownParent) {
+		t.Errorf("err = %v, want ErrUnknownParent", err)
+	}
+}
+
+func TestLedgerCanonicalMinerWins(t *testing.T) {
+	l := NewLedger()
+	a, _ := l.Append(GenesisID, 1, OriginEdge, 1, 1)
+	l.Append(GenesisID, 2, OriginCloud, 1.2, 2.2) // discarded rival
+	b, _ := l.Append(a.ID, 2, OriginEdge, 3, 3)
+	l.Append(b.ID, 1, OriginEdge, 4, 4)
+	wins := l.CanonicalMinerWins()
+	if wins[1] != 2 || wins[2] != 1 {
+		t.Errorf("wins = %v, want miner1:2 miner2:1", wins)
+	}
+}
+
+func TestMarkDiscardedIdempotent(t *testing.T) {
+	l := NewLedger()
+	a, _ := l.Append(GenesisID, 1, OriginCloud, 1, 2)
+	l.MarkDiscarded(a.ID)
+	l.MarkDiscarded(a.ID)
+	if l.Forks() != 1 {
+		t.Errorf("forks = %d, want 1 after double discard", l.Forks())
+	}
+	l.MarkDiscarded(12345) // unknown ID is a no-op
+	if l.Forks() != 1 {
+		t.Errorf("forks = %d after unknown discard", l.Forks())
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginEdge.String() != "edge" || OriginCloud.String() != "cloud" {
+		t.Error("origin strings")
+	}
+	if Origin(9).String() != "origin(9)" {
+		t.Errorf("unknown origin string = %q", Origin(9).String())
+	}
+}
+
+func TestCollisionCDFProperties(t *testing.T) {
+	const interval = 600.0
+	if got := CollisionCDF(0, interval); got != 0 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+	if got := CollisionCDF(-5, interval); got != 0 {
+		t.Errorf("CDF(-5) = %g", got)
+	}
+	prev := 0.0
+	for d := 10.0; d <= 1200; d += 10 {
+		cur := CollisionCDF(d, interval)
+		if cur <= prev || cur >= 1 {
+			t.Fatalf("CDF not strictly increasing in (0,1): CDF(%g)=%g prev=%g", d, cur, prev)
+		}
+		prev = cur
+	}
+	// Near-linearity for small delays (the paper's Fig. 2(b) observation).
+	d := 30.0
+	if got, lin := CollisionCDF(d, interval), d/interval; math.Abs(got-lin)/lin > 0.03 {
+		t.Errorf("CDF(%g) = %g, want ≈%g (linear regime)", d, got, lin)
+	}
+}
+
+func TestCollisionPDFNormalizes(t *testing.T) {
+	const interval = 600.0
+	var integral float64
+	const dt = 0.5
+	for x := 0.0; x < 20*interval; x += dt {
+		integral += CollisionPDF(x+dt/2, interval) * dt
+	}
+	if math.Abs(integral-1) > 1e-3 {
+		t.Errorf("PDF integrates to %g, want 1", integral)
+	}
+	if CollisionPDF(-1, interval) != 0 {
+		t.Error("PDF must vanish for negative delay")
+	}
+}
+
+func TestBetaEdgeAndDelayForBeta(t *testing.T) {
+	if got := BetaEdge(0, 10, 60, 600); got != 0 {
+		t.Errorf("β with no edge power = %g", got)
+	}
+	if got := BetaEdge(5, 10, 0, 600); got != 0 {
+		t.Errorf("β with zero delay = %g", got)
+	}
+	b := BetaEdge(5, 10, 60, 600)
+	want := 1 - math.Exp(-0.5*60/600)
+	if math.Abs(b-want) > 1e-12 {
+		t.Errorf("β = %g, want %g", b, want)
+	}
+	// DelayForBeta inverts the all-network fork rate.
+	for _, beta := range []float64{0.05, 0.2, 0.5, 0.9} {
+		d := DelayForBeta(beta, 600)
+		if got := CollisionCDF(d, 600); math.Abs(got-beta) > 1e-12 {
+			t.Errorf("CollisionCDF(DelayForBeta(%g)) = %g", beta, got)
+		}
+	}
+	if DelayForBeta(0, 600) != 0 {
+		t.Error("DelayForBeta(0) must be 0")
+	}
+	if !math.IsInf(DelayForBeta(1, 600), 1) {
+		t.Error("DelayForBeta(1) must be +Inf")
+	}
+}

@@ -1,0 +1,109 @@
+package chain
+
+// Difficulty retargeting. The race model in this package assumes the
+// network's block inter-arrival time stays at a constant Interval no
+// matter how many computing units the miners buy — the assumption behind
+// the paper's constant fork rate β. In a real proof-of-work chain this is
+// enforced by difficulty retargeting: every Window blocks the difficulty
+// is rescaled by the ratio of the target span to the observed span
+// (clamped, as Bitcoin clamps to a factor of 4). This file implements
+// that control loop so experiments can verify the assumption holds even
+// under drifting total hash power.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RetargetClamp bounds a single difficulty adjustment, exactly like
+// Bitcoin's factor-of-4 rule.
+const RetargetClamp = 4.0
+
+// Retarget returns the next difficulty given the current difficulty, the
+// observed mean block interval over the last window, and the target
+// interval. The adjustment ratio is clamped to [1/RetargetClamp,
+// RetargetClamp].
+func Retarget(difficulty, observedInterval, targetInterval float64) float64 {
+	if difficulty <= 0 || observedInterval <= 0 || targetInterval <= 0 {
+		return difficulty
+	}
+	ratio := targetInterval / observedInterval
+	if ratio > RetargetClamp {
+		ratio = RetargetClamp
+	} else if ratio < 1/RetargetClamp {
+		ratio = 1 / RetargetClamp
+	}
+	return difficulty * ratio
+}
+
+// EpochStats describes one retargeting window.
+type EpochStats struct {
+	Epoch        int
+	HashPower    float64 // total computing units during the epoch
+	Difficulty   float64 // difficulty in force during the epoch
+	MeanInterval float64 // realized mean block interval
+}
+
+// DifficultyConfig parameterizes SimulateDifficulty.
+type DifficultyConfig struct {
+	// TargetInterval is the desired mean block time (the game's τ).
+	TargetInterval float64
+	// Window is the number of blocks per retargeting epoch.
+	Window int
+	// InitialDifficulty seeds the loop; with difficulty d and total hash
+	// power S, block intervals are exponential with mean d/S.
+	InitialDifficulty float64
+}
+
+// Validate reports configuration errors.
+func (c DifficultyConfig) Validate() error {
+	if c.TargetInterval <= 0 {
+		return fmt.Errorf("chain: target interval %g must be positive", c.TargetInterval)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("chain: retarget window %d must be positive", c.Window)
+	}
+	if c.InitialDifficulty <= 0 {
+		return fmt.Errorf("chain: initial difficulty %g must be positive", c.InitialDifficulty)
+	}
+	return nil
+}
+
+// SimulateDifficulty runs the retargeting control loop for the given
+// number of epochs. powerAt returns the network's total computing units
+// in each epoch (the knob the mining game turns); the returned stats
+// record how quickly the realized block interval is pulled back to the
+// target after power changes.
+func SimulateDifficulty(cfg DifficultyConfig, powerAt func(epoch int) float64, epochs int, rng *rand.Rand) ([]EpochStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("chain: epochs %d must be positive", epochs)
+	}
+	if powerAt == nil {
+		return nil, fmt.Errorf("chain: nil power schedule")
+	}
+	stats := make([]EpochStats, 0, epochs)
+	difficulty := cfg.InitialDifficulty
+	for e := 0; e < epochs; e++ {
+		power := powerAt(e)
+		if power <= 0 {
+			return nil, fmt.Errorf("chain: epoch %d has non-positive hash power %g", e, power)
+		}
+		mean := difficulty / power
+		var span float64
+		for b := 0; b < cfg.Window; b++ {
+			span += rng.ExpFloat64() * mean
+		}
+		observed := span / float64(cfg.Window)
+		stats = append(stats, EpochStats{
+			Epoch:        e,
+			HashPower:    power,
+			Difficulty:   difficulty,
+			MeanInterval: observed,
+		})
+		difficulty = Retarget(difficulty, observed, cfg.TargetInterval)
+	}
+	return stats, nil
+}

@@ -1,0 +1,105 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/sim"
+)
+
+func TestRetarget(t *testing.T) {
+	tests := []struct {
+		name                         string
+		difficulty, observed, target float64
+		want                         float64
+	}{
+		{"on target", 100, 600, 600, 100},
+		{"too fast doubles", 100, 300, 600, 200},
+		{"too slow halves", 100, 1200, 600, 50},
+		{"clamped up", 100, 10, 600, 400},
+		{"clamped down", 100, 60000, 600, 25},
+		{"invalid difficulty unchanged", 0, 600, 600, 0},
+		{"invalid observation unchanged", 100, 0, 600, 100},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Retarget(tt.difficulty, tt.observed, tt.target); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Retarget = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDifficultyConfigValidate(t *testing.T) {
+	valid := DifficultyConfig{TargetInterval: 600, Window: 144, InitialDifficulty: 1}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []DifficultyConfig{
+		{TargetInterval: 0, Window: 144, InitialDifficulty: 1},
+		{TargetInterval: 600, Window: 0, InitialDifficulty: 1},
+		{TargetInterval: 600, Window: 144, InitialDifficulty: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+// TestSimulateDifficultyAbsorbsPowerShock verifies the assumption behind
+// the game's constant β: after total hash power quadruples, retargeting
+// pulls the realized block interval back to the target within a few
+// epochs, so the interval — and with it the fork rate — is effectively
+// power-independent in steady state.
+func TestSimulateDifficultyAbsorbsPowerShock(t *testing.T) {
+	cfg := DifficultyConfig{TargetInterval: 600, Window: 500, InitialDifficulty: 600 * 40}
+	powerAt := func(epoch int) float64 {
+		if epoch < 5 {
+			return 40 // matched to the initial difficulty: starts on target
+		}
+		return 160 // 4x power shock
+	}
+	rng := sim.NewRNG(17, "difficulty-shock")
+	stats, err := SimulateDifficulty(cfg, powerAt, 15, rng)
+	if err != nil {
+		t.Fatalf("SimulateDifficulty: %v", err)
+	}
+	// Before the shock: on target.
+	for _, s := range stats[1:5] {
+		if math.Abs(s.MeanInterval-600) > 90 {
+			t.Errorf("epoch %d: interval %g far from target before shock", s.Epoch, s.MeanInterval)
+		}
+	}
+	// The shock epoch runs fast (difficulty lags the power jump).
+	if stats[5].MeanInterval > 300 {
+		t.Errorf("shock epoch interval %g, want ≈150 (4x power at old difficulty)", stats[5].MeanInterval)
+	}
+	// Steady state restored within a couple of retargets.
+	for _, s := range stats[8:] {
+		if math.Abs(s.MeanInterval-600) > 90 {
+			t.Errorf("epoch %d: interval %g did not return to target", s.Epoch, s.MeanInterval)
+		}
+	}
+	// Difficulty ends roughly 4x higher than it started.
+	last := stats[len(stats)-1].Difficulty
+	if math.Abs(last/cfg.InitialDifficulty-4) > 0.8 {
+		t.Errorf("final difficulty ratio %g, want ≈4", last/cfg.InitialDifficulty)
+	}
+}
+
+func TestSimulateDifficultyErrors(t *testing.T) {
+	cfg := DifficultyConfig{TargetInterval: 600, Window: 10, InitialDifficulty: 1}
+	rng := sim.NewRNG(1, "difficulty-errors")
+	if _, err := SimulateDifficulty(DifficultyConfig{}, func(int) float64 { return 1 }, 3, rng); err == nil {
+		t.Error("want error for invalid config")
+	}
+	if _, err := SimulateDifficulty(cfg, nil, 3, rng); err == nil {
+		t.Error("want error for nil schedule")
+	}
+	if _, err := SimulateDifficulty(cfg, func(int) float64 { return 1 }, 0, rng); err == nil {
+		t.Error("want error for zero epochs")
+	}
+	if _, err := SimulateDifficulty(cfg, func(int) float64 { return 0 }, 3, rng); err == nil {
+		t.Error("want error for zero power")
+	}
+}

@@ -1,0 +1,76 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLedgerExportRoundTrip(t *testing.T) {
+	l := NewLedger()
+	a, _ := l.Append(GenesisID, 1, OriginEdge, 1, 1)
+	l.Append(GenesisID, 2, OriginCloud, 1.5, 2.5) // discarded fork
+	l.Append(a.ID, 3, OriginCloud, 3, 4)
+
+	var buf bytes.Buffer
+	if err := l.Export(&buf); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	var decoded []Block
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d blocks, want 3", len(decoded))
+	}
+	if decoded[0].Origin != OriginEdge || decoded[1].Origin != OriginCloud {
+		t.Errorf("origins = %v, %v", decoded[0].Origin, decoded[1].Origin)
+	}
+	if !decoded[1].Discarded {
+		t.Error("fork block must export Discarded=true")
+	}
+	if decoded[2].Parent != a.ID || decoded[2].Height != 2 {
+		t.Errorf("third block = %+v", decoded[2])
+	}
+	if !strings.Contains(buf.String(), `"origin": "edge"`) {
+		t.Errorf("origin not serialized by name:\n%s", buf.String())
+	}
+}
+
+func TestLedgerBlocksOrdered(t *testing.T) {
+	l := NewLedger()
+	parent := GenesisID
+	for i := 0; i < 4; i++ {
+		b, err := l.Append(parent, i, OriginEdge, float64(i), float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent = b.ID
+	}
+	blocks := l.Blocks()
+	if len(blocks) != 4 {
+		t.Fatalf("len = %d", len(blocks))
+	}
+	for i, b := range blocks {
+		if b.ID != uint64(i+1) {
+			t.Errorf("blocks[%d].ID = %d, want mining order", i, b.ID)
+		}
+	}
+}
+
+func TestOriginJSONErrors(t *testing.T) {
+	if _, err := Origin(42).MarshalJSON(); err == nil {
+		t.Error("want error for unknown origin")
+	}
+	var o Origin
+	if err := o.UnmarshalJSON([]byte(`"fog"`)); err == nil {
+		t.Error("want error for unknown name")
+	}
+	if err := o.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Error("want error for non-string JSON")
+	}
+	if err := o.UnmarshalJSON([]byte(`"cloud"`)); err != nil || o != OriginCloud {
+		t.Errorf("cloud round trip: %v, %v", o, err)
+	}
+}

@@ -1,0 +1,176 @@
+package chain
+
+// Block gossip over a peer-to-peer topology. The paper imports its
+// delay→fork-rate curve from Bitcoin measurements and notes that
+// propagation time "may vary due to the underlying factors like network
+// topology and block size" (§III-A). This file supplies that mechanism:
+// a random peer graph with per-link latencies, earliest-arrival
+// propagation from a source miner, and quantile propagation delays that
+// feed CollisionCDF to produce topology-dependent fork rates.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GossipConfig parameterizes a random peer-to-peer overlay.
+type GossipConfig struct {
+	// Nodes is the network size (≥ 2).
+	Nodes int
+	// Degree is the number of additional random links per node beyond
+	// the connectivity ring (≥ 0).
+	Degree int
+	// MeanLatency is the mean per-link latency; individual link
+	// latencies are exponential with this mean.
+	MeanLatency float64
+}
+
+// Validate reports configuration errors.
+func (c GossipConfig) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("chain: gossip network needs at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Degree < 0 {
+		return fmt.Errorf("chain: gossip degree %d must be non-negative", c.Degree)
+	}
+	if c.MeanLatency <= 0 {
+		return fmt.Errorf("chain: mean latency %g must be positive", c.MeanLatency)
+	}
+	return nil
+}
+
+// GossipNetwork is an undirected latency-weighted peer graph. Construct
+// with NewGossipNetwork; the graph is connected by construction (a ring
+// plus Degree random chords per node).
+type GossipNetwork struct {
+	adjacency [][]gossipLink
+}
+
+type gossipLink struct {
+	to      int
+	latency float64
+}
+
+// NewGossipNetwork builds the overlay with rng-drawn chords and latencies.
+func NewGossipNetwork(cfg GossipConfig, rng *rand.Rand) (*GossipNetwork, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GossipNetwork{adjacency: make([][]gossipLink, cfg.Nodes)}
+	addLink := func(a, b int) {
+		lat := rng.ExpFloat64() * cfg.MeanLatency
+		g.adjacency[a] = append(g.adjacency[a], gossipLink{to: b, latency: lat})
+		g.adjacency[b] = append(g.adjacency[b], gossipLink{to: a, latency: lat})
+	}
+	// Connectivity ring.
+	for i := 0; i < cfg.Nodes; i++ {
+		addLink(i, (i+1)%cfg.Nodes)
+	}
+	// Random chords shrink the diameter like a small-world overlay.
+	for i := 0; i < cfg.Nodes; i++ {
+		for d := 0; d < cfg.Degree; d++ {
+			j := rng.Intn(cfg.Nodes)
+			if j != i {
+				addLink(i, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Nodes returns the network size.
+func (g *GossipNetwork) Nodes() int { return len(g.adjacency) }
+
+// PropagationTimes returns the earliest gossip arrival time at every node
+// for a block announced at source (Dijkstra over link latencies). The
+// source's own entry is 0.
+func (g *GossipNetwork) PropagationTimes(source int) ([]float64, error) {
+	n := len(g.adjacency)
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("chain: gossip source %d outside [0, %d)", source, n)
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	pq := &gossipQueue{{node: source, time: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(gossipItem)
+		if item.time > dist[item.node] {
+			continue
+		}
+		for _, link := range g.adjacency[item.node] {
+			if t := item.time + link.latency; t < dist[link.to] {
+				dist[link.to] = t
+				heap.Push(pq, gossipItem{node: link.to, time: t})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// PropagationDelay estimates the time for a block from a random source to
+// reach the given fraction of the network (e.g. 0.9 for the 90th
+// percentile spread), averaged over samples random sources.
+func (g *GossipNetwork) PropagationDelay(fraction float64, samples int, rng *rand.Rand) (float64, error) {
+	if fraction <= 0 || fraction > 1 {
+		return 0, fmt.Errorf("chain: coverage fraction %g outside (0, 1]", fraction)
+	}
+	if samples <= 0 {
+		return 0, fmt.Errorf("chain: samples %d must be positive", samples)
+	}
+	n := len(g.adjacency)
+	rank := int(math.Ceil(fraction*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	var total float64
+	for s := 0; s < samples; s++ {
+		times, err := g.PropagationTimes(rng.Intn(n))
+		if err != nil {
+			return 0, err
+		}
+		total += kthSmallest(times, rank)
+	}
+	return total / float64(samples), nil
+}
+
+// kthSmallest returns the k-th order statistic (0-indexed) of xs without
+// mutating it.
+func kthSmallest(xs []float64, k int) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	// Quickselect would be O(n); n is small here, so sort for clarity.
+	for i := 0; i <= k; i++ {
+		min := i
+		for j := i + 1; j < len(tmp); j++ {
+			if tmp[j] < tmp[min] {
+				min = j
+			}
+		}
+		tmp[i], tmp[min] = tmp[min], tmp[i]
+	}
+	return tmp[k]
+}
+
+type gossipItem struct {
+	node int
+	time float64
+}
+
+type gossipQueue []gossipItem
+
+func (q gossipQueue) Len() int           { return len(q) }
+func (q gossipQueue) Less(i, j int) bool { return q[i].time < q[j].time }
+func (q gossipQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *gossipQueue) Push(x any)        { *q = append(*q, x.(gossipItem)) }
+func (q *gossipQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

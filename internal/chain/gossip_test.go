@@ -1,0 +1,126 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/sim"
+)
+
+func TestGossipConfigValidate(t *testing.T) {
+	valid := GossipConfig{Nodes: 10, Degree: 2, MeanLatency: 1}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []GossipConfig{
+		{Nodes: 1, Degree: 2, MeanLatency: 1},
+		{Nodes: 10, Degree: -1, MeanLatency: 1},
+		{Nodes: 10, Degree: 2, MeanLatency: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestGossipPropagationConnectivity(t *testing.T) {
+	rng := sim.NewRNG(5, "gossip-connectivity")
+	// Even with zero chords the ring keeps the graph connected.
+	g, err := NewGossipNetwork(GossipConfig{Nodes: 50, Degree: 0, MeanLatency: 1}, rng)
+	if err != nil {
+		t.Fatalf("NewGossipNetwork: %v", err)
+	}
+	times, err := g.PropagationTimes(7)
+	if err != nil {
+		t.Fatalf("PropagationTimes: %v", err)
+	}
+	if times[7] != 0 {
+		t.Errorf("source arrival time = %g, want 0", times[7])
+	}
+	for i, tt := range times {
+		if math.IsInf(tt, 1) {
+			t.Errorf("node %d unreachable", i)
+		}
+		if tt < 0 {
+			t.Errorf("node %d has negative arrival %g", i, tt)
+		}
+	}
+}
+
+func TestGossipDenserIsFaster(t *testing.T) {
+	rng := sim.NewRNG(6, "gossip-density")
+	delay := func(degree int) float64 {
+		g, err := NewGossipNetwork(GossipConfig{Nodes: 150, Degree: degree, MeanLatency: 2}, rng)
+		if err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+		d, err := g.PropagationDelay(0.9, 30, rng)
+		if err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+		return d
+	}
+	ring := delay(0)
+	sparse := delay(2)
+	dense := delay(8)
+	if !(ring > sparse && sparse > dense) {
+		t.Errorf("90%% spread should shrink with density: ring %g, sparse %g, dense %g", ring, sparse, dense)
+	}
+}
+
+func TestGossipDelayQuantileMonotone(t *testing.T) {
+	rng := sim.NewRNG(7, "gossip-quantile")
+	g, err := NewGossipNetwork(GossipConfig{Nodes: 100, Degree: 3, MeanLatency: 1}, rng)
+	if err != nil {
+		t.Fatalf("NewGossipNetwork: %v", err)
+	}
+	prev := 0.0
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 1} {
+		d, err := g.PropagationDelay(q, 20, rng)
+		if err != nil {
+			t.Fatalf("quantile %g: %v", q, err)
+		}
+		if d < prev {
+			t.Errorf("quantile %g delay %g below previous %g", q, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestGossipErrors(t *testing.T) {
+	rng := sim.NewRNG(8, "gossip-errors")
+	if _, err := NewGossipNetwork(GossipConfig{}, rng); err == nil {
+		t.Error("want error for invalid config")
+	}
+	g, err := NewGossipNetwork(GossipConfig{Nodes: 10, Degree: 1, MeanLatency: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PropagationTimes(-1); err == nil {
+		t.Error("want error for bad source")
+	}
+	if _, err := g.PropagationTimes(10); err == nil {
+		t.Error("want error for out-of-range source")
+	}
+	if _, err := g.PropagationDelay(0, 5, rng); err == nil {
+		t.Error("want error for zero fraction")
+	}
+	if _, err := g.PropagationDelay(0.5, 0, rng); err == nil {
+		t.Error("want error for zero samples")
+	}
+	if g.Nodes() != 10 {
+		t.Errorf("Nodes = %d", g.Nodes())
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	for k, want := range []float64{1, 2, 3, 4, 5} {
+		if got := kthSmallest(xs, k); got != want {
+			t.Errorf("kthSmallest(%d) = %g, want %g", k, got, want)
+		}
+	}
+	if xs[0] != 5 {
+		t.Error("kthSmallest must not mutate its input")
+	}
+}

@@ -1,0 +1,336 @@
+package chain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minegame/internal/sim"
+)
+
+// Allocation is a miner's computing power split across the two providers,
+// in purchased units. A unit from either provider hashes at the same rate
+// (the paper makes ESP and CSP units functionally equivalent).
+type Allocation struct {
+	MinerID int
+	Edge    float64
+	Cloud   float64
+}
+
+// RaceConfig parameterizes the mining race.
+type RaceConfig struct {
+	// Interval is the network's mean block inter-arrival time. Difficulty
+	// retargeting keeps it constant regardless of total computing power.
+	Interval float64
+	// CloudDelay is the consensus delay of cloud-solved blocks (D_avg).
+	// Edge-solved blocks reach consensus immediately.
+	CloudDelay float64
+	// Allocations are the miners' purchased units.
+	Allocations []Allocation
+}
+
+// Validate reports configuration errors.
+func (c RaceConfig) Validate() error {
+	if c.Interval <= 0 {
+		return fmt.Errorf("race config: interval %g must be positive", c.Interval)
+	}
+	if c.CloudDelay < 0 {
+		return fmt.Errorf("race config: cloud delay %g must be non-negative", c.CloudDelay)
+	}
+	var total float64
+	for _, a := range c.Allocations {
+		if a.Edge < 0 || a.Cloud < 0 {
+			return fmt.Errorf("race config: miner %d has negative units", a.MinerID)
+		}
+		total += a.Edge + a.Cloud
+	}
+	if total <= 0 {
+		return fmt.Errorf("race config: no computing power allocated")
+	}
+	return nil
+}
+
+func (c RaceConfig) totals() (edge, total float64) {
+	for _, a := range c.Allocations {
+		edge += a.Edge
+		total += a.Edge + a.Cloud
+	}
+	return edge, total
+}
+
+// RoundResult describes one mining round (one canonical block appended).
+type RoundResult struct {
+	WinnerID     int     // miner that owns the canonical block
+	WinnerOrigin Origin  // where the winning block was solved
+	Solved       int     // total blocks solved during the round
+	Forked       bool    // true when at least one block was discarded
+	Duration     float64 // time from round start to consensus
+}
+
+// solvedBlock is a block in flight during a round.
+type solvedBlock struct {
+	minerID  int
+	origin   Origin
+	solvedAt float64
+	finalAt  float64
+}
+
+// SimulateRound runs a single mining race and returns its outcome.
+//
+// The race: blocks are solved by a Poisson process with rate 1/Interval;
+// the solving unit is uniform over all purchased units. An edge-solved
+// block reaches consensus immediately and wins unless an earlier-final
+// block exists. A cloud-solved block becomes final after CloudDelay unless
+// an edge-solved block appears before its finality instant.
+func SimulateRound(cfg RaceConfig, rng *rand.Rand) (RoundResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return RoundResult{}, err
+	}
+	_, total := cfg.totals()
+	var (
+		t       float64
+		pending []solvedBlock
+	)
+	earliestFinal := func() (int, float64) {
+		best, bestT := -1, 0.0
+		for i, b := range pending {
+			if best == -1 || b.finalAt < bestT {
+				best, bestT = i, b.finalAt
+			}
+		}
+		return best, bestT
+	}
+	for {
+		next := t + rng.ExpFloat64()*cfg.Interval
+		if i, ft := earliestFinal(); i >= 0 && ft <= next {
+			// A pending cloud block reaches consensus before the next solve.
+			win := pending[i]
+			return RoundResult{
+				WinnerID:     win.minerID,
+				WinnerOrigin: win.origin,
+				Solved:       len(pending),
+				Forked:       len(pending) > 1,
+				Duration:     ft,
+			}, nil
+		}
+		t = next
+		minerID, origin := drawSolver(cfg.Allocations, total, rng)
+		if origin == OriginEdge {
+			// Immediate consensus: beats every pending cloud block.
+			return RoundResult{
+				WinnerID:     minerID,
+				WinnerOrigin: OriginEdge,
+				Solved:       len(pending) + 1,
+				Forked:       len(pending) > 0,
+				Duration:     t,
+			}, nil
+		}
+		pending = append(pending, solvedBlock{
+			minerID:  minerID,
+			origin:   OriginCloud,
+			solvedAt: t,
+			finalAt:  t + cfg.CloudDelay,
+		})
+	}
+}
+
+// drawSolver picks the solving unit uniformly over all units.
+func drawSolver(allocs []Allocation, total float64, rng *rand.Rand) (minerID int, origin Origin) {
+	u := rng.Float64() * total
+	for _, a := range allocs {
+		if u < a.Edge {
+			return a.MinerID, OriginEdge
+		}
+		u -= a.Edge
+		if u < a.Cloud {
+			return a.MinerID, OriginCloud
+		}
+		u -= a.Cloud
+	}
+	// Floating-point slack: attribute to the last positive allocation.
+	for i := len(allocs) - 1; i >= 0; i-- {
+		if allocs[i].Cloud > 0 {
+			return allocs[i].MinerID, OriginCloud
+		}
+		if allocs[i].Edge > 0 {
+			return allocs[i].MinerID, OriginEdge
+		}
+	}
+	return allocs[len(allocs)-1].MinerID, OriginCloud
+}
+
+// WinStats aggregates many simulated rounds.
+type WinStats struct {
+	Rounds    int
+	Wins      map[int]int // canonical blocks per miner
+	EdgeWins  int         // rounds won by an edge-solved block
+	CloudWins int         // rounds won by a cloud-solved block
+	Forks     int         // rounds with at least one discarded block
+}
+
+// WinProb returns a miner's empirical winning probability.
+func (s WinStats) WinProb(minerID int) float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.Wins[minerID]) / float64(s.Rounds)
+}
+
+// ForkRate returns the fraction of rounds that forked.
+func (s WinStats) ForkRate() float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.Forks) / float64(s.Rounds)
+}
+
+// SimulateRounds runs n independent rounds and aggregates the outcomes.
+func SimulateRounds(cfg RaceConfig, n int, rng *rand.Rand) (WinStats, error) {
+	stats := WinStats{Wins: make(map[int]int, len(cfg.Allocations))}
+	for i := 0; i < n; i++ {
+		res, err := SimulateRound(cfg, rng)
+		if err != nil {
+			return WinStats{}, fmt.Errorf("round %d: %w", i, err)
+		}
+		stats.Rounds++
+		stats.Wins[res.WinnerID]++
+		if res.WinnerOrigin == OriginEdge {
+			stats.EdgeWins++
+		} else {
+			stats.CloudWins++
+		}
+		if res.Forked {
+			stats.Forks++
+		}
+	}
+	return stats, nil
+}
+
+// Network grows a fork-aware ledger using the discrete-event engine: each
+// round's solve and finality instants become events, discarded rivals are
+// recorded, and the canonical chain extends by one block per round.
+type Network struct {
+	cfg    RaceConfig
+	ledger *Ledger
+	engine *sim.Engine
+	rng    *rand.Rand
+}
+
+// NewNetwork creates a network simulation. It returns an error if the
+// configuration is invalid.
+func NewNetwork(cfg RaceConfig, rng *rand.Rand) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:    cfg,
+		ledger: NewLedger(),
+		engine: sim.NewEngine(),
+		rng:    rng,
+	}, nil
+}
+
+// Ledger exposes the grown chain.
+func (n *Network) Ledger() *Ledger { return n.ledger }
+
+// Now returns the simulation clock.
+func (n *Network) Now() float64 { return n.engine.Now() }
+
+// Grow mines `blocks` canonical blocks, replaying each round race through
+// the event engine so solve and consensus instants are faithful, and
+// returns aggregate statistics.
+func (n *Network) Grow(blocks int) (WinStats, error) {
+	stats := WinStats{Wins: make(map[int]int, len(n.cfg.Allocations))}
+	for i := 0; i < blocks; i++ {
+		res, err := n.growOne()
+		if err != nil {
+			return WinStats{}, fmt.Errorf("block %d: %w", i, err)
+		}
+		stats.Rounds++
+		stats.Wins[res.WinnerID]++
+		if res.WinnerOrigin == OriginEdge {
+			stats.EdgeWins++
+		} else {
+			stats.CloudWins++
+		}
+		if res.Forked {
+			stats.Forks++
+		}
+	}
+	return stats, nil
+}
+
+// growOne plays a single round on the event engine and appends the
+// canonical winner (plus discarded rivals) to the ledger.
+func (n *Network) growOne() (RoundResult, error) {
+	_, total := n.cfg.totals()
+	parent := n.ledger.Tip().ID
+	var (
+		winner   *solvedBlock
+		rivals   []solvedBlock
+		schedule func(e *sim.Engine)
+	)
+	roundOver := func() bool { return winner != nil }
+	finalize := func(b solvedBlock) {
+		winner = &b
+		n.engine.Stop()
+	}
+	schedule = func(e *sim.Engine) {
+		if roundOver() {
+			return
+		}
+		delay := n.rng.ExpFloat64() * n.cfg.Interval
+		e.Schedule(delay, func(e *sim.Engine) {
+			if roundOver() {
+				return
+			}
+			minerID, origin := drawSolver(n.cfg.Allocations, total, n.rng)
+			b := solvedBlock{minerID: minerID, origin: origin, solvedAt: e.Now(), finalAt: e.Now()}
+			if origin == OriginEdge {
+				finalize(b)
+				return
+			}
+			b.finalAt = e.Now() + n.cfg.CloudDelay
+			rivals = append(rivals, b)
+			e.Schedule(n.cfg.CloudDelay, func(e *sim.Engine) {
+				if roundOver() {
+					return
+				}
+				finalize(b)
+			})
+			schedule(e)
+		})
+	}
+	schedule(n.engine)
+	n.engine.RunAll()
+	if winner == nil {
+		return RoundResult{}, fmt.Errorf("round produced no winner")
+	}
+	wb, err := n.ledger.Append(parent, winner.minerID, winner.origin, winner.solvedAt, winner.finalAt)
+	if err != nil {
+		return RoundResult{}, err
+	}
+	solved := 1
+	forked := false
+	for _, r := range rivals {
+		if r == *winner {
+			continue
+		}
+		solved++
+		forked = true
+		rb, err := n.ledger.Append(parent, r.minerID, r.origin, r.solvedAt, r.finalAt)
+		if err != nil {
+			return RoundResult{}, err
+		}
+		if !rb.Discarded {
+			n.ledger.MarkDiscarded(rb.ID)
+		}
+		_ = wb
+	}
+	return RoundResult{
+		WinnerID:     winner.minerID,
+		WinnerOrigin: winner.origin,
+		Solved:       solved,
+		Forked:       forked,
+		Duration:     winner.finalAt,
+	}, nil
+}

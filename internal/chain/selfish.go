@@ -1,0 +1,148 @@
+package chain
+
+// Selfish mining (Eyal & Sirer, FC 2014) on the proof-of-work substrate:
+// a pool with hash share α withholds freshly mined blocks and releases
+// them strategically, wasting honest work on branches destined to be
+// orphaned. The game layer of this repository treats miners as honest
+// share-takers (Theorem 1's W_i); this module quantifies how far that
+// assumption can be pushed before strategic withholding pays, and the
+// simulation is validated against the Eyal–Sirer closed-form revenue in
+// tests.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SelfishConfig parameterizes a selfish-mining simulation.
+type SelfishConfig struct {
+	// Alpha is the selfish pool's share of the total hash power (0, 1).
+	Alpha float64
+	// Gamma is the fraction of honest miners that mine on the selfish
+	// branch during a 1-vs-1 tie race, in [0, 1].
+	Gamma float64
+	// Blocks is the number of canonical blocks to settle (≥ 1).
+	Blocks int
+}
+
+// Validate reports configuration errors.
+func (c SelfishConfig) Validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("chain: selfish share α=%g outside (0, 1)", c.Alpha)
+	}
+	if c.Gamma < 0 || c.Gamma > 1 {
+		return fmt.Errorf("chain: tie fraction γ=%g outside [0, 1]", c.Gamma)
+	}
+	if c.Blocks < 1 {
+		return fmt.Errorf("chain: need at least 1 block, got %d", c.Blocks)
+	}
+	return nil
+}
+
+// SelfishStats summarizes a selfish-mining run.
+type SelfishStats struct {
+	// SelfishBlocks and HonestBlocks count canonical blocks won.
+	SelfishBlocks, HonestBlocks int
+	// Orphans counts blocks mined but ultimately discarded (both sides).
+	Orphans int
+}
+
+// RevenueShare is the selfish pool's share of canonical rewards.
+func (s SelfishStats) RevenueShare() float64 {
+	total := s.SelfishBlocks + s.HonestBlocks
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SelfishBlocks) / float64(total)
+}
+
+// SimulateSelfishMining runs the Eyal–Sirer strategy block by block:
+//
+//   - The pool mines privately; its lead over the public chain is the
+//     state.
+//   - Lead 0, honest block: everyone adopts it (honest +1).
+//   - Lead 0 after a tie race: resolved by the next block (see below).
+//   - Pool finds a block: it extends its private branch (lead +1).
+//   - Honest block at lead 1: the pool publishes instantly, creating a
+//     1-vs-1 race; the next block decides — pool (wins both), honest on
+//     the pool's branch (split 1/1), honest on the honest branch
+//     (honest wins both, pool's block orphaned).
+//   - Honest block at lead 2: the pool publishes everything, orphaning
+//     the honest block and banking its whole lead.
+//   - Honest block at lead > 2: the pool publishes one block (staying
+//     ahead); that block is eventually canonical for the pool, the
+//     honest block is orphaned.
+func SimulateSelfishMining(cfg SelfishConfig, rng *rand.Rand) (SelfishStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return SelfishStats{}, err
+	}
+	var stats SelfishStats
+	lead := 0
+	settled := func() int { return stats.SelfishBlocks + stats.HonestBlocks }
+	for settled() < cfg.Blocks {
+		if rng.Float64() < cfg.Alpha {
+			// Pool finds a block and keeps it private.
+			lead++
+			continue
+		}
+		// Honest network finds a block.
+		switch {
+		case lead == 0:
+			stats.HonestBlocks++
+		case lead == 1:
+			// Publish and race. The next block settles the fork.
+			u := rng.Float64()
+			switch {
+			case u < cfg.Alpha:
+				// Pool extends its own branch: both pool blocks win.
+				stats.SelfishBlocks += 2
+				stats.Orphans++ // the honest racer
+			case u < cfg.Alpha+(1-cfg.Alpha)*cfg.Gamma:
+				// Honest miner extends the pool's branch: split.
+				stats.SelfishBlocks++
+				stats.HonestBlocks++
+				stats.Orphans++ // the honest racer
+			default:
+				// Honest miner extends the honest branch.
+				stats.HonestBlocks += 2
+				stats.Orphans++ // the pool's withheld block
+			}
+			lead = 0
+		case lead == 2:
+			// Publish the whole private chain: the pool banks its lead
+			// and the honest block is orphaned.
+			stats.SelfishBlocks += 2
+			stats.Orphans++
+			lead = 0
+		default:
+			// Publish one block; the pool stays comfortably ahead, and
+			// the honest block is doomed.
+			stats.SelfishBlocks++
+			stats.Orphans++
+			lead--
+		}
+	}
+	return stats, nil
+}
+
+// SelfishRevenueShare is the Eyal–Sirer closed-form relative revenue of
+// the selfish pool:
+//
+//	R(α, γ) = [α(1−α)²(4α + γ(1−2α)) − α³] / [1 − α(1 + (2−α)α)].
+//
+// Selfish mining beats honest mining when R > α, which happens for
+// α > (1−γ)/(3−2γ).
+func SelfishRevenueShare(alpha, gamma float64) float64 {
+	num := alpha*(1-alpha)*(1-alpha)*(4*alpha+gamma*(1-2*alpha)) - alpha*alpha*alpha
+	den := 1 - alpha*(1+(2-alpha)*alpha)
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// SelfishThreshold is the minimum pool share at which selfish mining
+// becomes profitable for a given tie fraction γ: (1−γ)/(3−2γ).
+func SelfishThreshold(gamma float64) float64 {
+	return (1 - gamma) / (3 - 2*gamma)
+}

@@ -1,0 +1,94 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/sim"
+)
+
+func TestSelfishConfigValidate(t *testing.T) {
+	valid := SelfishConfig{Alpha: 0.3, Gamma: 0.5, Blocks: 100}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []SelfishConfig{
+		{Alpha: 0, Gamma: 0.5, Blocks: 100},
+		{Alpha: 1, Gamma: 0.5, Blocks: 100},
+		{Alpha: 0.3, Gamma: -0.1, Blocks: 100},
+		{Alpha: 0.3, Gamma: 1.1, Blocks: 100},
+		{Alpha: 0.3, Gamma: 0.5, Blocks: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+// TestSimulationMatchesEyalSirerFormula is the module's headline check:
+// the block-by-block simulation reproduces the closed-form relative
+// revenue across the (α, γ) grid.
+func TestSimulationMatchesEyalSirerFormula(t *testing.T) {
+	rng := sim.NewRNG(21, "selfish-vs-formula")
+	for _, gamma := range []float64{0, 0.5, 1} {
+		for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4, 0.45} {
+			stats, err := SimulateSelfishMining(SelfishConfig{
+				Alpha:  alpha,
+				Gamma:  gamma,
+				Blocks: 300000,
+			}, rng)
+			if err != nil {
+				t.Fatalf("α=%g γ=%g: %v", alpha, gamma, err)
+			}
+			got := stats.RevenueShare()
+			want := SelfishRevenueShare(alpha, gamma)
+			if math.Abs(got-want) > 0.005 {
+				t.Errorf("α=%g γ=%g: simulated share %.4f, Eyal–Sirer %.4f", alpha, gamma, got, want)
+			}
+		}
+	}
+}
+
+func TestSelfishThreshold(t *testing.T) {
+	// Known anchors: γ=0 → 1/3, γ=1 → 0, γ=0.5 → 1/4.
+	for _, tt := range []struct{ gamma, want float64 }{
+		{0, 1.0 / 3.0}, {1, 0}, {0.5, 0.25},
+	} {
+		if got := SelfishThreshold(tt.gamma); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("threshold(γ=%g) = %g, want %g", tt.gamma, got, tt.want)
+		}
+	}
+	// The formula crosses honest revenue exactly at the threshold.
+	for _, gamma := range []float64{0, 0.25, 0.5, 0.75} {
+		th := SelfishThreshold(gamma)
+		below := SelfishRevenueShare(th*0.95, gamma)
+		above := SelfishRevenueShare(math.Min(th*1.05, 0.49), gamma)
+		if below >= th*0.95 {
+			t.Errorf("γ=%g: selfish revenue %g should lag honest share below the threshold", gamma, below)
+		}
+		if above <= math.Min(th*1.05, 0.49) {
+			t.Errorf("γ=%g: selfish revenue %g should beat honest share above the threshold", gamma, above)
+		}
+	}
+}
+
+func TestSelfishMiningWastesWork(t *testing.T) {
+	rng := sim.NewRNG(22, "selfish-orphans")
+	stats, err := SimulateSelfishMining(SelfishConfig{Alpha: 0.35, Gamma: 0.5, Blocks: 50000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Orphans == 0 {
+		t.Error("selfish mining must orphan blocks (that is the attack)")
+	}
+	if stats.SelfishBlocks+stats.HonestBlocks < 50000 {
+		t.Error("fewer canonical blocks than requested")
+	}
+}
+
+func TestSelfishStatsEmpty(t *testing.T) {
+	var s SelfishStats
+	if s.RevenueShare() != 0 {
+		t.Error("empty stats must report zero share")
+	}
+}

@@ -1,0 +1,60 @@
+package chain
+
+import "math"
+
+// PhysicalWinProbs returns each miner's exact winning probability for the
+// mining race simulated by this package:
+//
+//	W_i = e_i/S + (c_i/S)·q + (C/S)·(1−q)·(e_i/E),  q = e^{−(E/S)·D/τ}
+//
+// where E and C are total edge and cloud units, S = E + C, D the cloud
+// propagation delay and τ the block interval. Substituting
+// β = 1 − q = BetaEdge(E, S, D, τ) recovers the paper's Eq. (6)
+//
+//	W_i = (e_i+c_i)/S + β·(e_i·C − c_i·E)/(E·S)
+//
+// exactly, which is what the simulator tests verify. The map is keyed by
+// miner ID; probabilities sum to 1 whenever any units exist.
+func PhysicalWinProbs(cfg RaceConfig) map[int]float64 {
+	edge, total := cfg.totals()
+	probs := make(map[int]float64, len(cfg.Allocations))
+	if total <= 0 {
+		return probs
+	}
+	cloud := total - edge
+	q := 1.0
+	if edge > 0 {
+		q = math.Exp(-(edge / total) * cfg.CloudDelay / cfg.Interval)
+	}
+	for _, a := range cfg.Allocations {
+		w := a.Cloud / total * q
+		if edge > 0 {
+			w += a.Edge/total + (cloud/total)*(1-q)*(a.Edge/edge)
+		}
+		probs[a.MinerID] += w
+	}
+	return probs
+}
+
+// PhysicalForkRate returns the probability that a round discards at least
+// one block: a fork happens exactly when the first solved block is
+// cloud-origin and at least one more block is solved before it becomes
+// final. Given the first block is cloud (probability C/S), the number of
+// extra solves in its window is Poisson with mean D/τ... except that an
+// edge solve terminates the window early. The exact probability that the
+// round is NOT clean is
+//
+//	P(fork) = (C/S)·(1 − e^{−D/τ}).
+//
+// Proof sketch: condition on the first block being cloud-solved; the round
+// is clean iff no block at all (edge or cloud) is solved in the following
+// window of length D, which has probability e^{−D/τ}. Cascades only add
+// more discarded blocks to an already-forked round.
+func PhysicalForkRate(cfg RaceConfig) float64 {
+	edge, total := cfg.totals()
+	if total <= 0 {
+		return 0
+	}
+	cloud := total - edge
+	return (cloud / total) * (1 - math.Exp(-cfg.CloudDelay/cfg.Interval))
+}

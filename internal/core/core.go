@@ -1,0 +1,315 @@
+// Package core assembles the paper's mining game: the configuration of a
+// mobile blockchain mining network (miners, budgets, reward, fork rate,
+// ESP operation mode, provider costs), the miner-subgame equilibrium
+// solvers for both modes, and the full two-stage Stackelberg solvers
+// corresponding to the paper's Algorithm 1 (connected) and Algorithm 2
+// (standalone price bargaining).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/chain"
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+)
+
+// Config describes one instance of the mining game.
+type Config struct {
+	// N is the number of miners.
+	N int
+	// Budgets holds each miner's budget B_i. A single entry declares a
+	// homogeneous population; otherwise len(Budgets) must equal N.
+	Budgets []float64
+	// Reward is the mining reward R.
+	Reward float64
+	// Beta is the blockchain fork rate β in [0, 1).
+	Beta float64
+	// SatisfyProb is h: the probability the connected ESP serves a
+	// request at the edge instead of transferring it.
+	SatisfyProb float64
+	// Mode selects the ESP operation mode.
+	Mode netmodel.Mode
+	// EdgeCapacity is E_max, the standalone ESP's computing units.
+	EdgeCapacity float64
+	// CostE and CostC are the providers' unit operating costs.
+	CostE, CostC float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("core config: need at least 2 miners, got %d", c.N)
+	}
+	if len(c.Budgets) != 1 && len(c.Budgets) != c.N {
+		return fmt.Errorf("core config: budgets must have 1 or %d entries, got %d", c.N, len(c.Budgets))
+	}
+	for i, b := range c.Budgets {
+		if b <= 0 {
+			return fmt.Errorf("core config: budget %d is %g, must be positive", i, b)
+		}
+	}
+	if c.Reward <= 0 {
+		return fmt.Errorf("core config: reward %g must be positive", c.Reward)
+	}
+	if c.Beta < 0 || c.Beta >= 1 {
+		return fmt.Errorf("core config: beta %g outside [0, 1)", c.Beta)
+	}
+	if c.SatisfyProb < 0 || c.SatisfyProb > 1 {
+		return fmt.Errorf("core config: satisfy probability %g outside [0, 1]", c.SatisfyProb)
+	}
+	switch c.Mode {
+	case netmodel.Connected:
+	case netmodel.Standalone:
+		if c.EdgeCapacity <= 0 {
+			return fmt.Errorf("core config: standalone mode needs positive edge capacity, got %g", c.EdgeCapacity)
+		}
+	default:
+		return fmt.Errorf("core config: unknown mode %d", int(c.Mode))
+	}
+	if c.CostE < 0 || c.CostC < 0 {
+		return fmt.Errorf("core config: costs C_e=%g, C_c=%g must be non-negative", c.CostE, c.CostC)
+	}
+	return nil
+}
+
+// Budget returns miner i's budget.
+func (c Config) Budget(i int) float64 {
+	if len(c.Budgets) == 1 {
+		return c.Budgets[0]
+	}
+	return c.Budgets[i]
+}
+
+// Homogeneous reports whether all miners share one budget.
+func (c Config) Homogeneous() bool {
+	if len(c.Budgets) == 1 {
+		return true
+	}
+	for _, b := range c.Budgets[1:] {
+		if b != c.Budgets[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Prices is a price pair announced by the service providers.
+type Prices struct {
+	Edge  float64 // P_e
+	Cloud float64 // P_c
+}
+
+// Params binds the config's game constants to a price pair.
+func (c Config) Params(p Prices) miner.Params {
+	return miner.Params{
+		Reward: c.Reward,
+		Beta:   c.Beta,
+		H:      c.SatisfyProb,
+		PriceE: p.Edge,
+		PriceC: p.Cloud,
+	}
+}
+
+// Network materializes a netmodel.Network at the given prices, using the
+// block interval to back out the propagation delay that induces β.
+func (c Config) Network(p Prices, blockInterval float64) netmodel.Network {
+	return netmodel.Network{
+		ESP: netmodel.ESP{
+			Mode:        c.Mode,
+			SatisfyProb: c.SatisfyProb,
+			Capacity:    c.EdgeCapacity,
+			Cost:        c.CostE,
+			Price:       p.Edge,
+		},
+		CSP: netmodel.CSP{
+			Cost:  c.CostC,
+			Price: p.Cloud,
+			Delay: chain.DelayForBeta(c.Beta, blockInterval),
+		},
+		BlockInterval: blockInterval,
+	}
+}
+
+// MinerEquilibrium is a solved miner subgame.
+type MinerEquilibrium struct {
+	Requests    miner.Profile // each miner's (e_i*, c_i*)
+	EdgeDemand  float64       // E = Σ e_i
+	CloudDemand float64       // C = Σ c_i
+	TotalDemand float64       // S = E + C
+	Utilities   []float64     // equilibrium utilities
+	WinProbs    []float64     // equilibrium winning probabilities
+	Iterations  int
+	Converged   bool
+	// Multiplier is the standalone shared-capacity shadow price (zero in
+	// connected mode or when capacity is slack).
+	Multiplier float64
+}
+
+func (c Config) summarize(p Prices, prof miner.Profile, iters int, converged bool, mu float64) MinerEquilibrium {
+	params := c.Params(p)
+	eq := MinerEquilibrium{
+		Requests:   prof,
+		Iterations: iters,
+		Converged:  converged,
+		Multiplier: mu,
+	}
+	eq.EdgeDemand, eq.CloudDemand, eq.TotalDemand = prof.Totals()
+	switch c.Mode {
+	case netmodel.Connected:
+		eq.Utilities = miner.UtilitiesConnected(params, prof)
+		eq.WinProbs = miner.WinProbsConnected(c.Beta, c.SatisfyProb, prof)
+	default:
+		eq.Utilities = miner.UtilitiesStandalone(params, prof)
+		eq.WinProbs = miner.WinProbsFull(c.Beta, prof)
+	}
+	return eq
+}
+
+// startProfile seeds best-response iteration with a modest, feasible
+// spread of requests.
+func (c Config) startProfile(p Prices) []numeric.Point2 {
+	prof := make([]numeric.Point2, c.N)
+	for i := range prof {
+		b := c.Budget(i)
+		prof[i] = numeric.Point2{
+			E: b / (4 * p.Edge) * (1 + 0.1*float64(i%3)),
+			C: b / (4 * p.Cloud),
+		}
+	}
+	if c.Mode == netmodel.Standalone {
+		// Stay jointly feasible for the shared capacity.
+		var e float64
+		for _, r := range prof {
+			e += r.E
+		}
+		if e > c.EdgeCapacity {
+			scale := c.EdgeCapacity / e * 0.9
+			for i := range prof {
+				prof[i].E *= scale
+			}
+		}
+	}
+	return prof
+}
+
+// SolveMinerEquilibrium computes the miner-subgame equilibrium at the
+// given prices.
+//
+// Connected mode solves the NEP of Problem 1a by damped best-response
+// iteration (the equilibrium is unique, Theorem 2). Standalone mode
+// computes the variational equilibrium of the GNEP of Problem 1c by
+// pricing the shared capacity with a common multiplier (Theorem 5
+// guarantees existence; the variational solution is the economically
+// meaningful one, with every miner facing the same scarcity price).
+func SolveMinerEquilibrium(cfg Config, p Prices, opts game.NEOptions) (MinerEquilibrium, error) {
+	if err := cfg.Validate(); err != nil {
+		return MinerEquilibrium{}, err
+	}
+	params := cfg.Params(p)
+	if err := params.Validate(); err != nil {
+		return MinerEquilibrium{}, err
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	start := cfg.startProfile(p)
+	switch cfg.Mode {
+	case netmodel.Connected:
+		br := func(i int, prof []numeric.Point2) numeric.Point2 {
+			return miner.BestResponseConnected(params, cfg.Budget(i), miner.Profile(prof).Env(i), prof[i])
+		}
+		res := game.SolveNE(start, br, opts)
+		return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, 0), nil
+	default:
+		brAt := func(mu float64) game.BestResponse {
+			return func(i int, prof []numeric.Point2) numeric.Point2 {
+				return miner.BestResponseStandalonePenalized(params, mu, cfg.Budget(i), miner.Profile(prof).Env(i), prof[i])
+			}
+		}
+		shared := func(prof []numeric.Point2) float64 {
+			var e float64
+			for _, r := range prof {
+				e += r.E
+			}
+			return e
+		}
+		res, err := game.SolveVariationalGNE(start, brAt, shared, cfg.EdgeCapacity, 1e-4*cfg.EdgeCapacity, opts)
+		if err != nil {
+			return MinerEquilibrium{}, fmt.Errorf("standalone miner subgame: %w", err)
+		}
+		return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, res.Multiplier), nil
+	}
+}
+
+// SolveMinerGNE computes a generalized Nash equilibrium of the standalone
+// subgame in the paper's Algorithm 2 style: plain best-response iteration
+// where each miner caps its edge request by the capacity the others left
+// over (first-come self-limitation). GNEPs generally have many equilibria;
+// this returns the one the bargaining dynamics reach from the default
+// start, which is useful for comparing against the variational solution.
+func SolveMinerGNE(cfg Config, p Prices, opts game.NEOptions) (MinerEquilibrium, error) {
+	if err := cfg.Validate(); err != nil {
+		return MinerEquilibrium{}, err
+	}
+	if cfg.Mode != netmodel.Standalone {
+		return MinerEquilibrium{}, fmt.Errorf("SolveMinerGNE: mode %v is not standalone", cfg.Mode)
+	}
+	params := cfg.Params(p)
+	if err := params.Validate(); err != nil {
+		return MinerEquilibrium{}, err
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.Damping <= 0 || opts.Damping > 1 {
+		// The shared constraint couples the updates; damping keeps the
+		// capacity handoff from oscillating.
+		opts.Damping = 0.5
+	}
+	br := func(i int, prof []numeric.Point2) numeric.Point2 {
+		env := miner.Profile(prof).Env(i)
+		return miner.BestResponseStandalone(params, cfg.Budget(i), cfg.EdgeCapacity-env.EdgeOthers, env, prof[i])
+	}
+	res := game.SolveNE(cfg.startProfile(p), br, opts)
+	return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, 0), nil
+}
+
+// Deviation returns the largest utility gain any miner can realize by a
+// unilateral deviation from the profile — a certificate of equilibrium
+// quality (≈0 at a Nash equilibrium).
+func Deviation(cfg Config, p Prices, prof miner.Profile) float64 {
+	params := cfg.Params(p)
+	switch cfg.Mode {
+	case netmodel.Connected:
+		br := func(i int, pr []numeric.Point2) numeric.Point2 {
+			return miner.BestResponseConnected(params, cfg.Budget(i), miner.Profile(pr).Env(i))
+		}
+		utility := func(i int, pr []numeric.Point2) float64 {
+			return miner.UtilityConnected(params, pr[i], miner.Profile(pr).Env(i))
+		}
+		return game.Deviation(prof, br, utility)
+	default:
+		br := func(i int, pr []numeric.Point2) numeric.Point2 {
+			env := miner.Profile(pr).Env(i)
+			return miner.BestResponseStandalone(params, cfg.Budget(i), cfg.EdgeCapacity-env.EdgeOthers, env)
+		}
+		utility := func(i int, pr []numeric.Point2) float64 {
+			return miner.UtilityStandalone(params, pr[i], miner.Profile(pr).Env(i))
+		}
+		return game.Deviation(prof, br, utility)
+	}
+}
+
+// ValidateWinProbs checks Theorem 1 at a profile: in standalone (full
+// satisfaction) form the winning probabilities must sum to one.
+func ValidateWinProbs(beta float64, prof miner.Profile) error {
+	total := numeric.Sum(miner.WinProbsFull(beta, prof))
+	if math.Abs(total-1) > 1e-6 {
+		return fmt.Errorf("core: winning probabilities sum to %.9f, want 1", total)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+// Extensions beyond the paper's model. The paper fixes two quantities by
+// fiat that are physically endogenous: the fork rate β (which depends on
+// the share of edge power through the propagation race) and the connected
+// ESP's satisfy probability h (which depends on the offered load through
+// the loss behaviour of a finite server pool). This file closes both
+// loops with damped fixed-point iterations on top of the subgame solvers,
+// so ablation experiments can quantify how much the exogeneity
+// assumptions distort the equilibrium.
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/chain"
+	"minegame/internal/game"
+	"minegame/internal/netmodel"
+)
+
+// SelfConsistentResult is the outcome of SolveSelfConsistentBeta.
+type SelfConsistentResult struct {
+	Equilibrium MinerEquilibrium
+	// Beta is the self-consistent fork rate β* = BetaEdge(E*, S*, D, τ).
+	Beta float64
+	// ExogenousBeta echoes the configuration's original β for comparison.
+	ExogenousBeta float64
+	Iterations    int
+	Converged     bool
+}
+
+// SolveSelfConsistentBeta solves the miner subgame with a PHYSICALLY
+// consistent fork rate: the game parameter β is re-derived from the
+// equilibrium allocation through the race identity
+// β = 1 − exp(−(E/S)·D/τ) (chain.BetaEdge) until the fixed point
+//
+//	β* = BetaEdge(E(β*), S(β*), delay, interval)
+//
+// is reached. The paper instead freezes β at the all-network collision
+// rate; the gap between the two equilibria measures the cost of that
+// simplification (ablation "ablbeta").
+func SolveSelfConsistentBeta(cfg Config, p Prices, delay, interval float64, opts game.NEOptions) (SelfConsistentResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SelfConsistentResult{}, err
+	}
+	if !(delay >= 0) || !(interval > 0) || math.IsInf(delay, 0) || math.IsInf(interval, 0) {
+		return SelfConsistentResult{}, fmt.Errorf("core: self-consistent beta needs finite delay ≥ 0 and interval > 0, got %g, %g", delay, interval)
+	}
+	res := SelfConsistentResult{ExogenousBeta: cfg.Beta}
+	beta := cfg.Beta
+	const (
+		maxIter = 100
+		damping = 0.5
+		tol     = 1e-8
+	)
+	work := cfg
+	for i := 0; i < maxIter; i++ {
+		res.Iterations = i + 1
+		work.Beta = beta
+		eq, err := SolveMinerEquilibrium(work, p, opts)
+		if err != nil {
+			return SelfConsistentResult{}, fmt.Errorf("core: self-consistent beta at β=%.6f: %w", beta, err)
+		}
+		res.Equilibrium = eq
+		next := chain.BetaEdge(eq.EdgeDemand, eq.TotalDemand, delay, interval)
+		blended := beta + damping*(next-beta)
+		if math.Abs(blended-beta) < tol {
+			res.Beta = blended
+			res.Converged = true
+			return res, nil
+		}
+		beta = blended
+	}
+	res.Beta = beta
+	return res, nil
+}
+
+// EndogenousTransferResult is the outcome of SolveEndogenousTransfer.
+type EndogenousTransferResult struct {
+	Equilibrium MinerEquilibrium
+	// SatisfyProb is the self-consistent h* = 1 − B(capacity, E*).
+	SatisfyProb float64
+	// ExogenousH echoes the configuration's original h.
+	ExogenousH float64
+	// EdgeDemand is the offered load at the fixed point.
+	EdgeDemand float64
+}
+
+// SolveEndogenousTransfer solves the connected-mode subgame with the
+// transfer probability derived from the ESP's physical capacity through
+// the Erlang-B loss formula instead of being exogenous: a more reliable
+// ESP attracts more edge demand, which congests it. The fixed point
+//
+//	h* = 1 − B(capacity, E(h*))
+//
+// is the market's congestion equilibrium (ablation "ablh").
+func SolveEndogenousTransfer(cfg Config, p Prices, capacity float64, opts game.NEOptions) (EndogenousTransferResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return EndogenousTransferResult{}, err
+	}
+	if cfg.Mode != netmodel.Connected {
+		return EndogenousTransferResult{}, fmt.Errorf("core: endogenous transfer applies to the connected mode, got %v", cfg.Mode)
+	}
+	res := EndogenousTransferResult{ExogenousH: cfg.SatisfyProb}
+	work := cfg
+	var lastEq MinerEquilibrium
+	h, demand, err := netmodel.EndogenousSatisfyProb(capacity, func(h float64) (float64, error) {
+		work.SatisfyProb = h
+		eq, err := SolveMinerEquilibrium(work, p, opts)
+		if err != nil {
+			return 0, err
+		}
+		lastEq = eq
+		return eq.EdgeDemand, nil
+	})
+	if err != nil {
+		return EndogenousTransferResult{}, err
+	}
+	res.SatisfyProb = h
+	res.EdgeDemand = demand
+	res.Equilibrium = lastEq
+	return res, nil
+}

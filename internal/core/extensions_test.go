@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/chain"
+	"minegame/internal/game"
+	"minegame/internal/netmodel"
+)
+
+func TestSolveSelfConsistentBeta(t *testing.T) {
+	cfg := testConfig()
+	// Delay chosen so the ALL-NETWORK collision rate is the config's 0.2;
+	// the edge-conflict rate, which only counts edge rivals, is smaller.
+	delay := chain.DelayForBeta(cfg.Beta, 600)
+	res, err := SolveSelfConsistentBeta(cfg, testPrices(), delay, 600, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("SolveSelfConsistentBeta: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged after %d iterations", res.Iterations)
+	}
+	eq := res.Equilibrium
+	want := chain.BetaEdge(eq.EdgeDemand, eq.TotalDemand, delay, 600)
+	if math.Abs(res.Beta-want) > 1e-6 {
+		t.Errorf("β* = %g inconsistent with allocation (%g)", res.Beta, want)
+	}
+	if res.Beta >= res.ExogenousBeta {
+		t.Errorf("edge-conflict β* = %g should fall below the all-network rate %g", res.Beta, res.ExogenousBeta)
+	}
+	// At the default prices the fixed-point map contracts at zero, so the
+	// edge premium unravels: β* ≈ 0 (see the ablbeta experiment).
+	if res.Beta > 1e-6 {
+		t.Errorf("β* = %g, want the unraveled fixed point ≈0 at default prices", res.Beta)
+	}
+}
+
+// TestSolveSelfConsistentBetaStrongCoupling exercises the other regime:
+// when the best-response map's slope at β = 0 exceeds one (cheap edge,
+// long delay), the feedback runs UP instead of unraveling and the fixed
+// point is the all-edge equilibrium with β* equal to the full network
+// collision rate.
+func TestSolveSelfConsistentBetaStrongCoupling(t *testing.T) {
+	cfg := testConfig()
+	cfg.Beta = 0.45 // starting guess; overwritten by the fixed point
+	res, err := SolveSelfConsistentBeta(cfg, Prices{Edge: 5, Cloud: 4}, 400, 600, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("SolveSelfConsistentBeta: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged after %d iterations", res.Iterations)
+	}
+	wantBeta := chain.CollisionCDF(400, 600)
+	if math.Abs(res.Beta-wantBeta) > 1e-3 {
+		t.Errorf("β* = %g, want all-edge collision rate %g", res.Beta, wantBeta)
+	}
+	if res.Equilibrium.CloudDemand > 0.01 {
+		t.Errorf("cloud demand %g, want ≈0 (all-edge fixed point)", res.Equilibrium.CloudDemand)
+	}
+	if res.Equilibrium.EdgeDemand < 10 {
+		t.Errorf("edge demand %g unexpectedly small", res.Equilibrium.EdgeDemand)
+	}
+}
+
+func TestSolveSelfConsistentBetaErrors(t *testing.T) {
+	cfg := testConfig()
+	if _, err := SolveSelfConsistentBeta(cfg, testPrices(), -1, 600, game.NEOptions{}); err == nil {
+		t.Error("want error for negative delay")
+	}
+	if _, err := SolveSelfConsistentBeta(cfg, testPrices(), 100, 0, game.NEOptions{}); err == nil {
+		t.Error("want error for zero interval")
+	}
+	bad := cfg
+	bad.N = 0
+	if _, err := SolveSelfConsistentBeta(bad, testPrices(), 100, 600, game.NEOptions{}); err == nil {
+		t.Error("want error for invalid config")
+	}
+}
+
+func TestSolveEndogenousTransfer(t *testing.T) {
+	cfg := testConfig()
+	res, err := SolveEndogenousTransfer(cfg, testPrices(), 30, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("SolveEndogenousTransfer: %v", err)
+	}
+	// Self-consistency: h must equal the loss formula at the demand.
+	want, err := netmodel.SatisfyProbForLoad(30, res.EdgeDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SatisfyProb-want) > 1e-6 {
+		t.Errorf("h* = %g, want self-consistent %g", res.SatisfyProb, want)
+	}
+	if res.SatisfyProb <= 0 || res.SatisfyProb >= 1 {
+		t.Errorf("h* = %g outside (0,1)", res.SatisfyProb)
+	}
+	if math.Abs(res.Equilibrium.EdgeDemand-res.EdgeDemand) > 1e-6 {
+		t.Error("reported demand and equilibrium disagree")
+	}
+	// A generously provisioned ESP is almost never congested.
+	big, err := SolveEndogenousTransfer(cfg, testPrices(), 500, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("big capacity: %v", err)
+	}
+	if big.SatisfyProb < 0.999 {
+		t.Errorf("h* = %g with capacity 500, want ≈1", big.SatisfyProb)
+	}
+	// More capacity → more reliable → at least as much edge demand.
+	if big.EdgeDemand < res.EdgeDemand-1e-6 {
+		t.Errorf("edge demand fell with capacity: %g vs %g", big.EdgeDemand, res.EdgeDemand)
+	}
+}
+
+func TestSolveEndogenousTransferWrongMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mode = netmodel.Standalone
+	if _, err := SolveEndogenousTransfer(cfg, testPrices(), 30, game.NEOptions{}); err == nil {
+		t.Error("want error in standalone mode")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+// Robustness property tests: the solvers must behave across the whole
+// valid input space — feasible outputs, certified equilibria, and errors
+// (never panics) on the boundaries.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minegame/internal/game"
+	"minegame/internal/netmodel"
+)
+
+// randomConfig draws a valid game configuration.
+func randomConfig(rng *rand.Rand) (Config, Prices) {
+	n := 2 + rng.Intn(6)
+	cfg := Config{
+		N:            n,
+		Reward:       200 + 1800*rng.Float64(),
+		Beta:         0.02 + 0.6*rng.Float64(),
+		SatisfyProb:  0.1 + 0.9*rng.Float64(),
+		EdgeCapacity: 10 + 70*rng.Float64(),
+		CostE:        0.5 + 3*rng.Float64(),
+		CostC:        0.2 + 2*rng.Float64(),
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Mode = netmodel.Connected
+	} else {
+		cfg.Mode = netmodel.Standalone
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Budgets = []float64{30 + 300*rng.Float64()}
+	} else {
+		cfg.Budgets = make([]float64, n)
+		for i := range cfg.Budgets {
+			cfg.Budgets[i] = 30 + 300*rng.Float64()
+		}
+	}
+	pc := 1 + 5*rng.Float64()
+	pe := pc * (1.05 + 1.5*rng.Float64())
+	return cfg, Prices{Edge: pe, Cloud: pc}
+}
+
+// TestMinerEquilibriumFeasibleEverywhere solves the subgame across random
+// valid configurations and checks every structural invariant: budget and
+// capacity feasibility, non-negativity, aggregate consistency, and a
+// bounded unilateral-deviation certificate.
+func TestMinerEquilibriumFeasibleEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	property := func() bool {
+		cfg, p := randomConfig(rng)
+		eq, err := SolveMinerEquilibrium(cfg, p, game.NEOptions{MaxIter: 300})
+		if err != nil {
+			// The only acceptable failure is a standalone instance whose
+			// capacity can never clear; everything else must solve.
+			if cfg.Mode == netmodel.Standalone {
+				return true
+			}
+			t.Logf("connected solve failed: %v (cfg %+v, prices %+v)", err, cfg, p)
+			return false
+		}
+		params := cfg.Params(p)
+		var e, c float64
+		for i, r := range eq.Requests {
+			if r.E < -1e-9 || r.C < -1e-9 {
+				t.Logf("negative request %+v", r)
+				return false
+			}
+			if spend := params.Spend(r); spend > cfg.Budget(i)*(1+1e-6)+1e-6 {
+				t.Logf("miner %d overspends: %g > %g", i, spend, cfg.Budget(i))
+				return false
+			}
+			e += r.E
+			c += r.C
+		}
+		if math.Abs(e-eq.EdgeDemand) > 1e-6 || math.Abs(c-eq.CloudDemand) > 1e-6 {
+			t.Logf("aggregates inconsistent")
+			return false
+		}
+		if cfg.Mode == netmodel.Standalone && eq.EdgeDemand > cfg.EdgeCapacity*(1+1e-3) {
+			t.Logf("capacity violated: %g > %g", eq.EdgeDemand, cfg.EdgeCapacity)
+			return false
+		}
+		if eq.Multiplier < 0 {
+			t.Logf("negative shadow price %g", eq.Multiplier)
+			return false
+		}
+		// Deviation certificate: no miner should gain more than a sliver
+		// relative to its utility scale.
+		if eq.Converged {
+			scale := 1.0
+			for _, u := range eq.Utilities {
+				scale = math.Max(scale, math.Abs(u))
+			}
+			if dev := Deviation(cfg, p, eq.Requests); dev > 0.02*scale+0.05 {
+				t.Logf("profitable deviation %g (scale %g, cfg %+v, prices %+v)", dev, scale, cfg, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWinProbsBoundedEverywhere checks probabilistic sanity of the
+// equilibrium summaries across random instances.
+func TestWinProbsBoundedEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		cfg, p := randomConfig(rng)
+		eq, err := SolveMinerEquilibrium(cfg, p, game.NEOptions{MaxIter: 300})
+		if err != nil {
+			continue
+		}
+		var sum float64
+		for i, w := range eq.WinProbs {
+			if w < -1e-9 || w > 1+1e-9 {
+				t.Fatalf("miner %d: W = %g outside [0,1] (cfg %+v)", i, w, cfg)
+			}
+			sum += w
+		}
+		if sum > 1+1e-6 {
+			t.Fatalf("ΣW = %g > 1 (cfg %+v, mode %v)", sum, cfg, cfg.Mode)
+		}
+		if cfg.Mode == netmodel.Standalone && math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("standalone ΣW = %g, want 1 (Theorem 1)", sum)
+		}
+	}
+}
+
+// TestSolversRejectPathologicalInputs walks the error boundaries.
+func TestSolversRejectPathologicalInputs(t *testing.T) {
+	base := testConfig()
+	prices := testPrices()
+	type callCase struct {
+		name string
+		call func() error
+	}
+	cases := []callCase{
+		{"nan price", func() error {
+			_, err := SolveMinerEquilibrium(base, Prices{Edge: math.NaN(), Cloud: 4}, game.NEOptions{})
+			return err
+		}},
+		{"negative price", func() error {
+			_, err := SolveMinerEquilibrium(base, Prices{Edge: -8, Cloud: 4}, game.NEOptions{})
+			return err
+		}},
+		{"zero miners", func() error {
+			cfg := base
+			cfg.N = 0
+			_, err := SolveMinerEquilibrium(cfg, prices, game.NEOptions{})
+			return err
+		}},
+		{"stackelberg invalid", func() error {
+			cfg := base
+			cfg.Beta = 2
+			_, err := SolveStackelberg(cfg, StackelbergOptions{})
+			return err
+		}},
+		{"self-consistent invalid delay", func() error {
+			_, err := SolveSelfConsistentBeta(base, prices, math.NaN(), 600, game.NEOptions{})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panicked: %v", r)
+				}
+			}()
+			if err := tc.call(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}

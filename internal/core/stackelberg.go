@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+)
+
+// StackelbergOptions tunes the two-stage solve.
+type StackelbergOptions struct {
+	Leader   game.LeaderOptions
+	Follower game.NEOptions
+	// Price brackets for the leader search. Zero values pick defaults
+	// scaled from the providers' costs.
+	MaxPriceE, MaxPriceC float64
+	// Starting prices. Zero values start just above cost.
+	StartE, StartC float64
+	// ForceNumericFollower disables the homogeneous closed-form demand
+	// fast path (useful for cross-checking it).
+	ForceNumericFollower bool
+	// Simultaneous switches the leader stage to the literal asynchronous
+	// best-response iteration of Algorithm 1. The default is the paper's
+	// Theorem 4 commitment structure (the ESP optimizes against the CSP's
+	// best-response function), which is well defined even in regimes
+	// where simultaneous best responses cycle; see DESIGN.md.
+	Simultaneous bool
+}
+
+func (o StackelbergOptions) withDefaults(cfg Config) StackelbergOptions {
+	scale := math.Max(1, math.Max(cfg.CostE, cfg.CostC))
+	if o.MaxPriceE <= 0 {
+		o.MaxPriceE = 40 * scale
+	}
+	if o.MaxPriceC <= 0 {
+		o.MaxPriceC = 40 * scale
+	}
+	if o.StartE <= 0 {
+		o.StartE = 2*cfg.CostE + 1
+	}
+	if o.StartC <= 0 {
+		o.StartC = 2*cfg.CostC + 1
+	}
+	if o.Leader.GridN <= 0 {
+		o.Leader.GridN = 60
+	}
+	return o
+}
+
+// StackelbergResult is a solved two-stage game.
+type StackelbergResult struct {
+	Prices   Prices
+	Follower MinerEquilibrium
+	ProfitE  float64 // V_e = (P_e − C_e)·E
+	ProfitC  float64 // V_c = (P_c − C_c)·C
+	// ClosedFormDemand reports whether the leader search used the
+	// homogeneous closed-form demand oracle.
+	ClosedFormDemand bool
+	Iterations       int
+	Converged        bool
+}
+
+// demand is the aggregate follower reaction the leaders anticipate.
+type demand struct {
+	edge, cloud float64
+	ok          bool
+}
+
+// SolveStackelberg runs backward induction on the full game: the leader
+// stage iterates asynchronous best responses (Algorithm 1 in connected
+// mode; the SP stage of the Algorithm 2 price bargaining in standalone
+// mode), each price evaluation anticipating the miner subgame equilibrium
+// underneath. Homogeneous populations use the closed-form demand oracle
+// (Theorem 3 / Table II) for speed; heterogeneous ones solve the follower
+// subgame numerically at every probe.
+func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return StackelbergResult{}, err
+	}
+	opts = opts.withDefaults(cfg)
+	useClosedForm := cfg.Homogeneous() && !opts.ForceNumericFollower
+
+	memo := make(map[Prices]demand)
+	oracle := func(p Prices) demand {
+		if d, ok := memo[p]; ok {
+			return d
+		}
+		var d demand
+		if useClosedForm {
+			d = cfg.closedFormDemand(p)
+		}
+		if !d.ok {
+			eq, err := SolveMinerEquilibrium(cfg, p, opts.Follower)
+			if err == nil {
+				d = demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}
+			}
+		}
+		memo[p] = d
+		return d
+	}
+
+	esp := game.Leader{
+		Name: "ESP",
+		Profit: func(own, other float64) float64 {
+			d := oracle(Prices{Edge: own, Cloud: other})
+			if !d.ok {
+				return math.Inf(-1)
+			}
+			return (own - cfg.CostE) * d.edge
+		},
+		Bracket: func(other float64) (float64, float64) {
+			lo := cfg.CostE + 1e-6
+			if cfg.Mode == netmodel.Standalone && !math.IsNaN(other) && other >= lo {
+				// Pricing at or below the CSP is dominated for the
+				// capacity-limited ESP: it sells out either way.
+				lo = other * (1 + 1e-6)
+			}
+			return lo, math.Max(opts.MaxPriceE, lo*1.5)
+		},
+	}
+	csp := game.Leader{
+		Name: "CSP",
+		Profit: func(own, other float64) float64 {
+			d := oracle(Prices{Edge: other, Cloud: own})
+			if !d.ok {
+				return math.Inf(-1)
+			}
+			return (own - cfg.CostC) * d.cloud
+		},
+		Bracket: func(other float64) (float64, float64) {
+			return cfg.CostC + 1e-6, opts.MaxPriceC
+		},
+	}
+
+	var (
+		lead game.LeadersResult
+		err  error
+	)
+	switch {
+	case opts.Simultaneous:
+		lead, err = game.SolveLeaders(esp, csp, opts.StartE, opts.StartC, opts.Leader)
+	case cfg.Mode == netmodel.Standalone:
+		// Problem 2c pins E = E_max at the SP equilibrium: the ESP plays
+		// the market-clearing price (the highest price that still sells
+		// out its capacity) and the CSP optimizes with the edge share
+		// pinned, which decouples its problem from P_e.
+		lead, err = cfg.solveStandaloneLeaders(opts)
+	default:
+		lead, err = game.SolveLeaderFollower(esp, csp, opts.Leader)
+	}
+	if err != nil {
+		return StackelbergResult{}, fmt.Errorf("leader stage: %w", err)
+	}
+	prices := Prices{Edge: lead.PriceA, Cloud: lead.PriceB}
+	follower, err := SolveMinerEquilibrium(cfg, prices, opts.Follower)
+	if err != nil {
+		return StackelbergResult{}, fmt.Errorf("follower stage at equilibrium prices %+v: %w", prices, err)
+	}
+	return StackelbergResult{
+		Prices:           prices,
+		Follower:         follower,
+		ProfitE:          (prices.Edge - cfg.CostE) * follower.EdgeDemand,
+		ProfitC:          (prices.Cloud - cfg.CostC) * follower.CloudDemand,
+		ClosedFormDemand: useClosedForm,
+		Iterations:       lead.Iterations,
+		Converged:        lead.Converged,
+	}, nil
+}
+
+// solveStandaloneLeaders implements the SP stage of Algorithm 2 under
+// Problem 2c's constraint E = E_max: for each CSP price the ESP charges
+// the market-clearing edge price, and the CSP maximizes its profit along
+// that clearing curve. With homogeneous sufficient-budget miners the
+// clearing price and the CSP optimum have closed forms
+// (miner.ClearingPriceEdge, miner.OptimalPriceCloudStandalone); otherwise
+// the clearing price is found by bisecting the capacity-unconstrained
+// edge demand, which is decreasing in P_e.
+func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersResult, error) {
+	clearing := func(pc float64) (float64, bool) {
+		if c.Homogeneous() {
+			pe := miner.ClearingPriceEdge(c.Reward, c.Beta, pc, c.N, c.EdgeCapacity)
+			params := c.Params(Prices{Edge: pe, Cloud: pc})
+			if params.Validate() == nil && pe > pc && pc < (1-c.Beta)*pe {
+				sol, err := miner.HomogeneousStandalone(params, c.N, c.EdgeCapacity)
+				if err == nil && params.Spend(sol.Request) <= c.Budget(0) {
+					return pe, true
+				}
+			}
+		}
+		// Numeric fallback: bisect the unconstrained edge demand.
+		unconstrained := c
+		unconstrained.EdgeCapacity = math.Inf(1)
+		demandAt := func(pe float64) float64 {
+			eq, err := SolveMinerEquilibrium(unconstrained, Prices{Edge: pe, Cloud: pc}, opts.Follower)
+			if err != nil {
+				return 0
+			}
+			return eq.EdgeDemand
+		}
+		lo := math.Max(pc*(1+1e-6), c.CostE+1e-9)
+		hi := math.Max(opts.MaxPriceE, lo*1.5)
+		if demandAt(lo) < c.EdgeCapacity {
+			return 0, false // capacity never binds; no clearing price
+		}
+		if demandAt(hi) >= c.EdgeCapacity {
+			return hi, true
+		}
+		pe, err := numeric.Bisect(func(pe float64) float64 {
+			return demandAt(pe) - c.EdgeCapacity
+		}, lo, hi, 1e-6*(1+hi))
+		if err != nil {
+			return 0, false
+		}
+		return pe, true
+	}
+	profitC := func(pc float64) float64 {
+		pe, ok := clearing(pc)
+		if !ok {
+			return math.Inf(-1)
+		}
+		eq, err := SolveMinerEquilibrium(c, Prices{Edge: pe, Cloud: pc}, opts.Follower)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return (pc - c.CostC) * eq.CloudDemand
+	}
+	grid := opts.Leader.GridN
+	if grid <= 0 {
+		grid = 60
+	}
+	pcStar, vc := numeric.MaximizeGrid(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7)
+	if math.IsInf(vc, -1) {
+		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: capacity never binds; no market-clearing equilibrium (Problem 2c requires E = E_max)")
+	}
+	peStar, ok := clearing(pcStar)
+	if !ok {
+		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: no clearing price at P_c = %g", pcStar)
+	}
+	eq, err := SolveMinerEquilibrium(c, Prices{Edge: peStar, Cloud: pcStar}, opts.Follower)
+	if err != nil {
+		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: %w", err)
+	}
+	return game.LeadersResult{
+		PriceA:     peStar,
+		PriceB:     pcStar,
+		ProfitA:    (peStar - c.CostE) * eq.EdgeDemand,
+		ProfitB:    (pcStar - c.CostC) * eq.CloudDemand,
+		Iterations: 1,
+		Converged:  true,
+	}, nil
+}
+
+// closedFormDemand returns aggregate homogeneous demand at the prices,
+// when a closed form covers the regime.
+func (c Config) closedFormDemand(p Prices) demand {
+	params := c.Params(p)
+	if params.Validate() != nil {
+		return demand{}
+	}
+	n := float64(c.N)
+	budget := c.Budget(0)
+	switch c.Mode {
+	case netmodel.Connected:
+		sol, err := miner.HomogeneousConnected(params, c.N, budget)
+		if err != nil {
+			return demand{}
+		}
+		return demand{edge: n * sol.Request.E, cloud: n * sol.Request.C, ok: true}
+	default:
+		sol, err := miner.HomogeneousStandalone(params, c.N, c.EdgeCapacity)
+		if err != nil {
+			// Cloud priced out of the market: the all-edge contest
+			// E = R(n−1)/(n·P_e) capped by capacity and budgets.
+			if p.Edge > p.Cloud && p.Cloud >= (1-c.Beta)*p.Edge {
+				e := c.Reward * (n - 1) / (n * p.Edge)
+				e = math.Min(e, c.EdgeCapacity)
+				e = math.Min(e, n*budget/p.Edge)
+				return demand{edge: e, ok: true}
+			}
+			return demand{}
+		}
+		if params.Spend(sol.Request) > budget {
+			// The Table II regime assumes sufficient budgets.
+			return demand{}
+		}
+		return demand{edge: n * sol.Request.E, cloud: n * sol.Request.C, ok: true}
+	}
+}
+
+// ModeComparison contrasts the Stackelberg outcomes of the two ESP
+// operation modes on otherwise identical configurations (the paper's
+// §IV-C discussion: the standalone ESP charges more and earns more).
+type ModeComparison struct {
+	Connected  StackelbergResult
+	Standalone StackelbergResult
+}
+
+// CompareModes solves the full game in both modes. The connected variant
+// of cfg uses its SatisfyProb; the standalone variant its EdgeCapacity.
+func CompareModes(cfg Config, opts StackelbergOptions) (ModeComparison, error) {
+	conn := cfg
+	conn.Mode = netmodel.Connected
+	alone := cfg
+	alone.Mode = netmodel.Standalone
+	rc, err := SolveStackelberg(conn, opts)
+	if err != nil {
+		return ModeComparison{}, fmt.Errorf("connected mode: %w", err)
+	}
+	ra, err := SolveStackelberg(alone, opts)
+	if err != nil {
+		return ModeComparison{}, fmt.Errorf("standalone mode: %w", err)
+	}
+	return ModeComparison{Connected: rc, Standalone: ra}, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+)
+
+func TestSolveStackelbergConnected(t *testing.T) {
+	cfg := testConfig()
+	res, err := SolveStackelberg(cfg, StackelbergOptions{})
+	if err != nil {
+		t.Fatalf("SolveStackelberg: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("leader stage did not converge: %+v", res)
+	}
+	if !res.ClosedFormDemand {
+		t.Error("homogeneous config should use the closed-form demand oracle")
+	}
+	if res.Prices.Edge <= res.Prices.Cloud {
+		t.Errorf("P_e = %g should exceed P_c = %g (edge has no delay and limited capacity)",
+			res.Prices.Edge, res.Prices.Cloud)
+	}
+	if res.Prices.Edge <= cfg.CostE || res.Prices.Cloud <= cfg.CostC {
+		t.Errorf("prices (%g, %g) must exceed costs (%g, %g)",
+			res.Prices.Edge, res.Prices.Cloud, cfg.CostE, cfg.CostC)
+	}
+	if res.ProfitE <= 0 || res.ProfitC <= 0 {
+		t.Errorf("profits (%g, %g) must be positive", res.ProfitE, res.ProfitC)
+	}
+	if !res.Follower.Converged {
+		t.Error("follower equilibrium at leader prices did not converge")
+	}
+	// The CSP plays a best response to the committed ESP price: no
+	// unilateral CSP deviation may improve its profit.
+	probe := func(pe, pc float64) (float64, float64) {
+		eq, err := SolveMinerEquilibrium(cfg, Prices{Edge: pe, Cloud: pc}, StackelbergOptions{}.Follower)
+		if err != nil {
+			return math.Inf(-1), math.Inf(-1)
+		}
+		return (pe - cfg.CostE) * eq.EdgeDemand, (pc - cfg.CostC) * eq.CloudDemand
+	}
+	for _, f := range []float64{0.8, 0.9, 1.1, 1.25} {
+		_, vc := probe(res.Prices.Edge, res.Prices.Cloud*f)
+		if vc > res.ProfitC*1.02+1 {
+			t.Errorf("CSP deviation to %g improves profit: %g > %g", res.Prices.Cloud*f, vc, res.ProfitC)
+		}
+	}
+	// The ESP commits first, anticipating the CSP's reaction: deviations
+	// evaluated along the CSP's best-response curve must not improve.
+	cspBR := func(pe float64) float64 {
+		best, bestV := 0.0, math.Inf(-1)
+		for pc := cfg.CostC + 0.05; pc < 20; pc += 0.05 {
+			if _, vc := probe(pe, pc); vc > bestV {
+				best, bestV = pc, vc
+			}
+		}
+		return best
+	}
+	for _, f := range []float64{0.7, 0.85, 1.2, 1.5} {
+		pe := res.Prices.Edge * f
+		ve, _ := probe(pe, cspBR(pe))
+		if ve > res.ProfitE*1.03+1 {
+			t.Errorf("ESP commitment deviation to %g improves profit: %g > %g", pe, ve, res.ProfitE)
+		}
+	}
+}
+
+func TestSolveStackelbergStandalone(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mode = netmodel.Standalone
+	cfg.EdgeCapacity = 25
+	cfg.Budgets = []float64{1000} // Table II's sufficient-budget regime
+	res, err := SolveStackelberg(cfg, StackelbergOptions{})
+	if err != nil {
+		t.Fatalf("SolveStackelberg: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	// Problem 2c: at the SP equilibrium the ESP sells out its capacity.
+	if math.Abs(res.Follower.EdgeDemand-cfg.EdgeCapacity) > 0.05*cfg.EdgeCapacity {
+		t.Errorf("edge demand = %g, want ≈E_max %g", res.Follower.EdgeDemand, cfg.EdgeCapacity)
+	}
+	// And its price should sit at the market-clearing level for the
+	// equilibrium CSP price.
+	wantPe := miner.ClearingPriceEdge(cfg.Reward, cfg.Beta, res.Prices.Cloud, cfg.N, cfg.EdgeCapacity)
+	if math.Abs(res.Prices.Edge-wantPe) > 0.05*wantPe {
+		t.Errorf("P_e = %g, want clearing price %g", res.Prices.Edge, wantPe)
+	}
+	// The CSP best response has the closed form √(A·C_c/E_max).
+	wantPc := miner.OptimalPriceCloudStandalone(cfg.Reward, cfg.Beta, cfg.CostC, cfg.N, cfg.EdgeCapacity)
+	if math.Abs(res.Prices.Cloud-wantPc) > 0.05*wantPc {
+		t.Errorf("P_c = %g, want closed form %g", res.Prices.Cloud, wantPc)
+	}
+}
+
+func TestClosedFormDemandAgreesWithNumeric(t *testing.T) {
+	cfg := testConfig()
+	for _, p := range []Prices{{Edge: 8, Cloud: 4}, {Edge: 12, Cloud: 3}, {Edge: 6, Cloud: 5}} {
+		d := cfg.closedFormDemand(p)
+		if !d.ok {
+			t.Fatalf("closed form unavailable at %+v", p)
+		}
+		eq, err := SolveMinerEquilibrium(cfg, p, StackelbergOptions{}.Follower)
+		if err != nil {
+			t.Fatalf("numeric at %+v: %v", p, err)
+		}
+		if math.Abs(d.edge-eq.EdgeDemand) > 0.01*(1+eq.EdgeDemand) {
+			t.Errorf("at %+v: closed-form E %g vs numeric %g", p, d.edge, eq.EdgeDemand)
+		}
+		if math.Abs(d.cloud-eq.CloudDemand) > 0.01*(1+eq.CloudDemand) {
+			t.Errorf("at %+v: closed-form C %g vs numeric %g", p, d.cloud, eq.CloudDemand)
+		}
+	}
+}
+
+func TestClosedFormDemandPureEdgeRegime(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mode = netmodel.Standalone
+	// Cloud priced out: P_c ≥ (1−β)·P_e.
+	d := cfg.closedFormDemand(Prices{Edge: 5, Cloud: 4.5})
+	if !d.ok {
+		t.Fatal("pure-edge regime should have a closed form")
+	}
+	if d.cloud != 0 {
+		t.Errorf("cloud demand = %g, want 0", d.cloud)
+	}
+	if d.edge <= 0 || d.edge > cfg.EdgeCapacity {
+		t.Errorf("edge demand = %g, want in (0, %g]", d.edge, cfg.EdgeCapacity)
+	}
+}
+
+func TestCompareModes(t *testing.T) {
+	cfg := testConfig()
+	cfg.EdgeCapacity = 25
+	cfg.Budgets = []float64{1000}
+	cmp, err := CompareModes(cfg, StackelbergOptions{})
+	if err != nil {
+		t.Fatalf("CompareModes: %v", err)
+	}
+	// §IV-C: the standalone ESP charges a higher price and earns more;
+	// the connected mode discourages edge purchases.
+	if cmp.Standalone.Prices.Edge <= cmp.Connected.Prices.Edge {
+		t.Errorf("standalone P_e %g should exceed connected P_e %g",
+			cmp.Standalone.Prices.Edge, cmp.Connected.Prices.Edge)
+	}
+	if cmp.Standalone.ProfitE <= cmp.Connected.ProfitE {
+		t.Errorf("standalone ESP profit %g should exceed connected %g",
+			cmp.Standalone.ProfitE, cmp.Connected.ProfitE)
+	}
+	if cmp.Standalone.ProfitC >= cmp.Connected.ProfitC {
+		t.Errorf("standalone CSP profit %g should fall below connected %g",
+			cmp.Standalone.ProfitC, cmp.Connected.ProfitC)
+	}
+}
+
+func TestSolveStackelbergInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.N = 0
+	if _, err := SolveStackelberg(cfg, StackelbergOptions{}); err == nil {
+		t.Error("want config error")
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+// Ablations of the reproduction's design choices (DESIGN.md §2):
+//
+//	ablbeta — exogenous fork rate vs the physically self-consistent
+//	          β* = BetaEdge(E*, S*, D, τ) fixed point.
+//	ablh    — exogenous transfer probability vs the Erlang-B congestion
+//	          equilibrium h* = 1 − B(capacity, E*).
+//	abldisc — miner-count discretization convention: rounding (mean-true)
+//	          vs the paper's printed ceiling (mean-shifted by +½).
+//	ablgne  — standalone solution concept: variational equilibrium vs the
+//	          Algorithm-2-style generalized Nash equilibrium.
+//	abllead — leader-stage concept: Theorem 4's sequential commitment vs
+//	          literal simultaneous best-response iteration (which cycles).
+//	ablrl   — learner ablation: constant-step ε-greedy vs sample-average
+//	          vs gradient bandit, measured as distance to the analytic NE.
+//	ablenv  — learning environment: model payoffs vs realized payoffs
+//	          from simulated 50-block mining races.
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/chain"
+	"minegame/internal/core"
+	"minegame/internal/game"
+	"minegame/internal/population"
+	"minegame/internal/rl"
+	"minegame/internal/sim"
+)
+
+// runAblBeta compares the equilibrium under the paper's constant β with
+// the self-consistent fork-rate fixed point across propagation delays.
+func runAblBeta(Config) (Result, error) {
+	t := Table{
+		ID:      "ablbeta",
+		Title:   "exogenous vs self-consistent fork rate across CSP delays",
+		Columns: []string{"delay_s", "beta_exogenous", "beta_star", "E_exogenous", "E_star", "C_exogenous", "C_star"},
+	}
+	// Delays kept in the mixed-strategy regime; at extreme delays the
+	// cloud is priced out entirely, E/S → 1, and the two rates coincide
+	// trivially.
+	for _, d := range []float64{60, 134, 240, 420} {
+		cfg := baseConfig()
+		cfg.Beta = chain.CollisionCDF(d, blockInterval)
+		exo, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("ablbeta exogenous delay=%g: %w", d, err)
+		}
+		sc, err := core.SolveSelfConsistentBeta(cfg, defaultPrices(), d, blockInterval, game.NEOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("ablbeta self-consistent delay=%g: %w", d, err)
+		}
+		t.AddRow(d, cfg.Beta, sc.Beta,
+			exo.EdgeDemand, sc.Equilibrium.EdgeDemand,
+			exo.CloudDemand, sc.Equilibrium.CloudDemand)
+	}
+	t.Notes = append(t.Notes,
+		"β* < β_exogenous always: only edge-solved rivals can beat an in-flight cloud block",
+		"at fixed prices the feedback UNRAVELS the edge premium: less edge power → fewer edge conflicts → smaller β → even less edge demand, collapsing to the all-cloud fixed point β* = 0",
+		"the slope of the best-response map at β=0 is h·P_c/(P_e−P_c)·D/τ < 1 for these defaults, so β* = 0 is the unique fixed point — the paper's positive edge demand exists only because β is held exogenous")
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runAblH compares the fixed transfer probability with the Erlang-B
+// congestion equilibrium across physical ESP capacities.
+func runAblH(Config) (Result, error) {
+	t := Table{
+		ID:      "ablh",
+		Title:   "exogenous h=0.7 vs endogenous Erlang-B congestion equilibrium",
+		Columns: []string{"esp_capacity", "h_star", "E_star", "E_at_h0.7"},
+	}
+	cfg := baseConfig()
+	exo, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, capacity := range []float64{10, 20, 30, 45, 60, 100} {
+		res, err := core.SolveEndogenousTransfer(cfg, defaultPrices(), capacity, game.NEOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("ablh capacity=%g: %w", capacity, err)
+		}
+		t.AddRow(capacity, res.SatisfyProb, res.EdgeDemand, exo.EdgeDemand)
+	}
+	t.Notes = append(t.Notes,
+		"h* rises with capacity toward 1; the fixed h=0.7 corresponds to one particular provisioning level")
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runAblDisc shows how the miner-count discretization convention changes
+// the §V headline: the ceiling form silently adds half a rival on
+// average, masking part of the uncertainty effect.
+func runAblDisc(Config) (Result, error) {
+	t := Table{
+		ID:      "abldisc",
+		Title:   "miner-count discretization: rounding vs the paper's ceiling (mu=10)",
+		Columns: []string{"sigma", "mean_round", "mean_ceil", "e_star_round", "e_star_ceil", "e_star_fixed"},
+	}
+	p := fig9Params(defaultPriceE)
+	fixed, err := population.SymmetricEquilibrium(p, population.Degenerate(10), defaultBudget, population.SolveOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, sigma := range []float64{1, 2, 3} {
+		m := population.Model{Mu: 10, Sigma: sigma}
+		round, err := m.PMF()
+		if err != nil {
+			return Result{}, err
+		}
+		ceil, err := m.PMFCeil()
+		if err != nil {
+			return Result{}, err
+		}
+		eqRound, err := population.SymmetricEquilibrium(p, round, defaultBudget, population.SolveOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("abldisc round σ=%g: %w", sigma, err)
+		}
+		eqCeil, err := population.SymmetricEquilibrium(p, ceil, defaultBudget, population.SolveOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("abldisc ceil σ=%g: %w", sigma, err)
+		}
+		t.AddRow(sigma, round.Mean(), ceil.Mean(), eqRound.Request.E, eqCeil.Request.E, fixed.Request.E)
+	}
+	t.Notes = append(t.Notes,
+		"the ceiling convention inflates the mean rival count by ≈0.5, biasing e* downward against the fixed-N baseline")
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runAblGNE compares the standalone solution concepts: the variational
+// equilibrium (one common scarcity price) against the Algorithm-2-style
+// GNE reached by capacity self-limitation.
+func runAblGNE(Config) (Result, error) {
+	t := Table{
+		ID:      "ablgne",
+		Title:   "standalone GNEP: variational equilibrium vs Algorithm-2-style GNE",
+		Columns: []string{"E_max", "E_variational", "E_gne", "multiplier", "umin_var", "umax_var", "umin_gne", "umax_gne"},
+	}
+	for _, emax := range []float64{15, 20, 30, 40} {
+		cfg := standaloneConfig()
+		cfg.EdgeCapacity = emax
+		ve, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("ablgne variational E_max=%g: %w", emax, err)
+		}
+		gne, err := core.SolveMinerGNE(cfg, defaultPrices(), game.NEOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("ablgne GNE E_max=%g: %w", emax, err)
+		}
+		uminV, umaxV := minMax(ve.Utilities)
+		uminG, umaxG := minMax(gne.Utilities)
+		t.AddRow(emax, ve.EdgeDemand, gne.EdgeDemand, ve.Multiplier, uminV, umaxV, uminG, umaxG)
+	}
+	t.Notes = append(t.Notes,
+		"both concepts sell out scarce capacity; the variational solution treats homogeneous miners symmetrically (umin = umax)")
+	return Result{Tables: []Table{t}}, nil
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// runAblLeaders contrasts the default sequential leader stage (Theorem 4
+// commitment) with literal simultaneous best-response iteration at
+// several dampings: the simultaneous dynamics fail to settle.
+func runAblLeaders(Config) (Result, error) {
+	cfg := baseConfig()
+	seq, err := core.SolveStackelberg(cfg, core.StackelbergOptions{})
+	if err != nil {
+		return Result{}, fmt.Errorf("abllead sequential: %w", err)
+	}
+	t := Table{
+		ID:      "abllead",
+		Title:   "leader stage: sequential commitment vs simultaneous best-response iteration",
+		Columns: []string{"damping", "pe_simultaneous", "pc_simultaneous", "converged", "pe_sequential", "pc_sequential"},
+	}
+	for _, damping := range []float64{1, 0.5, 0.25} {
+		simultaneous, err := core.SolveStackelberg(cfg, core.StackelbergOptions{
+			Simultaneous: true,
+			Leader:       game.LeaderOptions{Damping: damping, MaxIter: 40},
+		})
+		conv := 0.0
+		pe, pc := math.NaN(), math.NaN()
+		if err == nil {
+			pe, pc = simultaneous.Prices.Edge, simultaneous.Prices.Cloud
+			if simultaneous.Converged {
+				conv = 1
+			}
+		}
+		t.AddRow(damping, pe, pc, conv, seq.Prices.Edge, seq.Prices.Cloud)
+	}
+	t.Notes = append(t.Notes,
+		"the simultaneous iteration cycles for most dampings (converged=0): the ESP's profit is monotone along the CSP's reaction curve",
+		"the sequential commitment (default) is the concept Theorem 4 actually analyzes")
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runAblRL compares the three learners on the same self-play task,
+// measured as the distance of the learned mean strategy from the
+// analytic equilibrium (5.6, 26.4).
+func runAblRL(cfg Config) (Result, error) {
+	t := Table{
+		ID:      "ablrl",
+		Title:   "learner ablation on the connected subgame (analytic NE e*=5.6, c*=26.4)",
+		Columns: []string{"learner", "learned_e", "learned_c", "abs_err_e", "abs_err_c"},
+		Notes: []string{
+			"learner codes: 1 = constant-step ε-greedy, 2 = sample-average ε-greedy, 3 = gradient bandit, 4 = UCB1, 5 = Exp3",
+			"UCB1's deterministic optimism is known to struggle in self-play: every miner explores the same arms in lockstep, so the non-stationarity never averages out the way it does for randomized learners",
+		},
+	}
+	grid, err := rl.NewActionGrid(defaultPriceE, defaultPriceC, defaultBudget, 11, 11)
+	if err != nil {
+		return Result{}, err
+	}
+	net := baseConfig().Network(defaultPrices(), blockInterval)
+	env := rl.ModelEnv{Net: net, Reward: defaultReward}
+	episodes := cfg.rounds(50000)
+	build := func(kind int) (rl.Learner, error) {
+		switch kind {
+		case 1:
+			return rl.NewEpsilonGreedy(len(grid.Actions), rl.EpsilonGreedyConfig{})
+		case 2:
+			return rl.NewEpsilonGreedy(len(grid.Actions), rl.EpsilonGreedyConfig{SampleAverage: true, MinEpsilon: 0.02})
+		case 3:
+			return rl.NewGradientBandit(len(grid.Actions), 0.002)
+		case 4:
+			return rl.NewUCB1(len(grid.Actions), 2, defaultReward/10)
+		default:
+			return rl.NewExp3(len(grid.Actions), 0.07, defaultReward/2)
+		}
+	}
+	for kind := 1; kind <= 5; kind++ {
+		pool := make([]rl.Learner, defaultN)
+		for i := range pool {
+			l, err := build(kind)
+			if err != nil {
+				return Result{}, err
+			}
+			pool[i] = l
+		}
+		tr, err := rl.NewTrainer(grid, env, population.Degenerate(defaultN), pool,
+			sim.NewRNG(cfg.Seed, fmt.Sprintf("ablrl-%d", kind)))
+		if err != nil {
+			return Result{}, err
+		}
+		if err := tr.Train(episodes); err != nil {
+			return Result{}, fmt.Errorf("ablrl learner %d: %w", kind, err)
+		}
+		mean := tr.MeanGreedy()
+		t.AddRow(float64(kind), mean.E, mean.C, math.Abs(mean.E-5.6), math.Abs(mean.C-26.4))
+	}
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runAblEnv trains identical sample-average pools on the model-payoff
+// environment and on the physical chain-simulation environment, and
+// reports where each lands relative to the analytic equilibrium.
+func runAblEnv(cfg Config) (Result, error) {
+	t := Table{
+		ID:      "ablenv",
+		Title:   "learning environment: model payoffs vs simulated 50-block mining races",
+		Columns: []string{"environment", "learned_e", "learned_c"},
+		Notes: []string{
+			"environment codes: 1 = ModelEnv (paper's expected utilities), 2 = ChainEnv (realized races)",
+			"analytic connected NE is (5.6, 26.4); the physical environment deviates where the model's conditional-degradation approximation does",
+		},
+	}
+	grid, err := rl.NewActionGrid(defaultPriceE, defaultPriceC, defaultBudget, 11, 11)
+	if err != nil {
+		return Result{}, err
+	}
+	net := baseConfig().Network(defaultPrices(), blockInterval)
+	envs := []rl.Environment{
+		rl.ModelEnv{Net: net, Reward: defaultReward},
+		rl.ChainEnv{Net: net, Reward: defaultReward, Blocks: 50},
+	}
+	episodes := cfg.rounds(40000)
+	for i, env := range envs {
+		pool := make([]rl.Learner, defaultN)
+		for j := range pool {
+			l, err := rl.NewEpsilonGreedy(len(grid.Actions), rl.EpsilonGreedyConfig{SampleAverage: true, MinEpsilon: 0.02})
+			if err != nil {
+				return Result{}, err
+			}
+			pool[j] = l
+		}
+		tr, err := rl.NewTrainer(grid, env, population.Degenerate(defaultN), pool,
+			sim.NewRNG(cfg.Seed, fmt.Sprintf("ablenv-%d", i)))
+		if err != nil {
+			return Result{}, err
+		}
+		if err := tr.Train(episodes); err != nil {
+			return Result{}, fmt.Errorf("ablenv env %d: %w", i+1, err)
+		}
+		mean := tr.MeanGreedy()
+		t.AddRow(float64(i+1), mean.E, mean.C)
+	}
+	return Result{Tables: []Table{t}}, nil
+}

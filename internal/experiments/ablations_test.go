@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblBetaShapes(t *testing.T) {
+	res := mustRun(t, "ablbeta", quickCfg())
+	tab := res.Tables[0]
+	exo := column(t, tab, "beta_exogenous")
+	star := column(t, tab, "beta_star")
+	eExo := column(t, tab, "E_exogenous")
+	eStar := column(t, tab, "E_star")
+	for i := range exo {
+		if star[i] >= exo[i] {
+			t.Errorf("row %d: β* = %g not below exogenous %g", i, star[i], exo[i])
+		}
+		// At the default prices the fixed-point map is a contraction at
+		// zero (slope h·P_c/(P_e−P_c)·D/τ < 1), so the edge premium
+		// unravels completely: β* ≈ 0 and E* ≈ 0 while the exogenous-β
+		// game sustains substantial edge demand.
+		if star[i] > 1e-6 {
+			t.Errorf("row %d: β* = %g, want the unraveled fixed point ≈0", i, star[i])
+		}
+		if eStar[i] > 0.01 {
+			t.Errorf("row %d: self-consistent edge demand %g, want ≈0", i, eStar[i])
+		}
+		if eExo[i] < 10 {
+			t.Errorf("row %d: exogenous edge demand %g unexpectedly small", i, eExo[i])
+		}
+	}
+}
+
+func TestAblHShapes(t *testing.T) {
+	res := mustRun(t, "ablh", quickCfg())
+	tab := res.Tables[0]
+	h := column(t, tab, "h_star")
+	assertMonotone(t, h, true, 1e-9, "h* vs capacity")
+	for i, v := range h {
+		if v <= 0 || v >= 1 {
+			t.Errorf("row %d: h* = %g outside (0,1)", i, v)
+		}
+	}
+	// Generous provisioning approaches perfect reliability.
+	if last := h[len(h)-1]; last < 0.99 {
+		t.Errorf("h* at capacity 100 = %g, want ≈1", last)
+	}
+	// Edge demand grows with reliability.
+	assertMonotone(t, column(t, tab, "E_star"), true, 1e-6, "E* vs capacity")
+}
+
+func TestAblDiscShapes(t *testing.T) {
+	res := mustRun(t, "abldisc", quickCfg())
+	tab := res.Tables[0]
+	meanRound := column(t, tab, "mean_round")
+	meanCeil := column(t, tab, "mean_ceil")
+	eRound := column(t, tab, "e_star_round")
+	eCeil := column(t, tab, "e_star_ceil")
+	eFixed := column(t, tab, "e_star_fixed")
+	for i := range meanRound {
+		if math.Abs(meanRound[i]-10) > 0.05 {
+			t.Errorf("row %d: rounded mean %g drifted from 10", i, meanRound[i])
+		}
+		if meanCeil[i] < meanRound[i]+0.3 {
+			t.Errorf("row %d: ceiling mean %g should exceed rounded %g by ≈0.5", i, meanCeil[i], meanRound[i])
+		}
+		if eRound[i] <= eFixed[i] {
+			t.Errorf("row %d: rounded e* %g should exceed fixed %g", i, eRound[i], eFixed[i])
+		}
+		if eCeil[i] >= eRound[i] {
+			t.Errorf("row %d: ceiling e* %g should fall below rounded %g (extra mean rivals)",
+				i, eCeil[i], eRound[i])
+		}
+	}
+}
+
+func TestAblGNEShapes(t *testing.T) {
+	res := mustRun(t, "ablgne", quickCfg())
+	tab := res.Tables[0]
+	emax := column(t, tab, "E_max")
+	ev := column(t, tab, "E_variational")
+	eg := column(t, tab, "E_gne")
+	uminV := column(t, tab, "umin_var")
+	umaxV := column(t, tab, "umax_var")
+	for i := range emax {
+		want := math.Min(40, emax[i])
+		if math.Abs(ev[i]-want) > 0.5 {
+			t.Errorf("row %d: variational E %g, want ≈%g", i, ev[i], want)
+		}
+		if eg[i] > emax[i]+1e-6 {
+			t.Errorf("row %d: GNE demand %g violates capacity %g", i, eg[i], emax[i])
+		}
+		// Homogeneous miners are treated symmetrically by the
+		// variational solution.
+		if math.Abs(umaxV[i]-uminV[i]) > 0.02*(1+math.Abs(umaxV[i])) {
+			t.Errorf("row %d: variational utilities spread [%g, %g]", i, uminV[i], umaxV[i])
+		}
+	}
+}
+
+func TestAblLeadersShapes(t *testing.T) {
+	res := mustRun(t, "abllead", quickCfg())
+	tab := res.Tables[0]
+	peSeq := column(t, tab, "pe_sequential")
+	pcSeq := column(t, tab, "pc_sequential")
+	conv := column(t, tab, "converged")
+	anyCycle := false
+	for i := range conv {
+		if conv[i] == 0 {
+			anyCycle = true
+		}
+		if peSeq[i] <= pcSeq[i] {
+			t.Errorf("row %d: sequential ESP price %g not above CSP %g", i, peSeq[i], pcSeq[i])
+		}
+	}
+	if !anyCycle {
+		t.Log("note: every simultaneous damping converged this run; cycling is damping-dependent")
+	}
+}
+
+func TestAblRLShapes(t *testing.T) {
+	res := mustRun(t, "ablrl", quickCfg())
+	tab := res.Tables[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 5 learners, got %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] < 0 || row[1] > 25 || row[2] < 0 || row[2] > 50 {
+			t.Errorf("learner %g produced an out-of-grid strategy (%g, %g)", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestAblEnvShapes(t *testing.T) {
+	res := mustRun(t, "ablenv", quickCfg())
+	tab := res.Tables[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 environments, got %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1]+row[2] <= 0 {
+			t.Errorf("environment %g learned the empty strategy", row[0])
+		}
+	}
+}
+
+func TestAblBillingShapes(t *testing.T) {
+	res := mustRun(t, "ablbill", quickCfg())
+	tab := res.Tables[0]
+	spend := column(t, tab, "miner_spend_per_round")
+	esp := column(t, tab, "esp_revenue")
+	if len(spend) != 2 {
+		t.Fatalf("want 2 policies, got %d rows", len(spend))
+	}
+	// Served billing must charge miners less (transfers re-billed at the
+	// cheaper cloud price) and cost the ESP its transfer markup.
+	if spend[1] >= spend[0] {
+		t.Errorf("served billing %g should undercut requested billing %g", spend[1], spend[0])
+	}
+	if esp[1] >= esp[0] {
+		t.Errorf("ESP revenue under served billing %g should fall below %g", esp[1], esp[0])
+	}
+	// Conservation: spend equals total provider revenue per policy.
+	csp := column(t, tab, "csp_revenue")
+	for i := range spend {
+		if math.Abs(spend[i]-(esp[i]+csp[i])) > 1e-6 {
+			t.Errorf("policy %d: spend %g != revenues %g", i+1, spend[i], esp[i]+csp[i])
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// quickCfg is the scaled-down configuration used by shape tests.
+func quickCfg() Config { return Config{Seed: 7, Quick: true} }
+
+func mustRun(t *testing.T, id string, cfg Config) Result {
+	t.Helper()
+	r, err := ByID(id)
+	if err != nil {
+		t.Fatalf("ByID(%s): %v", id, err)
+	}
+	res, err := r.Run(cfg)
+	if err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	return res
+}
+
+func column(t *testing.T, tab Table, name string) []float64 {
+	t.Helper()
+	col, err := tab.Column(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func assertMonotone(t *testing.T, xs []float64, increasing bool, slack float64, label string) {
+	t.Helper()
+	for i := 1; i < len(xs); i++ {
+		if increasing && xs[i] < xs[i-1]-slack {
+			t.Errorf("%s not increasing at %d: %v", label, i, xs)
+			return
+		}
+		if !increasing && xs[i] > xs[i-1]+slack {
+			t.Errorf("%s not decreasing at %d: %v", label, i, xs)
+			return
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	res := mustRun(t, "fig2", quickCfg())
+	cdf := res.Tables[1]
+	analytic := column(t, cdf, "analytic_cdf")
+	simulated := column(t, cdf, "simulated_cdf")
+	assertMonotone(t, analytic, true, 0, "analytic CDF")
+	for i := range analytic {
+		if math.Abs(analytic[i]-simulated[i]) > 0.025 {
+			t.Errorf("row %d: simulated CDF %g vs analytic %g", i, simulated[i], analytic[i])
+		}
+	}
+	// Near-linearity at small delays (within a tenth of the block time).
+	lin := column(t, cdf, "linear_approx")
+	for i, d := range column(t, cdf, "delay_s") {
+		if d > 0 && d <= 60 && math.Abs(analytic[i]-lin[i]) > 0.01 {
+			t.Errorf("delay %g: CDF %g deviates from linear %g", d, analytic[i], lin[i])
+		}
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	res := mustRun(t, "fig3", quickCfg())
+	tab := res.Tables[0]
+	pmf := column(t, tab, "pmf")
+	freq := column(t, tab, "sampled_freq")
+	var mass float64
+	for i := range pmf {
+		mass += pmf[i]
+		if math.Abs(pmf[i]-freq[i]) > 0.015 {
+			t.Errorf("row %d: frequency %g vs pmf %g", i, freq[i], pmf[i])
+		}
+	}
+	if mass < 0.999 {
+		t.Errorf("rendered PMF mass %g < 1", mass)
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	res := mustRun(t, "fig4", quickCfg())
+	tab := res.Tables[0]
+	assertMonotone(t, column(t, tab, "E"), true, 1e-6, "edge demand vs P_c")
+	assertMonotone(t, column(t, tab, "C"), false, 1e-6, "cloud demand vs P_c")
+	assertMonotone(t, column(t, tab, "esp_revenue"), true, 1e-6, "ESP revenue vs P_c")
+}
+
+func TestFig5Shapes(t *testing.T) {
+	res := mustRun(t, "fig5", quickCfg())
+	tab := res.Tables[0]
+	totals := column(t, tab, "total_revenue")
+	for _, v := range totals {
+		if math.Abs(v-600) > 6 {
+			t.Errorf("total revenue %g strays from the aggregate budget 600", v)
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	res := mustRun(t, "fig6", quickCfg())
+	a := res.Tables[0]
+	standalone := column(t, a, "standalone_E")
+	connected := column(t, a, "connected_E")
+	caps := column(t, a, "E_max")
+	assertMonotone(t, standalone, true, 1e-3, "standalone demand vs capacity")
+	for i := range standalone {
+		// Standalone demand is min(unconstrained optimum, capacity); once
+		// the capacity stops binding it must exceed the connected-mode
+		// demand (the connected mode discourages edge buying).
+		want := math.Min(40, caps[i])
+		if math.Abs(standalone[i]-want) > 0.5 {
+			t.Errorf("row %d: standalone E %g, want ≈min(40, %g)", i, standalone[i], caps[i])
+		}
+		if caps[i] >= 40 && standalone[i] <= connected[i] {
+			t.Errorf("row %d: unconstrained standalone E %g should exceed connected %g",
+				i, standalone[i], connected[i])
+		}
+	}
+	b := res.Tables[1]
+	assertMonotone(t, column(t, b, "pc_star_emax25"), false, 1e-9, "CSP price vs delay (E_max=25)")
+	assertMonotone(t, column(t, b, "pc_star_emax40"), false, 1e-9, "CSP price vs delay (E_max=40)")
+}
+
+func TestFig7Shapes(t *testing.T) {
+	res := mustRun(t, "fig7", quickCfg())
+	tab := res.Tables[0]
+	budgets := column(t, tab, "B_1")
+	betas := column(t, tab, "beta")
+	utils := column(t, tab, "utility_1")
+	totals := column(t, tab, "total_1")
+	for i := 1; i < len(budgets); i++ {
+		if betas[i] != betas[i-1] {
+			continue // new sweep group
+		}
+		if utils[i] < utils[i-1]-1e-3 {
+			t.Errorf("utility not monotone in budget at row %d: %g -> %g", i, utils[i-1], utils[i])
+		}
+		if totals[i] < totals[i-1]-1e-3 {
+			t.Errorf("total request not monotone in budget at row %d", i)
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	res := mustRun(t, "fig8", quickCfg())
+	tab := res.Tables[0]
+	ces := column(t, tab, "C_e")
+	peConn := column(t, tab, "pe_connected")
+	pcConn := column(t, tab, "pc_connected")
+	peAlone := column(t, tab, "pe_standalone")
+	pcAlone := column(t, tab, "pc_standalone")
+	veConn := column(t, tab, "esp_profit_connected")
+	veAlone := column(t, tab, "esp_profit_standalone")
+	vcConn := column(t, tab, "csp_profit_connected")
+	vcAlone := column(t, tab, "csp_profit_standalone")
+	assertMonotone(t, peConn, true, 0.05, "connected ESP price vs cost")
+	for i := range peConn {
+		if peConn[i] <= pcConn[i] || peAlone[i] <= pcAlone[i] {
+			t.Errorf("row %d: ESP price must exceed CSP price", i)
+		}
+		// The market-clearing standalone price is cost-independent.
+		if math.Abs(peAlone[i]-peAlone[0]) > 0.05 {
+			t.Errorf("row %d: standalone clearing price %g should not move with C_e", i, peAlone[i])
+		}
+		// The capacity rent makes the standalone ESP's profit advantage
+		// robust across the whole cost sweep...
+		if veAlone[i] <= veConn[i] {
+			t.Errorf("row %d: standalone ESP profit %g should exceed connected %g", i, veAlone[i], veConn[i])
+		}
+		// ...while the price and CSP-profit orderings of §IV-C hold near
+		// the paper's default operating cost.
+		if ces[i] == 2 {
+			if peAlone[i] <= peConn[i] {
+				t.Errorf("at C_e=2: standalone price %g should exceed connected %g", peAlone[i], peConn[i])
+			}
+			if vcAlone[i] >= vcConn[i] {
+				t.Errorf("at C_e=2: standalone CSP profit %g should fall below connected %g", vcAlone[i], vcConn[i])
+			}
+		}
+	}
+}
+
+func TestFig9aShapes(t *testing.T) {
+	res := mustRun(t, "fig9a", quickCfg())
+	tab := res.Tables[0]
+	fixed := column(t, tab, "E_fixed")
+	dynamic := column(t, tab, "E_dynamic")
+	rlFixed := column(t, tab, "E_rl_fixed")
+	rlDynamic := column(t, tab, "E_rl_dynamic")
+	assertMonotone(t, fixed, false, 1e-3, "fixed demand vs price")
+	for i := range fixed {
+		if dynamic[i] <= fixed[i] {
+			t.Errorf("row %d: dynamic demand %g not above fixed %g", i, dynamic[i], fixed[i])
+		}
+		if rlFixed[i] <= 0 || rlDynamic[i] <= 0 {
+			t.Errorf("row %d: RL demands must be positive", i)
+		}
+	}
+}
+
+func TestFig9bShapes(t *testing.T) {
+	res := mustRun(t, "fig9b", quickCfg())
+	tab := res.Tables[0]
+	assertMonotone(t, column(t, tab, "e_star_model"), true, 1e-4, "model e* vs sigma")
+}
+
+func TestTable2Shapes(t *testing.T) {
+	res := mustRun(t, "tab2", quickCfg())
+	tab := res.Tables[0]
+	for i, row := range tab.Rows {
+		quantity := row[0]
+		closedConn, numConn, closedAlone, numAlone := row[1], row[2], row[3], row[4]
+		if math.Abs(closedConn-numConn) > 0.02*(1+math.Abs(closedConn)) {
+			t.Errorf("row %d: connected closed %g vs numeric %g", i, closedConn, numConn)
+		}
+		if math.Abs(closedAlone-numAlone) > 0.02*(1+math.Abs(closedAlone)) {
+			t.Errorf("row %d: standalone closed %g vs numeric %g", i, closedAlone, numAlone)
+		}
+		if quantity == 4 {
+			if math.Abs(closedConn-closedAlone) > 0.01*(1+closedConn) {
+				t.Errorf("total demand differs across modes: %g vs %g", closedConn, closedAlone)
+			}
+		}
+		if quantity == 3 {
+			if closedAlone <= closedConn {
+				t.Errorf("standalone edge demand %g should exceed connected %g", closedAlone, closedConn)
+			}
+		}
+	}
+	capTab := res.Tables[1]
+	for i, row := range capTab.Rows {
+		if math.Abs(row[1]-row[2]) > 0.05*(1+math.Abs(row[1])) {
+			t.Errorf("binding-capacity row %d: closed %g vs numeric %g", i, row[1], row[2])
+		}
+	}
+	if capTab.Rows[0][1] != 25 {
+		t.Errorf("binding edge demand closed form = %g, want E_max 25", capTab.Rows[0][1])
+	}
+	if capTab.Rows[1][1] <= 0 {
+		t.Errorf("binding shadow price %g must be positive", capTab.Rows[1][1])
+	}
+	sp := res.Tables[2]
+	if len(sp.Rows) != 2 || sp.Rows[0][1] <= 0 || sp.Rows[1][1] <= sp.Rows[0][1] {
+		t.Errorf("SP closed forms look wrong: %v", sp.Rows)
+	}
+}
+
+func TestTheorem1Experiment(t *testing.T) {
+	res := mustRun(t, "thm1", quickCfg())
+	if dev := res.Tables[0].Rows[0][1]; dev > 1e-9 {
+		t.Errorf("max |ΣW−1| = %g", dev)
+	}
+}
+
+func TestSimWinProbExperiment(t *testing.T) {
+	res := mustRun(t, "simw", quickCfg())
+	tab := res.Tables[0]
+	emp := column(t, tab, "empirical_W")
+	eq6 := column(t, tab, "eq6_W")
+	for i := range emp {
+		if math.Abs(emp[i]-eq6[i]) > 0.025 {
+			t.Errorf("miner row %d: empirical %g vs Eq.6 %g", i, emp[i], eq6[i])
+		}
+	}
+}

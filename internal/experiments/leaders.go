@@ -1,0 +1,138 @@
+package experiments
+
+// Leader-stage experiments: Fig. 8 (equilibrium prices vs the ESP's
+// operating cost in both modes) and Table II (closed forms, sufficient
+// budgets, connected vs standalone).
+
+import (
+	"fmt"
+
+	"minegame/internal/core"
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+)
+
+// runFig8 regenerates Fig. 8: Stackelberg equilibrium prices and profits
+// while the ESP's unit operating cost sweeps, in both operation modes.
+func runFig8(Config) (Result, error) {
+	t := Table{
+		ID:    "fig8",
+		Title: "SP equilibrium prices/profits vs ESP cost C_e (both modes, sufficient budget)",
+		Columns: []string{
+			"C_e",
+			"pe_connected", "pc_connected", "esp_profit_connected", "csp_profit_connected",
+			"pe_standalone", "pc_standalone", "esp_profit_standalone", "csp_profit_standalone",
+		},
+	}
+	for _, ce := range numeric.Linspace(1, 6, 6) {
+		cfg := baseConfig()
+		cfg.CostE = ce
+		cfg.EdgeCapacity = 25
+		cfg.Budgets = []float64{1000}
+		cmp, err := core.CompareModes(cfg, core.StackelbergOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig8 C_e=%g: %w", ce, err)
+		}
+		t.AddRow(ce,
+			cmp.Connected.Prices.Edge, cmp.Connected.Prices.Cloud,
+			cmp.Connected.ProfitE, cmp.Connected.ProfitC,
+			cmp.Standalone.Prices.Edge, cmp.Standalone.Prices.Cloud,
+			cmp.Standalone.ProfitE, cmp.Standalone.ProfitC,
+		)
+	}
+	t.Notes = append(t.Notes,
+		"the connected ESP's price rises with its cost and stays above the CSP's",
+		"the standalone market-clearing price P_c* + βR(n−1)/(n·E_max) does not depend on C_e, so the paper's 'standalone charges more' holds near the default costs and reverses for expensive ESPs",
+		"the standalone ESP's PROFIT advantage (capacity rent) is robust across the whole cost sweep")
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runTable2 regenerates Table II: sufficient-budget closed forms per
+// mode, cross-checked against the numeric equilibrium solvers.
+func runTable2(Config) (Result, error) {
+	prices := defaultPrices()
+	cfg := baseConfig()
+	cfg.Budgets = []float64{1e6}
+	// Slack capacity: Table II's comparison concerns the unconstrained
+	// sufficient-budget forms (the binding case is reported separately).
+	cfg.EdgeCapacity = 60
+
+	params := cfg.Params(prices)
+	conn, err := miner.HomogeneousConnected(params, cfg.N, cfg.Budget(0))
+	if err != nil {
+		return Result{}, fmt.Errorf("table2 connected closed form: %w", err)
+	}
+	alone, err := miner.HomogeneousStandalone(params, cfg.N, cfg.EdgeCapacity)
+	if err != nil {
+		return Result{}, fmt.Errorf("table2 standalone closed form: %w", err)
+	}
+
+	numConn := cfg
+	eqConn, err := core.SolveMinerEquilibrium(numConn, prices, core.StackelbergOptions{}.Follower)
+	if err != nil {
+		return Result{}, fmt.Errorf("table2 connected numeric: %w", err)
+	}
+	numAlone := cfg
+	numAlone.Mode = standaloneConfig().Mode
+	eqAlone, err := core.SolveMinerEquilibrium(numAlone, prices, core.StackelbergOptions{}.Follower)
+	if err != nil {
+		return Result{}, fmt.Errorf("table2 standalone numeric: %w", err)
+	}
+
+	n := float64(cfg.N)
+	t := Table{
+		ID:      "tab2",
+		Title:   "Table II: sufficient-budget equilibria, connected vs standalone (closed form and numeric)",
+		Columns: []string{"quantity", "connected_closed", "connected_numeric", "standalone_closed", "standalone_numeric"},
+		Notes: []string{
+			"quantity codes: 1 = per-miner e*, 2 = per-miner c*, 3 = total edge E, 4 = total demand S, 5 = capacity shadow price",
+			"total demand S is identical across modes; the standalone mode shifts purchases toward the ESP",
+		},
+	}
+	t.AddRow(1, conn.Request.E, eqConn.Requests[0].E, alone.Request.E, eqAlone.Requests[0].E)
+	t.AddRow(2, conn.Request.C, eqConn.Requests[0].C, alone.Request.C, eqAlone.Requests[0].C)
+	t.AddRow(3, n*conn.Request.E, eqConn.EdgeDemand, n*alone.Request.E, eqAlone.EdgeDemand)
+	t.AddRow(4, n*(conn.Request.E+conn.Request.C), eqConn.TotalDemand,
+		n*(alone.Request.E+alone.Request.C), eqAlone.TotalDemand)
+
+	// The binding-capacity variant: a standalone ESP with E_max = 25
+	// sells out, and the shared constraint carries a positive shadow
+	// price common to all miners.
+	capCfg := cfg
+	capCfg.Mode = numAlone.Mode
+	capCfg.EdgeCapacity = 25
+	capClosed, err := miner.HomogeneousStandalone(params, capCfg.N, capCfg.EdgeCapacity)
+	if err != nil {
+		return Result{}, fmt.Errorf("table2 binding closed form: %w", err)
+	}
+	capEq, err := core.SolveMinerEquilibrium(capCfg, prices, core.StackelbergOptions{}.Follower)
+	if err != nil {
+		return Result{}, fmt.Errorf("table2 binding numeric: %w", err)
+	}
+	capTab := Table{
+		ID:      "tab2cap",
+		Title:   "Table II (binding capacity E_max=25): closed form vs numeric variational GNE",
+		Columns: []string{"quantity", "closed_form", "numeric"},
+		Notes: []string{
+			"quantity codes: 1 = total edge demand E (= E_max), 2 = capacity shadow price μ, 3 = total demand S",
+		},
+	}
+	capTab.AddRow(1, n*capClosed.Request.E, capEq.EdgeDemand)
+	capTab.AddRow(2, capClosed.Multiplier, capEq.Multiplier)
+	capTab.AddRow(3, n*(capClosed.Request.E+capClosed.Request.C), capEq.TotalDemand)
+
+	// The SP-stage closed forms of the standalone mode.
+	sp := Table{
+		ID:      "tab2sp",
+		Title:   "Table II (SP stage): standalone market-clearing prices",
+		Columns: []string{"quantity", "closed_form"},
+		Notes: []string{
+			"quantity codes: 1 = P_c* = sqrt((1−β)R(n−1)C_c/(n·E_max)), 2 = P_e* = P_c* + βR(n−1)/(n·E_max)",
+		},
+	}
+	pcStar := miner.OptimalPriceCloudStandalone(cfg.Reward, cfg.Beta, cfg.CostC, cfg.N, capCfg.EdgeCapacity)
+	peStar := miner.ClearingPriceEdge(cfg.Reward, cfg.Beta, pcStar, cfg.N, capCfg.EdgeCapacity)
+	sp.AddRow(1, pcStar)
+	sp.AddRow(2, peStar)
+	return Result{Tables: []Table{t, capTab, sp}}, nil
+}

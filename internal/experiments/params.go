@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"minegame/internal/core"
+	"minegame/internal/netmodel"
+)
+
+// Default parameters for the evaluation. The paper fixes a 5-miner
+// network with budget 200 (§VI) but omits most constants; these choices
+// are documented in DESIGN.md and used consistently across runners.
+const (
+	defaultN        = 5
+	defaultBudget   = 200.0
+	defaultReward   = 1000.0
+	defaultBeta     = 0.2
+	defaultH        = 0.7
+	defaultCostE    = 2.0
+	defaultCostC    = 1.0
+	defaultCapacity = 60.0
+	defaultPriceE   = 8.0
+	defaultPriceC   = 4.0
+	// blockInterval is the network's mean block time in seconds
+	// (Bitcoin-like; only ratios to the propagation delay matter).
+	blockInterval = 600.0
+)
+
+// baseConfig returns the default connected-mode game.
+func baseConfig() core.Config {
+	return core.Config{
+		N:            defaultN,
+		Budgets:      []float64{defaultBudget},
+		Reward:       defaultReward,
+		Beta:         defaultBeta,
+		SatisfyProb:  defaultH,
+		Mode:         netmodel.Connected,
+		EdgeCapacity: defaultCapacity,
+		CostE:        defaultCostE,
+		CostC:        defaultCostC,
+	}
+}
+
+// standaloneConfig returns the default standalone-mode game.
+func standaloneConfig() core.Config {
+	cfg := baseConfig()
+	cfg.Mode = netmodel.Standalone
+	return cfg
+}
+
+func defaultPrices() core.Prices {
+	return core.Prices{Edge: defaultPriceE, Cloud: defaultPriceC}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotSymbols mark successive series in an ASCII plot.
+var plotSymbols = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// AsciiPlot renders the table's yCols against xCol as a width×height
+// ASCII chart with axis ranges and a legend — enough to see the paper's
+// curve shapes straight from a terminal. Rows with non-finite values are
+// skipped.
+func AsciiPlot(w io.Writer, tab Table, xCol string, yCols []string, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("experiments: plot area %dx%d too small", width, height)
+	}
+	xs, err := tab.Column(xCol)
+	if err != nil {
+		return err
+	}
+	series := make([][]float64, len(yCols))
+	for i, name := range yCols {
+		ys, err := tab.Column(name)
+		if err != nil {
+			return err
+		}
+		series[i] = ys
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for r, x := range xs {
+		if !isFinite(x) {
+			continue
+		}
+		for _, ys := range series {
+			if !isFinite(ys[r]) {
+				continue
+			}
+			finite++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, ys[r]), math.Max(ymax, ys[r])
+		}
+	}
+	if finite == 0 {
+		return fmt.Errorf("experiments: no finite points to plot in table %s", tab.ID)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, ys := range series {
+		sym := plotSymbols[si%len(plotSymbols)]
+		for r, x := range xs {
+			if !isFinite(x) || !isFinite(ys[r]) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((ys[r]-ymin)/(ymax-ymin)*float64(height-1)))
+			grid[row][col] = sym
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", tab.ID, tab.Title)
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", width-7, fmt.Sprintf("%.3g", xmin), fmt.Sprintf("%.3g", xmax))
+	fmt.Fprintf(&b, "%8s  x: %s", "", xCol)
+	for si, name := range yCols {
+		fmt.Fprintf(&b, "   %c: %s", plotSymbols[si%len(plotSymbols)], name)
+	}
+	b.WriteByte('\n')
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// PlotTable renders every numeric column of the table against its first
+// column with default dimensions.
+func PlotTable(w io.Writer, tab Table) error {
+	if len(tab.Columns) < 2 || len(tab.Rows) < 2 {
+		return nil // nothing worth plotting
+	}
+	return AsciiPlot(w, tab, tab.Columns[0], tab.Columns[1:], 64, 16)
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoTable() Table {
+	tab := Table{ID: "demo", Title: "demo", Columns: []string{"x", "up", "down"}}
+	for i := 0; i <= 10; i++ {
+		x := float64(i)
+		tab.AddRow(x, x*x, 100-10*x)
+	}
+	return tab
+}
+
+func TestAsciiPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	tab := demoTable()
+	if err := AsciiPlot(&buf, tab, "x", []string{"up", "down"}, 40, 10); err != nil {
+		t.Fatalf("AsciiPlot: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 10 grid rows + axis + legend.
+	if len(lines) != 13 {
+		t.Fatalf("plot has %d lines, want 13:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("both series symbols must appear")
+	}
+	if !strings.Contains(out, "x: x") || !strings.Contains(out, "*: up") || !strings.Contains(out, "o: down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// The increasing series peaks top-right: the first grid row must have
+	// a '*' near its right edge.
+	firstGrid := lines[1]
+	if !strings.Contains(firstGrid[len(firstGrid)-6:], "*") {
+		t.Errorf("increasing series should reach the top-right:\n%s", out)
+	}
+	// Axis labels include the y range.
+	if !strings.Contains(out, "100") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotSkipsNonFinite(t *testing.T) {
+	tab := Table{ID: "naN", Title: "with gaps", Columns: []string{"x", "y"}}
+	tab.AddRow(0, 1)
+	tab.AddRow(1, math.NaN())
+	tab.AddRow(2, 3)
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, tab, "x", []string{"y"}, 20, 6); err != nil {
+		t.Fatalf("AsciiPlot: %v", err)
+	}
+}
+
+func TestAsciiPlotErrors(t *testing.T) {
+	tab := demoTable()
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, tab, "x", []string{"nope"}, 40, 10); err == nil {
+		t.Error("want error for unknown column")
+	}
+	if err := AsciiPlot(&buf, tab, "nope", []string{"up"}, 40, 10); err == nil {
+		t.Error("want error for unknown x column")
+	}
+	if err := AsciiPlot(&buf, tab, "x", []string{"up"}, 4, 2); err == nil {
+		t.Error("want error for tiny plot area")
+	}
+	empty := Table{ID: "e", Columns: []string{"x", "y"}}
+	empty.AddRow(math.NaN(), math.NaN())
+	if err := AsciiPlot(&buf, empty, "x", []string{"y"}, 40, 10); err == nil {
+		t.Error("want error for no finite points")
+	}
+}
+
+func TestAsciiPlotConstantSeries(t *testing.T) {
+	tab := Table{ID: "const", Title: "flat", Columns: []string{"x", "y"}}
+	tab.AddRow(0, 5)
+	tab.AddRow(1, 5)
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, tab, "x", []string{"y"}, 20, 5); err != nil {
+		t.Fatalf("flat series must plot: %v", err)
+	}
+}
+
+func TestPlotTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PlotTable(&buf, demoTable()); err != nil {
+		t.Fatalf("PlotTable: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+	// Degenerate tables are skipped silently.
+	buf.Reset()
+	tiny := Table{ID: "t", Columns: []string{"only"}}
+	if err := PlotTable(&buf, tiny); err != nil || buf.Len() != 0 {
+		t.Errorf("degenerate table: err=%v len=%d", err, buf.Len())
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import "fmt"
+
+// All returns every experiment runner in presentation order.
+func All() []Runner {
+	return []Runner{
+		{ID: "headline", Title: "the paper's main claims, re-verified in one table", Run: runHeadline},
+		{ID: "fig2", Title: "block collision PDF/CDF vs propagation delay", Run: runFig2},
+		{ID: "fig3", Title: "Gaussian miner-count distribution fit", Run: runFig3},
+		{ID: "fig4", Title: "miner equilibrium vs CSP price (connected)", Run: runFig4},
+		{ID: "fig5", Title: "SP revenues vs prices and fork rate", Run: runFig5},
+		{ID: "fig6", Title: "standalone capacity effect and CSP price crossover", Run: runFig6},
+		{ID: "fig7", Title: "budget influence on requests and utilities", Run: runFig7},
+		{ID: "fig8", Title: "SP equilibrium prices vs ESP cost (both modes)", Run: runFig8},
+		{ID: "fig9a", Title: "population uncertainty: demand vs ESP price (model + RL)", Run: runFig9a},
+		{ID: "fig9b", Title: "population uncertainty: variance effect (model + RL)", Run: runFig9b},
+		{ID: "fig9rep", Title: "Fig. 9(a) with error bars: RL replicated across seeds", Run: runFig9aReplicated},
+		{ID: "tab2", Title: "Table II closed forms vs numeric equilibria", Run: runTable2},
+		{ID: "thm1", Title: "Theorem 1 validity check", Run: runTheorem1},
+		{ID: "simw", Title: "simulator winning probabilities vs Eq. 6", Run: runSimWinProb},
+		{ID: "ablbeta", Title: "ablation: exogenous vs self-consistent fork rate", Run: runAblBeta},
+		{ID: "ablh", Title: "ablation: exogenous vs Erlang-B endogenous transfer rate", Run: runAblH},
+		{ID: "abldisc", Title: "ablation: miner-count discretization convention", Run: runAblDisc},
+		{ID: "ablgne", Title: "ablation: variational equilibrium vs Algorithm-2 GNE", Run: runAblGNE},
+		{ID: "abllead", Title: "ablation: sequential vs simultaneous leader stage", Run: runAblLeaders},
+		{ID: "ablrl", Title: "ablation: bandit learner comparison", Run: runAblRL},
+		{ID: "ablenv", Title: "ablation: model vs physical learning environment", Run: runAblEnv},
+		{ID: "conv", Title: "convergence diagnostics of the best-response iterations", Run: runConvergence},
+		{ID: "e2e", Title: "end-to-end: equilibrium through service network and PoW race", Run: runEndToEnd},
+		{ID: "adaptive", Title: "adaptive SP pricing against learning miners", Run: runAdaptivePricing},
+		{ID: "hetero", Title: "heterogeneous-budget Stackelberg (numeric oracle)", Run: runHeterogeneous},
+		{ID: "multiesp", Title: "extension: two edge providers competing with the cloud", Run: runMultiESP},
+		{ID: "wealth", Title: "extension: budget dynamics and mining centralization", Run: runWealth},
+		{ID: "gossip", Title: "extension: topology-driven propagation delay and fork rate", Run: runGossip},
+		{ID: "sens", Title: "parameter sensitivity of the connected equilibrium", Run: runSensitivity},
+		{ID: "selfish", Title: "extension: selfish mining vs the honest-miner assumption", Run: runSelfish},
+		{ID: "retarget", Title: "difficulty retargeting under a hash-power shock", Run: runRetarget},
+		{ID: "degraded", Title: "degraded-service forms (Eqs. 7-8) vs the physical race", Run: runDegraded},
+		{ID: "ablbill", Title: "ablation: bill-requested (paper) vs bill-served", Run: runAblBilling},
+	}
+}
+
+// ByID locates a runner.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

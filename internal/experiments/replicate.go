@@ -1,0 +1,87 @@
+package experiments
+
+// Seed replication: stochastic experiments (the RL-backed figures, the
+// simulator checks) produce seed-dependent numbers. Replicate runs an
+// experiment across several seeds and aggregates every cell into mean and
+// sample standard deviation tables, giving the error bars the paper's
+// single-run scatter points lack.
+
+import (
+	"fmt"
+
+	"minegame/internal/numeric"
+)
+
+// Replicate runs the experiment nSeeds times (seeds cfg.Seed, cfg.Seed+1,
+// …) and returns, for every table of the experiment, a mean table and a
+// standard-deviation table (IDs suffixed "_mean" / "_std"). The
+// experiment must produce identically shaped tables for every seed.
+func Replicate(r Runner, cfg Config, nSeeds int) (Result, error) {
+	if nSeeds < 2 {
+		return Result{}, fmt.Errorf("experiments: replication needs at least 2 seeds, got %d", nSeeds)
+	}
+	// samples[t][i][j] collects every seed's value of table t, cell (i,j).
+	var samples [][][][]float64
+	var shape []Table
+	for s := 0; s < nSeeds; s++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(s)
+		res, err := r.Run(runCfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: replicate %s seed %d: %w", r.ID, runCfg.Seed, err)
+		}
+		if s == 0 {
+			shape = res.Tables
+			samples = make([][][][]float64, len(res.Tables))
+			for t, tab := range res.Tables {
+				samples[t] = make([][][]float64, len(tab.Rows))
+				for i, row := range tab.Rows {
+					samples[t][i] = make([][]float64, len(row))
+					for j := range row {
+						samples[t][i][j] = make([]float64, 0, nSeeds)
+					}
+				}
+			}
+		}
+		if len(res.Tables) != len(shape) {
+			return Result{}, fmt.Errorf("experiments: replicate %s: table count changed across seeds", r.ID)
+		}
+		for t, tab := range res.Tables {
+			if len(tab.Rows) != len(shape[t].Rows) {
+				return Result{}, fmt.Errorf("experiments: replicate %s: table %s shape changed across seeds", r.ID, tab.ID)
+			}
+			for i, row := range tab.Rows {
+				for j, v := range row {
+					samples[t][i][j] = append(samples[t][i][j], v)
+				}
+			}
+		}
+	}
+	out := Result{}
+	for t, tab := range shape {
+		mean := Table{
+			ID:      tab.ID + "_mean",
+			Title:   tab.Title + fmt.Sprintf(" (mean of %d seeds)", nSeeds),
+			Columns: tab.Columns,
+			Notes:   tab.Notes,
+		}
+		std := Table{
+			ID:      tab.ID + "_std",
+			Title:   tab.Title + fmt.Sprintf(" (std dev over %d seeds)", nSeeds),
+			Columns: tab.Columns,
+		}
+		for i := range tab.Rows {
+			meanRow := make([]float64, len(tab.Rows[i]))
+			stdRow := make([]float64, len(tab.Rows[i]))
+			for j := range tab.Rows[i] {
+				s := numeric.Summarize(samples[t][i][j])
+				meanRow[j] = s.Mean
+				stdRow[j] = s.StdDev
+			}
+			mean.Rows = append(mean.Rows, meanRow)
+			std.Rows = append(std.Rows, stdRow)
+		}
+		out.Tables = append(out.Tables, mean, std)
+	}
+	return out, nil
+}

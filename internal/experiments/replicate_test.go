@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// fakeRunner produces a deterministic part and a seed-dependent part so
+// the aggregation can be checked exactly.
+func fakeRunner() Runner {
+	return Runner{
+		ID:    "fake",
+		Title: "fake",
+		Run: func(cfg Config) (Result, error) {
+			t := Table{ID: "fake", Title: "fake", Columns: []string{"const", "seeded"}}
+			t.AddRow(7, float64(cfg.Seed))
+			t.AddRow(9, 2*float64(cfg.Seed))
+			return Result{Tables: []Table{t}}, nil
+		},
+	}
+}
+
+func TestReplicateAggregates(t *testing.T) {
+	res, err := Replicate(fakeRunner(), Config{Seed: 10}, 3) // seeds 10, 11, 12
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d, want mean+std", len(res.Tables))
+	}
+	mean, std := res.Tables[0], res.Tables[1]
+	if mean.ID != "fake_mean" || std.ID != "fake_std" {
+		t.Errorf("IDs = %s, %s", mean.ID, std.ID)
+	}
+	// Constant column: mean preserved, std 0.
+	if mean.Rows[0][0] != 7 || std.Rows[0][0] != 0 {
+		t.Errorf("constant cell: mean %g std %g", mean.Rows[0][0], std.Rows[0][0])
+	}
+	// Seeded column row 0: values 10, 11, 12 → mean 11, std 1.
+	if math.Abs(mean.Rows[0][1]-11) > 1e-12 || math.Abs(std.Rows[0][1]-1) > 1e-12 {
+		t.Errorf("seeded cell: mean %g std %g, want 11, 1", mean.Rows[0][1], std.Rows[0][1])
+	}
+	// Row 1: 20, 22, 24 → mean 22, std 2.
+	if math.Abs(mean.Rows[1][1]-22) > 1e-12 || math.Abs(std.Rows[1][1]-2) > 1e-12 {
+		t.Errorf("seeded cell row1: mean %g std %g, want 22, 2", mean.Rows[1][1], std.Rows[1][1])
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	if _, err := Replicate(fakeRunner(), Config{}, 1); err == nil {
+		t.Error("want error for a single seed")
+	}
+	failing := Runner{ID: "bad", Run: func(Config) (Result, error) {
+		return Result{}, fmt.Errorf("boom")
+	}}
+	if _, err := Replicate(failing, Config{}, 2); err == nil {
+		t.Error("want propagated runner error")
+	}
+	shifty := Runner{ID: "shifty", Run: func(cfg Config) (Result, error) {
+		t := Table{ID: "s", Columns: []string{"v"}}
+		for i := int64(0); i <= cfg.Seed; i++ {
+			t.AddRow(1)
+		}
+		return Result{Tables: []Table{t}}, nil
+	}}
+	if _, err := Replicate(shifty, Config{Seed: 0}, 2); err == nil {
+		t.Error("want error for shape change across seeds")
+	}
+}
+
+// TestReplicateRealExperiment sanity-checks the harness on a genuinely
+// stochastic experiment: the simulator winning probabilities.
+func TestReplicateRealExperiment(t *testing.T) {
+	r, err := ByID("simw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replicate(r, Config{Seed: 3, Quick: true}, 3)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	mean := res.Tables[0]
+	std := res.Tables[1]
+	emp, err := mean.Column("empirical_W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq6, err := mean.Column("eq6_W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	empStd, err := std.Column("empirical_W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range emp {
+		if math.Abs(emp[i]-eq6[i]) > 0.02 {
+			t.Errorf("row %d: mean empirical %g vs analytic %g", i, emp[i], eq6[i])
+		}
+		if empStd[i] < 0 || empStd[i] > 0.05 {
+			t.Errorf("row %d: empirical std %g implausible", i, empStd[i])
+		}
+	}
+}

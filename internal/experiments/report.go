@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): each runner produces numeric series with the same
+// quantities the paper plots, rendered as aligned text or CSV. The
+// expected qualitative shapes are documented per runner and asserted in
+// the package tests; EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is one numeric series or grid of an experiment.
+type Table struct {
+	ID      string   // e.g. "fig4"
+	Title   string   // human-readable caption
+	Columns []string // column headers
+	Rows    [][]float64
+	Notes   []string // free-form observations appended to the rendering
+}
+
+// AddRow appends one row; the value count must match the columns.
+func (t *Table) AddRow(vals ...float64) {
+	row := make([]float64, len(vals))
+	copy(row, vals)
+	t.Rows = append(t.Rows, row)
+}
+
+// Column returns the values of the named column.
+func (t *Table) Column(name string) ([]float64, error) {
+	for j, c := range t.Columns {
+		if c == name {
+			out := make([]float64, len(t.Rows))
+			for i, row := range t.Rows {
+				out[i] = row[j]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: table %s has no column %q", t.ID, name)
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for j, c := range t.Columns {
+		widths[j] = len(c)
+	}
+	for i, row := range t.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := strconv.FormatFloat(v, 'g', 6, 64)
+			cells[i][j] = s
+			if j < len(widths) && len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for j, c := range t.Columns {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[j], c)
+	}
+	b.WriteByte('\n')
+	for i := range cells {
+		for j, s := range cells[i] {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			width := 0
+			if j < len(widths) {
+				width = widths[j]
+			}
+			fmt.Fprintf(&b, "%*s", width, s)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored Markdown section:
+// a heading, the data as a pipe table, and the notes as bullets.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for j := range cells {
+			if j < len(row) {
+				cells[j] = strconv.FormatFloat(row[j], 'g', 6, 64)
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMarkdown writes every table of the result as Markdown.
+func (r Result) RenderMarkdown(w io.Writer) error {
+	for i := range r.Tables {
+		if err := r.Tables[i].RenderMarkdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the table as CSV (headers + rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.Rows {
+		for j := range rec {
+			if j < len(row) {
+				rec[j] = strconv.FormatFloat(row[j], 'g', 10, 64)
+			} else {
+				rec[j] = ""
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Result is one experiment's output.
+type Result struct {
+	Tables []Table
+}
+
+// Render writes all tables.
+func (r Result) Render(w io.Writer) error {
+	for i := range r.Tables {
+		if err := r.Tables[i].Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner regenerates one paper artifact.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) (Result, error)
+}
+
+// Config tunes experiment scale.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Quick shrinks simulation rounds and learning episodes by roughly
+	// an order of magnitude (used by unit tests; benchmarks and the CLI
+	// run at full scale).
+	Quick bool
+}
+
+// rounds scales a simulation-round budget.
+func (c Config) rounds(full int) int {
+	if c.Quick {
+		if full >= 10 {
+			return full / 10
+		}
+		return full
+	}
+	return full
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := Table{
+		ID:      "demo",
+		Title:   "demo table",
+		Columns: []string{"x", "y"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow(3, -4)
+	var text bytes.Buffer
+	if err := tab.Render(&text); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := text.String()
+	for _, want := range []string{"demo table", "x", "y", "2.5", "-4", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := tab.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,y" {
+		t.Errorf("csv = %q", csvBuf.String())
+	}
+}
+
+func TestTableColumn(t *testing.T) {
+	tab := Table{ID: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 10)
+	tab.AddRow(2, 20)
+	col, err := tab.Column("b")
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	if col[0] != 10 || col[1] != 20 {
+		t.Errorf("column b = %v", col)
+	}
+	if _, err := tab.Column("zzz"); err == nil {
+		t.Error("want error for unknown column")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 12 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, r := range all {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		got, err := ByID(r.ID)
+		if err != nil || got.ID != r.ID {
+			t.Errorf("ByID(%s) = %+v, %v", r.ID, got, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("want error for unknown ID")
+	}
+}
+
+func TestConfigRounds(t *testing.T) {
+	full := Config{}
+	if got := full.rounds(1000); got != 1000 {
+		t.Errorf("full rounds = %d", got)
+	}
+	quick := Config{Quick: true}
+	if got := quick.rounds(1000); got != 100 {
+		t.Errorf("quick rounds = %d", got)
+	}
+	if got := quick.rounds(5); got != 5 {
+		t.Errorf("tiny budgets must not shrink: %d", got)
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tab := Table{
+		ID:      "demo",
+		Title:   "demo table",
+		Columns: []string{"x", "y"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tab.RenderMarkdown(&buf); err != nil {
+		t.Fatalf("RenderMarkdown: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### demo — demo table", "| x | y |", "| --- | --- |", "| 1 | 2.5 |", "- a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultRenderMarkdown(t *testing.T) {
+	res := Result{Tables: []Table{
+		{ID: "a", Title: "first", Columns: []string{"v"}},
+		{ID: "b", Title: "second", Columns: []string{"v"}},
+	}}
+	var buf bytes.Buffer
+	if err := res.RenderMarkdown(&buf); err != nil {
+		t.Fatalf("RenderMarkdown: %v", err)
+	}
+	if !strings.Contains(buf.String(), "### a") || !strings.Contains(buf.String(), "### b") {
+		t.Errorf("result markdown incomplete:\n%s", buf.String())
+	}
+}

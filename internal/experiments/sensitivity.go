@@ -1,0 +1,84 @@
+package experiments
+
+// One-at-a-time parameter sensitivity of the connected-mode equilibrium:
+// each game constant is perturbed by ±10% around the defaults and the
+// elasticity of the per-miner edge and cloud requests is reported —
+// a compact numerical companion to the closed forms of Theorem 3.
+
+import (
+	"fmt"
+
+	"minegame/internal/core"
+	"minegame/internal/game"
+)
+
+// sensitivityKnob names one perturbable parameter.
+type sensitivityKnob struct {
+	code  float64 // numeric code used in the table
+	name  string
+	apply func(cfg *core.Config, p *core.Prices, factor float64)
+}
+
+func sensitivityKnobs() []sensitivityKnob {
+	return []sensitivityKnob{
+		{1, "reward R", func(c *core.Config, _ *core.Prices, f float64) { c.Reward *= f }},
+		{2, "fork rate beta", func(c *core.Config, _ *core.Prices, f float64) { c.Beta *= f }},
+		{3, "satisfy prob h", func(c *core.Config, _ *core.Prices, f float64) { c.SatisfyProb *= f }},
+		{4, "budget B", func(c *core.Config, _ *core.Prices, f float64) { c.Budgets[0] *= f }},
+		{5, "edge price P_e", func(_ *core.Config, p *core.Prices, f float64) { p.Edge *= f }},
+		{6, "cloud price P_c", func(_ *core.Config, p *core.Prices, f float64) { p.Cloud *= f }},
+	}
+}
+
+func runSensitivity(Config) (Result, error) {
+	base := baseConfig()
+	basePrices := defaultPrices()
+	baseEq, err := core.SolveMinerEquilibrium(base, basePrices, game.NEOptions{})
+	if err != nil {
+		return Result{}, fmt.Errorf("sensitivity baseline: %w", err)
+	}
+	e0, c0 := baseEq.Requests[0].E, baseEq.Requests[0].C
+
+	t := Table{
+		ID:    "sens",
+		Title: "±10% parameter sensitivity of the connected equilibrium (elasticities of e*, c*)",
+		Columns: []string{
+			"knob", "e_minus10", "e_plus10", "c_minus10", "c_plus10",
+			"elasticity_e", "elasticity_c",
+		},
+		Notes: []string{
+			"knob codes: 1=R, 2=β, 3=h, 4=B, 5=P_e, 6=P_c",
+			fmt.Sprintf("baseline e*=%.4f c*=%.4f at the defaults", e0, c0),
+			"elasticity = (Δq/q) / (Δp/p) from the central ±10%% difference",
+		},
+	}
+	for _, knob := range sensitivityKnobs() {
+		solveAt := func(factor float64) (float64, float64, error) {
+			cfg := base
+			cfg.Budgets = append([]float64(nil), base.Budgets...)
+			prices := basePrices
+			knob.apply(&cfg, &prices, factor)
+			eq, err := core.SolveMinerEquilibrium(cfg, prices, game.NEOptions{})
+			if err != nil {
+				return 0, 0, fmt.Errorf("knob %s factor %g: %w", knob.name, factor, err)
+			}
+			return eq.Requests[0].E, eq.Requests[0].C, nil
+		}
+		eLo, cLo, err := solveAt(0.9)
+		if err != nil {
+			return Result{}, err
+		}
+		eHi, cHi, err := solveAt(1.1)
+		if err != nil {
+			return Result{}, err
+		}
+		elasticity := func(lo, hi, base float64) float64 {
+			if base == 0 {
+				return 0
+			}
+			return ((hi - lo) / base) / 0.2
+		}
+		t.AddRow(knob.code, eLo, eHi, cLo, cHi, elasticity(eLo, eHi, e0), elasticity(cLo, cHi, c0))
+	}
+	return Result{Tables: []Table{t}}, nil
+}

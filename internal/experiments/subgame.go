@@ -1,0 +1,156 @@
+package experiments
+
+// Miner-subgame experiments: Fig. 4 (influence of the CSP price), Fig. 5
+// (SP revenues nearly constant), Fig. 6 (standalone capacity and the CSP
+// price crossover), and Fig. 7 (budget influence).
+
+import (
+	"fmt"
+
+	"minegame/internal/chain"
+	"minegame/internal/core"
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+)
+
+// runFig4 regenerates Fig. 4: the homogeneous connected-mode miner
+// equilibrium as the CSP unilaterally raises its price — miners shift to
+// the ESP, raising ESP demand and revenue.
+func runFig4(Config) (Result, error) {
+	cfg := baseConfig()
+	t := Table{
+		ID:    "fig4",
+		Title: "miner NE vs CSP price (connected, homogeneous, B=200, P_e=8)",
+		Columns: []string{
+			"P_c", "e_star", "c_star", "E", "C",
+			"esp_revenue", "csp_revenue", "esp_profit", "csp_profit",
+		},
+	}
+	for _, pc := range numeric.Linspace(2, 6.5, 10) {
+		p := core.Prices{Edge: defaultPriceE, Cloud: pc}
+		eq, err := core.SolveMinerEquilibrium(cfg, p, game.NEOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig4 P_c=%g: %w", pc, err)
+		}
+		t.AddRow(pc,
+			eq.Requests[0].E, eq.Requests[0].C,
+			eq.EdgeDemand, eq.CloudDemand,
+			p.Edge*eq.EdgeDemand, pc*eq.CloudDemand,
+			(p.Edge-cfg.CostE)*eq.EdgeDemand, (pc-cfg.CostC)*eq.CloudDemand,
+		)
+	}
+	t.Notes = append(t.Notes, "raising P_c pushes miners toward the ESP: E and the ESP revenue rise")
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runFig5 regenerates Fig. 5: SP revenues as prices and the fork rate
+// vary; with binding budgets the total SP revenue stays near the total
+// miner budget n·B.
+func runFig5(Config) (Result, error) {
+	t := Table{
+		ID:      "fig5",
+		Title:   "SP revenues vs CSP price and fork rate (connected, homogeneous)",
+		Columns: []string{"beta", "P_c", "esp_revenue", "csp_revenue", "total_revenue"},
+	}
+	// A tighter budget keeps miners budget-bound so the revenue split —
+	// not the total — responds to prices (the paper's Fig. 5(c)).
+	cfg := baseConfig()
+	cfg.Budgets = []float64{120}
+	for _, beta := range []float64{0.1, 0.2, 0.3} {
+		c := cfg
+		c.Beta = beta
+		for _, pc := range numeric.Linspace(2, 5.5, 8) {
+			p := core.Prices{Edge: defaultPriceE, Cloud: pc}
+			eq, err := core.SolveMinerEquilibrium(c, p, game.NEOptions{})
+			if err != nil {
+				return Result{}, fmt.Errorf("fig5 beta=%g P_c=%g: %w", beta, pc, err)
+			}
+			re := p.Edge * eq.EdgeDemand
+			rc := pc * eq.CloudDemand
+			t.AddRow(beta, pc, re, rc, re+rc)
+		}
+	}
+	t.Notes = append(t.Notes, "total revenue is pinned near the aggregate miner budget n·B = 600")
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runFig6 regenerates Fig. 6: (a) standalone edge demand grows with the
+// ESP capacity and exceeds the connected-mode demand (the connected mode
+// discourages edge purchases); (b) the CSP's optimal price falls as its
+// communication delay grows, producing the crossover the paper notes.
+func runFig6(Config) (Result, error) {
+	prices := defaultPrices()
+	a := Table{
+		ID:      "fig6a",
+		Title:   "edge demand vs standalone capacity E_max (P_e=8, P_c=4) with the connected-mode baseline",
+		Columns: []string{"E_max", "standalone_E", "connected_E", "multiplier"},
+	}
+	conn := baseConfig()
+	connEq, err := core.SolveMinerEquilibrium(conn, prices, game.NEOptions{})
+	if err != nil {
+		return Result{}, fmt.Errorf("fig6 connected baseline: %w", err)
+	}
+	for _, emax := range []float64{10, 15, 20, 25, 30, 35, 40, 50, 60, 80} {
+		cfg := standaloneConfig()
+		cfg.EdgeCapacity = emax
+		eq, err := core.SolveMinerEquilibrium(cfg, prices, game.NEOptions{})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig6 E_max=%g: %w", emax, err)
+		}
+		a.AddRow(emax, eq.EdgeDemand, connEq.EdgeDemand, eq.Multiplier)
+	}
+	a.Notes = append(a.Notes,
+		"standalone demand tracks capacity until the unconstrained optimum (40 units); the connected mode discourages edge purchases")
+
+	b := Table{
+		ID:      "fig6b",
+		Title:   "CSP optimal price vs communication delay (standalone, E_max in {25, 40})",
+		Columns: []string{"delay_s", "beta", "pc_star_emax25", "pc_star_emax40"},
+	}
+	for _, d := range []float64{30, 60, 90, 134, 180, 240, 330, 420} {
+		beta := chain.CollisionCDF(d, blockInterval)
+		b.AddRow(d, beta,
+			miner.OptimalPriceCloudStandalone(defaultReward, beta, defaultCostC, defaultN, 25),
+			miner.OptimalPriceCloudStandalone(defaultReward, beta, defaultCostC, defaultN, 40),
+		)
+	}
+	b.Notes = append(b.Notes, "the longer the delay (higher beta), the lower the CSP's optimal price")
+	return Result{Tables: []Table{a, b}}, nil
+}
+
+// runFig7 regenerates Fig. 7: miner 1's requests and utility as its
+// budget sweeps 20→200 (the other four miners keep budget 110), at two
+// fork rates to show the near-insensitivity of its total request to the
+// CSP delay.
+func runFig7(Config) (Result, error) {
+	t := Table{
+		ID:    "fig7",
+		Title: "miner 1 requests/utility vs its budget (others fixed at 110)",
+		Columns: []string{
+			"B_1", "beta", "e_1", "c_1", "total_1", "utility_1", "avg_other_utility",
+		},
+	}
+	for _, beta := range []float64{0.15, 0.3} {
+		for _, b1 := range numeric.Linspace(20, 200, 10) {
+			cfg := baseConfig()
+			cfg.Beta = beta
+			cfg.Budgets = []float64{b1, 110, 110, 110, 110}
+			eq, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
+			if err != nil {
+				return Result{}, fmt.Errorf("fig7 beta=%g B1=%g: %w", beta, b1, err)
+			}
+			var others float64
+			for _, u := range eq.Utilities[1:] {
+				others += u
+			}
+			t.AddRow(b1, beta,
+				eq.Requests[0].E, eq.Requests[0].C,
+				eq.Requests[0].E+eq.Requests[0].C,
+				eq.Utilities[0], others/float64(len(eq.Utilities)-1),
+			)
+		}
+	}
+	t.Notes = append(t.Notes, "requests and utility grow with the budget until it stops binding")
+	return Result{Tables: []Table{t}}, nil
+}

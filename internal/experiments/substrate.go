@@ -1,0 +1,154 @@
+package experiments
+
+// Substrate experiments: Fig. 2 (block collision PDF/CDF vs delay),
+// Fig. 3 (Gaussian miner-count fit), Theorem 1's validity check, and the
+// simulator-vs-Eq.6 winning-probability comparison.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"minegame/internal/chain"
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+	"minegame/internal/population"
+	"minegame/internal/sim"
+)
+
+// runFig2 regenerates Fig. 2: the block collision PDF and (near-linear)
+// CDF as functions of the propagation delay, both analytically and from
+// the proof-of-work race simulator. The empirical CDF uses an all-cloud
+// allocation, for which a round forks exactly when a conflicting block
+// arrives inside the propagation window.
+func runFig2(cfg Config) (Result, error) {
+	rng := sim.NewRNG(cfg.Seed, "fig2")
+	rounds := cfg.rounds(20000)
+	pdf := Table{
+		ID:      "fig2a",
+		Title:   "block collision PDF vs propagation delay (exponential, mean 600s)",
+		Columns: []string{"delay_s", "pdf"},
+	}
+	for _, d := range numeric.Linspace(0, 1800, 37) {
+		pdf.AddRow(d, chain.CollisionPDF(d, blockInterval))
+	}
+	cdfT := Table{
+		ID:      "fig2b",
+		Title:   "block collision CDF (split rate) vs propagation delay: analytic vs simulated",
+		Columns: []string{"delay_s", "analytic_cdf", "simulated_cdf", "linear_approx"},
+	}
+	for _, d := range []float64{0, 15, 30, 60, 90, 120, 180, 240} {
+		race := chain.RaceConfig{
+			Interval:    blockInterval,
+			CloudDelay:  d,
+			Allocations: []chain.Allocation{{MinerID: 1, Cloud: 1}, {MinerID: 2, Cloud: 1}},
+		}
+		stats, err := chain.SimulateRounds(race, rounds, rng)
+		if err != nil {
+			return Result{}, fmt.Errorf("fig2 delay %g: %w", d, err)
+		}
+		cdfT.AddRow(d, chain.CollisionCDF(d, blockInterval), stats.ForkRate(), d/blockInterval)
+	}
+	cdfT.Notes = append(cdfT.Notes,
+		"the split rate is almost linear in the delay for small delays, as in the paper's Bitcoin data")
+	return Result{Tables: []Table{pdf, cdfT}}, nil
+}
+
+// runFig3 regenerates Fig. 3: the discretized Gaussian miner-count
+// distribution (mu = 10, sigma^2 = 4) against an empirical histogram.
+func runFig3(cfg Config) (Result, error) {
+	model := population.Model{Mu: 10, Sigma: 2}
+	pmf, err := model.PMF()
+	if err != nil {
+		return Result{}, err
+	}
+	rng := sim.NewRNG(cfg.Seed, "fig3")
+	draws := cfg.rounds(50000)
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		counts[pmf.Sample(rng)]++
+	}
+	t := Table{
+		ID:      "fig3",
+		Title:   "miner count fit to Gaussian (mu=10, sigma^2=4): PMF vs sampled frequency",
+		Columns: []string{"k", "pmf", "sampled_freq"},
+	}
+	for k := pmf.Lo; k <= pmf.Hi(); k++ {
+		if pmf.Prob(k) < 1e-6 && counts[k] == 0 {
+			continue
+		}
+		t.AddRow(float64(k), pmf.Prob(k), float64(counts[k])/float64(draws))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("discrete mean %.3f, variance %.3f", pmf.Mean(), pmf.Variance()))
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runTheorem1 checks Theorem 1 (Σ W_i = 1) over random request profiles.
+func runTheorem1(cfg Config) (Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7e01))
+	trials := cfg.rounds(5000)
+	worst := 0.0
+	for i := 0; i < trials; i++ {
+		n := 2 + rng.Intn(10)
+		beta := rng.Float64() * 0.95
+		prof := make(miner.Profile, n)
+		for j := range prof {
+			prof[j] = numeric.Point2{E: rng.Float64() * 20, C: rng.Float64() * 20}
+		}
+		if dev := math.Abs(numeric.Sum(miner.WinProbsFull(beta, prof)) - 1); dev > worst {
+			worst = dev
+		}
+	}
+	t := Table{
+		ID:      "thm1",
+		Title:   "Theorem 1 validity: max |ΣW_i − 1| over random profiles",
+		Columns: []string{"trials", "max_abs_deviation"},
+	}
+	t.AddRow(float64(trials), worst)
+	return Result{Tables: []Table{t}}, nil
+}
+
+// runSimWinProb compares the mining-race simulator's empirical winning
+// probabilities with Eq. 6 evaluated at β = BetaEdge — the identity the
+// chain substrate documents.
+func runSimWinProb(cfg Config) (Result, error) {
+	rng := sim.NewRNG(cfg.Seed, "simw")
+	race := chain.RaceConfig{
+		Interval:   blockInterval,
+		CloudDelay: 134, // β_all ≈ 0.2
+		Allocations: []chain.Allocation{
+			{MinerID: 1, Edge: 5.6, Cloud: 26.4},
+			{MinerID: 2, Edge: 2.0, Cloud: 40.0},
+			{MinerID: 3, Edge: 10.0, Cloud: 5.0},
+			{MinerID: 4, Edge: 0, Cloud: 20.0},
+			{MinerID: 5, Edge: 4.0, Cloud: 15.0},
+		},
+	}
+	rounds := cfg.rounds(60000)
+	stats, err := chain.SimulateRounds(race, rounds, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	var e, s float64
+	for _, a := range race.Allocations {
+		e += a.Edge
+		s += a.Edge + a.Cloud
+	}
+	beta := chain.BetaEdge(e, s, race.CloudDelay, race.Interval)
+	prof := make(miner.Profile, len(race.Allocations))
+	for i, a := range race.Allocations {
+		prof[i] = numeric.Point2{E: a.Edge, C: a.Cloud}
+	}
+	eq6 := miner.WinProbsFull(beta, prof)
+	t := Table{
+		ID:      "simw",
+		Title:   "empirical winning probability (race simulator) vs Eq. 6 at beta = BetaEdge",
+		Columns: []string{"miner", "empirical_W", "eq6_W"},
+	}
+	for i, a := range race.Allocations {
+		t.AddRow(float64(a.MinerID), stats.WinProb(a.MinerID), eq6[i])
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("beta_edge = %.4f, rounds = %d", beta, rounds))
+	return Result{Tables: []Table{t}}, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+// Wealth-dynamics experiment: an emergent-behaviour study the static game
+// cannot express. Budgets evolve with realized mining outcomes — each
+// period the miners play the heterogeneous subgame equilibrium at their
+// CURRENT budgets, the allocation mines a block on the physical race
+// simulator, the winner banks the reward and everyone pays their bill.
+// Because a larger budget buys more computing power and hence a higher
+// winning probability, wealth compounds: the experiment tracks the Gini
+// coefficient of the budget distribution over time (mining
+// centralization pressure).
+
+import (
+	"fmt"
+
+	"minegame/internal/chain"
+	"minegame/internal/core"
+	"minegame/internal/game"
+	"minegame/internal/numeric"
+	"minegame/internal/sim"
+)
+
+func runWealth(cfg Config) (Result, error) {
+	const (
+		periods     = 150
+		budgetFloor = 20.0
+		startBudget = 120.0
+	)
+	gameCfg := baseConfig()
+	prices := defaultPrices()
+	budgets := make([]float64, gameCfg.N)
+	for i := range budgets {
+		budgets[i] = startBudget
+	}
+	rng := sim.NewRNG(cfg.Seed, "wealth")
+	delay := chain.DelayForBeta(gameCfg.Beta, blockInterval)
+
+	t := Table{
+		ID:      "wealth",
+		Title:   "budget dynamics under realized mining: centralization pressure",
+		Columns: []string{"period", "gini", "min_budget", "max_budget", "total_budget"},
+	}
+	record := func(period int) {
+		s := summarizeBudgets(budgets)
+		t.AddRow(float64(period), s.gini, s.min, s.max, s.total)
+	}
+	record(0)
+	steps := cfg.rounds(periods)
+	for period := 1; period <= steps; period++ {
+		work := gameCfg
+		work.Budgets = append([]float64(nil), budgets...)
+		eq, err := core.SolveMinerEquilibrium(work, prices, game.NEOptions{MaxIter: 200})
+		if err != nil {
+			return Result{}, fmt.Errorf("wealth period %d: %w", period, err)
+		}
+		race := chain.RaceConfig{Interval: blockInterval, CloudDelay: delay}
+		var anyPower bool
+		for i, r := range eq.Requests {
+			race.Allocations = append(race.Allocations, chain.Allocation{MinerID: i, Edge: r.E, Cloud: r.C})
+			if r.E+r.C > 0 {
+				anyPower = true
+			}
+		}
+		params := work.Params(prices)
+		winner := -1
+		if anyPower {
+			round, err := chain.SimulateRound(race, rng)
+			if err != nil {
+				return Result{}, fmt.Errorf("wealth race %d: %w", period, err)
+			}
+			winner = round.WinnerID
+		}
+		for i := range budgets {
+			budgets[i] -= params.Spend(eq.Requests[i])
+			if i == winner {
+				budgets[i] += gameCfg.Reward
+			}
+			if budgets[i] < budgetFloor {
+				budgets[i] = budgetFloor
+			}
+		}
+		if period%10 == 0 || period == steps {
+			record(period)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"budgets compound: a round's winner can afford more computing power next round, raising its winning probability",
+		"the centralization pressure is TRANSIENT: once every budget exceeds the interior-optimum spend (≈150 at these prices), extra wealth no longer buys hash power and the Gini coefficient drifts back down",
+		fmt.Sprintf("budget floor %g models the mobile device's own residual capacity", budgetFloor))
+	return Result{Tables: []Table{t}}, nil
+}
+
+type budgetSummary struct {
+	gini, min, max, total float64
+}
+
+func summarizeBudgets(budgets []float64) budgetSummary {
+	s := budgetSummary{min: budgets[0], max: budgets[0]}
+	for _, b := range budgets {
+		s.total += b
+		if b < s.min {
+			s.min = b
+		}
+		if b > s.max {
+			s.max = b
+		}
+	}
+	s.gini = numeric.Gini(budgets)
+	return s
+}

@@ -1,0 +1,102 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/numeric"
+)
+
+func TestOnSweepObservesEverySweep(t *testing.T) {
+	var iters []int
+	var deltas []float64
+	opts := NEOptions{
+		OnSweep: func(it int, d float64) {
+			iters = append(iters, it)
+			deltas = append(deltas, d)
+		},
+	}
+	res := SolveNE([]numeric.Point2{{E: 0}, {E: 90}}, cournotBR(120, 30), opts)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("observed %d sweeps, solver reports %d", len(iters), res.Iterations)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("sweep numbering %v", iters)
+		}
+	}
+	if deltas[len(deltas)-1] != res.MaxDelta {
+		t.Errorf("last delta %g != reported %g", deltas[len(deltas)-1], res.MaxDelta)
+	}
+}
+
+// TestContractionRateCournot checks the diagnostic against the known
+// contraction factor of the 2-player Cournot best-response map: each
+// sweep of Gauss–Seidel multiplies the error by 1/4 (each player halves
+// the rival's deviation, twice per sweep).
+func TestContractionRateCournot(t *testing.T) {
+	var deltas []float64
+	opts := NEOptions{
+		Tol:     1e-10,
+		OnSweep: func(_ int, d float64) { deltas = append(deltas, d) },
+	}
+	SolveNE([]numeric.Point2{{E: 0}, {E: 90}}, cournotBR(120, 30), opts)
+	rate := ContractionRate(deltas)
+	if math.IsNaN(rate) {
+		t.Fatalf("no rate from deltas %v", deltas)
+	}
+	if math.Abs(rate-0.25) > 0.05 {
+		t.Errorf("contraction rate = %g, want ≈0.25", rate)
+	}
+}
+
+func TestContractionRateDegenerate(t *testing.T) {
+	if !math.IsNaN(ContractionRate(nil)) {
+		t.Error("nil deltas must give NaN")
+	}
+	if !math.IsNaN(ContractionRate([]float64{1})) {
+		t.Error("single delta must give NaN")
+	}
+	if !math.IsNaN(ContractionRate([]float64{1e-13, 1e-14, 1e-15})) {
+		t.Error("noise-floor deltas must give NaN")
+	}
+}
+
+// TestJacobiVsGaussSeidelRates verifies both update schedules converge on
+// Cournot and that Gauss–Seidel contracts faster: for the 2-player game
+// with best-response slope −1/2 the per-sweep factors are 1/4 (GS,
+// both players see fresh rivals) vs 1/2 (Jacobi, frozen rivals).
+func TestJacobiVsGaussSeidelRates(t *testing.T) {
+	rate := func(jacobi bool) float64 {
+		var deltas []float64
+		SolveNE([]numeric.Point2{{E: 0}, {E: 90}}, cournotBR(120, 30), NEOptions{
+			Tol:     1e-10,
+			Jacobi:  jacobi,
+			OnSweep: func(_ int, d float64) { deltas = append(deltas, d) },
+		})
+		return ContractionRate(deltas)
+	}
+	gs := rate(false)
+	jac := rate(true)
+	if math.Abs(gs-0.25) > 0.05 {
+		t.Errorf("Gauss–Seidel rate %g, want ≈0.25", gs)
+	}
+	if math.Abs(jac-0.5) > 0.05 {
+		t.Errorf("Jacobi rate %g, want ≈0.5", jac)
+	}
+}
+
+func TestJacobiConvergesToSameEquilibrium(t *testing.T) {
+	res := SolveNE([]numeric.Point2{{E: 1}, {E: 70}}, cournotBR(120, 30), NEOptions{Jacobi: true})
+	if !res.Converged {
+		t.Fatal("Jacobi iteration did not converge")
+	}
+	for i, r := range res.Profile {
+		if math.Abs(r.E-30) > 1e-6 {
+			t.Errorf("player %d: %g, want 30", i, r.E)
+		}
+	}
+}

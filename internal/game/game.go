@@ -1,0 +1,258 @@
+// Package game provides the generic game-theoretic solvers of the paper:
+// best-response iteration for Nash equilibrium problems (NEPs),
+// a shared-multiplier variational solver for jointly convex generalized
+// NEPs (GNEPs), and the asynchronous best-response iteration for the
+// two-leader price competition (Algorithms 1 and 2).
+//
+// The solvers are agnostic to the specific followers: a follower game is
+// described by a best-response map over stacked strategy vectors; the
+// leader game by each leader's profit oracle and price bracket.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"minegame/internal/numeric"
+)
+
+// BestResponse computes player i's optimal strategy against the profile.
+// Implementations must not mutate the profile.
+type BestResponse func(i int, profile []numeric.Point2) numeric.Point2
+
+// NEOptions tunes best-response iteration.
+type NEOptions struct {
+	MaxIter int     // outer sweeps over all players (default 500)
+	Tol     float64 // convergence threshold on the max strategy change (default 1e-8)
+	Damping float64 // weight on the new strategy in (0, 1] (default 1: undamped)
+	// OnSweep, when non-nil, observes every sweep's largest strategy
+	// change — the hook behind the convergence diagnostics.
+	OnSweep func(iteration int, maxDelta float64)
+	// Jacobi switches to simultaneous updates: every player best-responds
+	// to the PREVIOUS sweep's profile instead of the freshest strategies.
+	// Gauss–Seidel (the default) usually converges faster; Jacobi models
+	// fully distributed miners updating in parallel.
+	Jacobi bool
+}
+
+func (o NEOptions) withDefaults() NEOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 500
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 1
+	}
+	return o
+}
+
+// NEResult is the outcome of a best-response iteration.
+type NEResult struct {
+	Profile    []numeric.Point2 // final strategy profile
+	Iterations int              // sweeps performed
+	Converged  bool             // true when MaxDelta fell below Tol
+	MaxDelta   float64          // last sweep's largest strategy change
+}
+
+// SolveNE runs damped Gauss–Seidel best-response iteration from the given
+// starting profile: players update in index order, each against the
+// freshest strategies of the others. For games with a unique NE and
+// contractive best responses (the paper's Theorem 2 setting) the iteration
+// converges to the equilibrium.
+func SolveNE(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
+	opts = opts.withDefaults()
+	prof := make([]numeric.Point2, len(start))
+	copy(prof, start)
+	res := NEResult{Profile: prof}
+	var frozen []numeric.Point2
+	if opts.Jacobi {
+		frozen = make([]numeric.Point2, len(prof))
+	}
+	for it := 0; it < opts.MaxIter; it++ {
+		res.Iterations = it + 1
+		res.MaxDelta = 0
+		view := prof
+		if opts.Jacobi {
+			copy(frozen, prof)
+			view = frozen
+		}
+		for i := range prof {
+			next := br(i, view)
+			if opts.Damping < 1 {
+				next = prof[i].Scale(1 - opts.Damping).Add(next.Scale(opts.Damping))
+			}
+			if d := next.Sub(prof[i]).Norm(); d > res.MaxDelta {
+				res.MaxDelta = d
+			}
+			prof[i] = next
+		}
+		if opts.OnSweep != nil {
+			opts.OnSweep(res.Iterations, res.MaxDelta)
+		}
+		if res.MaxDelta < opts.Tol {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}
+
+// ContractionRate estimates the geometric convergence factor of a
+// best-response iteration from its sweep deltas: the median ratio of
+// successive deltas, ignoring leading transients and the noise floor.
+// It returns NaN when fewer than three informative deltas exist.
+func ContractionRate(deltas []float64) float64 {
+	var ratios []float64
+	for i := 1; i < len(deltas); i++ {
+		// Skip ratios once the deltas approach solver noise.
+		if deltas[i-1] < 1e-9 || deltas[i] < 1e-12 {
+			break
+		}
+		ratios = append(ratios, deltas[i]/deltas[i-1])
+	}
+	if len(ratios) < 2 {
+		return math.NaN()
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}
+
+// SolveNEFictitious runs continuous-strategy fictitious play: each player
+// best-responds to the TIME AVERAGE of the opponents' past strategies
+// rather than to their latest play. The 1/t averaging damps oscillatory
+// best-response maps with a 1/t step size, so fictitious play converges
+// in games where undamped (and even fixed-damping) iteration cycles; the
+// price is a slower, O(1/t) tail. MaxDelta reports the EQUILIBRIUM
+// RESIDUAL — the largest distance between a player's average strategy
+// and its best response to the others' averages — and convergence is
+// declared when that residual falls below Tol.
+func SolveNEFictitious(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
+	opts = opts.withDefaults()
+	avg := make([]numeric.Point2, len(start))
+	copy(avg, start)
+	res := NEResult{Profile: avg}
+	for it := 1; it <= opts.MaxIter; it++ {
+		res.Iterations = it
+		res.MaxDelta = 0
+		step := 1 / float64(it+1)
+		for i := range avg {
+			response := br(i, avg)
+			if d := response.Sub(avg[i]).Norm(); d > res.MaxDelta {
+				res.MaxDelta = d
+			}
+			avg[i] = avg[i].Add(response.Sub(avg[i]).Scale(step))
+		}
+		if opts.OnSweep != nil {
+			opts.OnSweep(it, res.MaxDelta)
+		}
+		if res.MaxDelta < opts.Tol {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}
+
+// Deviation quantifies how far a profile is from equilibrium: the largest
+// utility gain any single player can achieve by a unilateral best-response
+// deviation. utility(i, profile) must evaluate player i's payoff.
+func Deviation(profile []numeric.Point2, br BestResponse, utility func(int, []numeric.Point2) float64) float64 {
+	work := make([]numeric.Point2, len(profile))
+	copy(work, profile)
+	var worst float64
+	for i := range profile {
+		current := utility(i, work)
+		dev := br(i, work)
+		old := work[i]
+		work[i] = dev
+		gain := utility(i, work) - current
+		work[i] = old
+		if gain > worst {
+			worst = gain
+		}
+	}
+	return worst
+}
+
+// ErrNoEquilibrium is returned when an iterative solver cannot locate an
+// equilibrium within its iteration budget.
+var ErrNoEquilibrium = errors.New("game: equilibrium search did not converge")
+
+// VGNEResult is the outcome of the variational GNEP solver.
+type VGNEResult struct {
+	NEResult
+	// Multiplier is the common shadow price of the shared constraint
+	// (zero when the constraint is slack at the solution).
+	Multiplier float64
+	// SharedValue is the constraint function's value at the solution.
+	SharedValue float64
+}
+
+// SolveVariationalGNE computes the variational equilibrium of a jointly
+// convex GNEP with a single scalar shared constraint g(x) ≤ capacity, by
+// pricing the constraint with a common multiplier μ: brAt(μ) must return
+// the best-response map of the μ-penalized NEP (for the mining game, the
+// map with effective edge price P_e + μ and no capacity coupling), and
+// shared must evaluate g at a profile (total edge demand).
+//
+// The solver exploits monotonicity of g in μ: if the μ = 0 equilibrium
+// satisfies the constraint it is returned; otherwise μ is bisected until
+// g(x(μ)) = capacity within capTol.
+func SolveVariationalGNE(
+	start []numeric.Point2,
+	brAt func(mu float64) BestResponse,
+	shared func([]numeric.Point2) float64,
+	capacity float64,
+	capTol float64,
+	opts NEOptions,
+) (VGNEResult, error) {
+	if capTol <= 0 {
+		capTol = 1e-6
+	}
+	solve := func(mu float64, from []numeric.Point2) NEResult {
+		return SolveNE(from, brAt(mu), opts)
+	}
+	base := solve(0, start)
+	g := shared(base.Profile)
+	if g <= capacity+capTol {
+		return VGNEResult{NEResult: base, SharedValue: g}, nil
+	}
+	// Find an upper multiplier that throttles demand below capacity.
+	lo, hi := 0.0, 1.0
+	res := base
+	for i := 0; ; i++ {
+		if i >= 60 {
+			return VGNEResult{}, fmt.Errorf("shared constraint %g > capacity %g at any multiplier: %w", g, capacity, ErrNoEquilibrium)
+		}
+		res = solve(hi, res.Profile)
+		g = shared(res.Profile)
+		if g <= capacity {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	// Bisect μ to clear the market for the shared resource.
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		res = solve(mid, res.Profile)
+		g = shared(res.Profile)
+		if math.Abs(g-capacity) <= capTol {
+			return VGNEResult{NEResult: res, Multiplier: mid, SharedValue: g}, nil
+		}
+		if g > capacity {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res = solve(hi, res.Profile)
+	g = shared(res.Profile)
+	if g > capacity+capTol {
+		return VGNEResult{}, fmt.Errorf("bisection ended with g=%g > capacity %g: %w", g, capacity, ErrNoEquilibrium)
+	}
+	return VGNEResult{NEResult: res, Multiplier: hi, SharedValue: g}, nil
+}

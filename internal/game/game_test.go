@@ -1,0 +1,195 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+)
+
+// cournotBR is the textbook Cournot duopoly best response with inverse
+// demand P = a − Q and marginal cost c; the symmetric NE is (a−c)/3 each.
+func cournotBR(a, c float64) BestResponse {
+	return func(i int, prof []numeric.Point2) numeric.Point2 {
+		var rivals float64
+		for j, r := range prof {
+			if j != i {
+				rivals += r.E
+			}
+		}
+		q := (a - c - rivals) / 2
+		if q < 0 {
+			q = 0
+		}
+		return numeric.Point2{E: q}
+	}
+}
+
+func TestSolveNECournot(t *testing.T) {
+	const a, c = 120.0, 30.0
+	res := SolveNE([]numeric.Point2{{E: 1}, {E: 50}}, cournotBR(a, c), NEOptions{})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	want := (a - c) / 3
+	for i, r := range res.Profile {
+		if math.Abs(r.E-want) > 1e-6 {
+			t.Errorf("player %d quantity = %g, want %g", i, r.E, want)
+		}
+	}
+}
+
+func TestSolveNEDampingConverges(t *testing.T) {
+	// Same game, heavily damped: still converges, just more slowly.
+	res := SolveNE([]numeric.Point2{{E: 0}, {E: 0}}, cournotBR(120, 30), NEOptions{Damping: 0.3})
+	if !res.Converged {
+		t.Fatalf("damped iteration did not converge: %+v", res)
+	}
+	if math.Abs(res.Profile[0].E-30) > 1e-5 {
+		t.Errorf("quantity = %g, want 30", res.Profile[0].E)
+	}
+}
+
+func TestSolveNEIterationBudget(t *testing.T) {
+	res := SolveNE([]numeric.Point2{{E: 0}, {E: 100}}, cournotBR(120, 30), NEOptions{MaxIter: 1})
+	if res.Converged {
+		t.Error("one sweep from a distant start must not report convergence")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+func TestSolveNEDoesNotMutateStart(t *testing.T) {
+	start := []numeric.Point2{{E: 5}, {E: 7}}
+	SolveNE(start, cournotBR(120, 30), NEOptions{})
+	if start[0].E != 5 || start[1].E != 7 {
+		t.Error("SolveNE mutated the starting profile")
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	const a, c = 120.0, 30.0
+	br := cournotBR(a, c)
+	utility := func(i int, prof []numeric.Point2) float64 {
+		var q float64
+		for _, r := range prof {
+			q += r.E
+		}
+		return (a - q - c) * prof[i].E
+	}
+	ne := SolveNE([]numeric.Point2{{E: 10}, {E: 10}}, br, NEOptions{})
+	if dev := Deviation(ne.Profile, br, utility); dev > 1e-8 {
+		t.Errorf("deviation at NE = %g, want ≈0", dev)
+	}
+	off := []numeric.Point2{{E: 5}, {E: 60}}
+	if dev := Deviation(off, br, utility); dev <= 1 {
+		t.Errorf("deviation off NE = %g, want substantial", dev)
+	}
+}
+
+// TestSolveNEMinerConnected is an integration test: the heterogeneous
+// best-response iteration on the connected-mode miner subgame must land on
+// the homogeneous closed form when the miners are identical.
+func TestSolveNEMinerConnected(t *testing.T) {
+	p := miner.Params{Reward: 1000, Beta: 0.2, H: 0.7, PriceE: 8, PriceC: 4}
+	const n, budget = 5, 200.0
+	br := func(i int, prof []numeric.Point2) numeric.Point2 {
+		return miner.BestResponseConnected(p, budget, miner.Profile(prof).Env(i))
+	}
+	start := make([]numeric.Point2, n)
+	for i := range start {
+		start[i] = numeric.Point2{E: 1 + float64(i), C: 2 * float64(i+1)}
+	}
+	// The projected-gradient best response carries ~1e-7 numeric noise,
+	// so ask for convergence just above that.
+	res := SolveNE(start, br, NEOptions{Tol: 1e-6})
+	if !res.Converged {
+		t.Fatalf("miner NEP did not converge: %+v", res)
+	}
+	want, err := miner.HomogeneousConnected(p, n, budget)
+	if err != nil {
+		t.Fatalf("closed form: %v", err)
+	}
+	for i, r := range res.Profile {
+		if math.Abs(r.E-want.Request.E) > 1e-3 || math.Abs(r.C-want.Request.C) > 1e-3 {
+			t.Errorf("miner %d: iterated NE %+v, closed form %+v", i, r, want.Request)
+		}
+	}
+}
+
+// TestSolveVariationalGNELinear uses a synthetic quadratic game with a
+// known multiplier: player i maximizes a_i·x − x²/2 − μ·x so its
+// μ-penalized best response is x_i = max(a_i − μ, 0), and clearing
+// Σx = capacity gives μ* = (Σa − capacity)/n while all responses stay
+// interior.
+func TestSolveVariationalGNELinear(t *testing.T) {
+	as := []float64{10, 14, 18}
+	brAt := func(mu float64) BestResponse {
+		return func(i int, _ []numeric.Point2) numeric.Point2 {
+			return numeric.Point2{E: math.Max(as[i]-mu, 0)}
+		}
+	}
+	shared := func(prof []numeric.Point2) float64 {
+		var g float64
+		for _, r := range prof {
+			g += r.E
+		}
+		return g
+	}
+	const capacity = 24.0
+	res, err := SolveVariationalGNE(make([]numeric.Point2, 3), brAt, shared, capacity, 1e-9, NEOptions{})
+	if err != nil {
+		t.Fatalf("SolveVariationalGNE: %v", err)
+	}
+	wantMu := (10 + 14 + 18 - capacity) / 3.0
+	if math.Abs(res.Multiplier-wantMu) > 1e-5 {
+		t.Errorf("multiplier = %g, want %g", res.Multiplier, wantMu)
+	}
+	if math.Abs(res.SharedValue-capacity) > 1e-6 {
+		t.Errorf("shared value = %g, want capacity %g", res.SharedValue, capacity)
+	}
+	for i, r := range res.Profile {
+		if math.Abs(r.E-(as[i]-wantMu)) > 1e-5 {
+			t.Errorf("player %d: x = %g, want %g", i, r.E, as[i]-wantMu)
+		}
+	}
+}
+
+func TestSolveVariationalGNESlackConstraint(t *testing.T) {
+	brAt := func(mu float64) BestResponse {
+		return func(int, []numeric.Point2) numeric.Point2 {
+			return numeric.Point2{E: math.Max(5-mu, 0)}
+		}
+	}
+	shared := func(prof []numeric.Point2) float64 {
+		var g float64
+		for _, r := range prof {
+			g += r.E
+		}
+		return g
+	}
+	res, err := SolveVariationalGNE(make([]numeric.Point2, 2), brAt, shared, 100, 1e-9, NEOptions{})
+	if err != nil {
+		t.Fatalf("SolveVariationalGNE: %v", err)
+	}
+	if res.Multiplier != 0 {
+		t.Errorf("multiplier = %g, want 0 for slack constraint", res.Multiplier)
+	}
+	if math.Abs(res.SharedValue-10) > 1e-6 {
+		t.Errorf("shared value = %g, want 10", res.SharedValue)
+	}
+}
+
+func TestSolveVariationalGNEInfeasible(t *testing.T) {
+	// Demand that ignores the multiplier can never be throttled.
+	brAt := func(float64) BestResponse {
+		return func(int, []numeric.Point2) numeric.Point2 { return numeric.Point2{E: 50} }
+	}
+	shared := func(prof []numeric.Point2) float64 { return 100 }
+	_, err := SolveVariationalGNE(make([]numeric.Point2, 2), brAt, shared, 10, 1e-9, NEOptions{})
+	if err == nil {
+		t.Error("want error for unthrottlable demand")
+	}
+}

@@ -1,0 +1,145 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/numeric"
+)
+
+// Leader describes one price-setting service provider in the leader
+// subgame. Profit must return the leader's profit at (own, other) prices,
+// typically by solving the follower equilibrium underneath; it should
+// return math.Inf(-1) for infeasible price pairs. Bracket returns the
+// price search interval given the rival's current price.
+type Leader struct {
+	Name    string
+	Profit  func(own, other float64) float64
+	Bracket func(other float64) (lo, hi float64)
+}
+
+// LeaderOptions tunes the asynchronous best-response iteration of
+// Algorithm 1 (and the SP stage of Algorithm 2).
+type LeaderOptions struct {
+	MaxIter  int     // best-response rounds (default 60)
+	PriceTol float64 // convergence threshold on price moves (default 1e-4)
+	GridN    int     // coarse grid size for each 1-D profit maximization (default 40)
+	Damping  float64 // weight on the new price in (0, 1] (default 1)
+}
+
+func (o LeaderOptions) withDefaults() LeaderOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 60
+	}
+	if o.PriceTol <= 0 {
+		o.PriceTol = 1e-4
+	}
+	if o.GridN <= 0 {
+		o.GridN = 40
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 1
+	}
+	return o
+}
+
+// LeadersResult is the outcome of the leader-stage iteration.
+type LeadersResult struct {
+	PriceA, PriceB   float64
+	ProfitA, ProfitB float64
+	Iterations       int
+	Converged        bool
+}
+
+// SolveLeaders runs the asynchronous best-response algorithm on two
+// price-setting leaders from the given starting prices: in each round
+// leader A maximizes its profit against B's current price, then B against
+// A's fresh price, until neither moves by more than PriceTol. The profit
+// maximizations use a coarse grid followed by golden-section refinement,
+// so mild non-unimodality (from the follower equilibrium switching
+// regimes) is tolerated.
+func SolveLeaders(a, b Leader, startA, startB float64, opts LeaderOptions) (LeadersResult, error) {
+	opts = opts.withDefaults()
+	pa, pb := startA, startB
+	res := LeadersResult{}
+	for it := 0; it < opts.MaxIter; it++ {
+		res.Iterations = it + 1
+		nextA, err := maximizeLeader(a, pb, opts)
+		if err != nil {
+			return res, fmt.Errorf("leader %s: %w", a.Name, err)
+		}
+		nextA = pa + opts.Damping*(nextA-pa)
+		deltaA := math.Abs(nextA - pa)
+		pa = nextA
+		nextB, err := maximizeLeader(b, pa, opts)
+		if err != nil {
+			return res, fmt.Errorf("leader %s: %w", b.Name, err)
+		}
+		nextB = pb + opts.Damping*(nextB-pb)
+		deltaB := math.Abs(nextB - pb)
+		pb = nextB
+		if deltaA < opts.PriceTol && deltaB < opts.PriceTol {
+			res.Converged = true
+			break
+		}
+	}
+	res.PriceA, res.PriceB = pa, pb
+	res.ProfitA = a.Profit(pa, pb)
+	res.ProfitB = b.Profit(pb, pa)
+	return res, nil
+}
+
+// SolveLeaderFollower solves the leader stage with the commitment
+// structure of the paper's Theorem 4: leader A (the ESP) commits to a
+// price anticipating that leader B (the CSP) will play its best-response
+// function; B then best-responds to A's chosen price. Unlike simultaneous
+// best-response iteration — which can cycle when A's profit is monotone
+// along B's reaction curve — this bilevel problem has a well-defined
+// optimum whenever A's anticipated profit is bounded on its bracket.
+//
+// A's Bracket is called with other = NaN (A moves first, before any rival
+// price exists); implementations must return a full bracket in that case.
+func SolveLeaderFollower(a, b Leader, opts LeaderOptions) (LeadersResult, error) {
+	opts = opts.withDefaults()
+	loA, hiA := a.Bracket(math.NaN())
+	if !(hiA > loA) || math.IsNaN(loA) || math.IsNaN(hiA) {
+		return LeadersResult{}, fmt.Errorf("leader %s: invalid first-mover bracket [%g, %g]", a.Name, loA, hiA)
+	}
+	anticipated := func(pa float64) float64 {
+		pb, err := maximizeLeader(b, pa, opts)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return a.Profit(pa, pb)
+	}
+	pa, profitA := numeric.MaximizeGrid(anticipated, loA, hiA, opts.GridN, (hiA-loA)*1e-6)
+	if math.IsInf(profitA, -1) {
+		return LeadersResult{}, fmt.Errorf("leader %s: no feasible first-mover price in [%g, %g]", a.Name, loA, hiA)
+	}
+	pb, err := maximizeLeader(b, pa, opts)
+	if err != nil {
+		return LeadersResult{}, fmt.Errorf("leader %s: %w", b.Name, err)
+	}
+	return LeadersResult{
+		PriceA:     pa,
+		PriceB:     pb,
+		ProfitA:    a.Profit(pa, pb),
+		ProfitB:    b.Profit(pb, pa),
+		Iterations: 1,
+		Converged:  true,
+	}, nil
+}
+
+func maximizeLeader(l Leader, other float64, opts LeaderOptions) (float64, error) {
+	lo, hi := l.Bracket(other)
+	if !(hi > lo) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return 0, fmt.Errorf("invalid price bracket [%g, %g] against rival price %g", lo, hi, other)
+	}
+	price, profit := numeric.MaximizeGrid(func(p float64) float64 {
+		return l.Profit(p, other)
+	}, lo, hi, opts.GridN, (hi-lo)*1e-7)
+	if math.IsInf(profit, -1) {
+		return 0, fmt.Errorf("no feasible price in [%g, %g] against rival price %g", lo, hi, other)
+	}
+	return price, nil
+}

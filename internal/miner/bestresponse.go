@@ -1,0 +1,204 @@
+package miner
+
+import (
+	"math"
+
+	"minegame/internal/numeric"
+)
+
+// kktSatisfied reports whether x is (numerically) a KKT point of the
+// concave program max f over k: the projected gradient step must be tiny.
+func kktSatisfied(k numeric.RequestPolytope, x, grad numeric.Point2, tol float64) bool {
+	const alpha = 1e-4
+	moved := k.Project(x.Add(grad.Scale(alpha)))
+	return moved.Sub(x).Norm() <= tol*alpha
+}
+
+// BestResponseConnected solves Problem 1a for one miner: it maximizes the
+// connected-mode utility over {e ≥ 0, c ≥ 0, P_e·e + P_c·c ≤ budget}
+// given the aggregate requests of the other miners. Optional hints seed
+// the numeric refinement (pass the miner's current request during
+// best-response iteration to warm-start).
+//
+// The solver first evaluates the paper's Lagrangian solution (Eqs. 14–15):
+// with σ₁² = hβR/(P_e−P_c) and σ₂² = (1−β)R/P_c the interior stationary
+// point satisfies E = σ₁√E_{-i} and S = σ₂√S_{-i}, and when the budget
+// binds both aggregates shrink by the common factor t = 1/√(1+λ₁), which
+// the budget identity pins down in closed form. If the analytic candidate
+// passes a KKT check it is returned immediately; corner cases and the
+// analytically awkward regimes (P_e ≤ P_c, no rival edge demand) fall
+// back to projected-gradient ascent. The objective is concave in the
+// miner's own request, so the numeric path is globally correct.
+func BestResponseConnected(p Params, budget float64, env Env, hints ...numeric.Point2) numeric.Point2 {
+	k := numeric.RequestPolytope{
+		PriceE:  p.PriceE,
+		PriceC:  p.PriceC,
+		Budget:  budget,
+		EdgeCap: math.Inf(1),
+	}
+	f := func(x numeric.Point2) float64 { return UtilityConnected(p, x, env) }
+	grad := func(x numeric.Point2) numeric.Point2 { return GradConnected(p, x, env) }
+
+	if cand, ok := analyticConnected(p, budget, env); ok {
+		cand = k.Project(cand)
+		if kktSatisfied(k, cand, grad(cand), 1e-7) {
+			return cand
+		}
+	}
+
+	best := numeric.Point2{}
+	bestV := f(best)
+	consider := func(x numeric.Point2) {
+		x = k.Project(x)
+		if v := f(x); v > bestV {
+			best, bestV = x, v
+		}
+	}
+	if cand, ok := analyticConnected(p, budget, env); ok {
+		consider(cand)
+	}
+	if env.EdgeOthers <= tiny && p.Beta > 0 && p.H > 0 {
+		// No rival edge demand: the bonus β·h·e/E equals its full value βh
+		// for ANY e > 0, so the objective is discontinuous at e = 0 and its
+		// supremum is approached as e → 0⁺. Return the limit point at a
+		// negligible edge quantum alongside the cloud-optimal split.
+		const edgeQuantum = 1e-9
+		cOpt := 0.0
+		if sOth := env.SumOthers(); sOth > tiny {
+			cOpt = math.Sqrt((1-p.Beta)*p.Reward*sOth/p.PriceC) - sOth
+			cOpt = numeric.Clamp(cOpt, 0, (budget-p.PriceE*edgeQuantum)/p.PriceC)
+		}
+		consider(numeric.Point2{E: edgeQuantum, C: cOpt})
+	}
+	// Numeric refinement from several starts: the hints, the analytic
+	// candidate (or current best), the polytope "center", and the two
+	// budget corners.
+	starts := append([]numeric.Point2{}, hints...)
+	starts = append(starts,
+		best,
+		numeric.Point2{E: budget / (4 * p.PriceE), C: budget / (4 * p.PriceC)},
+		numeric.Point2{E: budget / p.PriceE, C: 0},
+		numeric.Point2{E: 0, C: budget / p.PriceC},
+	)
+	for _, s := range starts {
+		res := numeric.ProjectedGradientAscent(f, grad, k, s, 400, 1e-11)
+		if res.Value > bestV {
+			best, bestV = res.X, res.Value
+		}
+	}
+	return best
+}
+
+// analyticConnected evaluates the closed-form stationary point of
+// Eqs. 14–15. It reports ok = false in regimes the formulas do not cover.
+func analyticConnected(p Params, budget float64, env Env) (numeric.Point2, bool) {
+	if p.PriceE <= p.PriceC || p.Beta <= 0 || p.H <= 0 {
+		return numeric.Point2{}, false
+	}
+	eOth, sOth := env.EdgeOthers, env.SumOthers()
+	if eOth <= tiny || sOth <= tiny {
+		return numeric.Point2{}, false
+	}
+	sigma1 := math.Sqrt(p.H * p.Beta * p.Reward / (p.PriceE - p.PriceC))
+	sigma2 := math.Sqrt((1 - p.Beta) * p.Reward / p.PriceC)
+	sqrtE, sqrtS := math.Sqrt(eOth), math.Sqrt(sOth)
+
+	point := func(t float64) numeric.Point2 {
+		e := sigma1*sqrtE*t - eOth
+		s := sigma2*sqrtS*t - sOth
+		if e < 0 {
+			e = 0
+		}
+		c := s - e
+		if c < 0 {
+			c = 0
+		}
+		return numeric.Point2{E: e, C: c}
+	}
+	cand := point(1)
+	if p.Spend(cand) <= budget {
+		return cand, true
+	}
+	// Budget binds: Eq. 15's multiplier in the form t = 1/√(1+λ₁).
+	cOth := env.CloudOthers
+	den := (p.PriceE-p.PriceC)*sigma1*sqrtE + p.PriceC*sigma2*sqrtS
+	if den <= tiny {
+		return numeric.Point2{}, false
+	}
+	t := (budget + p.PriceE*eOth + p.PriceC*cOth) / den
+	cand = point(t)
+	// Exhaust the budget exactly when the corner clipping allows it.
+	if spend := p.Spend(cand); spend < budget {
+		if cand.E == 0 {
+			cand.C = budget / p.PriceC
+		} else if cand.C == 0 {
+			cand.E = budget / p.PriceE
+		}
+	}
+	return cand, true
+}
+
+// BestResponseStandalone solves the miner's side of Problem 1c: it
+// maximizes the standalone-mode utility over
+// {e ≥ 0, c ≥ 0, P_e·e + P_c·c ≤ budget, e ≤ edgeCap} where
+// edgeCap = E_max − E_{-i} is the edge capacity left by the other miners
+// (the GNEP's shared constraint, Eq. 24b). A non-positive edgeCap forces
+// e = 0. Optional hints warm-start the search.
+func BestResponseStandalone(p Params, budget, edgeCap float64, env Env, hints ...numeric.Point2) numeric.Point2 {
+	return bestResponsePenalized(p, 0, budget, edgeCap, env, hints...)
+}
+
+// BestResponseStandalonePenalized solves the μ-penalized standalone
+// problem used by the variational GNEP decomposition: it maximizes
+// U_i(e, c) − μ·e over the budget polytope at the TRUE market prices
+// (the multiplier prices the shared capacity constraint in the objective,
+// not in the budget). With the market-clearing μ this is each miner's
+// subproblem of the variational equilibrium.
+func BestResponseStandalonePenalized(p Params, mu, budget float64, env Env, hints ...numeric.Point2) numeric.Point2 {
+	return bestResponsePenalized(p, mu, budget, math.Inf(1), env, hints...)
+}
+
+func bestResponsePenalized(p Params, mu, budget, edgeCap float64, env Env, hints ...numeric.Point2) numeric.Point2 {
+	if edgeCap < 0 {
+		edgeCap = 0
+	}
+	k := numeric.RequestPolytope{
+		PriceE:  p.PriceE,
+		PriceC:  p.PriceC,
+		Budget:  budget,
+		EdgeCap: edgeCap,
+	}
+	f := func(x numeric.Point2) float64 { return UtilityStandalone(p, x, env) - mu*x.E }
+	grad := func(x numeric.Point2) numeric.Point2 {
+		g := GradStandalone(p, x, env)
+		g.E -= mu
+		return g
+	}
+
+	// Warm path: a hint that already satisfies the KKT conditions is the
+	// answer (the iterating solvers hit this almost every sweep).
+	for _, h := range hints {
+		h = k.Project(h)
+		if kktSatisfied(k, h, grad(h), 1e-7) {
+			return h
+		}
+	}
+
+	maxE := math.Min(edgeCap, budget/p.PriceE)
+	starts := append([]numeric.Point2{}, hints...)
+	starts = append(starts,
+		numeric.Point2{E: maxE / 2, C: budget / (2 * p.PriceC)},
+		numeric.Point2{E: maxE, C: 0},
+		numeric.Point2{E: 0, C: budget / p.PriceC},
+		numeric.Point2{E: maxE / 8, C: budget / (8 * p.PriceC)},
+	)
+	best := numeric.Point2{}
+	bestV := f(best)
+	for _, s := range starts {
+		res := numeric.ProjectedGradientAscent(f, grad, k, s, 400, 1e-11)
+		if res.Value > bestV {
+			best, bestV = res.X, res.Value
+		}
+	}
+	return best
+}

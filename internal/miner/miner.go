@@ -1,0 +1,102 @@
+// Package miner implements the follower side of the mining game: the
+// miners' winning probabilities (Eqs. 4–9 and 23 of the paper), utility
+// functions and their analytic gradients, best-response computations for
+// both ESP operation modes, and the homogeneous-miner closed forms
+// (Theorem 3, Corollary 1, and the Table II standalone analogues).
+package miner
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/numeric"
+)
+
+// Params are the game constants every miner observes.
+type Params struct {
+	Reward float64 // R, blockchain mining reward
+	Beta   float64 // β, blockchain fork rate in [0, 1)
+	H      float64 // h, connected-ESP satisfy probability in [0, 1]
+	PriceE float64 // P_e, ESP unit price
+	PriceC float64 // P_c, CSP unit price
+}
+
+// Validate reports parameter errors. NaN and infinite values are
+// rejected everywhere: they would otherwise slip through ordering
+// comparisons and poison the solvers.
+func (p Params) Validate() error {
+	for _, v := range [...]struct {
+		name  string
+		value float64
+	}{
+		{"reward", p.Reward}, {"beta", p.Beta}, {"h", p.H},
+		{"P_e", p.PriceE}, {"P_c", p.PriceC},
+	} {
+		if math.IsNaN(v.value) || math.IsInf(v.value, 0) {
+			return fmt.Errorf("miner params: %s is %g, must be finite", v.name, v.value)
+		}
+	}
+	if p.Reward <= 0 {
+		return fmt.Errorf("miner params: reward %g must be positive", p.Reward)
+	}
+	if p.Beta < 0 || p.Beta >= 1 {
+		return fmt.Errorf("miner params: beta %g outside [0, 1)", p.Beta)
+	}
+	if p.H < 0 || p.H > 1 {
+		return fmt.Errorf("miner params: h %g outside [0, 1]", p.H)
+	}
+	if p.PriceE <= 0 || p.PriceC <= 0 {
+		return fmt.Errorf("miner params: prices P_e=%g, P_c=%g must be positive", p.PriceE, p.PriceC)
+	}
+	return nil
+}
+
+// Spend is the cost of a request under these prices.
+func (p Params) Spend(r numeric.Point2) float64 {
+	return p.PriceE*r.E + p.PriceC*r.C
+}
+
+// Profile is the stacked request vectors of all miners (the paper's r).
+type Profile []numeric.Point2
+
+// Totals returns the aggregate edge demand E, cloud demand C and total
+// S = E + C.
+func (p Profile) Totals() (e, c, s float64) {
+	for _, r := range p {
+		e += r.E
+		c += r.C
+	}
+	return e, c, e + c
+}
+
+// Env is the aggregate of every miner's requests except one (r_{-i}).
+type Env struct {
+	EdgeOthers  float64 // E_{-i}
+	CloudOthers float64 // C_{-i}
+}
+
+// SumOthers returns S_{-i}.
+func (v Env) SumOthers() float64 { return v.EdgeOthers + v.CloudOthers }
+
+// Env returns the aggregate environment faced by miner i.
+func (p Profile) Env(i int) Env {
+	var v Env
+	for j, r := range p {
+		if j == i {
+			continue
+		}
+		v.EdgeOthers += r.E
+		v.CloudOthers += r.C
+	}
+	return v
+}
+
+// Clone returns a deep copy of the profile.
+func (p Profile) Clone() Profile {
+	q := make(Profile, len(p))
+	copy(q, p)
+	return q
+}
+
+// tiny guards divisions by aggregate quantities that can vanish.
+const tiny = 1e-12

@@ -1,0 +1,281 @@
+// Package multiesp extends the paper's model to MULTIPLE edge service
+// providers — the natural next step the single-ESP game suggests: K edge
+// providers with distinct prices and reliabilities compete alongside the
+// cloud for the miners' budgets.
+//
+// The connected-mode winning probability generalizes Eq. 9 by the same
+// law of total expectation: ESP k serves a request locally with
+// probability h_k and transfers it otherwise, so with e_i = (e_i^1, …,
+// e_i^K) and total edge demand E = Σ_j Σ_k e_j^k,
+//
+//	W_i = (1−β)·s_i/S + β·(Σ_k h_k·e_i^k)/E,
+//
+// which reduces exactly to Eq. 9 at K = 1. Each miner maximizes
+// R·W_i − Σ_k P_k·e_i^k − P_c·c_i over its budget polytope; the
+// equilibrium is computed by damped best-response iteration with
+// multi-start projected gradient ascent (the fork-bonus term is
+// linear-fractional and only piecewise concave for K ≥ 2, so single-start
+// ascent is not sufficient).
+package multiesp
+
+import (
+	"fmt"
+
+	"minegame/internal/numeric"
+)
+
+// ESP is one edge provider's offer.
+type ESP struct {
+	Price float64 // unit price P_k
+	H     float64 // satisfy probability h_k in [0, 1]
+}
+
+// Config describes a multi-ESP mining game instance.
+type Config struct {
+	N       int     // miners
+	Budget  float64 // common budget (homogeneous population)
+	Reward  float64 // R
+	Beta    float64 // fork rate β
+	ESPs    []ESP   // K ≥ 1 edge providers
+	PriceC  float64 // CSP unit price
+	Damping float64 // best-response damping (default 0.5)
+	MaxIter int     // best-response sweeps (default 400)
+	Tol     float64 // convergence threshold (default 1e-6)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("multiesp: need at least 2 miners, got %d", c.N)
+	}
+	if c.Budget <= 0 || c.Reward <= 0 || c.PriceC <= 0 {
+		return fmt.Errorf("multiesp: budget %g, reward %g and cloud price %g must be positive", c.Budget, c.Reward, c.PriceC)
+	}
+	if c.Beta < 0 || c.Beta >= 1 {
+		return fmt.Errorf("multiesp: beta %g outside [0, 1)", c.Beta)
+	}
+	if len(c.ESPs) == 0 {
+		return fmt.Errorf("multiesp: need at least one edge provider")
+	}
+	for k, e := range c.ESPs {
+		if e.Price <= 0 {
+			return fmt.Errorf("multiesp: ESP %d price %g must be positive", k, e.Price)
+		}
+		if e.H < 0 || e.H > 1 {
+			return fmt.Errorf("multiesp: ESP %d satisfy probability %g outside [0, 1]", k, e.H)
+		}
+	}
+	return nil
+}
+
+// dims returns the strategy dimension: K edge coordinates plus cloud.
+func (c Config) dims() int { return len(c.ESPs) + 1 }
+
+// prices returns the full price vector (P_1, …, P_K, P_c).
+func (c Config) prices() numeric.Vec {
+	p := make(numeric.Vec, c.dims())
+	for k, e := range c.ESPs {
+		p[k] = e.Price
+	}
+	p[len(c.ESPs)] = c.PriceC
+	return p
+}
+
+// env aggregates the other miners' strategies: per-coordinate totals.
+type env struct {
+	totalsOthers numeric.Vec // Σ_{j≠i} x_j
+}
+
+func (c Config) envOf(profile []numeric.Vec, i int) env {
+	tot := make(numeric.Vec, c.dims())
+	for j, x := range profile {
+		if j == i {
+			continue
+		}
+		for d := range tot {
+			tot[d] += x[d]
+		}
+	}
+	return env{totalsOthers: tot}
+}
+
+const tiny = 1e-12
+
+// WinProb evaluates the K-ESP generalization of Eq. 9 for a miner
+// playing own against the aggregate of the others.
+func (c Config) WinProb(own numeric.Vec, others numeric.Vec) float64 {
+	K := len(c.ESPs)
+	var sOwn, sOth, eOwn, eOth, bonus float64
+	for d := 0; d < K; d++ {
+		eOwn += own[d]
+		eOth += others[d]
+		bonus += c.ESPs[d].H * own[d]
+	}
+	sOwn = eOwn + own[K]
+	sOth = eOth + others[K]
+	s := sOwn + sOth
+	if s <= tiny {
+		return 0
+	}
+	w := (1 - c.Beta) * sOwn / s
+	if e := eOwn + eOth; e > tiny {
+		w += c.Beta * bonus / e
+	}
+	return w
+}
+
+// Utility is R·W − prices·own.
+func (c Config) Utility(own, others numeric.Vec) float64 {
+	return c.Reward*c.WinProb(own, others) - c.prices().Dot(own)
+}
+
+// grad is the analytic utility gradient:
+//
+//	∂U/∂e^k = R[(1−β)·S_{-i}/S² + β(h_k·E − Σ_j h_j e_i^j)/E²] − P_k
+//	∂U/∂c   = R[(1−β)·S_{-i}/S²] − P_c
+func (c Config) grad(own, others numeric.Vec) numeric.Vec {
+	K := len(c.ESPs)
+	var eOwn, eOth, bonus float64
+	for d := 0; d < K; d++ {
+		eOwn += own[d]
+		eOth += others[d]
+		bonus += c.ESPs[d].H * own[d]
+	}
+	sOth := others.Sum()
+	s := own.Sum() + sOth
+	if s <= tiny {
+		s = tiny
+	}
+	shared := c.Reward * (1 - c.Beta) * sOth / (s * s)
+	e := eOwn + eOth
+	if e <= tiny {
+		e = tiny
+	}
+	g := make(numeric.Vec, c.dims())
+	for d := 0; d < K; d++ {
+		g[d] = shared - c.ESPs[d].Price
+		if c.Beta > 0 {
+			g[d] += c.Reward * c.Beta * (c.ESPs[d].H*e - bonus) / (e * e)
+		}
+	}
+	g[K] = shared - c.PriceC
+	return g
+}
+
+// BestResponse maximizes a miner's utility against the aggregate others,
+// by multi-start projected gradient ascent over the budget polytope.
+// Hints (e.g. the current strategy) warm-start the search.
+func (c Config) BestResponse(others numeric.Vec, hints ...numeric.Vec) numeric.Vec {
+	k := numeric.BudgetPolytope{Prices: c.prices(), Budget: c.Budget}
+	f := func(x numeric.Vec) float64 { return c.Utility(x, others) }
+	grad := func(x numeric.Vec) numeric.Vec { return c.grad(x, others) }
+
+	dims := c.dims()
+	starts := append([]numeric.Vec{}, hints...)
+	center := make(numeric.Vec, dims)
+	for d, p := range c.prices() {
+		center[d] = c.Budget / (2 * float64(dims) * p)
+	}
+	starts = append(starts, center)
+	for d, p := range c.prices() {
+		corner := make(numeric.Vec, dims)
+		corner[d] = c.Budget / p
+		starts = append(starts, corner)
+	}
+	best := make(numeric.Vec, dims)
+	bestV := f(best)
+	for _, s := range starts {
+		res := numeric.ProjectedGradientAscentVec(f, grad, k, s, 400, 1e-11)
+		if res.Value > bestV {
+			best, bestV = res.X, res.Value
+		}
+	}
+	return best
+}
+
+// Equilibrium is a solved multi-ESP miner subgame.
+type Equilibrium struct {
+	Requests []numeric.Vec // per miner: (e^1, …, e^K, c)
+	// Demands aggregates per coordinate: K edge demands then cloud.
+	Demands    numeric.Vec
+	Utilities  []float64
+	WinProbs   []float64
+	Iterations int
+	Converged  bool
+}
+
+// Solve computes the miner equilibrium by damped Gauss–Seidel
+// best-response iteration.
+func Solve(cfg Config) (Equilibrium, error) {
+	if err := cfg.Validate(); err != nil {
+		return Equilibrium{}, err
+	}
+	damping := cfg.Damping
+	if damping <= 0 || damping > 1 {
+		damping = 0.5
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 400
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	dims := cfg.dims()
+	profile := make([]numeric.Vec, cfg.N)
+	for i := range profile {
+		profile[i] = make(numeric.Vec, dims)
+		for d, p := range cfg.prices() {
+			profile[i][d] = cfg.Budget / (4 * float64(dims) * p)
+		}
+	}
+	eq := Equilibrium{}
+	for it := 0; it < maxIter; it++ {
+		eq.Iterations = it + 1
+		maxDelta := 0.0
+		for i := range profile {
+			e := cfg.envOf(profile, i)
+			next := cfg.BestResponse(e.totalsOthers, profile[i])
+			blended := profile[i].Scale(1 - damping).Add(next.Scale(damping))
+			if d := blended.Sub(profile[i]).Norm(); d > maxDelta {
+				maxDelta = d
+			}
+			profile[i] = blended
+		}
+		if maxDelta < tol {
+			eq.Converged = true
+			break
+		}
+	}
+	eq.Requests = profile
+	eq.Demands = make(numeric.Vec, dims)
+	eq.Utilities = make([]float64, cfg.N)
+	eq.WinProbs = make([]float64, cfg.N)
+	for _, x := range profile {
+		for d := range x {
+			eq.Demands[d] += x[d]
+		}
+	}
+	for i, x := range profile {
+		others := cfg.envOf(profile, i).totalsOthers
+		eq.Utilities[i] = cfg.Utility(x, others)
+		eq.WinProbs[i] = cfg.WinProb(x, others)
+	}
+	return eq, nil
+}
+
+// Deviation returns the largest unilateral best-response gain at the
+// profile — the equilibrium-quality certificate.
+func Deviation(cfg Config, profile []numeric.Vec) float64 {
+	var worst float64
+	for i := range profile {
+		others := cfg.envOf(profile, i).totalsOthers
+		current := cfg.Utility(profile[i], others)
+		dev := cfg.BestResponse(others, profile[i])
+		if gain := cfg.Utility(dev, others) - current; gain > worst {
+			worst = gain
+		}
+	}
+	return worst
+}

@@ -1,0 +1,245 @@
+package multiesp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+)
+
+func singleESPConfig() Config {
+	return Config{
+		N:      5,
+		Budget: 200,
+		Reward: 1000,
+		Beta:   0.2,
+		ESPs:   []ESP{{Price: 8, H: 0.7}},
+		PriceC: 4,
+	}
+}
+
+func twoESPConfig() Config {
+	cfg := singleESPConfig()
+	cfg.ESPs = []ESP{
+		{Price: 9, H: 0.9}, // premium edge: reliable but expensive
+		{Price: 6, H: 0.4}, // budget edge: cheap but often transfers
+	}
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := singleESPConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.N = 1 },
+		func(c *Config) { c.Budget = 0 },
+		func(c *Config) { c.Reward = 0 },
+		func(c *Config) { c.Beta = 1 },
+		func(c *Config) { c.ESPs = nil },
+		func(c *Config) { c.ESPs[0].Price = 0 },
+		func(c *Config) { c.ESPs[0].H = 1.5 },
+		func(c *Config) { c.PriceC = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := singleESPConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should be invalid", i)
+		}
+	}
+}
+
+// TestWinProbReducesToEq9 checks the K = 1 specialization against the
+// single-ESP connected-mode formula for random strategies.
+func TestWinProbReducesToEq9(t *testing.T) {
+	cfg := singleESPConfig()
+	cases := []struct{ e, c, eOth, cOth float64 }{
+		{2, 10, 15, 40},
+		{0, 5, 3, 20},
+		{7, 0, 1, 2},
+		{4, 4, 0, 10},
+	}
+	for _, tc := range cases {
+		own := numeric.Vec{tc.e, tc.c}
+		others := numeric.Vec{tc.eOth, tc.cOth}
+		got := cfg.WinProb(own, others)
+		want := miner.WinProbConnected(cfg.Beta, cfg.ESPs[0].H,
+			numeric.Point2{E: tc.e, C: tc.c},
+			miner.Env{EdgeOthers: tc.eOth, CloudOthers: tc.cOth})
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("case %+v: multi %g != Eq.9 %g", tc, got, want)
+		}
+	}
+}
+
+// TestGradMatchesFiniteDifferences validates the analytic gradient.
+func TestGradMatchesFiniteDifferences(t *testing.T) {
+	cfg := twoESPConfig()
+	others := numeric.Vec{10, 6, 50}
+	for _, own := range []numeric.Vec{{2, 3, 15}, {0.5, 8, 2}, {5, 0.2, 30}} {
+		got := cfg.grad(own, others)
+		fd := numeric.GradVecFiniteDiff(func(x numeric.Vec) float64 {
+			return cfg.Utility(x, others)
+		}, 1e-5)(own)
+		for d := range got {
+			if !numeric.AlmostEqual(got[d], fd[d], 1e-4) {
+				t.Errorf("own %v dim %d: analytic %g, fd %g", own, d, got[d], fd[d])
+			}
+		}
+	}
+}
+
+// TestSolveSingleESPMatchesCoreClosedForm is the key cross-validation:
+// the K = 1 multi-ESP solver must land on the paper's closed-form
+// connected equilibrium.
+func TestSolveSingleESPMatchesCoreClosedForm(t *testing.T) {
+	cfg := singleESPConfig()
+	eq, err := Solve(cfg)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !eq.Converged {
+		t.Fatalf("not converged after %d sweeps", eq.Iterations)
+	}
+	params := miner.Params{Reward: 1000, Beta: 0.2, H: 0.7, PriceE: 8, PriceC: 4}
+	want, err := miner.HomogeneousConnected(params, cfg.N, cfg.Budget)
+	if err != nil {
+		t.Fatalf("closed form: %v", err)
+	}
+	for i, x := range eq.Requests {
+		if math.Abs(x[0]-want.Request.E) > 5e-3 || math.Abs(x[1]-want.Request.C) > 5e-3 {
+			t.Errorf("miner %d: (%g, %g), closed form (%g, %g)",
+				i, x[0], x[1], want.Request.E, want.Request.C)
+		}
+	}
+}
+
+func TestSolveTwoESPs(t *testing.T) {
+	cfg := twoESPConfig()
+	eq, err := Solve(cfg)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !eq.Converged {
+		t.Fatalf("not converged after %d sweeps", eq.Iterations)
+	}
+	// All three demands positive: the premium ESP, the budget ESP and
+	// the cloud each capture part of the market at these prices.
+	for d, v := range eq.Demands {
+		if v <= 0 {
+			t.Errorf("demand[%d] = %g, want positive", d, v)
+		}
+	}
+	// Budget feasibility and equilibrium certificate.
+	prices := cfg.prices()
+	for i, x := range eq.Requests {
+		if spend := prices.Dot(x); spend > cfg.Budget+1e-6 {
+			t.Errorf("miner %d overspends: %g", i, spend)
+		}
+	}
+	scale := 1.0
+	for _, u := range eq.Utilities {
+		scale = math.Max(scale, math.Abs(u))
+	}
+	if dev := Deviation(cfg, eq.Requests); dev > 0.01*scale+0.01 {
+		t.Errorf("profitable deviation %g at equilibrium", dev)
+	}
+}
+
+// TestPriceSubstitution checks the economics: cutting the budget ESP's
+// price moves demand toward it and away from the premium ESP.
+func TestPriceSubstitution(t *testing.T) {
+	base := twoESPConfig()
+	eqBase, err := Solve(base)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	cheaper := twoESPConfig()
+	cheaper.ESPs[1].Price = 5
+	eqCheap, err := Solve(cheaper)
+	if err != nil {
+		t.Fatalf("cheaper: %v", err)
+	}
+	if eqCheap.Demands[1] <= eqBase.Demands[1] {
+		t.Errorf("budget-ESP demand %g did not grow after its price cut (was %g)",
+			eqCheap.Demands[1], eqBase.Demands[1])
+	}
+	if eqCheap.Demands[0] >= eqBase.Demands[0] {
+		t.Errorf("premium-ESP demand %g did not shrink after the rival's price cut (was %g)",
+			eqCheap.Demands[0], eqBase.Demands[0])
+	}
+}
+
+// TestReliabilityPremium checks that a more reliable ESP sustains more
+// demand at equal prices.
+func TestReliabilityPremium(t *testing.T) {
+	cfg := twoESPConfig()
+	cfg.ESPs[0] = ESP{Price: 7, H: 0.9}
+	cfg.ESPs[1] = ESP{Price: 7, H: 0.3}
+	eq, err := Solve(cfg)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if eq.Demands[0] <= eq.Demands[1] {
+		t.Errorf("reliable ESP demand %g not above unreliable %g at equal prices",
+			eq.Demands[0], eq.Demands[1])
+	}
+}
+
+func TestSolveInvalidConfig(t *testing.T) {
+	cfg := singleESPConfig()
+	cfg.N = 0
+	if _, err := Solve(cfg); err == nil {
+		t.Error("want error")
+	}
+}
+
+// TestSolveFeasibleEverywhere fuzzes random multi-ESP instances: the
+// solver must stay feasible and produce a deviation-certified profile.
+func TestSolveFeasibleEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		k := 1 + rng.Intn(3)
+		cfg := Config{
+			N:      2 + rng.Intn(5),
+			Budget: 50 + 250*rng.Float64(),
+			Reward: 300 + 1500*rng.Float64(),
+			Beta:   0.05 + 0.5*rng.Float64(),
+			PriceC: 1 + 4*rng.Float64(),
+		}
+		for i := 0; i < k; i++ {
+			cfg.ESPs = append(cfg.ESPs, ESP{
+				Price: cfg.PriceC * (1.05 + 1.5*rng.Float64()),
+				H:     0.2 + 0.8*rng.Float64(),
+			})
+		}
+		eq, err := Solve(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, cfg, err)
+		}
+		prices := cfg.prices()
+		for i, x := range eq.Requests {
+			for d, v := range x {
+				if v < -1e-9 {
+					t.Fatalf("trial %d: miner %d dim %d negative (%g)", trial, i, d, v)
+				}
+			}
+			if spend := prices.Dot(x); spend > cfg.Budget*(1+1e-6) {
+				t.Fatalf("trial %d: miner %d overspends %g > %g", trial, i, spend, cfg.Budget)
+			}
+		}
+		if !eq.Converged {
+			continue // oscillatory corner races may hit MaxIter; skip the certificate
+		}
+		scale := 1.0
+		for _, u := range eq.Utilities {
+			scale = math.Max(scale, math.Abs(u))
+		}
+		if dev := Deviation(cfg, eq.Requests); dev > 0.03*scale+0.05 {
+			t.Errorf("trial %d (%+v): profitable deviation %g", trial, cfg, dev)
+		}
+	}
+}

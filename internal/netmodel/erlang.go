@@ -1,0 +1,107 @@
+package netmodel
+
+// Endogenous transfer probability. The paper treats the connected ESP's
+// satisfy probability h as an exogenous "empirical value" (§II-A). This
+// file closes the loop: if the ESP owns C physical computing units and
+// mining jobs arrive as a Poisson stream with offered load A (in Erlangs,
+// i.e. mean number of busy units demanded), the probability that a
+// request finds every unit busy — and is therefore transferred to the
+// CSP — is the Erlang-B loss formula. The satisfy probability becomes
+//
+//	h(A, C) = 1 − B(C, A),
+//
+// which lets experiments study how the transfer rate reacts to the
+// miners' own aggregate demand instead of being fixed by fiat.
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErlangB returns the blocking probability B(servers, offered) of an
+// M/M/c/c loss system: the probability an arriving job is lost (for the
+// ESP: transferred) because all servers are busy. It uses the standard
+// numerically stable recurrence
+//
+//	B(0, A) = 1,  B(k, A) = A·B(k−1, A) / (k + A·B(k−1, A)),
+//
+// extended to non-integral server counts by linear interpolation between
+// the neighbouring integers. offered must be non-negative and servers
+// positive.
+func ErlangB(servers, offered float64) (float64, error) {
+	if servers <= 0 {
+		return 0, fmt.Errorf("netmodel: erlang-b needs positive servers, got %g", servers)
+	}
+	if offered < 0 {
+		return 0, fmt.Errorf("netmodel: erlang-b needs non-negative load, got %g", offered)
+	}
+	if offered == 0 {
+		return 0, nil
+	}
+	lo := math.Floor(servers)
+	frac := servers - lo
+	bLo := erlangBInt(int(lo), offered)
+	if frac == 0 {
+		return bLo, nil
+	}
+	bHi := erlangBInt(int(lo)+1, offered)
+	return bLo + frac*(bHi-bLo), nil
+}
+
+func erlangBInt(c int, a float64) float64 {
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// SatisfyProbForLoad returns the endogenous connected-mode satisfy
+// probability h = 1 − B(capacity, demand): the chance an edge request is
+// served locally when the ESP owns `capacity` computing units and the
+// miners collectively keep `demand` units of work offered.
+func SatisfyProbForLoad(capacity, demand float64) (float64, error) {
+	b, err := ErlangB(capacity, demand)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - b, nil
+}
+
+// EndogenousSatisfyProb solves the self-consistent transfer rate for a
+// demand curve: the miners' edge demand depends on h (a more reliable ESP
+// attracts more jobs), while h depends on the demand through the loss
+// formula. demandAt must return the aggregate edge demand the miner
+// subgame produces at a given h. The fixed point
+//
+//	h* = 1 − B(capacity, demand(h*))
+//
+// is located by damped iteration; existence follows from continuity of
+// both maps on [0, 1].
+func EndogenousSatisfyProb(capacity float64, demandAt func(h float64) (float64, error)) (h, demand float64, err error) {
+	if capacity <= 0 {
+		return 0, 0, fmt.Errorf("netmodel: endogenous h needs positive capacity, got %g", capacity)
+	}
+	h = 0.9
+	const (
+		maxIter = 200
+		damping = 0.5
+		tol     = 1e-9
+	)
+	for i := 0; i < maxIter; i++ {
+		demand, err = demandAt(h)
+		if err != nil {
+			return 0, 0, fmt.Errorf("netmodel: endogenous h at h=%.6f: %w", h, err)
+		}
+		next, err := SatisfyProbForLoad(capacity, demand)
+		if err != nil {
+			return 0, 0, err
+		}
+		blended := h + damping*(next-h)
+		if math.Abs(blended-h) < tol {
+			return blended, demand, nil
+		}
+		h = blended
+	}
+	return h, demand, nil
+}

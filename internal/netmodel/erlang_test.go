@@ -1,0 +1,158 @@
+package netmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Textbook values of the Erlang-B blocking probability.
+	tests := []struct {
+		servers, offered, want float64
+	}{
+		{1, 1, 0.5},       // B(1,1) = 1/(1+1)
+		{2, 1, 0.2},       // B(2,1) = (1/2)/(1+1+1/2) = 0.2
+		{1, 2, 2.0 / 3.0}, // B(1,2) = 2/(1+2)
+		{5, 3, 0.110054},  // standard table value
+		{10, 8, 0.121661}, // standard table value
+	}
+	for _, tt := range tests {
+		got, err := ErlangB(tt.servers, tt.offered)
+		if err != nil {
+			t.Fatalf("ErlangB(%g, %g): %v", tt.servers, tt.offered, err)
+		}
+		if math.Abs(got-tt.want) > 1e-5 {
+			t.Errorf("ErlangB(%g, %g) = %.7f, want %.7f", tt.servers, tt.offered, got, tt.want)
+		}
+	}
+}
+
+// TestErlangBAgainstDirectSum cross-checks the recurrence against the
+// defining formula B(c, A) = (A^c/c!) / Σ_{k≤c} A^k/k!.
+func TestErlangBAgainstDirectSum(t *testing.T) {
+	direct := func(c int, a float64) float64 {
+		term := 1.0 // A^0/0!
+		sum := term
+		for k := 1; k <= c; k++ {
+			term *= a / float64(k)
+			sum += term
+		}
+		return term / sum
+	}
+	for _, c := range []int{1, 2, 5, 10, 20, 40} {
+		for _, a := range []float64{0.5, 1, 3, 8, 15, 30} {
+			got, err := ErlangB(float64(c), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := direct(c, a); math.Abs(got-want) > 1e-12 {
+				t.Errorf("B(%d, %g) = %.15f, direct sum %.15f", c, a, got, want)
+			}
+		}
+	}
+}
+
+func TestErlangBProperties(t *testing.T) {
+	// Monotone increasing in load, decreasing in servers; bounded in [0,1).
+	prev := -1.0
+	for _, a := range []float64{0, 0.5, 1, 2, 4, 8, 16, 64} {
+		b, err := ErlangB(5, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < prev {
+			t.Errorf("blocking not monotone in load at A=%g", a)
+		}
+		if b < 0 || b >= 1 {
+			t.Errorf("blocking %g outside [0,1)", b)
+		}
+		prev = b
+	}
+	prev = 2
+	for _, c := range []float64{1, 2, 4, 8, 16} {
+		b, err := ErlangB(c, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b > prev {
+			t.Errorf("blocking not decreasing in servers at c=%g", c)
+		}
+		prev = b
+	}
+}
+
+func TestErlangBFractionalServers(t *testing.T) {
+	b2, _ := ErlangB(2, 3)
+	b3, _ := ErlangB(3, 3)
+	mid, err := ErlangB(2.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid > b2 || mid < b3 {
+		t.Errorf("fractional interpolation %g outside [%g, %g]", mid, b3, b2)
+	}
+	if math.Abs(mid-(b2+b3)/2) > 1e-12 {
+		t.Errorf("midpoint interpolation %g, want %g", mid, (b2+b3)/2)
+	}
+}
+
+func TestErlangBErrors(t *testing.T) {
+	if _, err := ErlangB(0, 1); err == nil {
+		t.Error("want error for zero servers")
+	}
+	if _, err := ErlangB(3, -1); err == nil {
+		t.Error("want error for negative load")
+	}
+}
+
+func TestSatisfyProbForLoad(t *testing.T) {
+	h, err := SatisfyProbForLoad(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 1e-12 {
+		t.Errorf("h = %g, want 0.5", h)
+	}
+	h, err = SatisfyProbForLoad(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.999999 {
+		t.Errorf("overprovisioned ESP must almost always satisfy: h = %g", h)
+	}
+}
+
+func TestEndogenousSatisfyProbFixedPoint(t *testing.T) {
+	// Demand rises with reliability: demand(h) = 4 + 8h. The fixed point
+	// must satisfy both equations simultaneously.
+	demandAt := func(h float64) (float64, error) { return 4 + 8*h, nil }
+	const capacity = 10.0
+	h, demand, err := EndogenousSatisfyProb(capacity, demandAt)
+	if err != nil {
+		t.Fatalf("EndogenousSatisfyProb: %v", err)
+	}
+	if math.Abs(demand-(4+8*h)) > 1e-6 {
+		t.Errorf("demand %g inconsistent with h %g", demand, h)
+	}
+	want, err := SatisfyProbForLoad(capacity, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-want) > 1e-6 {
+		t.Errorf("h = %g, want self-consistent %g", h, want)
+	}
+	if h <= 0 || h >= 1 {
+		t.Errorf("h = %g outside (0,1)", h)
+	}
+}
+
+func TestEndogenousSatisfyProbErrors(t *testing.T) {
+	if _, _, err := EndogenousSatisfyProb(0, func(float64) (float64, error) { return 1, nil }); err == nil {
+		t.Error("want error for zero capacity")
+	}
+	sentinel := errors.New("demand oracle failed")
+	if _, _, err := EndogenousSatisfyProb(5, func(float64) (float64, error) { return 0, sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package netmodel models the two-provider edge-cloud network of the
+// mining game: an edge service provider (ESP) with limited computing
+// capability operating in connected or standalone mode, and a cloud
+// service provider (CSP) with unlimited capacity but a propagation delay
+// that induces blockchain forks.
+//
+// The package provides typed configuration, request-service semantics
+// (satisfied / transferred / rejected, per §III-C of the paper), billing
+// and profit accounting, and the adapter that turns service outcomes into
+// hash-power allocations for the chain substrate.
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minegame/internal/chain"
+)
+
+// Mode is the ESP's operation mode.
+type Mode int
+
+const (
+	// Connected means an overloaded ESP automatically transfers requests
+	// to the CSP (with probability 1−h in expectation).
+	Connected Mode = iota + 1
+	// Standalone means an overloaded ESP rejects requests outright.
+	Standalone
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Connected:
+		return "connected"
+	case Standalone:
+		return "standalone"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ESP configures the edge service provider.
+type ESP struct {
+	Mode Mode
+	// SatisfyProb is h: the probability a request to the connected ESP is
+	// served at the edge rather than transferred to the CSP. Ignored in
+	// standalone mode.
+	SatisfyProb float64
+	// Capacity is E_max, the standalone ESP's total computing units.
+	// Ignored in connected mode.
+	Capacity float64
+	// Cost is the ESP's unit operating cost C_e.
+	Cost float64
+	// Price is the ESP's unit price P_e.
+	Price float64
+}
+
+// CSP configures the cloud service provider.
+type CSP struct {
+	// Cost is the CSP's unit operating cost C_c.
+	Cost float64
+	// Price is the CSP's unit price P_c.
+	Price float64
+	// Delay is D_avg, the communication delay between the CSP and the
+	// ESP/miners, in the same time unit as Network.BlockInterval.
+	Delay float64
+}
+
+// Billing selects how serviced requests are charged.
+type Billing int
+
+const (
+	// BillRequested charges list price for every requested unit, whatever
+	// happened to it — the paper's Eq. 1a semantics (the zero value).
+	BillRequested Billing = iota
+	// BillServed charges only for units that actually ran: a transferred
+	// request pays the CSP price for all its units, a rejected edge
+	// request pays nothing for the rejected part.
+	BillServed
+)
+
+// Network bundles both providers with the blockchain timing that converts
+// the CSP delay into a fork rate.
+type Network struct {
+	ESP ESP
+	CSP CSP
+	// BlockInterval is the network's mean block inter-arrival time τ.
+	BlockInterval float64
+	// Billing selects the charging policy; the zero value is the paper's
+	// bill-as-requested rule.
+	Billing Billing
+}
+
+// Validate reports configuration errors.
+func (n Network) Validate() error {
+	switch n.ESP.Mode {
+	case Connected:
+		if n.ESP.SatisfyProb < 0 || n.ESP.SatisfyProb > 1 {
+			return fmt.Errorf("netmodel: satisfy probability h=%g outside [0,1]", n.ESP.SatisfyProb)
+		}
+	case Standalone:
+		if n.ESP.Capacity <= 0 {
+			return fmt.Errorf("netmodel: standalone capacity E_max=%g must be positive", n.ESP.Capacity)
+		}
+	default:
+		return fmt.Errorf("netmodel: unknown ESP mode %d", int(n.ESP.Mode))
+	}
+	if n.ESP.Price <= 0 || n.CSP.Price <= 0 {
+		return fmt.Errorf("netmodel: prices P_e=%g, P_c=%g must be positive", n.ESP.Price, n.CSP.Price)
+	}
+	if n.ESP.Cost < 0 || n.CSP.Cost < 0 {
+		return fmt.Errorf("netmodel: costs C_e=%g, C_c=%g must be non-negative", n.ESP.Cost, n.CSP.Cost)
+	}
+	if n.CSP.Delay < 0 {
+		return fmt.Errorf("netmodel: CSP delay %g must be non-negative", n.CSP.Delay)
+	}
+	if n.BlockInterval <= 0 {
+		return fmt.Errorf("netmodel: block interval %g must be positive", n.BlockInterval)
+	}
+	return nil
+}
+
+// Beta returns the blockchain fork rate β induced by the CSP delay: the
+// probability of a conflicting block during one propagation window
+// (chain.CollisionCDF). The paper treats β as a constant of the game; this
+// is the substrate-level source of that constant.
+func (n Network) Beta() float64 {
+	return chain.CollisionCDF(n.CSP.Delay, n.BlockInterval)
+}
+
+// Request is a miner's request vector r_i = [e_i, c_i].
+type Request struct {
+	MinerID int
+	Edge    float64
+	Cloud   float64
+}
+
+// Spend returns the billed cost of the request under the network's
+// prices. Billing follows the paper's utility (Eq. 1a): miners pay for
+// what they requested, regardless of transfers or rejections.
+func (n Network) Spend(r Request) float64 {
+	return n.ESP.Price*r.Edge + n.CSP.Price*r.Cloud
+}
+
+// OutcomeKind describes how the ESP disposed of a request's edge part.
+type OutcomeKind int
+
+const (
+	// FullySatisfied means the edge request ran at the edge.
+	FullySatisfied OutcomeKind = iota + 1
+	// Transferred means a connected ESP pushed the edge request to the
+	// CSP (request degraded to [0, e+c], Eq. 7).
+	Transferred
+	// Rejected means a standalone ESP refused the edge request (request
+	// degraded to [0, c], Eq. 8).
+	Rejected
+)
+
+// String implements fmt.Stringer.
+func (k OutcomeKind) String() string {
+	switch k {
+	case FullySatisfied:
+		return "satisfied"
+	case Transferred:
+		return "transferred"
+	case Rejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(k))
+	}
+}
+
+// Outcome is the service result for one request.
+type Outcome struct {
+	Request     Request
+	Kind        OutcomeKind
+	EdgeServed  float64 // units actually running at the edge
+	CloudServed float64 // units actually running at the cloud
+	Billed      float64 // what the miner pays (requested units at list prices)
+}
+
+// ServiceSummary aggregates a service round.
+type ServiceSummary struct {
+	EdgeDemand  float64 // Σ e_i requested
+	CloudDemand float64 // Σ c_i requested
+	EdgeServed  float64 // Σ units running at the edge
+	CloudServed float64 // Σ units running at the cloud
+	Transferred int     // count of transferred requests
+	Rejected    int     // count of rejected requests
+}
+
+// Serve applies the ESP's mode semantics to a batch of requests.
+//
+// Connected mode: each request with a positive edge part is independently
+// satisfied with probability h and otherwise transferred; rng drives the
+// coin flips and must be non-nil when h < 1.
+//
+// Standalone mode: requests are admitted in slice order while cumulative
+// edge demand fits within Capacity; a request that does not fit is
+// rejected whole (the paper's Eq. 8 semantics). rng may be nil.
+func (n Network) Serve(reqs []Request, rng *rand.Rand) ([]Outcome, ServiceSummary, error) {
+	if err := n.Validate(); err != nil {
+		return nil, ServiceSummary{}, err
+	}
+	outcomes := make([]Outcome, 0, len(reqs))
+	var sum ServiceSummary
+	var used float64
+	for _, r := range reqs {
+		if r.Edge < 0 || r.Cloud < 0 {
+			return nil, ServiceSummary{}, fmt.Errorf("netmodel: miner %d request has negative units", r.MinerID)
+		}
+		o := Outcome{Request: r, Kind: FullySatisfied}
+		sum.EdgeDemand += r.Edge
+		sum.CloudDemand += r.Cloud
+		switch n.ESP.Mode {
+		case Connected:
+			transfer := false
+			if r.Edge > 0 && n.ESP.SatisfyProb < 1 {
+				if rng == nil {
+					return nil, ServiceSummary{}, fmt.Errorf("netmodel: connected mode with h=%g < 1 needs an rng", n.ESP.SatisfyProb)
+				}
+				transfer = rng.Float64() >= n.ESP.SatisfyProb
+			}
+			if transfer {
+				o.Kind = Transferred
+				o.EdgeServed = 0
+				o.CloudServed = r.Edge + r.Cloud
+				sum.Transferred++
+			} else {
+				o.EdgeServed = r.Edge
+				o.CloudServed = r.Cloud
+			}
+		case Standalone:
+			if used+r.Edge <= n.ESP.Capacity+1e-12 {
+				used += r.Edge
+				o.EdgeServed = r.Edge
+				o.CloudServed = r.Cloud
+			} else {
+				o.Kind = Rejected
+				o.EdgeServed = 0
+				o.CloudServed = r.Cloud
+				sum.Rejected++
+			}
+		}
+		if n.Billing == BillServed {
+			o.Billed = n.ESP.Price*o.EdgeServed + n.CSP.Price*o.CloudServed
+		} else {
+			o.Billed = n.Spend(r)
+		}
+		sum.EdgeServed += o.EdgeServed
+		sum.CloudServed += o.CloudServed
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, sum, nil
+}
+
+// ESPProfit is V_e = (P_e − C_e)·E on requested demand, the paper's
+// leader objective (Eq. 2a).
+func (n Network) ESPProfit(sum ServiceSummary) float64 {
+	return (n.ESP.Price - n.ESP.Cost) * sum.EdgeDemand
+}
+
+// CSPProfit is V_c = (P_c − C_c)·C on requested demand (Eq. 2b).
+func (n Network) CSPProfit(sum ServiceSummary) float64 {
+	return (n.CSP.Price - n.CSP.Cost) * sum.CloudDemand
+}
+
+// Allocations converts service outcomes into hash-power allocations for
+// the chain substrate: units served at the edge hash with zero consensus
+// delay, units served at the cloud (including transfers) hash behind the
+// CSP delay.
+func Allocations(outcomes []Outcome) []chain.Allocation {
+	allocs := make([]chain.Allocation, 0, len(outcomes))
+	for _, o := range outcomes {
+		allocs = append(allocs, chain.Allocation{
+			MinerID: o.Request.MinerID,
+			Edge:    o.EdgeServed,
+			Cloud:   o.CloudServed,
+		})
+	}
+	return allocs
+}
+
+// RaceConfig assembles a chain.RaceConfig from service outcomes.
+func (n Network) RaceConfig(outcomes []Outcome) chain.RaceConfig {
+	return chain.RaceConfig{
+		Interval:    n.BlockInterval,
+		CloudDelay:  n.CSP.Delay,
+		Allocations: Allocations(outcomes),
+	}
+}

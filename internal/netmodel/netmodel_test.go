@@ -1,0 +1,276 @@
+package netmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"minegame/internal/chain"
+	"minegame/internal/sim"
+)
+
+func connectedNet() Network {
+	return Network{
+		ESP:           ESP{Mode: Connected, SatisfyProb: 0.7, Cost: 2, Price: 8},
+		CSP:           CSP{Cost: 1, Price: 4, Delay: 120},
+		BlockInterval: 600,
+	}
+}
+
+func standaloneNet() Network {
+	return Network{
+		ESP:           ESP{Mode: Standalone, Capacity: 10, Cost: 2, Price: 8},
+		CSP:           CSP{Cost: 1, Price: 4, Delay: 120},
+		BlockInterval: 600,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Network)
+		wantErr string
+	}{
+		{"valid connected", func(*Network) {}, ""},
+		{"bad h", func(n *Network) { n.ESP.SatisfyProb = 1.5 }, "satisfy probability"},
+		{"bad mode", func(n *Network) { n.ESP.Mode = 0 }, "unknown ESP mode"},
+		{"bad esp price", func(n *Network) { n.ESP.Price = 0 }, "prices"},
+		{"bad csp price", func(n *Network) { n.CSP.Price = -1 }, "prices"},
+		{"negative cost", func(n *Network) { n.CSP.Cost = -0.1 }, "costs"},
+		{"negative delay", func(n *Network) { n.CSP.Delay = -1 }, "delay"},
+		{"zero interval", func(n *Network) { n.BlockInterval = 0 }, "block interval"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			n := connectedNet()
+			tt.mutate(&n)
+			err := n.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+	t.Run("standalone needs capacity", func(t *testing.T) {
+		n := standaloneNet()
+		n.ESP.Capacity = 0
+		if err := n.Validate(); err == nil {
+			t.Error("want error for zero capacity")
+		}
+	})
+}
+
+func TestBetaFromDelay(t *testing.T) {
+	n := connectedNet()
+	want := chain.CollisionCDF(120, 600)
+	if got := n.Beta(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Beta = %g, want %g", got, want)
+	}
+	n.CSP.Delay = 0
+	if got := n.Beta(); got != 0 {
+		t.Errorf("Beta with zero delay = %g", got)
+	}
+}
+
+func TestSpend(t *testing.T) {
+	n := connectedNet()
+	r := Request{MinerID: 1, Edge: 2, Cloud: 3}
+	if got := n.Spend(r); got != 8*2+4*3 {
+		t.Errorf("Spend = %g, want 28", got)
+	}
+}
+
+func TestServeConnectedTransferRate(t *testing.T) {
+	n := connectedNet()
+	rng := sim.NewRNG(5, "serve-connected")
+	reqs := []Request{{MinerID: 1, Edge: 3, Cloud: 1}}
+	transferred := 0
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		outs, sum, err := n.Serve(reqs, rng)
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+		o := outs[0]
+		switch o.Kind {
+		case Transferred:
+			transferred++
+			if o.EdgeServed != 0 || o.CloudServed != 4 {
+				t.Fatalf("transferred outcome = %+v, want degraded to [0, e+c]", o)
+			}
+			if sum.EdgeServed != 0 || sum.CloudServed != 4 {
+				t.Fatalf("summary %+v inconsistent with transfer", sum)
+			}
+		case FullySatisfied:
+			if o.EdgeServed != 3 || o.CloudServed != 1 {
+				t.Fatalf("satisfied outcome = %+v", o)
+			}
+		default:
+			t.Fatalf("unexpected kind %v in connected mode", o.Kind)
+		}
+		if o.Billed != 28 {
+			t.Fatalf("billing must not depend on outcome: %g", o.Billed)
+		}
+		if sum.EdgeDemand != 3 || sum.CloudDemand != 1 {
+			t.Fatalf("demand summary %+v", sum)
+		}
+	}
+	got := float64(transferred) / rounds
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("transfer rate = %.3f, want ≈0.3 (1−h)", got)
+	}
+}
+
+func TestServeConnectedNoRNGNeededWhenAlwaysSatisfied(t *testing.T) {
+	n := connectedNet()
+	n.ESP.SatisfyProb = 1
+	outs, _, err := n.Serve([]Request{{MinerID: 1, Edge: 2, Cloud: 2}}, nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if outs[0].Kind != FullySatisfied {
+		t.Errorf("kind = %v", outs[0].Kind)
+	}
+}
+
+func TestServeConnectedRequiresRNG(t *testing.T) {
+	n := connectedNet()
+	if _, _, err := n.Serve([]Request{{MinerID: 1, Edge: 1}}, nil); err == nil {
+		t.Error("want error when h < 1 and rng is nil")
+	}
+}
+
+func TestServeStandaloneCapacity(t *testing.T) {
+	n := standaloneNet() // capacity 10
+	reqs := []Request{
+		{MinerID: 1, Edge: 6, Cloud: 1},
+		{MinerID: 2, Edge: 5, Cloud: 2}, // does not fit: rejected
+		{MinerID: 3, Edge: 4, Cloud: 0}, // fits in the remainder
+	}
+	outs, sum, err := n.Serve(reqs, nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if outs[0].Kind != FullySatisfied || outs[1].Kind != Rejected || outs[2].Kind != FullySatisfied {
+		t.Fatalf("kinds = %v %v %v", outs[0].Kind, outs[1].Kind, outs[2].Kind)
+	}
+	if outs[1].EdgeServed != 0 || outs[1].CloudServed != 2 {
+		t.Errorf("rejected outcome = %+v, want degraded to [0, c]", outs[1])
+	}
+	if sum.EdgeServed != 10 || sum.Rejected != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.EdgeDemand != 15 || sum.CloudDemand != 3 {
+		t.Errorf("demand = %+v", sum)
+	}
+}
+
+func TestServeNegativeUnits(t *testing.T) {
+	n := standaloneNet()
+	if _, _, err := n.Serve([]Request{{MinerID: 1, Edge: -1}}, nil); err == nil {
+		t.Error("want error for negative request")
+	}
+}
+
+func TestProfits(t *testing.T) {
+	n := connectedNet()
+	sum := ServiceSummary{EdgeDemand: 10, CloudDemand: 20}
+	if got := n.ESPProfit(sum); got != (8-2)*10 {
+		t.Errorf("ESPProfit = %g, want 60", got)
+	}
+	if got := n.CSPProfit(sum); got != (4-1)*20 {
+		t.Errorf("CSPProfit = %g, want 60", got)
+	}
+}
+
+func TestAllocationsAndRaceConfig(t *testing.T) {
+	n := standaloneNet()
+	outs, _, err := n.Serve([]Request{
+		{MinerID: 1, Edge: 4, Cloud: 2},
+		{MinerID: 2, Edge: 20, Cloud: 1}, // rejected: all cloud power is c only
+	}, nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	cfg := n.RaceConfig(outs)
+	if cfg.Interval != 600 || cfg.CloudDelay != 120 {
+		t.Errorf("race config timing = %+v", cfg)
+	}
+	if len(cfg.Allocations) != 2 {
+		t.Fatalf("allocations = %v", cfg.Allocations)
+	}
+	if cfg.Allocations[0] != (chain.Allocation{MinerID: 1, Edge: 4, Cloud: 2}) {
+		t.Errorf("alloc[0] = %+v", cfg.Allocations[0])
+	}
+	if cfg.Allocations[1] != (chain.Allocation{MinerID: 2, Edge: 0, Cloud: 1}) {
+		t.Errorf("alloc[1] = %+v", cfg.Allocations[1])
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("race config invalid: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Connected.String() != "connected" || Standalone.String() != "standalone" {
+		t.Error("mode strings")
+	}
+	if Mode(7).String() != "mode(7)" {
+		t.Error("unknown mode string")
+	}
+	if FullySatisfied.String() != "satisfied" || Transferred.String() != "transferred" || Rejected.String() != "rejected" {
+		t.Error("outcome strings")
+	}
+	if OutcomeKind(9).String() != "outcome(9)" {
+		t.Error("unknown outcome string")
+	}
+}
+
+func TestServeBillServed(t *testing.T) {
+	// Standalone rejection under served billing: the rejected edge part
+	// is not charged.
+	n := standaloneNet()
+	n.Billing = BillServed
+	outs, _, err := n.Serve([]Request{
+		{MinerID: 1, Edge: 6, Cloud: 1},
+		{MinerID: 2, Edge: 8, Cloud: 2}, // rejected: pays cloud only
+	}, nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if outs[0].Billed != 8*6+4*1 {
+		t.Errorf("satisfied bill = %g, want 52", outs[0].Billed)
+	}
+	if outs[1].Billed != 4*2 {
+		t.Errorf("rejected bill = %g, want cloud-only 8", outs[1].Billed)
+	}
+	// Connected transfer under served billing: everything at cloud price.
+	c := connectedNet()
+	c.Billing = BillServed
+	c.ESP.SatisfyProb = 0 // force the transfer deterministically... h=0 means always transfer
+	outs, _, err = c.Serve([]Request{{MinerID: 1, Edge: 3, Cloud: 1}}, sim.NewRNG(1, "bill"))
+	if err != nil {
+		t.Fatalf("Serve connected: %v", err)
+	}
+	if outs[0].Kind != Transferred {
+		t.Fatalf("kind = %v, want transferred at h=0", outs[0].Kind)
+	}
+	if outs[0].Billed != 4*4 {
+		t.Errorf("transferred bill = %g, want all 4 units at cloud price 4", outs[0].Billed)
+	}
+}
+
+func TestServeBillRequestedIsDefault(t *testing.T) {
+	n := standaloneNet()
+	outs, _, err := n.Serve([]Request{{MinerID: 1, Edge: 20, Cloud: 1}}, nil) // rejected
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if outs[0].Billed != 8*20+4*1 {
+		t.Errorf("default billing must charge requested units: %g", outs[0].Billed)
+	}
+}

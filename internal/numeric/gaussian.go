@@ -1,0 +1,135 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gaussian is a normal distribution with mean Mu and standard deviation
+// Sigma (Sigma > 0).
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the probability density at x.
+func (g Gaussian) PDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	return math.Exp(-z*z/2) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X ≤ x).
+func (g Gaussian) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-g.Mu)/(g.Sigma*math.Sqrt2)))
+}
+
+// Sample draws one variate using rng.
+func (g Gaussian) Sample(rng *rand.Rand) float64 {
+	return g.Mu + g.Sigma*rng.NormFloat64()
+}
+
+// DiscretePMF is a probability mass function over consecutive integers
+// [Lo, Lo+len(P)-1].
+type DiscretePMF struct {
+	Lo int
+	P  []float64
+}
+
+// Hi returns the largest supported integer.
+func (d DiscretePMF) Hi() int { return d.Lo + len(d.P) - 1 }
+
+// Prob returns P(X = k), zero outside the support.
+func (d DiscretePMF) Prob(k int) float64 {
+	i := k - d.Lo
+	if i < 0 || i >= len(d.P) {
+		return 0
+	}
+	return d.P[i]
+}
+
+// Mean returns E[X].
+func (d DiscretePMF) Mean() float64 {
+	var m float64
+	for i, p := range d.P {
+		m += float64(d.Lo+i) * p
+	}
+	return m
+}
+
+// Variance returns Var[X].
+func (d DiscretePMF) Variance() float64 {
+	m := d.Mean()
+	var v float64
+	for i, p := range d.P {
+		x := float64(d.Lo+i) - m
+		v += x * x * p
+	}
+	return v
+}
+
+// Sample draws an integer from the PMF using rng.
+func (d DiscretePMF) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	var cum float64
+	for i, p := range d.P {
+		cum += p
+		if u < cum {
+			return d.Lo + i
+		}
+	}
+	return d.Hi()
+}
+
+// DiscretizedGaussian builds the paper's miner-count distribution: the
+// Gaussian 𝒩(mu, sigma²) discretized as P(k) = Φ(k) − Φ(k−1), truncated
+// to [lo, hi] and renormalized. The paper (§V) truncates at k ≥ 1.
+func DiscretizedGaussian(mu, sigma float64, lo, hi int) (DiscretePMF, error) {
+	if sigma <= 0 {
+		return DiscretePMF{}, fmt.Errorf("discretized gaussian: sigma %g must be positive", sigma)
+	}
+	if hi < lo {
+		return DiscretePMF{}, fmt.Errorf("discretized gaussian: hi %d < lo %d", hi, lo)
+	}
+	g := Gaussian{Mu: mu, Sigma: sigma}
+	p := make([]float64, hi-lo+1)
+	var total float64
+	for k := lo; k <= hi; k++ {
+		v := g.CDF(float64(k)) - g.CDF(float64(k-1))
+		p[k-lo] = v
+		total += v
+	}
+	if total <= 0 {
+		return DiscretePMF{}, fmt.Errorf("discretized gaussian: support [%d, %d] has zero mass", lo, hi)
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return DiscretePMF{Lo: lo, P: p}, nil
+}
+
+// Exponential is an exponential distribution with the given Rate (λ > 0).
+type Exponential struct {
+	Rate float64
+}
+
+// PDF returns the density at x (zero for x < 0).
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF returns P(X ≤ x).
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// Sample draws one variate using rng.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Rate
+}

@@ -1,0 +1,127 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGaussianPDFCDF(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	if got := g.PDF(0); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("PDF(0) = %g", got)
+	}
+	if got := g.CDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %g, want 0.5", got)
+	}
+	// 68-95-99.7 rule.
+	if got := g.CDF(1) - g.CDF(-1); math.Abs(got-0.6826894921) > 1e-6 {
+		t.Errorf("P(|X|<1) = %g", got)
+	}
+	if got := g.CDF(2) - g.CDF(-2); math.Abs(got-0.9544997361) > 1e-6 {
+		t.Errorf("P(|X|<2) = %g", got)
+	}
+	shifted := Gaussian{Mu: 10, Sigma: 2}
+	if got := shifted.CDF(10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("shifted CDF(mu) = %g, want 0.5", got)
+	}
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := Gaussian{Mu: 10, Sigma: 2}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = g.Sample(rng)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-10) > 0.1 {
+		t.Errorf("sample mean = %g, want ≈10", s.Mean)
+	}
+	if math.Abs(s.StdDev-2) > 0.1 {
+		t.Errorf("sample stddev = %g, want ≈2", s.StdDev)
+	}
+}
+
+func TestDiscretizedGaussian(t *testing.T) {
+	pmf, err := DiscretizedGaussian(10, 2, 1, 30)
+	if err != nil {
+		t.Fatalf("DiscretizedGaussian: %v", err)
+	}
+	var total float64
+	for k := pmf.Lo; k <= pmf.Hi(); k++ {
+		p := pmf.Prob(k)
+		if p < 0 {
+			t.Errorf("P(%d) = %g < 0", k, p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("total mass = %.15g, want 1", total)
+	}
+	if m := pmf.Mean(); math.Abs(m-10.5) > 0.2 {
+		// The discretization P(k)=Φ(k)−Φ(k−1) assigns mass of the cell
+		// (k−1, k] to k (a ceiling), shifting the mean up by about one half.
+		t.Errorf("mean = %g, want ≈10.5", m)
+	}
+	if v := pmf.Variance(); math.Abs(v-4) > 0.5 {
+		t.Errorf("variance = %g, want ≈4", v)
+	}
+	if pmf.Prob(0) != 0 || pmf.Prob(31) != 0 {
+		t.Error("probability outside support must be 0")
+	}
+}
+
+func TestDiscretizedGaussianErrors(t *testing.T) {
+	if _, err := DiscretizedGaussian(10, 0, 1, 20); err == nil {
+		t.Error("want error for sigma = 0")
+	}
+	if _, err := DiscretizedGaussian(10, 2, 5, 4); err == nil {
+		t.Error("want error for hi < lo")
+	}
+	if _, err := DiscretizedGaussian(1000, 0.1, 1, 10); err == nil {
+		t.Error("want error for zero-mass support")
+	}
+}
+
+func TestDiscretePMFSample(t *testing.T) {
+	pmf, err := DiscretizedGaussian(10, 2, 1, 30)
+	if err != nil {
+		t.Fatalf("DiscretizedGaussian: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make(map[int]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		k := pmf.Sample(rng)
+		if k < pmf.Lo || k > pmf.Hi() {
+			t.Fatalf("sample %d outside support", k)
+		}
+		counts[k]++
+	}
+	// Empirical frequency of the mode should be close to its mass.
+	mode := 10
+	got := float64(counts[mode]) / draws
+	want := pmf.Prob(mode)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("freq(%d) = %g, want ≈%g", mode, got, want)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Rate: 1.0 / 600}
+	if got := e.CDF(600); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("CDF(mean) = %g", got)
+	}
+	if e.CDF(-5) != 0 || e.PDF(-5) != 0 {
+		t.Error("negative support must have zero density")
+	}
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = e.Sample(rng)
+	}
+	if m := Mean(xs); math.Abs(m-600) > 15 {
+		t.Errorf("sample mean = %g, want ≈600", m)
+	}
+}

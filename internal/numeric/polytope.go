@@ -1,0 +1,160 @@
+package numeric
+
+import "math"
+
+// Point2 is a point in the (edge, cloud) request plane.
+type Point2 struct {
+	E float64 // edge units
+	C float64 // cloud units
+}
+
+// Add returns p + q.
+func (p Point2) Add(q Point2) Point2 { return Point2{E: p.E + q.E, C: p.C + q.C} }
+
+// Sub returns p - q.
+func (p Point2) Sub(q Point2) Point2 { return Point2{E: p.E - q.E, C: p.C - q.C} }
+
+// Scale returns s·p.
+func (p Point2) Scale(s float64) Point2 { return Point2{E: s * p.E, C: s * p.C} }
+
+// Norm returns the Euclidean norm of p.
+func (p Point2) Norm() float64 { return math.Hypot(p.E, p.C) }
+
+// RequestPolytope is a miner's feasible request region:
+//
+//	e ≥ 0, c ≥ 0, PriceE·e + PriceC·c ≤ Budget, e ≤ EdgeCap.
+//
+// EdgeCap may be +Inf (connected mode). Prices must be positive and the
+// budget non-negative for the region to be well formed.
+type RequestPolytope struct {
+	PriceE  float64
+	PriceC  float64
+	Budget  float64
+	EdgeCap float64 // upper bound on e; +Inf when uncapped
+}
+
+// Contains reports whether p satisfies every constraint within tolerance
+// tol (pass 0 for exact checks).
+func (k RequestPolytope) Contains(p Point2, tol float64) bool {
+	if p.E < -tol || p.C < -tol {
+		return false
+	}
+	if p.E > k.EdgeCap+tol {
+		return false
+	}
+	return k.PriceE*p.E+k.PriceC*p.C <= k.Budget+tol*(k.PriceE+k.PriceC+1)
+}
+
+// maxE returns the largest feasible edge request.
+func (k RequestPolytope) maxE() float64 {
+	m := k.Budget / k.PriceE
+	if k.EdgeCap < m {
+		m = k.EdgeCap
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// Project returns the Euclidean projection of p onto the polytope.
+//
+// The region is the intersection of the box [0, EdgeCap] × [0, ∞) with the
+// budget halfspace. If the box-clipped point satisfies the budget it is
+// the projection; otherwise the projection lies on the budget segment and
+// is found by projecting onto that segment directly.
+func (k RequestPolytope) Project(p Point2) Point2 {
+	clipped := Point2{
+		E: Clamp(p.E, 0, k.EdgeCap),
+		C: math.Max(p.C, 0),
+	}
+	if k.PriceE*clipped.E+k.PriceC*clipped.C <= k.Budget {
+		return clipped
+	}
+	// Budget constraint is active: project p onto the line
+	// PriceE·e + PriceC·c = Budget, then clamp e to the feasible segment.
+	pe, pc := k.PriceE, k.PriceC
+	t := (pe*p.E + pc*p.C - k.Budget) / (pe*pe + pc*pc)
+	e := Clamp(p.E-pe*t, 0, k.maxE())
+	c := (k.Budget - pe*e) / pc
+	if c < 0 {
+		c = 0
+	}
+	return Point2{E: e, C: c}
+}
+
+// ProjectedGradientResult reports the outcome of ProjectedGradientAscent.
+type ProjectedGradientResult struct {
+	X          Point2  // final iterate
+	Value      float64 // objective at X
+	Iterations int     // gradient steps taken
+	Converged  bool    // true when the projected step shrank below tol
+}
+
+// ProjectedGradientAscent maximizes f over the polytope k starting from
+// x0, using gradient ascent with backtracking line search and projection.
+// grad must return ∂f/∂e and ∂f/∂c at the given point. maxIter bounds the
+// number of outer steps and tol is the convergence threshold on the
+// projected step length.
+func ProjectedGradientAscent(
+	f func(Point2) float64,
+	grad func(Point2) Point2,
+	k RequestPolytope,
+	x0 Point2,
+	maxIter int,
+	tol float64,
+) ProjectedGradientResult {
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := k.Project(x0)
+	fx := f(x)
+	step := 1.0
+	for it := 0; it < maxIter; it++ {
+		g := grad(x)
+		if gn := g.Norm(); gn > 0 && !math.IsInf(gn, 0) {
+			// Normalize the step to the scale of the region so the first
+			// trial is neither microscopic nor wildly out of bounds.
+			step = math.Max(step, tol)
+		}
+		moved := false
+		for trial := 0; trial < 60; trial++ {
+			cand := k.Project(x.Add(g.Scale(step)))
+			fc := f(cand)
+			if fc > fx+1e-15 {
+				delta := cand.Sub(x).Norm()
+				x, fx = cand, fc
+				moved = true
+				step *= 1.6
+				if delta < tol {
+					return ProjectedGradientResult{X: x, Value: fx, Iterations: it + 1, Converged: true}
+				}
+				break
+			}
+			step /= 2
+			if step < 1e-16 {
+				break
+			}
+		}
+		if !moved {
+			return ProjectedGradientResult{X: x, Value: fx, Iterations: it, Converged: true}
+		}
+	}
+	return ProjectedGradientResult{X: x, Value: fx, Iterations: maxIter, Converged: false}
+}
+
+// Grad2FiniteDiff returns a central finite-difference gradient of f.
+func Grad2FiniteDiff(f func(Point2) float64, h float64) func(Point2) Point2 {
+	if h <= 0 {
+		h = 1e-6
+	}
+	return func(p Point2) Point2 {
+		return Point2{
+			E: (f(Point2{E: p.E + h, C: p.C}) - f(Point2{E: p.E - h, C: p.C})) / (2 * h),
+			C: (f(Point2{E: p.E, C: p.C + h}) - f(Point2{E: p.E, C: p.C - h})) / (2 * h),
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by root finders when the supplied interval does
+// not bracket a sign change.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+const (
+	// invPhi is 1/φ, the golden ratio section used by MaximizeGolden.
+	invPhi = 0.6180339887498949
+	// invPhi2 is 1/φ².
+	invPhi2 = 0.3819660112501051
+)
+
+// MaximizeGolden finds the maximizer of f on [lo, hi] assuming f is
+// unimodal there, using golden-section search. It returns the argmax and
+// the maximum value. tol is the absolute tolerance on the argument; a
+// non-positive tol defaults to 1e-9 times the interval width plus 1e-12.
+func MaximizeGolden(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-9*(hi-lo) + 1e-12
+	}
+	a, b := lo, hi
+	c := a + invPhi2*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = a + invPhi2*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// MaximizeGrid evaluates f on a uniform grid of n+1 points over [lo, hi],
+// then refines around the best grid point with golden-section search.
+// It tolerates non-unimodal f as long as the grid is fine enough to land
+// in the basin of the global maximum. n must be at least 2.
+func MaximizeGrid(f func(float64) float64, lo, hi float64, n int, tol float64) (x, fx float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if n < 2 {
+		n = 2
+	}
+	step := (hi - lo) / float64(n)
+	bestI, bestV := 0, math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		v := f(lo + float64(i)*step)
+		if v > bestV {
+			bestI, bestV = i, v
+		}
+	}
+	a := lo + float64(max(bestI-1, 0))*step
+	b := lo + float64(min(bestI+1, n))*step
+	x, fx = MaximizeGolden(f, a, b, tol)
+	if bestV > fx {
+		// Golden refinement can lose to the raw grid point when f is
+		// flat or noisy; keep the better of the two.
+		return lo + float64(bestI)*step, bestV
+	}
+	return x, fx
+}
+
+// Bisect finds a root of f in [lo, hi] by bisection. f(lo) and f(hi) must
+// have opposite signs (or one of them must be zero). tol is the absolute
+// tolerance on the argument.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, fmt.Errorf("bisect on [%g, %g]: f=%g and %g: %w", lo, hi, flo, fhi, ErrNoBracket)
+	}
+	if tol <= 0 {
+		tol = 1e-12 * (math.Abs(lo) + math.Abs(hi) + 1)
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// BrentRoot finds a root of f in the bracketing interval [lo, hi] using
+// Brent's method (inverse quadratic interpolation with bisection
+// fallback). It converges superlinearly for smooth f and never leaves the
+// bracket.
+func BrentRoot(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("brent on [%g, %g]: f=%g and %g: %w", lo, hi, fa, fb, ErrNoBracket)
+	}
+	if tol <= 0 {
+		tol = 1e-13
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	var d float64
+	mflag := true
+	for i := 0; i < 200 && fb != 0 && math.Abs(b-a) > tol; i++ {
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo34, hi34 := (3*a+b)/4, b
+		if lo34 > hi34 {
+			lo34, hi34 = hi34, lo34
+		}
+		useBisect := s < lo34 || s > hi34 ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if useBisect {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, nil
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,106 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	if math.Abs(s.StdDev-2.13808993) > 1e-6 {
+		t.Errorf("StdDev = %g, want ≈2.138", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.StdDev != 0 || s.Min != 3 || s.Max != 3 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestMeanAndSum(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %g, want 10", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	tests := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-10, 1e-9, true},
+		{1e9, 1e9 + 1, 1e-6, true}, // relative tolerance
+		{1, 2, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+	}
+	for _, tt := range tests {
+		if got := AlmostEqual(tt.a, tt.b, tt.tol); got != tt.want {
+			t.Errorf("AlmostEqual(%g, %g, %g) = %v, want %v", tt.a, tt.b, tt.tol, got, tt.want)
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(xs) != len(want) {
+		t.Fatalf("len = %d, want %d", len(xs), len(want))
+	}
+	for i := range xs {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Errorf("xs[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+	if got := Linspace(3, 7, 1); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("degenerate linspace = %v", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"equal", []float64{5, 5, 5, 5}, 0},
+		{"zero total", []float64{0, 0}, 0},
+		// One of two holders owns everything: G = 1/2 for n = 2.
+		{"two-point extreme", []float64{0, 10}, 0.5},
+		// Known value: {1,2,3,4} has G = 0.25.
+		{"textbook", []float64{1, 2, 3, 4}, 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Gini(tt.xs); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Gini(%v) = %g, want %g", tt.xs, got, tt.want)
+			}
+		})
+	}
+	// Order invariance.
+	if Gini([]float64{4, 1, 3, 2}) != Gini([]float64{1, 2, 3, 4}) {
+		t.Error("Gini must be order-invariant")
+	}
+}

@@ -1,0 +1,280 @@
+// Package population implements the paper's dynamic-miner-number scenario
+// (§V): the miner count N is a random variable N ~ 𝒩(μ, σ²), discretized
+// as P(k) = Φ(k) − Φ(k−1) and truncated to k ≥ 1. Homogeneous miners
+// maximize their EXPECTED utility over the realized population
+// (Problem 1d), and the package solves the symmetric equilibrium by
+// damped fixed-point iteration on the common strategy.
+//
+// The expected utility follows the law of total expectation the paper
+// invokes (its Eq. 26 prints the h = 0.5 special case, with an evident
+// sign typo on the cost terms):
+//
+//	U(e, c) = h·Σ_k P(k)·R·W^h_k + (1−h)·Σ_k P(k)·R·W^{1−h}_k − (P_e·e + P_c·c)
+//
+// where, with k−1 peers playing the common strategy,
+// W^h_k is the fully satisfied probability (Eq. 6) and
+// W^{1−h}_k = (1−β)(e+c)/S_k the degraded one (Eq. 7).
+package population
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+)
+
+// Model is the random miner count.
+type Model struct {
+	Mu    float64 // mean μ of the underlying Gaussian
+	Sigma float64 // standard deviation σ (> 0)
+	// MaxN truncates the support above. Zero picks μ + 8σ.
+	MaxN int
+}
+
+// Validate reports model errors.
+func (m Model) Validate() error {
+	if m.Mu < 1 {
+		return fmt.Errorf("population: mean %g must be at least 1", m.Mu)
+	}
+	if m.Sigma <= 0 {
+		return fmt.Errorf("population: sigma %g must be positive", m.Sigma)
+	}
+	if m.MaxN < 0 {
+		return fmt.Errorf("population: max miners %d must be non-negative", m.MaxN)
+	}
+	return nil
+}
+
+// PMF returns the discretized, truncated miner-count distribution using
+// the round-to-nearest convention P(k) = Φ(k+½) − Φ(k−½), which keeps the
+// discrete mean at μ (up to the k ≥ 1 truncation). The paper's printed
+// formula P(k) = Φ(k) − Φ(k−1) is a ceiling that silently shifts the mean
+// up by one half, which would confound "uncertainty" with "more rivals on
+// average" when comparing against the fixed scenario N = μ; PMFCeil
+// provides that literal form for reference.
+func (m Model) PMF() (numeric.DiscretePMF, error) {
+	if err := m.Validate(); err != nil {
+		return numeric.DiscretePMF{}, err
+	}
+	// DiscretizedGaussian assigns k the mass of (k−1, k] (a ceiling);
+	// shifting the underlying mean down by one half turns that into the
+	// rounding convention P(k) = Φ(k+½) − Φ(k−½) around μ.
+	return numeric.DiscretizedGaussian(m.Mu-0.5, m.Sigma, 1, m.hi())
+}
+
+// PMFCeil is the paper's literal discretization P(k) = Φ(k) − Φ(k−1),
+// truncated to [1, MaxN] and renormalized.
+func (m Model) PMFCeil() (numeric.DiscretePMF, error) {
+	if err := m.Validate(); err != nil {
+		return numeric.DiscretePMF{}, err
+	}
+	return numeric.DiscretizedGaussian(m.Mu, m.Sigma, 1, m.hi())
+}
+
+func (m Model) hi() int {
+	hi := m.MaxN
+	if hi == 0 {
+		hi = int(math.Ceil(m.Mu + 8*m.Sigma))
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	return hi
+}
+
+// Degenerate returns the point distribution at exactly n miners — the
+// fixed-population baseline evaluated through the same expected-utility
+// machinery, so comparisons isolate the effect of uncertainty alone.
+func Degenerate(n int) numeric.DiscretePMF {
+	return numeric.DiscretePMF{Lo: n, P: []float64{1}}
+}
+
+// Degraded selects the failure branch of the expected utility: what
+// happens to the (1−h) share of rounds where the ESP cannot serve the
+// edge request.
+type Degraded int
+
+const (
+	// DegradedTransfer uses Eq. 7 (connected ESP: the request mines in
+	// the cloud) — the form the paper's Eq. 26 prints.
+	DegradedTransfer Degraded = iota + 1
+	// DegradedReject uses Eq. 8 (standalone ESP: the edge request and
+	// its computing power vanish from the network) — §V's stated mode.
+	DegradedReject
+)
+
+// ExpectedUtility evaluates Problem 1d's objective for a focal miner
+// playing own while every peer plays peer, under miner-count PMF pmf
+// (counts include the focal miner, so k−1 peers participate). It uses
+// the transfer degraded form; ExpectedUtilityForm selects the branch.
+func ExpectedUtility(p miner.Params, pmf numeric.DiscretePMF, own, peer numeric.Point2) float64 {
+	return ExpectedUtilityForm(p, pmf, own, peer, DegradedTransfer)
+}
+
+// ExpectedUtilityForm is ExpectedUtility with an explicit degraded form.
+func ExpectedUtilityForm(p miner.Params, pmf numeric.DiscretePMF, own, peer numeric.Point2, form Degraded) float64 {
+	var wFull, wDeg float64
+	for i, prob := range pmf.P {
+		if prob == 0 {
+			continue
+		}
+		k := pmf.Lo + i
+		env := miner.Env{
+			EdgeOthers:  float64(k-1) * peer.E,
+			CloudOthers: float64(k-1) * peer.C,
+		}
+		wFull += prob * miner.WinProbFull(p.Beta, own, env)
+		if form == DegradedReject {
+			wDeg += prob * miner.WinProbRejected(p.Beta, own, env)
+		} else {
+			wDeg += prob * miner.WinProbTransferred(p.Beta, own, env)
+		}
+	}
+	return p.Reward*(p.H*wFull+(1-p.H)*wDeg) - p.Spend(own)
+}
+
+// ExpectedGrad is the gradient of ExpectedUtility in the focal miner's
+// own request (transfer degraded form).
+func ExpectedGrad(p miner.Params, pmf numeric.DiscretePMF, own, peer numeric.Point2) numeric.Point2 {
+	return ExpectedGradForm(p, pmf, own, peer, DegradedTransfer)
+}
+
+// ExpectedGradForm is ExpectedGrad with an explicit degraded form.
+func ExpectedGradForm(p miner.Params, pmf numeric.DiscretePMF, own, peer numeric.Point2, form Degraded) numeric.Point2 {
+	var g numeric.Point2
+	for i, prob := range pmf.P {
+		if prob == 0 {
+			continue
+		}
+		k := pmf.Lo + i
+		env := miner.Env{
+			EdgeOthers:  float64(k-1) * peer.E,
+			CloudOthers: float64(k-1) * peer.C,
+		}
+		gf := miner.WinProbFullGrad(p.Beta, own, env)
+		var gd numeric.Point2
+		if form == DegradedReject {
+			gd = miner.WinProbRejectedGrad(p.Beta, own, env)
+		} else {
+			gd = miner.WinProbTransferredGrad(p.Beta, own, env)
+		}
+		g.E += prob * (p.H*gf.E + (1-p.H)*gd.E)
+		g.C += prob * (p.H*gf.C + (1-p.H)*gd.C)
+	}
+	return numeric.Point2{
+		E: p.Reward*g.E - p.PriceE,
+		C: p.Reward*g.C - p.PriceC,
+	}
+}
+
+// BestResponse maximizes the expected utility over the budget polytope
+// (transfer degraded form).
+func BestResponse(p miner.Params, pmf numeric.DiscretePMF, budget float64, peer numeric.Point2, hints ...numeric.Point2) numeric.Point2 {
+	return BestResponseForm(p, pmf, budget, peer, DegradedTransfer, hints...)
+}
+
+// BestResponseForm is BestResponse with an explicit degraded form.
+func BestResponseForm(p miner.Params, pmf numeric.DiscretePMF, budget float64, peer numeric.Point2, form Degraded, hints ...numeric.Point2) numeric.Point2 {
+	k := numeric.RequestPolytope{
+		PriceE:  p.PriceE,
+		PriceC:  p.PriceC,
+		Budget:  budget,
+		EdgeCap: math.Inf(1),
+	}
+	f := func(x numeric.Point2) float64 { return ExpectedUtilityForm(p, pmf, x, peer, form) }
+	grad := func(x numeric.Point2) numeric.Point2 { return ExpectedGradForm(p, pmf, x, peer, form) }
+	starts := append([]numeric.Point2{}, hints...)
+	starts = append(starts,
+		peer,
+		numeric.Point2{E: budget / (4 * p.PriceE), C: budget / (4 * p.PriceC)},
+		numeric.Point2{E: budget / p.PriceE, C: 0},
+		numeric.Point2{E: 0, C: budget / p.PriceC},
+	)
+	best := numeric.Point2{}
+	bestV := f(best)
+	for _, s := range starts {
+		res := numeric.ProjectedGradientAscent(f, grad, k, s, 400, 1e-11)
+		if res.Value > bestV {
+			best, bestV = res.X, res.Value
+		}
+	}
+	return best
+}
+
+// Equilibrium is a symmetric equilibrium of the dynamic-population game.
+type Equilibrium struct {
+	Request numeric.Point2 // the common strategy (e*, c*)
+	// ExpectedEdgeDemand is E[N]·e*, the ESP demand the SPs anticipate.
+	ExpectedEdgeDemand float64
+	// ExpectedCloudDemand is E[N]·c*.
+	ExpectedCloudDemand float64
+	Utility             float64 // symmetric expected utility
+	Iterations          int
+	Converged           bool
+}
+
+// SolveOptions tunes the fixed-point iteration.
+type SolveOptions struct {
+	MaxIter int     // default 2000
+	Tol     float64 // strategy-change threshold, default 1e-6
+	Damping float64 // weight on the new strategy, default 0.25
+	// Form selects the degraded branch of the expected utility; the zero
+	// value means DegradedTransfer (the paper's Eq. 26 printing).
+	Form Degraded
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		// The symmetric best-response map oscillates (its slope at the
+		// fixed point is strongly negative for contest games), so heavy
+		// damping is needed for a contraction.
+		o.Damping = 0.25
+	}
+	return o
+}
+
+// SymmetricEquilibrium solves the homogeneous dynamic-population game: it
+// iterates peer ← (1−d)·peer + d·BestResponse(peer) until the common
+// strategy is a fixed point of the best-response map.
+func SymmetricEquilibrium(p miner.Params, pmf numeric.DiscretePMF, budget float64, opts SolveOptions) (Equilibrium, error) {
+	if err := p.Validate(); err != nil {
+		return Equilibrium{}, err
+	}
+	if budget <= 0 {
+		return Equilibrium{}, fmt.Errorf("population: budget %g must be positive", budget)
+	}
+	if len(pmf.P) == 0 {
+		return Equilibrium{}, fmt.Errorf("population: empty miner-count distribution")
+	}
+	opts = opts.withDefaults()
+	peer := numeric.Point2{E: budget / (4 * p.PriceE), C: budget / (4 * p.PriceC)}
+	eq := Equilibrium{}
+	form := opts.Form
+	if form == 0 {
+		form = DegradedTransfer
+	}
+	for it := 0; it < opts.MaxIter; it++ {
+		eq.Iterations = it + 1
+		next := BestResponseForm(p, pmf, budget, peer, form, peer)
+		blended := peer.Scale(1 - opts.Damping).Add(next.Scale(opts.Damping))
+		delta := blended.Sub(peer).Norm()
+		peer = blended
+		if delta < opts.Tol {
+			eq.Converged = true
+			break
+		}
+	}
+	eq.Request = peer
+	mean := pmf.Mean()
+	eq.ExpectedEdgeDemand = mean * peer.E
+	eq.ExpectedCloudDemand = mean * peer.C
+	eq.Utility = ExpectedUtilityForm(p, pmf, peer, peer, form)
+	return eq, nil
+}

@@ -1,0 +1,220 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+)
+
+func testParams() miner.Params {
+	return miner.Params{Reward: 1000, Beta: 0.2, H: 0.7, PriceE: 8, PriceC: 4}
+}
+
+func TestModelValidateAndPMF(t *testing.T) {
+	m := Model{Mu: 10, Sigma: 2}
+	pmf, err := m.PMF()
+	if err != nil {
+		t.Fatalf("PMF: %v", err)
+	}
+	var total float64
+	for _, p := range pmf.P {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("PMF mass = %.15f", total)
+	}
+	if pmf.Lo != 1 {
+		t.Errorf("support starts at %d, want 1 (paper truncates at k ≥ 1)", pmf.Lo)
+	}
+	for _, bad := range []Model{{Mu: 0, Sigma: 2}, {Mu: 10, Sigma: 0}, {Mu: 10, Sigma: 2, MaxN: -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("model %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	d := Degenerate(5)
+	if d.Prob(5) != 1 || d.Prob(4) != 0 || d.Mean() != 5 {
+		t.Errorf("degenerate PMF = %+v", d)
+	}
+}
+
+// TestExpectedUtilityDegenerateEqualsConnected verifies the structural
+// identity: with a point distribution at k = n the dynamic objective is
+// exactly the connected-mode utility (h·W^h + (1−h)·W^{1−h} = Eq. 9).
+func TestExpectedUtilityDegenerateEqualsConnected(t *testing.T) {
+	p := testParams()
+	pmf := Degenerate(5)
+	peer := numeric.Point2{E: 5, C: 20}
+	for _, own := range []numeric.Point2{{E: 2, C: 10}, {E: 8, C: 1}, {E: 0, C: 15}} {
+		env := miner.Env{EdgeOthers: 4 * peer.E, CloudOthers: 4 * peer.C}
+		want := miner.UtilityConnected(p, own, env)
+		got := ExpectedUtility(p, pmf, own, peer)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("own %+v: dynamic %g != connected %g", own, got, want)
+		}
+	}
+}
+
+func TestExpectedGradMatchesFiniteDifferences(t *testing.T) {
+	p := testParams()
+	m := Model{Mu: 6, Sigma: 2}
+	pmf, err := m.PMF()
+	if err != nil {
+		t.Fatalf("PMF: %v", err)
+	}
+	peer := numeric.Point2{E: 4, C: 18}
+	for _, own := range []numeric.Point2{{E: 3, C: 12}, {E: 7, C: 2}, {E: 1, C: 30}} {
+		got := ExpectedGrad(p, pmf, own, peer)
+		fd := numeric.Grad2FiniteDiff(func(x numeric.Point2) float64 {
+			return ExpectedUtility(p, pmf, x, peer)
+		}, 1e-5)(own)
+		if !numeric.AlmostEqual(got.E, fd.E, 1e-4) || !numeric.AlmostEqual(got.C, fd.C, 1e-4) {
+			t.Errorf("own %+v: grad %+v, fd %+v", own, got, fd)
+		}
+	}
+}
+
+func TestSymmetricEquilibriumDegenerateMatchesClosedForm(t *testing.T) {
+	p := testParams()
+	const n, budget = 5, 200.0
+	eq, err := SymmetricEquilibrium(p, Degenerate(n), budget, SolveOptions{})
+	if err != nil {
+		t.Fatalf("SymmetricEquilibrium: %v", err)
+	}
+	if !eq.Converged {
+		t.Fatalf("not converged: %+v", eq)
+	}
+	want, err := miner.HomogeneousConnected(p, n, budget)
+	if err != nil {
+		t.Fatalf("closed form: %v", err)
+	}
+	if math.Abs(eq.Request.E-want.Request.E) > 1e-3 || math.Abs(eq.Request.C-want.Request.C) > 1e-3 {
+		t.Errorf("degenerate dynamic equilibrium %+v != connected closed form %+v", eq.Request, want.Request)
+	}
+}
+
+// TestUncertaintyInflatesEdgeDemand is the paper's §V headline: population
+// uncertainty renders miners more aggressive at the ESP, and a larger
+// variance amplifies the effect (Fig. 9(a)/(b)). μ = 10 matches the
+// paper's Fig. 3 example and keeps the k ≥ 1 truncation negligible, so
+// the comparison isolates pure uncertainty at a matched mean.
+func TestUncertaintyInflatesEdgeDemand(t *testing.T) {
+	p := testParams()
+	const budget = 200.0
+	fixed, err := SymmetricEquilibrium(p, Degenerate(10), budget, SolveOptions{})
+	if err != nil {
+		t.Fatalf("fixed: %v", err)
+	}
+	prevE := fixed.Request.E
+	for _, sigma := range []float64{1, 2, 3} {
+		pmf, err := Model{Mu: 10, Sigma: sigma}.PMF()
+		if err != nil {
+			t.Fatalf("PMF σ=%g: %v", sigma, err)
+		}
+		if math.Abs(pmf.Mean()-10) > 0.05 {
+			t.Fatalf("σ=%g: PMF mean %g drifted from 10", sigma, pmf.Mean())
+		}
+		dyn, err := SymmetricEquilibrium(p, pmf, budget, SolveOptions{})
+		if err != nil {
+			t.Fatalf("dynamic σ=%g: %v", sigma, err)
+		}
+		if !dyn.Converged {
+			t.Fatalf("dynamic σ=%g not converged", sigma)
+		}
+		if dyn.Request.E <= prevE {
+			t.Errorf("σ=%g: e* = %g did not increase over %g (uncertainty should inflate ESP demand)",
+				sigma, dyn.Request.E, prevE)
+		}
+		prevE = dyn.Request.E
+	}
+}
+
+// TestMeanPreservingSpreadInflatesDemand checks the pure effect with a
+// two-point spread that holds the mean at exactly 5: both the edge and
+// the total demand grow with the spread.
+func TestMeanPreservingSpreadInflatesDemand(t *testing.T) {
+	p := testParams()
+	const budget = 200.0
+	fixed, err := SymmetricEquilibrium(p, Degenerate(5), budget, SolveOptions{})
+	if err != nil {
+		t.Fatalf("fixed: %v", err)
+	}
+	spread := numeric.DiscretePMF{Lo: 3, P: []float64{0.5, 0, 0, 0, 0.5}} // {3, 7} w.p. ½ each
+	dyn, err := SymmetricEquilibrium(p, spread, budget, SolveOptions{})
+	if err != nil {
+		t.Fatalf("spread: %v", err)
+	}
+	if dyn.Request.E <= fixed.Request.E {
+		t.Errorf("edge demand %g did not grow over fixed %g", dyn.Request.E, fixed.Request.E)
+	}
+	if total, fixedTotal := dyn.Request.E+dyn.Request.C, fixed.Request.E+fixed.Request.C; total <= fixedTotal {
+		t.Errorf("total demand %g did not grow over fixed %g", total, fixedTotal)
+	}
+}
+
+func TestSymmetricEquilibriumErrors(t *testing.T) {
+	p := testParams()
+	if _, err := SymmetricEquilibrium(p, Degenerate(5), 0, SolveOptions{}); err == nil {
+		t.Error("want error for zero budget")
+	}
+	if _, err := SymmetricEquilibrium(p, numeric.DiscretePMF{}, 100, SolveOptions{}); err == nil {
+		t.Error("want error for empty PMF")
+	}
+	bad := p
+	bad.Reward = 0
+	if _, err := SymmetricEquilibrium(bad, Degenerate(5), 100, SolveOptions{}); err == nil {
+		t.Error("want error for invalid params")
+	}
+}
+
+// TestDegradedRejectFormIsHarsherOnEdge: when failure means outright
+// rejection (the edge request and its power vanish, Eq. 8) instead of a
+// cloud transfer (Eq. 7), miners hedge by buying fewer edge units.
+func TestDegradedRejectFormIsHarsherOnEdge(t *testing.T) {
+	p := testParams()
+	pmf, err := Model{Mu: 10, Sigma: 2}.PMF()
+	if err != nil {
+		t.Fatalf("PMF: %v", err)
+	}
+	transfer, err := SymmetricEquilibrium(p, pmf, 200, SolveOptions{Form: DegradedTransfer})
+	if err != nil {
+		t.Fatalf("transfer form: %v", err)
+	}
+	reject, err := SymmetricEquilibrium(p, pmf, 200, SolveOptions{Form: DegradedReject})
+	if err != nil {
+		t.Fatalf("reject form: %v", err)
+	}
+	if !transfer.Converged || !reject.Converged {
+		t.Fatal("equilibria did not converge")
+	}
+	if reject.Request.E >= transfer.Request.E {
+		t.Errorf("reject-form e* = %g should fall below transfer-form %g",
+			reject.Request.E, transfer.Request.E)
+	}
+	if reject.Utility >= transfer.Utility {
+		t.Errorf("reject-form utility %g should fall below transfer-form %g",
+			reject.Utility, transfer.Utility)
+	}
+}
+
+func TestExpectedGradRejectFormMatchesFiniteDifferences(t *testing.T) {
+	p := testParams()
+	pmf, err := Model{Mu: 6, Sigma: 2}.PMF()
+	if err != nil {
+		t.Fatalf("PMF: %v", err)
+	}
+	peer := numeric.Point2{E: 4, C: 18}
+	for _, own := range []numeric.Point2{{E: 3, C: 12}, {E: 7, C: 2}} {
+		got := ExpectedGradForm(p, pmf, own, peer, DegradedReject)
+		fd := numeric.Grad2FiniteDiff(func(x numeric.Point2) float64 {
+			return ExpectedUtilityForm(p, pmf, x, peer, DegradedReject)
+		}, 1e-5)(own)
+		if !numeric.AlmostEqual(got.E, fd.E, 1e-4) || !numeric.AlmostEqual(got.C, fd.C, 1e-4) {
+			t.Errorf("own %+v: grad %+v, fd %+v", own, got, fd)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minegame/internal/chain"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+)
+
+// ActionGrid is the discretized request space shared by all learners:
+// every affordable (e, c) pair from an nE × nC lattice over the budget
+// box, so each bandit arm is one request vector.
+type ActionGrid struct {
+	Actions []numeric.Point2
+}
+
+// NewActionGrid builds the lattice for the given prices and budget.
+func NewActionGrid(priceE, priceC, budget float64, nE, nC int) (ActionGrid, error) {
+	if priceE <= 0 || priceC <= 0 {
+		return ActionGrid{}, fmt.Errorf("rl: prices (%g, %g) must be positive", priceE, priceC)
+	}
+	if budget <= 0 {
+		return ActionGrid{}, fmt.Errorf("rl: budget %g must be positive", budget)
+	}
+	if nE < 2 || nC < 2 {
+		return ActionGrid{}, fmt.Errorf("rl: grid %dx%d too coarse, need at least 2x2", nE, nC)
+	}
+	es := numeric.Linspace(0, budget/priceE, nE)
+	cs := numeric.Linspace(0, budget/priceC, nC)
+	var actions []numeric.Point2
+	for _, e := range es {
+		for _, c := range cs {
+			if priceE*e+priceC*c <= budget*(1+1e-12) {
+				actions = append(actions, numeric.Point2{E: e, C: c})
+			}
+		}
+	}
+	return ActionGrid{Actions: actions}, nil
+}
+
+// Nearest returns the index of the grid action closest to p.
+func (g ActionGrid) Nearest(p numeric.Point2) int {
+	best, bestD := 0, g.Actions[0].Sub(p).Norm()
+	for i, a := range g.Actions[1:] {
+		if d := a.Sub(p).Norm(); d < bestD {
+			best, bestD = i+1, d
+		}
+	}
+	return best
+}
+
+// Environment maps one round of joint requests to per-miner utilities.
+// The requests slice is indexed by participant; the returned slice must
+// align with it.
+type Environment interface {
+	Payoffs(requests []numeric.Point2, rng *rand.Rand) ([]float64, error)
+}
+
+// ModelEnv pays the paper's model utility: requests are serviced by the
+// netmodel network (random transfers in connected mode, capacity
+// rejections in standalone mode), and each miner's winning probability is
+// the paper's conditional form — its own service outcome against the
+// other miners' requests as submitted (Eqs. 6–8). Averaged over the
+// service randomness this reproduces Eq. 9 exactly, so learners converge
+// to the analytic subgame equilibrium. ChainEnv is the fully physical
+// alternative where every miner's realized allocation interacts.
+type ModelEnv struct {
+	Net    netmodel.Network
+	Reward float64
+}
+
+// Payoffs implements Environment.
+func (e ModelEnv) Payoffs(requests []numeric.Point2, rng *rand.Rand) ([]float64, error) {
+	outcomes, _, err := serve(e.Net, requests, rng)
+	if err != nil {
+		return nil, err
+	}
+	beta := e.Net.Beta()
+	prof := miner.Profile(requests)
+	us := make([]float64, len(outcomes))
+	for i, o := range outcomes {
+		env := prof.Env(i)
+		var w float64
+		switch o.Kind {
+		case netmodel.Transferred:
+			w = miner.WinProbTransferred(beta, requests[i], env)
+		case netmodel.Rejected:
+			w = miner.WinProbRejected(beta, requests[i], env)
+		default:
+			w = miner.WinProbFull(beta, requests[i], env)
+		}
+		us[i] = e.Reward*w - o.Billed
+	}
+	return us, nil
+}
+
+// ChainEnv pays realized utilities: the serviced allocation mines Blocks
+// rounds on the proof-of-work race simulator, and each miner earns the
+// reward for the canonical blocks it won, minus its bill per round.
+type ChainEnv struct {
+	Net    netmodel.Network
+	Reward float64
+	// Blocks per learning period (the paper uses T = 50).
+	Blocks int
+}
+
+// Payoffs implements Environment.
+func (e ChainEnv) Payoffs(requests []numeric.Point2, rng *rand.Rand) ([]float64, error) {
+	blocks := e.Blocks
+	if blocks <= 0 {
+		blocks = 50
+	}
+	outcomes, sum, err := serve(e.Net, requests, rng)
+	if err != nil {
+		return nil, err
+	}
+	us := make([]float64, len(outcomes))
+	if sum.EdgeServed+sum.CloudServed <= 0 {
+		for i, o := range outcomes {
+			us[i] = -o.Billed
+		}
+		return us, nil
+	}
+	cfg := e.Net.RaceConfig(outcomes)
+	stats, err := chain.SimulateRounds(cfg, blocks, rng)
+	if err != nil {
+		return nil, fmt.Errorf("rl chain env: %w", err)
+	}
+	for i, o := range outcomes {
+		us[i] = e.Reward*stats.WinProb(o.Request.MinerID) - o.Billed
+	}
+	return us, nil
+}
+
+// serve pushes requests through the network, shuffling the admission
+// order in standalone mode so no participant is systematically last in
+// line for capacity.
+func serve(net netmodel.Network, requests []numeric.Point2, rng *rand.Rand) ([]netmodel.Outcome, netmodel.ServiceSummary, error) {
+	order := make([]int, len(requests))
+	for i := range order {
+		order[i] = i
+	}
+	if net.ESP.Mode == netmodel.Standalone && rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	reqs := make([]netmodel.Request, len(requests))
+	for pos, idx := range order {
+		reqs[pos] = netmodel.Request{MinerID: idx, Edge: requests[idx].E, Cloud: requests[idx].C}
+	}
+	outcomes, sum, err := net.Serve(reqs, rng)
+	if err != nil {
+		return nil, netmodel.ServiceSummary{}, err
+	}
+	// Undo the shuffle so outcome i describes participant i.
+	byMiner := make([]netmodel.Outcome, len(requests))
+	for _, o := range outcomes {
+		byMiner[o.Request.MinerID] = o
+	}
+	return byMiner, sum, nil
+}
+
+var (
+	_ Environment = ModelEnv{}
+	_ Environment = ChainEnv{}
+)

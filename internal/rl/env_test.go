@@ -1,0 +1,159 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+	"minegame/internal/sim"
+)
+
+func connectedNet(priceE, priceC float64) netmodel.Network {
+	return netmodel.Network{
+		ESP:           netmodel.ESP{Mode: netmodel.Connected, SatisfyProb: 0.7, Cost: 2, Price: priceE},
+		CSP:           netmodel.CSP{Cost: 1, Price: priceC, Delay: 133.9},
+		BlockInterval: 600,
+	}
+}
+
+func standaloneNet(priceE, priceC, capacity float64) netmodel.Network {
+	return netmodel.Network{
+		ESP:           netmodel.ESP{Mode: netmodel.Standalone, Capacity: capacity, Cost: 2, Price: priceE},
+		CSP:           netmodel.CSP{Cost: 1, Price: priceC, Delay: 133.9},
+		BlockInterval: 600,
+	}
+}
+
+func TestNewActionGrid(t *testing.T) {
+	g, err := NewActionGrid(8, 4, 200, 6, 6)
+	if err != nil {
+		t.Fatalf("NewActionGrid: %v", err)
+	}
+	if len(g.Actions) == 0 {
+		t.Fatal("empty grid")
+	}
+	for _, a := range g.Actions {
+		if 8*a.E+4*a.C > 200*(1+1e-9) {
+			t.Errorf("unaffordable action %+v", a)
+		}
+		if a.E < 0 || a.C < 0 {
+			t.Errorf("negative action %+v", a)
+		}
+	}
+	// Both axes' extremes must be present.
+	sawMaxE, sawMaxC := false, false
+	for _, a := range g.Actions {
+		if math.Abs(a.E-25) < 1e-9 && a.C == 0 {
+			sawMaxE = true
+		}
+		if a.E == 0 && math.Abs(a.C-50) < 1e-9 {
+			sawMaxC = true
+		}
+	}
+	if !sawMaxE || !sawMaxC {
+		t.Error("grid should include the pure-edge and pure-cloud budget corners")
+	}
+}
+
+func TestNewActionGridErrors(t *testing.T) {
+	if _, err := NewActionGrid(0, 4, 200, 6, 6); err == nil {
+		t.Error("want error for zero price")
+	}
+	if _, err := NewActionGrid(8, 4, 0, 6, 6); err == nil {
+		t.Error("want error for zero budget")
+	}
+	if _, err := NewActionGrid(8, 4, 200, 1, 6); err == nil {
+		t.Error("want error for degenerate grid")
+	}
+}
+
+func TestActionGridNearest(t *testing.T) {
+	g, err := NewActionGrid(8, 4, 200, 6, 6)
+	if err != nil {
+		t.Fatalf("NewActionGrid: %v", err)
+	}
+	idx := g.Nearest(numeric.Point2{E: 25, C: 0})
+	if got := g.Actions[idx]; math.Abs(got.E-25) > 1e-9 || got.C != 0 {
+		t.Errorf("nearest to corner = %+v", got)
+	}
+}
+
+func TestModelEnvMatchesAnalyticUtilityConnected(t *testing.T) {
+	// With h < 1 the payoffs are random (transfer coins); their average
+	// must match the connected-mode expected utility (Eq. 9).
+	net := connectedNet(8, 4)
+	env := ModelEnv{Net: net, Reward: 1000}
+	rng := sim.NewRNG(11, "model-env")
+	requests := []numeric.Point2{{E: 5, C: 20}, {E: 3, C: 30}, {E: 8, C: 10}}
+	sums := make([]float64, len(requests))
+	const rounds = 8000
+	for i := 0; i < rounds; i++ {
+		us, err := env.Payoffs(requests, rng)
+		if err != nil {
+			t.Fatalf("Payoffs: %v", err)
+		}
+		for j, u := range us {
+			sums[j] += u
+		}
+	}
+	params := miner.Params{Reward: 1000, Beta: net.Beta(), H: 0.7, PriceE: 8, PriceC: 4}
+	prof := miner.Profile(requests)
+	for j := range requests {
+		got := sums[j] / rounds
+		want := miner.UtilityConnected(params, prof[j], prof.Env(j))
+		if math.Abs(got-want) > 12 {
+			t.Errorf("miner %d: mean payoff %g, analytic %g", j, got, want)
+		}
+	}
+}
+
+func TestModelEnvStandaloneRejectsOverload(t *testing.T) {
+	net := standaloneNet(8, 4, 10)
+	env := ModelEnv{Net: net, Reward: 1000}
+	rng := sim.NewRNG(12, "model-env-standalone")
+	// Two miners each requesting 8 edge units: exactly one fits.
+	requests := []numeric.Point2{{E: 8, C: 5}, {E: 8, C: 5}}
+	us, err := env.Payoffs(requests, rng)
+	if err != nil {
+		t.Fatalf("Payoffs: %v", err)
+	}
+	if us[0] == us[1] {
+		t.Errorf("one of the two equal requests must be rejected and earn less: %v", us)
+	}
+}
+
+func TestChainEnvPayoffsReasonable(t *testing.T) {
+	net := standaloneNet(8, 4, 50)
+	env := ChainEnv{Net: net, Reward: 1000, Blocks: 50}
+	rng := sim.NewRNG(13, "chain-env")
+	requests := []numeric.Point2{{E: 5, C: 20}, {E: 5, C: 20}}
+	var mean0, mean1 float64
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		us, err := env.Payoffs(requests, rng)
+		if err != nil {
+			t.Fatalf("Payoffs: %v", err)
+		}
+		mean0 += us[0] / rounds
+		mean1 += us[1] / rounds
+	}
+	// Two identical miners split the reward evenly in expectation:
+	// utility ≈ 1000·0.5 − (8·5+4·20) = 380.
+	if math.Abs(mean0-380) > 40 || math.Abs(mean1-380) > 40 {
+		t.Errorf("mean realized utilities = (%g, %g), want ≈380", mean0, mean1)
+	}
+}
+
+func TestChainEnvZeroRequests(t *testing.T) {
+	net := standaloneNet(8, 4, 50)
+	env := ChainEnv{Net: net, Reward: 1000, Blocks: 10}
+	us, err := env.Payoffs([]numeric.Point2{{}, {}}, sim.NewRNG(14, "zero"))
+	if err != nil {
+		t.Fatalf("Payoffs: %v", err)
+	}
+	if us[0] != 0 || us[1] != 0 {
+		t.Errorf("zero requests must yield zero utility, got %v", us)
+	}
+}

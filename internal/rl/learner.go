@@ -1,0 +1,401 @@
+// Package rl implements the paper's reinforcement-learning validation
+// framework (§VI-C): stateless bandit learners over a discretized request
+// grid, environments that pay out either the model's expected utility or
+// realized utilities from simulated mining races, a trainer that handles
+// the stochastic miner population, and an adaptive pricing loop for the
+// service providers. Learned strategies are compared against the
+// analytic equilibria in the experiments (Fig. 9).
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Learner is a stateless multi-armed bandit over a fixed action set.
+type Learner interface {
+	// Select picks the next action to play.
+	Select(rng *rand.Rand) int
+	// Update feeds back the reward observed for an action.
+	Update(action int, reward float64)
+	// Greedy returns the currently best-valued action.
+	Greedy() int
+}
+
+// EpsilonGreedy is a constant-step-size ε-greedy Q-learner with
+// multiplicative ε decay, the workhorse of the paper's framework.
+type EpsilonGreedy struct {
+	q       []float64
+	counts  []int
+	epsilon float64
+	min     float64
+	decay   float64
+	step    float64
+	average bool
+	seen    []bool
+}
+
+// EpsilonGreedyConfig tunes NewEpsilonGreedy. Zero values select
+// defaults: ε = 0.3 decaying by 0.999 to 0.01, step size 0.1.
+type EpsilonGreedyConfig struct {
+	Epsilon    float64
+	MinEpsilon float64
+	Decay      float64
+	StepSize   float64
+	// SampleAverage replaces the constant step size with 1/N(a), the
+	// unbiased sample mean — better in the late, near-stationary phase
+	// of self-play at the cost of slower early tracking.
+	SampleAverage bool
+}
+
+// NewEpsilonGreedy creates a learner over n actions.
+func NewEpsilonGreedy(n int, cfg EpsilonGreedyConfig) (*EpsilonGreedy, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: need at least one action, got %d", n)
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.3
+	}
+	if cfg.MinEpsilon <= 0 {
+		cfg.MinEpsilon = 0.01
+	}
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		cfg.Decay = 0.999
+	}
+	if cfg.StepSize <= 0 {
+		cfg.StepSize = 0.1
+	}
+	return &EpsilonGreedy{
+		q:       make([]float64, n),
+		counts:  make([]int, n),
+		epsilon: cfg.Epsilon,
+		min:     cfg.MinEpsilon,
+		decay:   cfg.Decay,
+		step:    cfg.StepSize,
+		average: cfg.SampleAverage,
+		seen:    make([]bool, n),
+	}, nil
+}
+
+// Select implements Learner.
+func (l *EpsilonGreedy) Select(rng *rand.Rand) int {
+	if rng.Float64() < l.epsilon {
+		return rng.Intn(len(l.q))
+	}
+	return l.Greedy()
+}
+
+// Update implements Learner, decaying ε after every feedback.
+func (l *EpsilonGreedy) Update(action int, reward float64) {
+	l.counts[action]++
+	switch {
+	case !l.seen[action]:
+		// First observation initializes the estimate so untried actions
+		// do not anchor at an arbitrary zero.
+		l.q[action] = reward
+		l.seen[action] = true
+	case l.average:
+		l.q[action] += (reward - l.q[action]) / float64(l.counts[action])
+	default:
+		l.q[action] += l.step * (reward - l.q[action])
+	}
+	if l.epsilon > l.min {
+		l.epsilon *= l.decay
+		if l.epsilon < l.min {
+			l.epsilon = l.min
+		}
+	}
+}
+
+// Greedy implements Learner.
+func (l *EpsilonGreedy) Greedy() int {
+	best, bestQ := 0, math.Inf(-1)
+	for a, q := range l.q {
+		if l.seen[a] && q > bestQ {
+			best, bestQ = a, q
+		}
+	}
+	if math.IsInf(bestQ, -1) {
+		return 0
+	}
+	return best
+}
+
+// Q exposes a copy of the action-value estimates (for diagnostics).
+func (l *EpsilonGreedy) Q() []float64 {
+	out := make([]float64, len(l.q))
+	copy(out, l.q)
+	return out
+}
+
+// GradientBandit is a softmax preference learner with a running average
+// baseline (Sutton & Barto's gradient bandit), offered as an alternative
+// learner for the same framework.
+type GradientBandit struct {
+	h     []float64
+	alpha float64
+	avg   float64
+	count int
+}
+
+// NewGradientBandit creates a softmax learner over n actions with
+// preference step size alpha (default 0.05 if non-positive).
+func NewGradientBandit(n int, alpha float64) (*GradientBandit, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: need at least one action, got %d", n)
+	}
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	return &GradientBandit{h: make([]float64, n), alpha: alpha}, nil
+}
+
+func (l *GradientBandit) probs() []float64 {
+	maxH := math.Inf(-1)
+	for _, h := range l.h {
+		if h > maxH {
+			maxH = h
+		}
+	}
+	ps := make([]float64, len(l.h))
+	var z float64
+	for i, h := range l.h {
+		ps[i] = math.Exp(h - maxH)
+		z += ps[i]
+	}
+	for i := range ps {
+		ps[i] /= z
+	}
+	return ps
+}
+
+// Select implements Learner.
+func (l *GradientBandit) Select(rng *rand.Rand) int {
+	u := rng.Float64()
+	var cum float64
+	ps := l.probs()
+	for a, p := range ps {
+		cum += p
+		if u < cum {
+			return a
+		}
+	}
+	return len(ps) - 1
+}
+
+// Update implements Learner.
+func (l *GradientBandit) Update(action int, reward float64) {
+	l.count++
+	l.avg += (reward - l.avg) / float64(l.count)
+	adv := reward - l.avg
+	ps := l.probs()
+	for a := range l.h {
+		if a == action {
+			l.h[a] += l.alpha * adv * (1 - ps[a])
+		} else {
+			l.h[a] -= l.alpha * adv * ps[a]
+		}
+	}
+}
+
+// Greedy implements Learner.
+func (l *GradientBandit) Greedy() int {
+	best := 0
+	for a, h := range l.h {
+		if h > l.h[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// UCB1 is the upper-confidence-bound bandit: it plays every arm once,
+// then always selects argmax Q(a) + c·√(ln t / n(a)). Exploration is
+// driven by the confidence widths instead of randomness, so Select only
+// uses the rng to break ties.
+type UCB1 struct {
+	q      []float64
+	counts []int
+	t      int
+	c      float64
+	scale  float64
+}
+
+// NewUCB1 creates a UCB1 learner over n actions. c is the exploration
+// coefficient (default 2 if non-positive); rewardScale should roughly
+// bound the reward magnitude so the confidence widths are commensurate
+// (default 1).
+func NewUCB1(n int, c, rewardScale float64) (*UCB1, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: need at least one action, got %d", n)
+	}
+	if c <= 0 {
+		c = 2
+	}
+	if rewardScale <= 0 {
+		rewardScale = 1
+	}
+	return &UCB1{q: make([]float64, n), counts: make([]int, n), c: c, scale: rewardScale}, nil
+}
+
+// Select implements Learner.
+func (l *UCB1) Select(rng *rand.Rand) int {
+	// Play each arm once first, in random order among the unplayed.
+	var unplayed []int
+	for a, n := range l.counts {
+		if n == 0 {
+			unplayed = append(unplayed, a)
+		}
+	}
+	if len(unplayed) > 0 {
+		return unplayed[rng.Intn(len(unplayed))]
+	}
+	best, bestV := 0, math.Inf(-1)
+	logT := math.Log(float64(l.t + 1))
+	for a := range l.q {
+		v := l.q[a] + l.c*l.scale*math.Sqrt(logT/float64(l.counts[a]))
+		if v > bestV {
+			best, bestV = a, v
+		}
+	}
+	return best
+}
+
+// Update implements Learner (sample-average value estimates).
+func (l *UCB1) Update(action int, reward float64) {
+	l.t++
+	l.counts[action]++
+	l.q[action] += (reward - l.q[action]) / float64(l.counts[action])
+}
+
+// Greedy implements Learner.
+func (l *UCB1) Greedy() int {
+	best, bestV := 0, math.Inf(-1)
+	for a, n := range l.counts {
+		if n > 0 && l.q[a] > bestV {
+			best, bestV = a, l.q[a]
+		}
+	}
+	if math.IsInf(bestV, -1) {
+		return 0
+	}
+	return best
+}
+
+// Exp3 is the exponential-weights adversarial bandit: it maintains
+// importance-weighted cumulative reward estimates and samples from a
+// γ-mixed softmax. Unlike UCB1 it makes no stochastic-stationarity
+// assumption, which suits self-play where the other miners keep
+// adapting. Rewards are normalized by RewardScale into roughly [−1, 1]
+// before the exponential update.
+type Exp3 struct {
+	weights []float64 // log-domain cumulative estimates
+	gamma   float64
+	scale   float64
+	last    []float64 // last computed sampling distribution
+}
+
+// NewExp3 creates an Exp3 learner over n actions. gamma is the uniform
+// exploration mixture in (0, 1] (default 0.07); rewardScale normalizes
+// reward magnitudes (default 1).
+func NewExp3(n int, gamma, rewardScale float64) (*Exp3, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: need at least one action, got %d", n)
+	}
+	if gamma <= 0 || gamma > 1 {
+		gamma = 0.07
+	}
+	if rewardScale <= 0 {
+		rewardScale = 1
+	}
+	return &Exp3{
+		weights: make([]float64, n),
+		gamma:   gamma,
+		scale:   rewardScale,
+		last:    make([]float64, n),
+	}, nil
+}
+
+// probs computes the γ-mixed softmax sampling distribution.
+func (l *Exp3) probs() []float64 {
+	maxW := math.Inf(-1)
+	for _, w := range l.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	var z float64
+	ps := make([]float64, len(l.weights))
+	for i, w := range l.weights {
+		ps[i] = math.Exp(w - maxW)
+		z += ps[i]
+	}
+	k := float64(len(ps))
+	for i := range ps {
+		ps[i] = (1-l.gamma)*ps[i]/z + l.gamma/k
+	}
+	return ps
+}
+
+// Select implements Learner.
+func (l *Exp3) Select(rng *rand.Rand) int {
+	ps := l.probs()
+	copy(l.last, ps)
+	u := rng.Float64()
+	var cum float64
+	for a, p := range ps {
+		cum += p
+		if u < cum {
+			return a
+		}
+	}
+	return len(ps) - 1
+}
+
+// Update implements Learner with the importance-weighted Exp3 step.
+func (l *Exp3) Update(action int, reward float64) {
+	p := l.last[action]
+	if p <= 0 {
+		// Update arriving before any Select (or for a zero-probability
+		// arm): fall back to the current distribution.
+		p = l.probs()[action]
+	}
+	normalized := clampReward(reward / l.scale)
+	l.weights[action] += l.gamma * normalized / (p * float64(len(l.weights)))
+	// Keep the log-weights bounded for numerical safety.
+	if l.weights[action] > 500 {
+		for i := range l.weights {
+			l.weights[i] -= 250
+		}
+	}
+}
+
+// Greedy implements Learner.
+func (l *Exp3) Greedy() int {
+	best := 0
+	for a, w := range l.weights {
+		if w > l.weights[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// clampReward restricts a normalized reward to [−1, 1].
+func clampReward(x float64) float64 {
+	if x < -1 {
+		return -1
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+var (
+	_ Learner = (*EpsilonGreedy)(nil)
+	_ Learner = (*GradientBandit)(nil)
+	_ Learner = (*UCB1)(nil)
+	_ Learner = (*Exp3)(nil)
+)

@@ -1,0 +1,187 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/sim"
+)
+
+// banditCheck trains a learner on a stationary 3-armed bandit with a
+// clearly best arm and checks it identifies it.
+func banditCheck(t *testing.T, l Learner, label string) {
+	t.Helper()
+	rng := sim.NewRNG(9, label)
+	means := []float64{1.0, 3.0, 2.0}
+	for i := 0; i < 5000; i++ {
+		a := l.Select(rng)
+		l.Update(a, means[a]+0.5*rng.NormFloat64())
+	}
+	if got := l.Greedy(); got != 1 {
+		t.Errorf("%s: greedy arm = %d, want 1", label, got)
+	}
+}
+
+func TestEpsilonGreedyFindsBestArm(t *testing.T) {
+	l, err := NewEpsilonGreedy(3, EpsilonGreedyConfig{})
+	if err != nil {
+		t.Fatalf("NewEpsilonGreedy: %v", err)
+	}
+	banditCheck(t, l, "epsilon-greedy")
+}
+
+func TestGradientBanditFindsBestArm(t *testing.T) {
+	l, err := NewGradientBandit(3, 0.1)
+	if err != nil {
+		t.Fatalf("NewGradientBandit: %v", err)
+	}
+	banditCheck(t, l, "gradient-bandit")
+}
+
+func TestLearnerConstructorsReject(t *testing.T) {
+	if _, err := NewEpsilonGreedy(0, EpsilonGreedyConfig{}); err == nil {
+		t.Error("want error for zero actions")
+	}
+	if _, err := NewGradientBandit(-1, 0.1); err == nil {
+		t.Error("want error for negative actions")
+	}
+}
+
+func TestEpsilonGreedyFirstObservationInitializes(t *testing.T) {
+	l, err := NewEpsilonGreedy(2, EpsilonGreedyConfig{})
+	if err != nil {
+		t.Fatalf("NewEpsilonGreedy: %v", err)
+	}
+	l.Update(1, -5) // negative reward, but the only observed arm
+	if got := l.Greedy(); got != 1 {
+		t.Errorf("greedy = %d, want the only observed arm 1", got)
+	}
+	q := l.Q()
+	if q[1] != -5 {
+		t.Errorf("first observation must initialize Q, got %g", q[1])
+	}
+}
+
+func TestEpsilonGreedyDecay(t *testing.T) {
+	l, err := NewEpsilonGreedy(2, EpsilonGreedyConfig{Epsilon: 0.5, MinEpsilon: 0.1, Decay: 0.5})
+	if err != nil {
+		t.Fatalf("NewEpsilonGreedy: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Update(0, 1)
+	}
+	if l.epsilon != 0.1 {
+		t.Errorf("epsilon = %g, want clamped at 0.1", l.epsilon)
+	}
+}
+
+func TestGradientBanditProbsNormalize(t *testing.T) {
+	l, err := NewGradientBandit(4, 0.1)
+	if err != nil {
+		t.Fatalf("NewGradientBandit: %v", err)
+	}
+	l.Update(2, 10)
+	l.Update(0, -3)
+	var total float64
+	for _, p := range l.probs() {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %g", total)
+	}
+}
+
+func TestUCB1FindsBestArm(t *testing.T) {
+	l, err := NewUCB1(3, 2, 3)
+	if err != nil {
+		t.Fatalf("NewUCB1: %v", err)
+	}
+	banditCheck(t, l, "ucb1")
+}
+
+func TestUCB1PlaysEveryArmFirst(t *testing.T) {
+	l, err := NewUCB1(4, 2, 1)
+	if err != nil {
+		t.Fatalf("NewUCB1: %v", err)
+	}
+	rng := sim.NewRNG(10, "ucb1-init")
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		a := l.Select(rng)
+		if seen[a] {
+			t.Fatalf("arm %d selected twice before all arms tried", a)
+		}
+		seen[a] = true
+		l.Update(a, float64(a))
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d arms tried in the first 4 selections", len(seen))
+	}
+}
+
+func TestUCB1Errors(t *testing.T) {
+	if _, err := NewUCB1(0, 2, 1); err == nil {
+		t.Error("want error for zero actions")
+	}
+}
+
+func TestUCB1GreedyBeforeObservations(t *testing.T) {
+	l, err := NewUCB1(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Greedy(); got != 0 {
+		t.Errorf("unobserved greedy = %d, want 0", got)
+	}
+}
+
+func TestExp3FindsBestArm(t *testing.T) {
+	l, err := NewExp3(3, 0.1, 4)
+	if err != nil {
+		t.Fatalf("NewExp3: %v", err)
+	}
+	banditCheck(t, l, "exp3")
+}
+
+func TestExp3ProbsMixExploration(t *testing.T) {
+	l, err := NewExp3(4, 0.2, 1)
+	if err != nil {
+		t.Fatalf("NewExp3: %v", err)
+	}
+	rng := sim.NewRNG(12, "exp3-mix")
+	for i := 0; i < 500; i++ {
+		a := l.Select(rng)
+		l.Update(a, 1) // always reward: weights grow
+	}
+	ps := l.probs()
+	var total float64
+	for _, p := range ps {
+		total += p
+		if p < 0.2/4-1e-12 {
+			t.Errorf("probability %g below the γ/K exploration floor", p)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", total)
+	}
+}
+
+func TestExp3UpdateBeforeSelect(t *testing.T) {
+	l, err := NewExp3(2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Update(1, 5) // must not panic; falls back to current distribution
+	if got := l.Greedy(); got != 1 {
+		t.Errorf("greedy = %d, want the rewarded arm", got)
+	}
+}
+
+func TestExp3Errors(t *testing.T) {
+	if _, err := NewExp3(0, 0.1, 1); err == nil {
+		t.Error("want error for zero actions")
+	}
+}

@@ -1,0 +1,64 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/population"
+	"minegame/internal/sim"
+)
+
+func TestEpsilonGreedySampleAverage(t *testing.T) {
+	l, err := NewEpsilonGreedy(2, EpsilonGreedyConfig{SampleAverage: true})
+	if err != nil {
+		t.Fatalf("NewEpsilonGreedy: %v", err)
+	}
+	// Sample average of rewards 1, 2, 3 on arm 0 must be exactly 2.
+	l.Update(0, 1)
+	l.Update(0, 2)
+	l.Update(0, 3)
+	if q := l.Q()[0]; math.Abs(q-2) > 1e-12 {
+		t.Errorf("sample-average Q = %g, want 2", q)
+	}
+}
+
+func TestEpsilonGreedySampleAverageFindsBestArm(t *testing.T) {
+	l, err := NewEpsilonGreedy(3, EpsilonGreedyConfig{SampleAverage: true})
+	if err != nil {
+		t.Fatalf("NewEpsilonGreedy: %v", err)
+	}
+	banditCheck(t, l, "sample-average")
+}
+
+// TestRLSampleAverageSelfPlay mirrors the main convergence test but with
+// the sample-average learner used by the Fig. 9 experiments.
+func TestRLSampleAverageSelfPlay(t *testing.T) {
+	grid, err := NewActionGrid(8, 4, 200, 11, 11)
+	if err != nil {
+		t.Fatalf("NewActionGrid: %v", err)
+	}
+	env := ModelEnv{Net: connectedNet(8, 4), Reward: 1000}
+	pool := make([]Learner, 5)
+	for i := range pool {
+		l, err := NewEpsilonGreedy(len(grid.Actions), EpsilonGreedyConfig{SampleAverage: true, MinEpsilon: 0.02})
+		if err != nil {
+			t.Fatalf("NewEpsilonGreedy: %v", err)
+		}
+		pool[i] = l
+	}
+	tr, err := NewTrainer(grid, env, population.Degenerate(5), pool, sim.NewRNG(31, "sample-average-selfplay"))
+	if err != nil {
+		t.Fatalf("NewTrainer: %v", err)
+	}
+	if err := tr.Train(40000); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	mean := tr.MeanGreedy()
+	// Analytic equilibrium is (5.6, 26.4); grid steps are (2.5, 5).
+	if math.Abs(mean.E-5.6) > 2.6 {
+		t.Errorf("learned e = %g, analytic 5.6", mean.E)
+	}
+	if math.Abs(mean.C-26.4) > 5.1 {
+		t.Errorf("learned c = %g, analytic 26.4", mean.C)
+	}
+}

@@ -1,0 +1,222 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minegame/internal/numeric"
+)
+
+// Trainer runs repeated mining rounds with a (possibly random) number of
+// participating miners, feeding rewards back to each participant's
+// bandit. It mirrors the paper's setup: a pool of homogeneous learners,
+// a miner count drawn per round from the population PMF, and fixed SP
+// prices during learning.
+type Trainer struct {
+	Grid ActionGrid
+	Env  Environment
+	// PMF is the miner-count distribution; counts are clamped to the
+	// pool size. Use population.Degenerate(n) for a fixed population.
+	PMF      numeric.DiscretePMF
+	Learners []Learner
+
+	rng *rand.Rand
+}
+
+// NewTrainer assembles a trainer for a pool of learners.
+func NewTrainer(grid ActionGrid, env Environment, pmf numeric.DiscretePMF, learners []Learner, rng *rand.Rand) (*Trainer, error) {
+	if len(grid.Actions) == 0 {
+		return nil, fmt.Errorf("rl: empty action grid")
+	}
+	if len(learners) == 0 {
+		return nil, fmt.Errorf("rl: no learners")
+	}
+	if len(pmf.P) == 0 {
+		return nil, fmt.Errorf("rl: empty population distribution")
+	}
+	if env == nil {
+		return nil, fmt.Errorf("rl: nil environment")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("rl: nil rng")
+	}
+	return &Trainer{Grid: grid, Env: env, PMF: pmf, Learners: learners, rng: rng}, nil
+}
+
+// Episode plays one round: draws the miner count, samples that many
+// distinct participants from the pool, lets each choose an action,
+// computes payoffs and updates the participants. It returns the
+// participant indices (for diagnostics).
+func (t *Trainer) Episode() ([]int, error) {
+	k := t.PMF.Sample(t.rng)
+	if k > len(t.Learners) {
+		k = len(t.Learners)
+	}
+	if k < 1 {
+		k = 1
+	}
+	participants := t.rng.Perm(len(t.Learners))[:k]
+	actions := make([]int, k)
+	requests := make([]numeric.Point2, k)
+	for j, idx := range participants {
+		actions[j] = t.Learners[idx].Select(t.rng)
+		requests[j] = t.Grid.Actions[actions[j]]
+	}
+	payoffs, err := t.Env.Payoffs(requests, t.rng)
+	if err != nil {
+		return nil, err
+	}
+	for j, idx := range participants {
+		t.Learners[idx].Update(actions[j], payoffs[j])
+	}
+	return participants, nil
+}
+
+// Train runs the given number of episodes.
+func (t *Trainer) Train(episodes int) error {
+	for i := 0; i < episodes; i++ {
+		if _, err := t.Episode(); err != nil {
+			return fmt.Errorf("episode %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// GreedyProfile returns every learner's current greedy request.
+func (t *Trainer) GreedyProfile() []numeric.Point2 {
+	out := make([]numeric.Point2, len(t.Learners))
+	for i, l := range t.Learners {
+		out[i] = t.Grid.Actions[l.Greedy()]
+	}
+	return out
+}
+
+// MeanGreedy averages the pool's greedy requests — the learned common
+// strategy in the homogeneous experiments.
+func (t *Trainer) MeanGreedy() numeric.Point2 {
+	var sum numeric.Point2
+	for _, p := range t.GreedyProfile() {
+		sum = sum.Add(p)
+	}
+	return sum.Scale(1 / float64(len(t.Learners)))
+}
+
+// priceProbe records one evaluated price candidate in the adaptive
+// pricing loop.
+type priceProbe struct {
+	price  float64
+	profit float64
+}
+
+// AdaptiveConfig tunes AdaptivePricing.
+type AdaptiveConfig struct {
+	Periods      int     // pricing rounds (default 20)
+	EpisodesEach int     // learning episodes per round (default 2000)
+	StepFrac     float64 // relative price probe step (default 0.05)
+	MinPriceE    float64 // floor for the ESP price (≥ its cost)
+	MinPriceC    float64 // floor for the CSP price (≥ its cost)
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Periods <= 0 {
+		c.Periods = 20
+	}
+	if c.EpisodesEach <= 0 {
+		c.EpisodesEach = 2000
+	}
+	if c.StepFrac <= 0 {
+		c.StepFrac = 0.05
+	}
+	return c
+}
+
+// AdaptiveResult reports the fixed point reached by AdaptivePricing.
+type AdaptiveResult struct {
+	PriceE, PriceC   float64
+	EdgeDemand       float64
+	CloudDemand      float64
+	ProfitE, ProfitC float64
+	Periods          int
+}
+
+// AdaptivePricing implements the paper's outer loop: miners learn for a
+// period at fixed prices; then each provider probes a small step up and
+// down from its current price against the learned demand and moves to
+// the most profitable of the three. The process repeats until prices
+// stop moving (a local fixed point) or the period budget is exhausted.
+//
+// rebuild must construct a fresh trainer for a price pair (the action
+// grid depends on prices through the budget constraint); profits reports
+// the providers' profits at the learned strategy profile.
+func AdaptivePricing(
+	start [2]float64,
+	rebuild func(priceE, priceC float64) (*Trainer, error),
+	profits func(t *Trainer, priceE, priceC float64) (float64, float64),
+	cfg AdaptiveConfig,
+) (AdaptiveResult, error) {
+	cfg = cfg.withDefaults()
+	pe, pc := start[0], start[1]
+	evaluate := func(pe, pc float64) (float64, float64, *Trainer, error) {
+		t, err := rebuild(pe, pc)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if err := t.Train(cfg.EpisodesEach); err != nil {
+			return 0, 0, nil, err
+		}
+		ve, vc := profits(t, pe, pc)
+		return ve, vc, t, nil
+	}
+	var last *Trainer
+	res := AdaptiveResult{}
+	for period := 0; period < cfg.Periods; period++ {
+		res.Periods = period + 1
+		ve0, vc0, t, err := evaluate(pe, pc)
+		if err != nil {
+			return AdaptiveResult{}, fmt.Errorf("pricing period %d: %w", period, err)
+		}
+		last = t
+		bestE := priceProbe{price: pe, profit: ve0}
+		for _, cand := range []float64{pe * (1 - cfg.StepFrac), pe * (1 + cfg.StepFrac)} {
+			if cand <= cfg.MinPriceE {
+				continue
+			}
+			ve, _, _, err := evaluate(cand, pc)
+			if err != nil {
+				continue
+			}
+			if ve > bestE.profit {
+				bestE = priceProbe{price: cand, profit: ve}
+			}
+		}
+		bestC := priceProbe{price: pc, profit: vc0}
+		for _, cand := range []float64{pc * (1 - cfg.StepFrac), pc * (1 + cfg.StepFrac)} {
+			if cand <= cfg.MinPriceC {
+				continue
+			}
+			_, vc, _, err := evaluate(bestE.price, cand)
+			if err != nil {
+				continue
+			}
+			if vc > bestC.profit {
+				bestC = priceProbe{price: cand, profit: vc}
+			}
+		}
+		moved := bestE.price != pe || bestC.price != pc
+		pe, pc = bestE.price, bestC.price
+		if !moved {
+			break
+		}
+	}
+	ve, vc, t, err := evaluate(pe, pc)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	last = t
+	mean := last.MeanGreedy()
+	res.PriceE, res.PriceC = pe, pc
+	res.ProfitE, res.ProfitC = ve, vc
+	res.EdgeDemand = mean.E * float64(len(last.Learners))
+	res.CloudDemand = mean.C * float64(len(last.Learners))
+	return res, nil
+}

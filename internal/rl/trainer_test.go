@@ -1,0 +1,172 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+	"minegame/internal/population"
+	"minegame/internal/sim"
+)
+
+func newPool(t *testing.T, n, actions int) []Learner {
+	t.Helper()
+	pool := make([]Learner, n)
+	for i := range pool {
+		l, err := NewEpsilonGreedy(actions, EpsilonGreedyConfig{})
+		if err != nil {
+			t.Fatalf("NewEpsilonGreedy: %v", err)
+		}
+		pool[i] = l
+	}
+	return pool
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	grid, err := NewActionGrid(8, 4, 200, 5, 5)
+	if err != nil {
+		t.Fatalf("NewActionGrid: %v", err)
+	}
+	env := ModelEnv{Net: connectedNet(8, 4), Reward: 1000}
+	pmf := population.Degenerate(5)
+	rng := sim.NewRNG(1, "trainer-validate")
+	pool := newPool(t, 5, len(grid.Actions))
+	if _, err := NewTrainer(ActionGrid{}, env, pmf, pool, rng); err == nil {
+		t.Error("want error for empty grid")
+	}
+	if _, err := NewTrainer(grid, env, pmf, nil, rng); err == nil {
+		t.Error("want error for no learners")
+	}
+	if _, err := NewTrainer(grid, env, numeric.DiscretePMF{}, pool, rng); err == nil {
+		t.Error("want error for empty PMF")
+	}
+	if _, err := NewTrainer(grid, nil, pmf, pool, rng); err == nil {
+		t.Error("want error for nil environment")
+	}
+	if _, err := NewTrainer(grid, env, pmf, pool, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+	if _, err := NewTrainer(grid, env, pmf, pool, rng); err != nil {
+		t.Errorf("valid trainer rejected: %v", err)
+	}
+}
+
+// TestRLConvergesToAnalyticEquilibrium reproduces the paper's §VI-C
+// check: ε-greedy learners on the model environment converge near the
+// analytic miner-subgame equilibrium (Fig. 9's unfilled points landing on
+// the model lines). The action grid is coarse, so agreement is asserted
+// to within about one grid step.
+func TestRLConvergesToAnalyticEquilibrium(t *testing.T) {
+	const (
+		n      = 5
+		budget = 200.0
+		priceE = 8.0
+		priceC = 4.0
+	)
+	net := connectedNet(priceE, priceC)
+	params := miner.Params{Reward: 1000, Beta: net.Beta(), H: 0.7, PriceE: priceE, PriceC: priceC}
+	want, err := miner.HomogeneousConnected(params, n, budget)
+	if err != nil {
+		t.Fatalf("closed form: %v", err)
+	}
+
+	grid, err := NewActionGrid(priceE, priceC, budget, 11, 11)
+	if err != nil {
+		t.Fatalf("NewActionGrid: %v", err)
+	}
+	env := ModelEnv{Net: net, Reward: 1000}
+	rng := sim.NewRNG(21, "rl-convergence")
+	tr, err := NewTrainer(grid, env, population.Degenerate(n), newPool(t, n, len(grid.Actions)), rng)
+	if err != nil {
+		t.Fatalf("NewTrainer: %v", err)
+	}
+	if err := tr.Train(40000); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	mean := tr.MeanGreedy()
+	// Grid steps are 2.5 edge units and 5 cloud units.
+	if math.Abs(mean.E-want.Request.E) > 3 {
+		t.Errorf("learned e = %g, analytic %g", mean.E, want.Request.E)
+	}
+	if math.Abs(mean.C-want.Request.C) > 7.5 {
+		t.Errorf("learned c = %g, analytic %g", mean.C, want.Request.C)
+	}
+}
+
+func TestEpisodeWithStochasticPopulation(t *testing.T) {
+	grid, err := NewActionGrid(8, 4, 200, 5, 5)
+	if err != nil {
+		t.Fatalf("NewActionGrid: %v", err)
+	}
+	pmf, err := population.Model{Mu: 4, Sigma: 2, MaxN: 8}.PMF()
+	if err != nil {
+		t.Fatalf("PMF: %v", err)
+	}
+	env := ModelEnv{Net: connectedNet(8, 4), Reward: 1000}
+	rng := sim.NewRNG(22, "episode-pop")
+	tr, err := NewTrainer(grid, env, pmf, newPool(t, 6, len(grid.Actions)), rng)
+	if err != nil {
+		t.Fatalf("NewTrainer: %v", err)
+	}
+	counts := make(map[int]int)
+	for i := 0; i < 500; i++ {
+		parts, err := tr.Episode()
+		if err != nil {
+			t.Fatalf("Episode: %v", err)
+		}
+		if len(parts) < 1 || len(parts) > 6 {
+			t.Fatalf("participant count %d outside pool", len(parts))
+		}
+		counts[len(parts)]++
+		seen := make(map[int]bool, len(parts))
+		for _, p := range parts {
+			if seen[p] {
+				t.Fatal("duplicate participant in one episode")
+			}
+			seen[p] = true
+		}
+	}
+	if len(counts) < 3 {
+		t.Errorf("population sizes observed: %v, want variety", counts)
+	}
+}
+
+func TestAdaptivePricingStabilizes(t *testing.T) {
+	const (
+		n      = 5
+		budget = 200.0
+		reward = 1000.0
+	)
+	rng := sim.NewRNG(23, "adaptive-pricing")
+	rebuild := func(pe, pc float64) (*Trainer, error) {
+		grid, err := NewActionGrid(pe, pc, budget, 7, 7)
+		if err != nil {
+			return nil, err
+		}
+		env := ModelEnv{Net: connectedNet(pe, pc), Reward: reward}
+		return NewTrainer(grid, env, population.Degenerate(n), newPool(t, n, len(grid.Actions)), rng)
+	}
+	profits := func(tr *Trainer, pe, pc float64) (float64, float64) {
+		mean := tr.MeanGreedy()
+		return (pe - 2) * mean.E * n, (pc - 1) * mean.C * n
+	}
+	res, err := AdaptivePricing([2]float64{8, 4}, rebuild, profits, AdaptiveConfig{
+		Periods:      5,
+		EpisodesEach: 1200,
+		MinPriceE:    2,
+		MinPriceC:    1,
+	})
+	if err != nil {
+		t.Fatalf("AdaptivePricing: %v", err)
+	}
+	if res.PriceE <= 2 || res.PriceC <= 1 {
+		t.Errorf("prices (%g, %g) fell to cost floors", res.PriceE, res.PriceC)
+	}
+	if res.EdgeDemand <= 0 || res.CloudDemand <= 0 {
+		t.Errorf("demands (%g, %g) must stay positive", res.EdgeDemand, res.CloudDemand)
+	}
+	if res.Periods < 1 {
+		t.Error("no pricing periods ran")
+	}
+}

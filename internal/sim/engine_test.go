@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2, func(*Engine) { order = append(order, 2) })
+	if n := e.RunAll(); n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %g, want 3", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.RunAll()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var chain Handler
+	chain = func(en *Engine) {
+		times = append(times, en.Now())
+		if len(times) < 4 {
+			en.Schedule(10, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	e.RunAll()
+	want := []float64{0, 10, 20, 30}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(float64(i), func(*Engine) { fired++ })
+	}
+	if n := e.Run(3); n != 3 {
+		t.Errorf("executed %d events before horizon, want 3", n)
+	}
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+	if e.Len() != 2 {
+		t.Errorf("pending = %d, want 2", e.Len())
+	}
+	// Events past the horizon remain runnable.
+	if n := e.Run(math.Inf(1)); n != 2 {
+		t.Errorf("executed %d remaining events, want 2", n)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func(en *Engine) { fired++; en.Stop() })
+	e.Schedule(2, func(*Engine) { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (stopped)", fired)
+	}
+	if e.Len() != 1 {
+		t.Errorf("pending = %d, want 1", e.Len())
+	}
+}
+
+func TestNegativeDelayAndPastTimeClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(en *Engine) {
+		en.Schedule(-3, func(en2 *Engine) {
+			if en2.Now() != 5 {
+				t.Errorf("negative delay fired at %g, want 5", en2.Now())
+			}
+		})
+		en.ScheduleAt(1, func(en2 *Engine) {
+			if en2.Now() != 5 {
+				t.Errorf("past absolute time fired at %g, want 5", en2.Now())
+			}
+		})
+	})
+	e.RunAll()
+}
+
+func TestReset(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func(*Engine) {})
+	e.Step()
+	e.Schedule(9, func(*Engine) {})
+	e.Reset()
+	if e.Now() != 0 || e.Len() != 0 {
+		t.Errorf("after reset: now = %g, len = %d", e.Now(), e.Len())
+	}
+	if e.Step() {
+		t.Error("Step on empty engine must return false")
+	}
+}
+
+func TestNewRNGStreams(t *testing.T) {
+	a1 := NewRNG(42, "alpha")
+	a2 := NewRNG(42, "alpha")
+	b := NewRNG(42, "beta")
+	sameCount, diffCount := 0, 0
+	for i := 0; i < 100; i++ {
+		x, y, z := a1.Float64(), a2.Float64(), b.Float64()
+		if x == y {
+			sameCount++
+		}
+		if x != z {
+			diffCount++
+		}
+	}
+	if sameCount != 100 {
+		t.Error("same seed+label must reproduce the same stream")
+	}
+	if diffCount < 95 {
+		t.Error("different labels must derive distinct streams")
+	}
+}

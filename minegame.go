@@ -1,0 +1,405 @@
+// Package minegame is a faithful, self-contained reproduction of
+// "Hierarchical Edge-Cloud Computing for Mobile Blockchain Mining Game"
+// (Jiang, Li, Wu — ICDCS 2019): a multi-leader multi-follower Stackelberg
+// game between an edge service provider (ESP), a cloud service provider
+// (CSP) and a population of mobile proof-of-work miners.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Game solvers: miner-subgame equilibria for the connected-mode NEP
+//     and the standalone-mode GNEP, and the full two-stage Stackelberg
+//     solves (Algorithms 1–2 of the paper).
+//   - Closed forms: the homogeneous-miner solutions of Theorem 3,
+//     Corollary 1 and Table II, plus the standalone market-clearing and
+//     CSP pricing formulas.
+//   - Population uncertainty: the dynamic-miner-number scenario of §V
+//     with Gaussian miner counts.
+//   - Substrates: a proof-of-work mining race simulator with fork
+//     accounting, an edge-cloud service network, and a reinforcement
+//     learning framework reproducing the paper's §VI-C validation.
+//   - Experiments: runners regenerating every figure and table of the
+//     paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured outcomes.
+package minegame
+
+import (
+	"io"
+	"math/rand"
+
+	"minegame/internal/chain"
+	"minegame/internal/core"
+	"minegame/internal/experiments"
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/multiesp"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+	"minegame/internal/population"
+	"minegame/internal/rl"
+	"minegame/internal/sim"
+)
+
+// Request is a miner's request vector: E edge units and C cloud units.
+type Request = numeric.Point2
+
+// Mode is the ESP operation mode.
+type Mode = netmodel.Mode
+
+// ESP operation modes.
+const (
+	// Connected transfers overload to the CSP with probability 1−h.
+	Connected = netmodel.Connected
+	// Standalone rejects overload beyond the capacity E_max.
+	Standalone = netmodel.Standalone
+)
+
+// Game configuration and solvers (package core).
+type (
+	// Config describes one instance of the mining game.
+	Config = core.Config
+	// Prices is an (ESP, CSP) unit price pair.
+	Prices = core.Prices
+	// MinerEquilibrium is a solved miner subgame.
+	MinerEquilibrium = core.MinerEquilibrium
+	// StackelbergOptions tunes the two-stage solver.
+	StackelbergOptions = core.StackelbergOptions
+	// StackelbergResult is a solved two-stage game.
+	StackelbergResult = core.StackelbergResult
+	// ModeComparison contrasts the two ESP operation modes.
+	ModeComparison = core.ModeComparison
+	// NEOptions tunes best-response iteration.
+	NEOptions = game.NEOptions
+)
+
+// SolveMinerEquilibrium computes the miner-subgame equilibrium at fixed
+// prices: the unique NEP solution in connected mode (Theorem 2), the
+// variational GNEP solution in standalone mode (Theorem 5).
+func SolveMinerEquilibrium(cfg Config, p Prices, opts NEOptions) (MinerEquilibrium, error) {
+	return core.SolveMinerEquilibrium(cfg, p, opts)
+}
+
+// SolveMinerGNE computes a standalone-mode generalized Nash equilibrium
+// in the paper's Algorithm 2 style (miners self-limit to the capacity the
+// others left over).
+func SolveMinerGNE(cfg Config, p Prices, opts NEOptions) (MinerEquilibrium, error) {
+	return core.SolveMinerGNE(cfg, p, opts)
+}
+
+// SolveStackelberg runs backward induction on the full two-stage game.
+func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, error) {
+	return core.SolveStackelberg(cfg, opts)
+}
+
+// CompareModes solves the full game in both ESP operation modes.
+func CompareModes(cfg Config, opts StackelbergOptions) (ModeComparison, error) {
+	return core.CompareModes(cfg, opts)
+}
+
+// Deviation returns the largest utility gain any miner can achieve by a
+// unilateral deviation from the profile (≈0 at equilibrium).
+func Deviation(cfg Config, p Prices, prof []Request) float64 {
+	return core.Deviation(cfg, p, prof)
+}
+
+// Extensions beyond the paper (see DESIGN.md §2).
+type (
+	// SelfConsistentResult is a subgame solved with the physically
+	// consistent fork rate β* = BetaEdge(E*, S*, D, τ).
+	SelfConsistentResult = core.SelfConsistentResult
+	// EndogenousTransferResult is a connected-mode subgame solved with
+	// the Erlang-B congestion equilibrium h* = 1 − B(capacity, E*).
+	EndogenousTransferResult = core.EndogenousTransferResult
+	// DifficultyConfig parameterizes the retargeting control loop.
+	DifficultyConfig = chain.DifficultyConfig
+	// EpochStats describes one retargeting window.
+	EpochStats = chain.EpochStats
+)
+
+// SolveSelfConsistentBeta solves the miner subgame with the fork rate
+// re-derived from the equilibrium allocation until the fixed point
+// β* = BetaEdge(E(β*), S(β*), delay, interval) is reached.
+func SolveSelfConsistentBeta(cfg Config, p Prices, delay, interval float64, opts NEOptions) (SelfConsistentResult, error) {
+	return core.SolveSelfConsistentBeta(cfg, p, delay, interval, opts)
+}
+
+// SolveEndogenousTransfer solves the connected-mode subgame with the
+// transfer probability derived from the ESP's physical capacity through
+// the Erlang-B loss formula.
+func SolveEndogenousTransfer(cfg Config, p Prices, capacity float64, opts NEOptions) (EndogenousTransferResult, error) {
+	return core.SolveEndogenousTransfer(cfg, p, capacity, opts)
+}
+
+// ErlangB is the blocking probability of an M/M/c/c loss system — the
+// endogenous source of the connected ESP's transfer rate 1−h.
+func ErlangB(servers, offered float64) (float64, error) {
+	return netmodel.ErlangB(servers, offered)
+}
+
+// SimulateDifficulty runs the proof-of-work retargeting control loop that
+// justifies the game's constant block interval under changing hash power.
+func SimulateDifficulty(cfg DifficultyConfig, powerAt func(epoch int) float64, epochs int, seed int64) ([]EpochStats, error) {
+	return chain.SimulateDifficulty(cfg, powerAt, epochs, sim.NewRNG(seed, "minegame.Difficulty"))
+}
+
+// Multi-ESP extension (package multiesp): K edge providers with distinct
+// prices and reliabilities competing alongside the cloud.
+type (
+	// MultiESPConfig is a K-edge-provider game instance.
+	MultiESPConfig = multiesp.Config
+	// MultiESPOffer is one edge provider's (price, reliability) offer.
+	MultiESPOffer = multiesp.ESP
+	// MultiESPEquilibrium is a solved multi-ESP miner subgame.
+	MultiESPEquilibrium = multiesp.Equilibrium
+)
+
+// SolveMultiESP computes the miner equilibrium of the K-edge-provider
+// extension; at K = 1 it reproduces the paper's connected-mode game.
+func SolveMultiESP(cfg MultiESPConfig) (MultiESPEquilibrium, error) {
+	return multiesp.Solve(cfg)
+}
+
+// Miner-level API (package miner).
+type (
+	// MinerParams are the game constants a miner observes.
+	MinerParams = miner.Params
+	// HomogeneousSolution is a symmetric closed-form equilibrium.
+	HomogeneousSolution = miner.HomogeneousSolution
+)
+
+// HomogeneousConnected is the closed-form symmetric equilibrium of the
+// connected-mode subgame (Theorem 3 / Corollary 1).
+func HomogeneousConnected(p MinerParams, n int, budget float64) (HomogeneousSolution, error) {
+	return miner.HomogeneousConnected(p, n, budget)
+}
+
+// HomogeneousStandalone is the closed-form symmetric variational
+// equilibrium of the standalone subgame (Table II).
+func HomogeneousStandalone(p MinerParams, n int, edgeCapacity float64) (HomogeneousSolution, error) {
+	return miner.HomogeneousStandalone(p, n, edgeCapacity)
+}
+
+// ClearingPriceEdge is the standalone ESP's market-clearing price.
+func ClearingPriceEdge(reward, beta, priceC float64, n int, edgeCapacity float64) float64 {
+	return miner.ClearingPriceEdge(reward, beta, priceC, n, edgeCapacity)
+}
+
+// OptimalPriceCloudStandalone is the CSP's closed-form optimal price when
+// the standalone ESP sells out (Table II SP stage).
+func OptimalPriceCloudStandalone(reward, beta, costC float64, n int, edgeCapacity float64) float64 {
+	return miner.OptimalPriceCloudStandalone(reward, beta, costC, n, edgeCapacity)
+}
+
+// WinProbsFull evaluates Eq. 6 for a full request profile; the values sum
+// to one (Theorem 1).
+func WinProbsFull(beta float64, profile []Request) []float64 {
+	return miner.WinProbsFull(beta, profile)
+}
+
+// Population uncertainty (package population, §V).
+type (
+	// PopulationModel is the Gaussian miner-count model.
+	PopulationModel = population.Model
+	// PopulationEquilibrium is a symmetric dynamic-population equilibrium.
+	PopulationEquilibrium = population.Equilibrium
+	// PopulationOptions tunes the fixed-point solver.
+	PopulationOptions = population.SolveOptions
+	// MinerCountPMF is a discrete miner-count distribution; build one
+	// with PopulationModel.PMF or FixedPopulation.
+	MinerCountPMF = numeric.DiscretePMF
+)
+
+// FixedPopulation is the point miner-count distribution (the fixed-N
+// baseline evaluated through the same expected-utility machinery).
+func FixedPopulation(n int) MinerCountPMF { return population.Degenerate(n) }
+
+// SolvePopulationEquilibrium solves the homogeneous dynamic-population
+// game (Problem 1d) for the given miner-count distribution.
+func SolvePopulationEquilibrium(p MinerParams, pmf MinerCountPMF, budget float64, opts PopulationOptions) (PopulationEquilibrium, error) {
+	return population.SymmetricEquilibrium(p, pmf, budget, opts)
+}
+
+// Blockchain substrate (package chain).
+type (
+	// RaceConfig parameterizes the proof-of-work mining race.
+	RaceConfig = chain.RaceConfig
+	// Allocation is a miner's hash power split across providers.
+	Allocation = chain.Allocation
+	// WinStats aggregates simulated mining rounds.
+	WinStats = chain.WinStats
+	// Ledger is the fork-aware block store.
+	Ledger = chain.Ledger
+	// MiningNetwork grows a ledger on the discrete-event engine.
+	MiningNetwork = chain.Network
+)
+
+// SimulateRounds plays n independent mining races.
+func SimulateRounds(cfg RaceConfig, n int, seed int64) (WinStats, error) {
+	return chain.SimulateRounds(cfg, n, sim.NewRNG(seed, "minegame.SimulateRounds"))
+}
+
+// NewMiningNetwork creates an event-driven chain-growth simulation.
+func NewMiningNetwork(cfg RaceConfig, seed int64) (*MiningNetwork, error) {
+	return chain.NewNetwork(cfg, sim.NewRNG(seed, "minegame.MiningNetwork"))
+}
+
+// CollisionCDF is the fork (split) rate induced by a propagation delay.
+func CollisionCDF(delay, interval float64) float64 {
+	return chain.CollisionCDF(delay, interval)
+}
+
+// BetaEdge is the fork-rate parameter under which Eq. 6 is exact for the
+// physical mining race.
+func BetaEdge(edgeUnits, totalUnits, delay, interval float64) float64 {
+	return chain.BetaEdge(edgeUnits, totalUnits, delay, interval)
+}
+
+// DelayForBeta inverts the all-network fork rate to a propagation delay.
+func DelayForBeta(beta, interval float64) float64 {
+	return chain.DelayForBeta(beta, interval)
+}
+
+// Edge-cloud service substrate (package netmodel).
+type (
+	// ServiceNetwork bundles the two providers.
+	ServiceNetwork = netmodel.Network
+	// ServiceRequest is a request vector bound to a miner ID.
+	ServiceRequest = netmodel.Request
+	// ServiceOutcome is one serviced request.
+	ServiceOutcome = netmodel.Outcome
+)
+
+// Reinforcement learning framework (package rl, §VI-C).
+type (
+	// Learner is a stateless bandit.
+	Learner = rl.Learner
+	// Trainer runs repeated rounds with a stochastic population.
+	Trainer = rl.Trainer
+	// ActionGrid is the discretized request space.
+	ActionGrid = rl.ActionGrid
+	// Environment maps joint requests to per-miner payoffs.
+	Environment = rl.Environment
+	// ModelEnv pays the paper's expected utilities.
+	ModelEnv = rl.ModelEnv
+	// ChainEnv pays realized utilities from simulated mining races.
+	ChainEnv = rl.ChainEnv
+	// EpsilonGreedyConfig tunes the default learner.
+	EpsilonGreedyConfig = rl.EpsilonGreedyConfig
+)
+
+// NewActionGrid discretizes the affordable request space.
+func NewActionGrid(priceE, priceC, budget float64, nE, nC int) (ActionGrid, error) {
+	return rl.NewActionGrid(priceE, priceC, budget, nE, nC)
+}
+
+// NewEpsilonGreedy creates the framework's default learner.
+func NewEpsilonGreedy(nActions int, cfg EpsilonGreedyConfig) (Learner, error) {
+	return rl.NewEpsilonGreedy(nActions, cfg)
+}
+
+// NewTrainer assembles a learning loop; pmf draws the per-round miner
+// count (use FixedPopulation for a fixed one).
+func NewTrainer(grid ActionGrid, env Environment, pmf MinerCountPMF, learners []Learner, seed int64) (*Trainer, error) {
+	return rl.NewTrainer(grid, env, pmf, learners, sim.NewRNG(seed, "minegame.Trainer"))
+}
+
+// Experiments (package experiments).
+type (
+	// Experiment regenerates one paper figure or table.
+	Experiment = experiments.Runner
+	// ExperimentConfig tunes experiment scale.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult is an experiment's output tables.
+	ExperimentResult = experiments.Result
+	// ResultTable is one numeric series of an experiment.
+	ResultTable = experiments.Table
+)
+
+// Experiments lists every registered experiment in presentation order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment regenerates one paper artifact by ID (e.g. "fig4").
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	r, err := experiments.ByID(id)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	return r.Run(cfg)
+}
+
+// ReplicateExperiment runs an experiment across nSeeds consecutive seeds
+// and returns per-cell mean and standard-deviation tables — error bars
+// for the stochastic artifacts.
+func ReplicateExperiment(id string, cfg ExperimentConfig, nSeeds int) (ExperimentResult, error) {
+	r, err := experiments.ByID(id)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	return experiments.Replicate(r, cfg, nSeeds)
+}
+
+// PlotResultTable renders an experiment table as an ASCII chart (every
+// numeric column against the first), for terminal-only environments.
+func PlotResultTable(w io.Writer, tab ResultTable) error {
+	return experiments.PlotTable(w, tab)
+}
+
+// Gossip topology substrate (package chain): peer-graph block
+// propagation, the mechanism behind the paper's Fig. 2 delays.
+type (
+	// GossipConfig parameterizes a random peer-to-peer overlay.
+	GossipConfig = chain.GossipConfig
+	// GossipNetwork is a latency-weighted peer graph.
+	GossipNetwork = chain.GossipNetwork
+)
+
+// NewGossipNetwork builds a random overlay with the given seed.
+func NewGossipNetwork(cfg GossipConfig, seed int64) (*GossipNetwork, error) {
+	return chain.NewGossipNetwork(cfg, sim.NewRNG(seed, "minegame.Gossip"))
+}
+
+// GossipRNG derives the random stream used for gossip delay sampling, so
+// callers can reproduce PropagationDelay estimates.
+func GossipRNG(seed int64) *rand.Rand {
+	return sim.NewRNG(seed, "minegame.GossipSample")
+}
+
+// Selfish mining (package chain): the Eyal–Sirer withholding strategy on
+// the proof-of-work substrate, used to bound the honest-miner assumption
+// behind Theorem 1.
+type (
+	// SelfishConfig parameterizes a selfish-mining simulation.
+	SelfishConfig = chain.SelfishConfig
+	// SelfishStats summarizes a selfish-mining run.
+	SelfishStats = chain.SelfishStats
+)
+
+// SimulateSelfishMining runs the withholding strategy block by block.
+func SimulateSelfishMining(cfg SelfishConfig, seed int64) (SelfishStats, error) {
+	return chain.SimulateSelfishMining(cfg, sim.NewRNG(seed, "minegame.Selfish"))
+}
+
+// SelfishRevenueShare is the Eyal–Sirer closed-form relative revenue.
+func SelfishRevenueShare(alpha, gamma float64) float64 {
+	return chain.SelfishRevenueShare(alpha, gamma)
+}
+
+// SelfishThreshold is the pool share above which withholding beats
+// honest mining: (1−γ)/(3−2γ).
+func SelfishThreshold(gamma float64) float64 { return chain.SelfishThreshold(gamma) }
+
+// NewGradientBandit creates a softmax gradient-bandit learner.
+func NewGradientBandit(nActions int, alpha float64) (Learner, error) {
+	return rl.NewGradientBandit(nActions, alpha)
+}
+
+// NewUCB1 creates an upper-confidence-bound learner.
+func NewUCB1(nActions int, c, rewardScale float64) (Learner, error) {
+	return rl.NewUCB1(nActions, c, rewardScale)
+}
+
+// NewExp3 creates an exponential-weights adversarial-bandit learner.
+func NewExp3(nActions int, gamma, rewardScale float64) (Learner, error) {
+	return rl.NewExp3(nActions, gamma, rewardScale)
+}
