@@ -7,6 +7,7 @@ package minegame_test
 // sweep completes in minutes; every other artifact runs at full scale.
 
 import (
+	"io"
 	"testing"
 
 	"minegame"
@@ -123,6 +124,53 @@ func BenchmarkStackelbergStandalone(b *testing.B) {
 }
 
 func BenchmarkChainRound(b *testing.B) {
+	race := minegame.RaceConfig{
+		Interval:   600,
+		CloudDelay: 120,
+		Allocations: []minegame.Allocation{
+			{MinerID: 1, Edge: 4, Cloud: 16},
+			{MinerID: 2, Edge: 2, Cloud: 20},
+			{MinerID: 3, Edge: 6, Cloud: 10},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minegame.SimulateRounds(race, 100, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Instrumented-vs-uninstrumented pairs: the same solver and mining-race
+// workloads with an enabled observer (trace to io.Discard) installed as
+// the process default. Compared against the uninstrumented benchmarks
+// above, they bound the observability overhead; with no observer the
+// instrumentation must be within noise (see results/obs_overhead.md).
+
+// withEnabledObserver installs an enabled default observer tracing to
+// io.Discard for the duration of the benchmark.
+func withEnabledObserver(b *testing.B) {
+	b.Helper()
+	o := minegame.NewObserver()
+	o.SetTrace(io.Discard)
+	prev := minegame.SetDefaultObserver(o)
+	b.Cleanup(func() { minegame.SetDefaultObserver(prev) })
+}
+
+func BenchmarkMinerEquilibriumConnectedObserved(b *testing.B) {
+	withEnabledObserver(b)
+	cfg := defaultBenchConfig()
+	p := minegame.Prices{Edge: 8, Cloud: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minegame.SolveMinerEquilibrium(cfg, p, minegame.NEOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainRoundObserved(b *testing.B) {
+	withEnabledObserver(b)
 	race := minegame.RaceConfig{
 		Interval:   600,
 		CloudDelay: 120,

@@ -3,9 +3,10 @@
 // power split and propagation delay, then reports fork statistics and
 // per-miner winning shares against the analytic race model.
 //
-// Example:
+// Examples:
 //
 //	blocksim -blocks 20000 -delay 120 -miners 5 -edge 4 -cloud 16
+//	blocksim -blocks 5000 -trace /tmp/race.jsonl -metrics
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"minegame"
+	"minegame/internal/obs/obscli"
 )
 
 func main() {
@@ -38,9 +40,25 @@ func run(args []string, out io.Writer) error {
 		dump     = fs.String("dump", "", "write the full block tree as JSON to this file")
 		topo     = fs.Int("topology", 0, "derive the delay from a 200-node gossip overlay with this many chords per node (overrides -delay)")
 	)
+	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	runErr := simulate(out, blocks, interval, delay, miners, edge, cloud, seed, dump, topo)
+	closeErr := sess.Close(out, false)
+	if runErr != nil {
+		return runErr
+	}
+	return closeErr
+}
+
+// simulate runs the configured race and prints the report; split out so
+// the observability session brackets it cleanly.
+func simulate(out io.Writer, blocks *int, interval, delay *float64, miners *int, edge, cloud *float64, seed *int64, dump *string, topo *int) error {
 	cloudDelay := *delay
 	if *topo > 0 {
 		overlay, err := minegame.NewGossipNetwork(minegame.GossipConfig{

@@ -7,6 +7,7 @@
 //	experiments -list
 //	experiments -run fig4,fig8
 //	experiments -run all -out results/
+//	experiments -run fig4 -trace /tmp/fig4.jsonl -metrics
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"minegame"
+	"minegame/internal/obs/obscli"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		md     = fs.String("md", "", "write all results as one Markdown report to this file")
 		reps   = fs.Int("replicate", 0, "run each experiment across N seeds and report mean/std tables")
 	)
+	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,35 +53,52 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	runErr := runExperiments(out, all, *runID, *outDir, *md, *seed, *quick, *plot, *reps)
+	closeErr := sess.Close(out, false)
+	if runErr != nil {
+		return runErr
+	}
+	return closeErr
+}
+
+// runExperiments resolves the requested IDs and renders each result; the
+// caller brackets it with the observability session so RunExperiment's
+// telemetry (it reads the process default observer) lands in the trace
+// and metrics dump.
+func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md string, seed int64, quick, plot bool, reps int) error {
 	var ids []string
-	if *runID == "all" {
+	if runID == "all" {
 		for _, r := range all {
 			ids = append(ids, r.ID)
 		}
 	} else {
-		ids = strings.Split(*runID, ",")
+		ids = strings.Split(runID, ",")
 	}
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
 		}
 	}
-	cfg := minegame.ExperimentConfig{Seed: *seed, Quick: *quick}
+	cfg := minegame.ExperimentConfig{Seed: seed, Quick: quick}
 	var mdFile *os.File
-	if *md != "" {
+	if md != "" {
 		var err error
-		if mdFile, err = os.Create(*md); err != nil {
+		if mdFile, err = os.Create(md); err != nil {
 			return err
 		}
 		defer mdFile.Close()
-		fmt.Fprintf(mdFile, "# minegame experiment report\n\n(seed %d, quick=%v)\n\n", *seed, *quick)
+		fmt.Fprintf(mdFile, "# minegame experiment report\n\n(seed %d, quick=%v)\n\n", seed, quick)
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		var res minegame.ExperimentResult
 		var err error
-		if *reps > 1 {
-			res, err = minegame.ReplicateExperiment(id, cfg, *reps)
+		if reps > 1 {
+			res, err = minegame.ReplicateExperiment(id, cfg, reps)
 		} else {
 			res, err = minegame.RunExperiment(id, cfg)
 		}
@@ -93,7 +113,7 @@ func run(args []string, out io.Writer) error {
 				return fmt.Errorf("markdown %s: %w", id, err)
 			}
 		}
-		if *plot {
+		if plot {
 			for i := range res.Tables {
 				if err := minegame.PlotResultTable(out, res.Tables[i]); err != nil {
 					return fmt.Errorf("plot %s: %w", res.Tables[i].ID, err)
@@ -101,9 +121,9 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintln(out)
 			}
 		}
-		if *outDir != "" {
+		if outDir != "" {
 			for i := range res.Tables {
-				path := filepath.Join(*outDir, res.Tables[i].ID+".csv")
+				path := filepath.Join(outDir, res.Tables[i].ID+".csv")
 				f, err := os.Create(path)
 				if err != nil {
 					return err

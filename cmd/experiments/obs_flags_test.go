@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceFlagCoversExperimentSpan(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "exp.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "thm1", "-quick", "-trace", trace}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	var expSpan bool
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var tl struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &tl); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if tl.Type == "span" && tl.Name == "experiments.thm1" {
+			expSpan = true
+		}
+	}
+	if !expSpan {
+		t.Errorf("trace (%d lines) has no experiments.thm1 span", lines)
+	}
+}
+
+func TestMetricsFlagAndProvenanceNote(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "tab2", "-quick", "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"observability: wall time", // report provenance note from RunObserved
+		"== metrics ==",
+		"experiments.tab2.ms",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestNoProvenanceNoteWithoutObserver(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "thm1", "-quick"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "observability:") {
+		t.Errorf("provenance note should require -metrics or -trace:\n%s", out.String())
+	}
+}

@@ -7,6 +7,11 @@
 //	minegame -stage miners -mode connected -pe 8 -pc 4
 //	minegame -stage full -mode standalone -emax 25 -budget 1000
 //	minegame -stage compare -emax 25 -budget 1000
+//
+// Observability (see README.md "Observability"):
+//
+//	minegame -stage full -trace /tmp/solve.jsonl -metrics
+//	minegame -stage compare -cpuprofile cpu.out -pprof localhost:6060
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 
 	"minegame"
+	"minegame/internal/obs/obscli"
 )
 
 func main() {
@@ -49,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		mu       = fs.Float64("mu", 10, "mean miner count (population stage)")
 		sigma    = fs.Float64("sigma", 2, "miner-count std dev (population stage)")
 	)
+	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +78,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+
 	emit := func(v any, text func()) error {
 		if *asJSON {
 			enc := json.NewEncoder(out)
@@ -81,87 +93,96 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	switch *stage {
-	case "miners":
-		eq, err := minegame.SolveMinerEquilibrium(cfg, minegame.Prices{Edge: *priceE, Cloud: *priceC}, minegame.NEOptions{})
-		if err != nil {
-			return err
+	runErr := func() error {
+		switch *stage {
+		case "miners":
+			eq, err := minegame.SolveMinerEquilibrium(cfg, minegame.Prices{Edge: *priceE, Cloud: *priceC}, minegame.NEOptions{})
+			if err != nil {
+				return err
+			}
+			return emit(eq, func() { printMinerEquilibrium(out, cfg, eq) })
+		case "full":
+			res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{})
+			if err != nil {
+				return err
+			}
+			return emit(res, func() { printStackelberg(out, cfg, res) })
+		case "compare":
+			cmp, err := minegame.CompareModes(cfg, minegame.StackelbergOptions{})
+			if err != nil {
+				return err
+			}
+			return emit(cmp, func() {
+				fmt.Fprintln(out, "--- connected mode ---")
+				printStackelberg(out, cfg, cmp.Connected)
+				fmt.Fprintln(out, "--- standalone mode ---")
+				printStackelberg(out, cfg, cmp.Standalone)
+			})
+		case "selfbeta":
+			res, err := minegame.SolveSelfConsistentBeta(cfg,
+				minegame.Prices{Edge: *priceE, Cloud: *priceC}, *delay, *interval, minegame.NEOptions{})
+			if err != nil {
+				return err
+			}
+			return emit(res, func() {
+				fmt.Fprintf(out, "self-consistent fork rate (delay %.0fs, block time %.0fs)\n", *delay, *interval)
+				fmt.Fprintf(out, "  exogenous β = %.4f  →  β* = %.6f (converged=%v, %d iterations)\n",
+					res.ExogenousBeta, res.Beta, res.Converged, res.Iterations)
+				printMinerEquilibrium(out, cfg, res.Equilibrium)
+			})
+		case "endoh":
+			res, err := minegame.SolveEndogenousTransfer(cfg,
+				minegame.Prices{Edge: *priceE, Cloud: *priceC}, *espUnits, minegame.NEOptions{})
+			if err != nil {
+				return err
+			}
+			return emit(res, func() {
+				fmt.Fprintf(out, "endogenous transfer rate (ESP owns %.1f units)\n", *espUnits)
+				fmt.Fprintf(out, "  exogenous h = %.3f  →  h* = %.4f at offered load %.3f\n",
+					res.ExogenousH, res.SatisfyProb, res.EdgeDemand)
+				printMinerEquilibrium(out, cfg, res.Equilibrium)
+			})
+		case "population":
+			params := minegame.MinerParams{
+				Reward: *reward, Beta: *beta, H: *h,
+				PriceE: *priceE, PriceC: *priceC,
+			}
+			fixed, err := minegame.SolvePopulationEquilibrium(params,
+				minegame.FixedPopulation(int(*mu)), *budget, minegame.PopulationOptions{})
+			if err != nil {
+				return err
+			}
+			pmf, err := minegame.PopulationModel{Mu: *mu, Sigma: *sigma}.PMF()
+			if err != nil {
+				return err
+			}
+			dyn, err := minegame.SolvePopulationEquilibrium(params, pmf, *budget, minegame.PopulationOptions{})
+			if err != nil {
+				return err
+			}
+			type popOut struct {
+				Fixed, Dynamic minegame.PopulationEquilibrium
+			}
+			return emit(popOut{Fixed: fixed, Dynamic: dyn}, func() {
+				fmt.Fprintf(out, "population uncertainty (μ=%g, σ=%g, budget %g)\n", *mu, *sigma, *budget)
+				fmt.Fprintf(out, "  fixed N=%d:  e*=%.4f c*=%.4f (utility %.3f)\n",
+					int(*mu), fixed.Request.E, fixed.Request.C, fixed.Utility)
+				fmt.Fprintf(out, "  dynamic:     e*=%.4f c*=%.4f (utility %.3f)\n",
+					dyn.Request.E, dyn.Request.C, dyn.Utility)
+				fmt.Fprintf(out, "  uncertainty premium on edge demand: %+.4f per miner\n",
+					dyn.Request.E-fixed.Request.E)
+			})
+		default:
+			return fmt.Errorf("unknown stage %q", *stage)
 		}
-		return emit(eq, func() { printMinerEquilibrium(out, cfg, eq) })
-	case "full":
-		res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{})
-		if err != nil {
-			return err
-		}
-		return emit(res, func() { printStackelberg(out, cfg, res) })
-	case "compare":
-		cmp, err := minegame.CompareModes(cfg, minegame.StackelbergOptions{})
-		if err != nil {
-			return err
-		}
-		return emit(cmp, func() {
-			fmt.Fprintln(out, "--- connected mode ---")
-			printStackelberg(out, cfg, cmp.Connected)
-			fmt.Fprintln(out, "--- standalone mode ---")
-			printStackelberg(out, cfg, cmp.Standalone)
-		})
-	case "selfbeta":
-		res, err := minegame.SolveSelfConsistentBeta(cfg,
-			minegame.Prices{Edge: *priceE, Cloud: *priceC}, *delay, *interval, minegame.NEOptions{})
-		if err != nil {
-			return err
-		}
-		return emit(res, func() {
-			fmt.Fprintf(out, "self-consistent fork rate (delay %.0fs, block time %.0fs)\n", *delay, *interval)
-			fmt.Fprintf(out, "  exogenous β = %.4f  →  β* = %.6f (converged=%v, %d iterations)\n",
-				res.ExogenousBeta, res.Beta, res.Converged, res.Iterations)
-			printMinerEquilibrium(out, cfg, res.Equilibrium)
-		})
-	case "endoh":
-		res, err := minegame.SolveEndogenousTransfer(cfg,
-			minegame.Prices{Edge: *priceE, Cloud: *priceC}, *espUnits, minegame.NEOptions{})
-		if err != nil {
-			return err
-		}
-		return emit(res, func() {
-			fmt.Fprintf(out, "endogenous transfer rate (ESP owns %.1f units)\n", *espUnits)
-			fmt.Fprintf(out, "  exogenous h = %.3f  →  h* = %.4f at offered load %.3f\n",
-				res.ExogenousH, res.SatisfyProb, res.EdgeDemand)
-			printMinerEquilibrium(out, cfg, res.Equilibrium)
-		})
-	case "population":
-		params := minegame.MinerParams{
-			Reward: *reward, Beta: *beta, H: *h,
-			PriceE: *priceE, PriceC: *priceC,
-		}
-		fixed, err := minegame.SolvePopulationEquilibrium(params,
-			minegame.FixedPopulation(int(*mu)), *budget, minegame.PopulationOptions{})
-		if err != nil {
-			return err
-		}
-		pmf, err := minegame.PopulationModel{Mu: *mu, Sigma: *sigma}.PMF()
-		if err != nil {
-			return err
-		}
-		dyn, err := minegame.SolvePopulationEquilibrium(params, pmf, *budget, minegame.PopulationOptions{})
-		if err != nil {
-			return err
-		}
-		type popOut struct {
-			Fixed, Dynamic minegame.PopulationEquilibrium
-		}
-		return emit(popOut{Fixed: fixed, Dynamic: dyn}, func() {
-			fmt.Fprintf(out, "population uncertainty (μ=%g, σ=%g, budget %g)\n", *mu, *sigma, *budget)
-			fmt.Fprintf(out, "  fixed N=%d:  e*=%.4f c*=%.4f (utility %.3f)\n",
-				int(*mu), fixed.Request.E, fixed.Request.C, fixed.Utility)
-			fmt.Fprintf(out, "  dynamic:     e*=%.4f c*=%.4f (utility %.3f)\n",
-				dyn.Request.E, dyn.Request.C, dyn.Utility)
-			fmt.Fprintf(out, "  uncertainty premium on edge demand: %+.4f per miner\n",
-				dyn.Request.E-fixed.Request.E)
-		})
-	default:
-		return fmt.Errorf("unknown stage %q", *stage)
+	}()
+	// Close even when the solve failed: it stops profiles, flushes the
+	// trace, and restores the default observer.
+	closeErr := sess.Close(out, *asJSON)
+	if runErr != nil {
+		return runErr
 	}
+	return closeErr
 }
 
 func printMinerEquilibrium(out io.Writer, cfg minegame.Config, eq minegame.MinerEquilibrium) {

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// traceLine mirrors the JSONL schema documented in README.md
+// ("Observability"): one object per line, type "event" or "span".
+type traceLine struct {
+	Type   string         `json:"type"`
+	Name   string         `json:"name"`
+	TS     string         `json:"ts"`
+	DurMS  *float64       `json:"dur_ms"`
+	Fields map[string]any `json:"fields"`
+}
+
+// readTrace parses every line of a JSONL trace file, failing the test on
+// any malformed line.
+func readTrace(t *testing.T, path string) []traceLine {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	var lines []traceLine
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var tl traceLine
+		if err := json.Unmarshal(sc.Bytes(), &tl); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", len(lines)+1, err, sc.Text())
+		}
+		if tl.Type != "event" && tl.Type != "span" {
+			t.Fatalf("trace line %d has unknown type %q", len(lines)+1, tl.Type)
+		}
+		if tl.Name == "" || tl.TS == "" {
+			t.Fatalf("trace line %d missing name/ts: %+v", len(lines)+1, tl)
+		}
+		lines = append(lines, tl)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan trace: %v", err)
+	}
+	return lines
+}
+
+func TestTraceFlagEmitsValidJSONL(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "full", "-trace", trace}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := readTrace(t, trace)
+	var sweeps, spans int
+	for _, tl := range lines {
+		if tl.Type == "event" && tl.Name == "game.sweep" {
+			sweeps++
+			if _, ok := tl.Fields["max_delta"]; !ok {
+				t.Errorf("game.sweep event missing max_delta: %+v", tl)
+			}
+		}
+		if tl.Type == "span" {
+			spans++
+			if tl.DurMS == nil || *tl.DurMS < 0 {
+				t.Errorf("span %q missing non-negative dur_ms: %+v", tl.Name, tl)
+			}
+		}
+	}
+	if sweeps == 0 {
+		t.Errorf("trace has no game.sweep events in %d lines", len(lines))
+	}
+	if spans == 0 {
+		t.Errorf("trace has no spans in %d lines", len(lines))
+	}
+}
+
+func TestMetricsFlagDumpsText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "full", "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Stackelberg equilibrium", // the solve itself still prints
+		"== metrics ==",
+		"game.sweeps",
+		"game.solve_ne.ms",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestMetricsComposesWithJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "full", "-json", "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	dec := json.NewDecoder(&out)
+	var result map[string]any
+	if err := dec.Decode(&result); err != nil {
+		t.Fatalf("first JSON object (result): %v", err)
+	}
+	var metrics struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := dec.Decode(&metrics); err != nil {
+		t.Fatalf("second JSON object (metrics): %v", err)
+	}
+	if metrics.Counters["game.sweeps"] <= 0 {
+		t.Errorf("metrics.counters[game.sweeps] = %d, want > 0", metrics.Counters["game.sweeps"])
+	}
+	if _, ok := metrics.Histograms["game.solve_ne.ms"]; !ok {
+		t.Errorf("metrics missing game.solve_ne.ms histogram: %+v", metrics.Histograms)
+	}
+}
+
+func TestTraceAndMetricsCompose(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "compare", "-emax", "25", "-trace", trace, "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(readTrace(t, trace)) == 0 {
+		t.Error("trace file is empty")
+	}
+	if !strings.Contains(out.String(), "core.mode_solve.ms") {
+		t.Errorf("compare metrics should include per-mode solve timings:\n%s", out.String())
+	}
+}
+
+func TestCPUProfileFlagWritesProfile(t *testing.T) {
+	prof := filepath.Join(t.TempDir(), "cpu.out")
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "full", "-cpuprofile", prof}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("cpu profile is empty")
+	}
+}
+
+func TestObservabilityOffLeavesOutputUnchanged(t *testing.T) {
+	var plain, observed bytes.Buffer
+	if err := run([]string{"-stage", "miners"}, &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-stage", "miners", "-trace", trace}, &observed); err != nil {
+		t.Fatalf("observed run: %v", err)
+	}
+	if plain.String() != observed.String() {
+		t.Errorf("-trace changed the solver output:\nplain:\n%s\nobserved:\n%s", plain.String(), observed.String())
+	}
+}

@@ -1,0 +1,35 @@
+package minegame_test
+
+// Examples smoke test: every runnable example under examples/ must keep
+// building and passing go vet. The examples are main packages, so the
+// package-level tests never touch them; this closes that gap in CI.
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// goTool verifies the go binary is runnable, skipping the test otherwise
+// (e.g. a stripped-down CI image running a prebuilt test binary).
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not available: %v", err)
+	}
+	return path
+}
+
+func TestExamplesBuild(t *testing.T) {
+	out, err := exec.Command(goTool(t), "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}
+
+func TestExamplesVet(t *testing.T) {
+	out, err := exec.Command(goTool(t), "vet", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"minegame/internal/obs"
 	"minegame/internal/sim"
 )
 
@@ -184,25 +185,62 @@ func (s WinStats) ForkRate() float64 {
 }
 
 // SimulateRounds runs n independent rounds and aggregates the outcomes.
+// Aggregate race metrics (blocks, forks, win split, round durations)
+// land in the process-wide observer when it is enabled.
 func SimulateRounds(cfg RaceConfig, n int, rng *rand.Rand) (WinStats, error) {
+	ob := obs.Default()
+	span := ob.StartSpan("chain.simulate_rounds", obs.Fields{"rounds": n})
 	stats := WinStats{Wins: make(map[int]int, len(cfg.Allocations))}
 	for i := 0; i < n; i++ {
 		res, err := SimulateRound(cfg, rng)
 		if err != nil {
+			span.End(obs.Fields{"failed": true})
 			return WinStats{}, fmt.Errorf("round %d: %w", i, err)
 		}
-		stats.Rounds++
-		stats.Wins[res.WinnerID]++
-		if res.WinnerOrigin == OriginEdge {
-			stats.EdgeWins++
-		} else {
-			stats.CloudWins++
-		}
-		if res.Forked {
-			stats.Forks++
-		}
+		stats.record(res, ob, false)
 	}
+	span.End(obs.Fields{"forks": stats.Forks, "edge_wins": stats.EdgeWins, "cloud_wins": stats.CloudWins})
 	return stats, nil
+}
+
+// record folds one round into the stats and, when the observer is
+// enabled, into the chain metrics; emitRound additionally streams a
+// per-round "chain.round" trace event (used by the event-driven Network,
+// where per-round telemetry matters for fork forensics).
+func (s *WinStats) record(res RoundResult, ob *obs.Observer, emitRound bool) {
+	s.Rounds++
+	s.Wins[res.WinnerID]++
+	if res.WinnerOrigin == OriginEdge {
+		s.EdgeWins++
+	} else {
+		s.CloudWins++
+	}
+	if res.Forked {
+		s.Forks++
+	}
+	if !ob.Enabled() {
+		return
+	}
+	ob.Count("chain.blocks_mined", 1)
+	ob.Count("chain.blocks_solved", int64(res.Solved))
+	if res.Forked {
+		ob.Count("chain.forks", 1)
+		ob.Count("chain.blocks_discarded", int64(res.Solved-1))
+	}
+	if res.WinnerOrigin == OriginEdge {
+		ob.Count("chain.wins.edge", 1)
+	} else {
+		ob.Count("chain.wins.cloud", 1)
+	}
+	ob.Count(fmt.Sprintf("chain.wins.miner_%d", res.WinnerID), 1)
+	ob.Observe("chain.round_duration_s", res.Duration)
+	ob.MaxGauge("chain.max_rivals_per_round", float64(res.Solved-1))
+	if emitRound && ob.Tracing() {
+		ob.Emit("chain.round", obs.Fields{
+			"winner": res.WinnerID, "origin": res.WinnerOrigin.String(),
+			"solved": res.Solved, "forked": res.Forked, "duration_s": res.Duration,
+		})
+	}
 }
 
 // Network grows a fork-aware ledger using the discrete-event engine: each
@@ -237,25 +275,30 @@ func (n *Network) Now() float64 { return n.engine.Now() }
 
 // Grow mines `blocks` canonical blocks, replaying each round race through
 // the event engine so solve and consensus instants are faithful, and
-// returns aggregate statistics.
+// returns aggregate statistics. With an enabled observer each round also
+// feeds the chain metrics and emits a "chain.round" trace event.
 func (n *Network) Grow(blocks int) (WinStats, error) {
+	ob := obs.Default()
+	span := ob.StartSpan("chain.grow", obs.Fields{"blocks": blocks})
 	stats := WinStats{Wins: make(map[int]int, len(n.cfg.Allocations))}
+	roundStart := n.engine.Now()
 	for i := 0; i < blocks; i++ {
 		res, err := n.growOne()
 		if err != nil {
+			span.End(obs.Fields{"failed": true})
 			return WinStats{}, fmt.Errorf("block %d: %w", i, err)
 		}
-		stats.Rounds++
-		stats.Wins[res.WinnerID]++
-		if res.WinnerOrigin == OriginEdge {
-			stats.EdgeWins++
-		} else {
-			stats.CloudWins++
-		}
-		if res.Forked {
-			stats.Forks++
-		}
+		// The engine clock is cumulative across rounds; report the
+		// per-round consensus latency, not the absolute timestamp.
+		res.Duration -= roundStart
+		roundStart = n.engine.Now()
+		stats.record(res, ob, true)
 	}
+	if ob.Enabled() {
+		ob.SetGauge("chain.height", float64(n.ledger.Height()))
+		ob.SetGauge("chain.virtual_time_s", n.engine.Now())
+	}
+	span.End(obs.Fields{"forks": stats.Forks, "edge_wins": stats.EdgeWins, "cloud_wins": stats.CloudWins})
 	return stats, nil
 }
 

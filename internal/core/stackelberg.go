@@ -8,6 +8,7 @@ import (
 	"minegame/internal/miner"
 	"minegame/internal/netmodel"
 	"minegame/internal/numeric"
+	"minegame/internal/obs"
 )
 
 // StackelbergOptions tunes the two-stage solve.
@@ -28,6 +29,10 @@ type StackelbergOptions struct {
 	// best-response function), which is well defined even in regimes
 	// where simultaneous best responses cycle; see DESIGN.md.
 	Simultaneous bool
+	// Observer receives two-stage telemetry (spans, demand-oracle
+	// counters) and is threaded into the leader and follower stages
+	// unless they carry their own. Nil falls back to obs.Default().
+	Observer *obs.Observer
 }
 
 func (o StackelbergOptions) withDefaults(cfg Config) StackelbergOptions {
@@ -47,7 +52,24 @@ func (o StackelbergOptions) withDefaults(cfg Config) StackelbergOptions {
 	if o.Leader.GridN <= 0 {
 		o.Leader.GridN = 60
 	}
+	if o.Observer != nil {
+		if o.Leader.Observer == nil {
+			o.Leader.Observer = o.Observer
+		}
+		if o.Follower.Observer == nil {
+			o.Follower.Observer = o.Observer
+		}
+	}
 	return o
+}
+
+// observer resolves the effective observer: the explicit one, or the
+// process default.
+func (o StackelbergOptions) observer() *obs.Observer {
+	if o.Observer != nil {
+		return o.Observer
+	}
+	return obs.Default()
 }
 
 // StackelbergResult is a solved two-stage game.
@@ -82,12 +104,20 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 	}
 	opts = opts.withDefaults(cfg)
 	useClosedForm := cfg.Homogeneous() && !opts.ForceNumericFollower
+	ob := opts.observer()
+	span := ob.StartSpan("core.stackelberg", obs.Fields{
+		"mode": cfg.Mode.String(), "miners": cfg.N, "closed_form": useClosedForm,
+	})
+	probes := ob.Counter("core.demand_probes")
+	memoHits := ob.Counter("core.demand_memo_hits")
 
 	memo := make(map[Prices]demand)
 	oracle := func(p Prices) demand {
 		if d, ok := memo[p]; ok {
+			memoHits.Inc()
 			return d
 		}
+		probes.Inc()
 		var d demand
 		if useClosedForm {
 			d = cfg.closedFormDemand(p)
@@ -152,14 +182,16 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 		lead, err = game.SolveLeaderFollower(esp, csp, opts.Leader)
 	}
 	if err != nil {
+		span.End(obs.Fields{"failed": true})
 		return StackelbergResult{}, fmt.Errorf("leader stage: %w", err)
 	}
 	prices := Prices{Edge: lead.PriceA, Cloud: lead.PriceB}
 	follower, err := SolveMinerEquilibrium(cfg, prices, opts.Follower)
 	if err != nil {
+		span.End(obs.Fields{"failed": true})
 		return StackelbergResult{}, fmt.Errorf("follower stage at equilibrium prices %+v: %w", prices, err)
 	}
-	return StackelbergResult{
+	res := StackelbergResult{
 		Prices:           prices,
 		Follower:         follower,
 		ProfitE:          (prices.Edge - cfg.CostE) * follower.EdgeDemand,
@@ -167,7 +199,13 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 		ClosedFormDemand: useClosedForm,
 		Iterations:       lead.Iterations,
 		Converged:        lead.Converged,
-	}, nil
+	}
+	span.End(obs.Fields{
+		"price_e": res.Prices.Edge, "price_c": res.Prices.Cloud,
+		"profit_e": res.ProfitE, "profit_c": res.ProfitC,
+		"leader_iterations": res.Iterations, "converged": res.Converged,
+	})
+	return res, nil
 }
 
 // solveStandaloneLeaders implements the SP stage of Algorithm 2 under
@@ -179,7 +217,11 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 // the clearing price is found by bisecting the capacity-unconstrained
 // edge demand, which is decreasing in P_e.
 func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersResult, error) {
+	ob := opts.observer()
+	span := ob.StartSpan("core.standalone_bargain", obs.Fields{"miners": c.N, "capacity": c.EdgeCapacity})
+	clearingSolves := ob.Counter("core.clearing_price_solves")
 	clearing := func(pc float64) (float64, bool) {
+		clearingSolves.Inc()
 		if c.Homogeneous() {
 			pe := miner.ClearingPriceEdge(c.Reward, c.Beta, pc, c.N, c.EdgeCapacity)
 			params := c.Params(Prices{Edge: pe, Cloud: pc})
@@ -233,16 +275,20 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 	}
 	pcStar, vc := numeric.MaximizeGrid(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7)
 	if math.IsInf(vc, -1) {
+		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: capacity never binds; no market-clearing equilibrium (Problem 2c requires E = E_max)")
 	}
 	peStar, ok := clearing(pcStar)
 	if !ok {
+		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: no clearing price at P_c = %g", pcStar)
 	}
 	eq, err := SolveMinerEquilibrium(c, Prices{Edge: peStar, Cloud: pcStar}, opts.Follower)
 	if err != nil {
+		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: %w", err)
 	}
+	span.End(obs.Fields{"price_e": peStar, "price_c": pcStar})
 	return game.LeadersResult{
 		PriceA:     peStar,
 		PriceB:     pcStar,
@@ -305,13 +351,24 @@ func CompareModes(cfg Config, opts StackelbergOptions) (ModeComparison, error) {
 	conn.Mode = netmodel.Connected
 	alone := cfg
 	alone.Mode = netmodel.Standalone
+	ob := opts.observer()
+	span := ob.StartSpan("core.compare_modes", obs.Fields{"miners": cfg.N})
+	connSpan := ob.StartSpan("core.mode_solve", obs.Fields{"mode": netmodel.Connected.String()})
 	rc, err := SolveStackelberg(conn, opts)
+	connSpan.End(obs.Fields{"failed": err != nil})
 	if err != nil {
+		span.End(obs.Fields{"failed": true})
 		return ModeComparison{}, fmt.Errorf("connected mode: %w", err)
 	}
+	aloneSpan := ob.StartSpan("core.mode_solve", obs.Fields{"mode": netmodel.Standalone.String()})
 	ra, err := SolveStackelberg(alone, opts)
+	aloneSpan.End(obs.Fields{"failed": err != nil})
 	if err != nil {
+		span.End(obs.Fields{"failed": true})
 		return ModeComparison{}, fmt.Errorf("standalone mode: %w", err)
 	}
+	span.End(obs.Fields{
+		"profit_e_connected": rc.ProfitE, "profit_e_standalone": ra.ProfitE,
+	})
 	return ModeComparison{Connected: rc, Standalone: ra}, nil
 }

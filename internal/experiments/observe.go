@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"minegame/internal/obs"
+)
+
+// RunObserved executes the runner like Runner.Run, additionally
+// recording per-figure telemetry to o (nil falls back to obs.Default()):
+// a span named "experiments.<id>" whose duration lands in the
+// "experiments.<id>.ms" histogram, and — so reports carry their own
+// provenance — a note on the result's first table summarizing the wall
+// time and the solver work (best-response sweeps, mining rounds, RL
+// episodes) the artifact consumed. With a disabled observer it is
+// byte-for-byte equivalent to r.Run(cfg).
+func RunObserved(r Runner, cfg Config, o *obs.Observer) (Result, error) {
+	if o == nil {
+		o = obs.Default()
+	}
+	if !o.Enabled() {
+		return r.Run(cfg)
+	}
+	before := o.Snapshot().Counters
+	span := o.StartSpan("experiments."+r.ID, obs.Fields{"quick": cfg.Quick, "seed": cfg.Seed})
+	start := time.Now()
+	res, err := r.Run(cfg)
+	elapsed := time.Since(start)
+	span.End(obs.Fields{"tables": len(res.Tables), "failed": err != nil})
+	if err != nil {
+		return res, err
+	}
+	if len(res.Tables) > 0 {
+		after := o.Snapshot().Counters
+		note := fmt.Sprintf("observability: wall time %s", elapsed.Round(time.Millisecond))
+		for _, c := range []struct{ counter, label string }{
+			{"game.sweeps", "solver sweeps"},
+			{"game.leader_rounds", "leader rounds"},
+			{"chain.blocks_mined", "mining rounds"},
+			{"rl.episodes", "RL episodes"},
+		} {
+			if d := after[c.counter] - before[c.counter]; d > 0 {
+				note += fmt.Sprintf(", %s %d", c.label, d)
+			}
+		}
+		res.Tables[0].Notes = append(res.Tables[0].Notes, note)
+	}
+	return res, nil
+}

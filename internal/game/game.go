@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"minegame/internal/numeric"
+	"minegame/internal/obs"
 )
 
 // BestResponse computes player i's optimal strategy against the profile.
@@ -29,7 +30,17 @@ type NEOptions struct {
 	Damping float64 // weight on the new strategy in (0, 1] (default 1: undamped)
 	// OnSweep, when non-nil, observes every sweep's largest strategy
 	// change — the hook behind the convergence diagnostics.
+	//
+	// Deprecated: prefer Observer, which receives the same per-sweep
+	// signal as "game.sweep" trace events plus solver spans and
+	// contraction-rate metrics. OnSweep remains supported for callers
+	// that need the raw deltas in-process.
 	OnSweep func(iteration int, maxDelta float64)
+	// Observer receives solver telemetry: a span per solve, one
+	// "game.sweep" trace event per sweep, and iteration/contraction
+	// metrics. Nil falls back to obs.Default() (disabled unless the
+	// process enabled it), which costs one atomic check per sweep.
+	Observer *obs.Observer
 	// Jacobi switches to simultaneous updates: every player best-responds
 	// to the PREVIOUS sweep's profile instead of the freshest strategies.
 	// Gauss–Seidel (the default) usually converges faster; Jacobi models
@@ -50,6 +61,15 @@ func (o NEOptions) withDefaults() NEOptions {
 	return o
 }
 
+// observer resolves the effective observer: the explicit one, or the
+// process default.
+func (o NEOptions) observer() *obs.Observer {
+	if o.Observer != nil {
+		return o.Observer
+	}
+	return obs.Default()
+}
+
 // NEResult is the outcome of a best-response iteration.
 type NEResult struct {
 	Profile    []numeric.Point2 // final strategy profile
@@ -65,6 +85,7 @@ type NEResult struct {
 // converges to the equilibrium.
 func SolveNE(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
 	opts = opts.withDefaults()
+	tel := newSolveTelemetry(opts, "game.solve_ne", "best_response", len(start))
 	prof := make([]numeric.Point2, len(start))
 	copy(prof, start)
 	res := NEResult{Profile: prof}
@@ -93,12 +114,73 @@ func SolveNE(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
 		if opts.OnSweep != nil {
 			opts.OnSweep(res.Iterations, res.MaxDelta)
 		}
+		tel.sweep(res.Iterations, res.MaxDelta)
 		if res.MaxDelta < opts.Tol {
 			res.Converged = true
+			tel.finish(res)
 			return res
 		}
 	}
+	tel.finish(res)
 	return res
+}
+
+// solveTelemetry bundles the observer state of one iterative solve so
+// the solver loops stay readable: a span for the whole solve, a counter
+// and trace event per sweep, and the delta history for the
+// contraction-rate summary. The zero-cost story: when the observer is
+// disabled, every method is a single boolean test.
+type solveTelemetry struct {
+	ob      *obs.Observer
+	span    *obs.Span
+	sweeps  *obs.Counter
+	deltas  []float64
+	name    string
+	solver  string
+	on      bool
+	tracing bool
+}
+
+func newSolveTelemetry(opts NEOptions, name, solver string, players int) *solveTelemetry {
+	ob := opts.observer()
+	if !ob.Enabled() {
+		return &solveTelemetry{}
+	}
+	return &solveTelemetry{
+		ob:      ob,
+		span:    ob.StartSpan(name, obs.Fields{"players": players, "solver": solver, "tol": opts.Tol, "damping": opts.Damping}),
+		sweeps:  ob.Counter("game.sweeps"),
+		name:    name,
+		solver:  solver,
+		on:      true,
+		tracing: ob.Tracing(),
+	}
+}
+
+// sweep records one completed sweep.
+func (t *solveTelemetry) sweep(iter int, maxDelta float64) {
+	if !t.on {
+		return
+	}
+	t.sweeps.Inc()
+	t.deltas = append(t.deltas, maxDelta)
+	if t.tracing {
+		t.ob.Emit("game.sweep", obs.Fields{"solver": t.solver, "iter": iter, "max_delta": maxDelta})
+	}
+}
+
+// finish closes the solve span with convergence stats.
+func (t *solveTelemetry) finish(res NEResult) {
+	if !t.on {
+		return
+	}
+	t.ob.Observe(t.name+".iterations", float64(res.Iterations))
+	end := obs.Fields{"iterations": res.Iterations, "converged": res.Converged, "max_delta": res.MaxDelta}
+	if rate := ContractionRate(t.deltas); !math.IsNaN(rate) {
+		t.ob.Observe("game.contraction_rate", rate)
+		end["contraction_rate"] = rate
+	}
+	t.span.End(end)
 }
 
 // ContractionRate estimates the geometric convergence factor of a
@@ -132,6 +214,7 @@ func ContractionRate(deltas []float64) float64 {
 // declared when that residual falls below Tol.
 func SolveNEFictitious(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
 	opts = opts.withDefaults()
+	tel := newSolveTelemetry(opts, "game.solve_fictitious", "fictitious_play", len(start))
 	avg := make([]numeric.Point2, len(start))
 	copy(avg, start)
 	res := NEResult{Profile: avg}
@@ -149,11 +232,14 @@ func SolveNEFictitious(start []numeric.Point2, br BestResponse, opts NEOptions) 
 		if opts.OnSweep != nil {
 			opts.OnSweep(it, res.MaxDelta)
 		}
+		tel.sweep(it, res.MaxDelta)
 		if res.MaxDelta < opts.Tol {
 			res.Converged = true
+			tel.finish(res)
 			return res
 		}
 	}
+	tel.finish(res)
 	return res
 }
 
@@ -209,12 +295,32 @@ func SolveVariationalGNE(
 	capacity float64,
 	capTol float64,
 	opts NEOptions,
-) (VGNEResult, error) {
+) (result VGNEResult, err error) {
 	if capTol <= 0 {
 		capTol = 1e-6
 	}
+	ob := opts.observer()
+	span := ob.StartSpan("game.solve_vgne", obs.Fields{"players": len(start), "capacity": capacity})
+	defer func() {
+		if span == nil {
+			return
+		}
+		span.End(obs.Fields{
+			"multiplier":   result.Multiplier,
+			"shared_value": result.SharedValue,
+			"converged":    result.Converged,
+			"failed":       err != nil,
+		})
+	}()
+	probes := ob.Counter("game.gne_multiplier_probes")
+	tracing := ob.Tracing()
 	solve := func(mu float64, from []numeric.Point2) NEResult {
-		return SolveNE(from, brAt(mu), opts)
+		probes.Inc()
+		res := SolveNE(from, brAt(mu), opts)
+		if tracing {
+			ob.Emit("game.gne_probe", obs.Fields{"mu": mu, "iterations": res.Iterations, "converged": res.Converged})
+		}
+		return res
 	}
 	base := solve(0, start)
 	g := shared(base.Profile)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"minegame/internal/numeric"
+	"minegame/internal/obs"
 )
 
 // Leader describes one price-setting service provider in the leader
@@ -25,6 +26,10 @@ type LeaderOptions struct {
 	PriceTol float64 // convergence threshold on price moves (default 1e-4)
 	GridN    int     // coarse grid size for each 1-D profit maximization (default 40)
 	Damping  float64 // weight on the new price in (0, 1] (default 1)
+	// Observer receives leader-stage telemetry: a span per solve and a
+	// "game.leader_round" trace event per bargaining round. Nil falls
+	// back to obs.Default().
+	Observer *obs.Observer
 }
 
 func (o LeaderOptions) withDefaults() LeaderOptions {
@@ -41,6 +46,15 @@ func (o LeaderOptions) withDefaults() LeaderOptions {
 		o.Damping = 1
 	}
 	return o
+}
+
+// observer resolves the effective observer: the explicit one, or the
+// process default.
+func (o LeaderOptions) observer() *obs.Observer {
+	if o.Observer != nil {
+		return o.Observer
+	}
+	return obs.Default()
 }
 
 // LeadersResult is the outcome of the leader-stage iteration.
@@ -60,12 +74,17 @@ type LeadersResult struct {
 // regimes) is tolerated.
 func SolveLeaders(a, b Leader, startA, startB float64, opts LeaderOptions) (LeadersResult, error) {
 	opts = opts.withDefaults()
+	ob := opts.observer()
+	span := ob.StartSpan("game.solve_leaders", obs.Fields{"leader_a": a.Name, "leader_b": b.Name})
+	rounds := ob.Counter("game.leader_rounds")
+	tracing := ob.Tracing()
 	pa, pb := startA, startB
 	res := LeadersResult{}
 	for it := 0; it < opts.MaxIter; it++ {
 		res.Iterations = it + 1
 		nextA, err := maximizeLeader(a, pb, opts)
 		if err != nil {
+			span.End(obs.Fields{"failed": true})
 			return res, fmt.Errorf("leader %s: %w", a.Name, err)
 		}
 		nextA = pa + opts.Damping*(nextA-pa)
@@ -73,11 +92,19 @@ func SolveLeaders(a, b Leader, startA, startB float64, opts LeaderOptions) (Lead
 		pa = nextA
 		nextB, err := maximizeLeader(b, pa, opts)
 		if err != nil {
+			span.End(obs.Fields{"failed": true})
 			return res, fmt.Errorf("leader %s: %w", b.Name, err)
 		}
 		nextB = pb + opts.Damping*(nextB-pb)
 		deltaB := math.Abs(nextB - pb)
 		pb = nextB
+		rounds.Inc()
+		if tracing {
+			ob.Emit("game.leader_round", obs.Fields{
+				"iter": res.Iterations, "price_a": pa, "price_b": pb,
+				"delta_a": deltaA, "delta_b": deltaB,
+			})
+		}
 		if deltaA < opts.PriceTol && deltaB < opts.PriceTol {
 			res.Converged = true
 			break
@@ -86,6 +113,7 @@ func SolveLeaders(a, b Leader, startA, startB float64, opts LeaderOptions) (Lead
 	res.PriceA, res.PriceB = pa, pb
 	res.ProfitA = a.Profit(pa, pb)
 	res.ProfitB = b.Profit(pb, pa)
+	span.End(obs.Fields{"iterations": res.Iterations, "converged": res.Converged, "price_a": pa, "price_b": pb})
 	return res, nil
 }
 
@@ -101,8 +129,11 @@ func SolveLeaders(a, b Leader, startA, startB float64, opts LeaderOptions) (Lead
 // price exists); implementations must return a full bracket in that case.
 func SolveLeaderFollower(a, b Leader, opts LeaderOptions) (LeadersResult, error) {
 	opts = opts.withDefaults()
+	ob := opts.observer()
+	span := ob.StartSpan("game.solve_leader_follower", obs.Fields{"leader_a": a.Name, "leader_b": b.Name})
 	loA, hiA := a.Bracket(math.NaN())
 	if !(hiA > loA) || math.IsNaN(loA) || math.IsNaN(hiA) {
+		span.End(obs.Fields{"failed": true})
 		return LeadersResult{}, fmt.Errorf("leader %s: invalid first-mover bracket [%g, %g]", a.Name, loA, hiA)
 	}
 	anticipated := func(pa float64) float64 {
@@ -114,12 +145,15 @@ func SolveLeaderFollower(a, b Leader, opts LeaderOptions) (LeadersResult, error)
 	}
 	pa, profitA := numeric.MaximizeGrid(anticipated, loA, hiA, opts.GridN, (hiA-loA)*1e-6)
 	if math.IsInf(profitA, -1) {
+		span.End(obs.Fields{"failed": true})
 		return LeadersResult{}, fmt.Errorf("leader %s: no feasible first-mover price in [%g, %g]", a.Name, loA, hiA)
 	}
 	pb, err := maximizeLeader(b, pa, opts)
 	if err != nil {
+		span.End(obs.Fields{"failed": true})
 		return LeadersResult{}, fmt.Errorf("leader %s: %w", b.Name, err)
 	}
+	span.End(obs.Fields{"price_a": pa, "price_b": pb})
 	return LeadersResult{
 		PriceA:     pa,
 		PriceB:     pb,

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The disabled path is the one every library caller pays: it must stay
+// within a nanosecond or two (a nil/atomic check), which is what makes
+// leaving the instrumentation compiled into the hot solvers free.
+
+func BenchmarkDisabledCount(b *testing.B) {
+	o := New()
+	o.SetEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Count("x", 1)
+	}
+}
+
+func BenchmarkDisabledHoistedCounter(b *testing.B) {
+	o := New()
+	o.SetEnabled(false)
+	c := o.Counter("x") // nil: the hoisted-handle hot-loop idiom
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledEmit(b *testing.B) {
+	o := New()
+	o.SetEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Emit("x", nil)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	o := New()
+	o.SetEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.StartSpan("x", nil).End(nil)
+	}
+}
+
+func BenchmarkNilObserverCount(b *testing.B) {
+	var o *Observer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Count("x", 1)
+	}
+}
+
+// Enabled-path costs, for scale.
+
+func BenchmarkEnabledHoistedCounter(b *testing.B) {
+	o := New()
+	c := o.Counter("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledObserve(b *testing.B) {
+	o := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Observe("h", float64(i))
+	}
+}
+
+func BenchmarkEnabledEmitWithTrace(b *testing.B) {
+	o := New()
+	o.SetTrace(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Emit("game.sweep", Fields{"iter": i, "max_delta": 0.5})
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// maxHistSamples caps the per-histogram sample buffer. Once full, new
+// observations overwrite the buffer cyclically, biasing the quantile
+// summary toward recent values — the right trade for long-running
+// convergence traces, and deterministic (no RNG) so instrumented runs
+// stay reproducible.
+const maxHistSamples = 2048
+
+// Histogram accumulates observations and summarizes them with exact
+// count/sum/min/max plus quantiles estimated from a bounded sample
+// buffer.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	next    int // overwrite cursor once the buffer is full
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < maxHistSamples {
+		h.samples = append(h.samples, v)
+		return
+	}
+	h.samples[h.next] = v
+	h.next = (h.next + 1) % maxHistSamples
+}
+
+// HistStat is a histogram's summary: exact count/sum/min/max/mean and
+// quantiles estimated from the sample buffer.
+type HistStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Stat returns the current summary. A histogram with no observations (or
+// a nil receiver) yields the zero HistStat.
+func (h *Histogram) Stat() HistStat {
+	if h == nil {
+		return HistStat{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistStat{}
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	return HistStat{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		Mean:  h.sum / float64(h.count),
+		P50:   quantile(sorted, 0.50),
+		P90:   quantile(sorted, 0.90),
+		P99:   quantile(sorted, 0.99),
+	}
+}
+
+// quantile reads the q-th quantile from an ascending-sorted slice using
+// linear interpolation between the two straddling order statistics.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,182 @@
+// Package obscli wires the obs instrumentation layer into a command-line
+// program: it registers the shared observability flags (-trace, -metrics,
+// -pprof, -cpuprofile) on a flag.FlagSet and manages the session lifetime
+// — installing an enabled default observer while work runs, streaming the
+// JSONL trace, serving net/http/pprof, writing the CPU profile, and
+// dumping the metrics registry at exit.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime/pprof"
+
+	"minegame/internal/obs"
+)
+
+// Options holds the values of the shared observability flags.
+type Options struct {
+	// Trace is the JSONL trace destination path ("" disables tracing).
+	Trace string
+	// Metrics requests a registry dump when the session closes.
+	Metrics bool
+	// PprofAddr serves net/http/pprof on this address ("" disables).
+	PprofAddr string
+	// CPUProfile writes a runtime/pprof CPU profile to this path.
+	CPUProfile string
+}
+
+// Bind registers the observability flags on fs and returns the Options
+// they populate.
+func Bind(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.StringVar(&o.Trace, "trace", "", "stream solver/simulation trace events as JSONL to this file")
+	fs.BoolVar(&o.Metrics, "metrics", false, "dump the metrics registry at exit")
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	return o
+}
+
+// Session is a started observability session; always Close it (even on
+// the error path) to stop profiling, flush the trace, and restore the
+// previous default observer.
+type Session struct {
+	observer   *obs.Observer
+	prev       *obs.Observer
+	installed  bool
+	metrics    bool
+	traceFile  *os.File
+	cpuFile    *os.File
+	pprofLn    net.Listener
+	pprofErrCh chan error
+}
+
+// Start activates whatever the options request. When any of trace,
+// metrics, or a profile sink is wanted it installs an enabled observer
+// as the process default; with all options off it is a no-op session, so
+// instrumented code keeps its zero-cost disabled path.
+func (o *Options) Start() (*Session, error) {
+	s := &Session{metrics: o.Metrics}
+	if o.Trace != "" || o.Metrics {
+		s.observer = obs.New()
+		if o.Trace != "" {
+			f, err := os.Create(o.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+			s.traceFile = f
+			s.observer.SetTrace(f)
+		}
+		s.prev = obs.SetDefault(s.observer)
+		s.installed = true
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			s.abort()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			s.abort()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if o.PprofAddr != "" {
+		ln, err := net.Listen("tcp", o.PprofAddr)
+		if err != nil {
+			s.abort()
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		s.pprofLn = ln
+		s.pprofErrCh = make(chan error, 1)
+		go func() { s.pprofErrCh <- http.Serve(ln, nil) }()
+		// Report the bound address so -pprof :0 (ephemeral port) is usable.
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	return s, nil
+}
+
+// Observer returns the session's observer (nil when neither tracing nor
+// metrics were requested).
+func (s *Session) Observer() *obs.Observer { return s.observer }
+
+// PprofAddr returns the bound pprof listener address ("" when not
+// serving) — useful when the flag asked for port 0.
+func (s *Session) PprofAddr() string {
+	if s.pprofLn == nil {
+		return ""
+	}
+	return s.pprofLn.Addr().String()
+}
+
+// abort releases everything acquired so far without emitting output;
+// used when a later Start step fails.
+func (s *Session) abort() {
+	if s.installed {
+		obs.SetDefault(s.prev)
+	}
+	if s.traceFile != nil {
+		s.traceFile.Close()
+	}
+}
+
+// Close ends the session: it stops the CPU profile and pprof server,
+// flushes and closes the trace file, restores the previous default
+// observer, and — when -metrics was given — writes the registry to w as
+// text, or as one JSON object when asJSON is set (composing with CLIs'
+// -json mode: consumers read the result object and the metrics object
+// from the same stream with a json.Decoder).
+func (s *Session) Close(w io.Writer, asJSON bool) error {
+	if s == nil {
+		return nil
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.pprofLn != nil {
+		s.pprofLn.Close()
+		<-s.pprofErrCh // http.Serve returns once the listener closes
+		s.pprofLn = nil
+	}
+	var firstErr error
+	if s.observer != nil {
+		if err := s.observer.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trace flush: %w", err)
+		}
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trace close: %w", err)
+		}
+		s.traceFile = nil
+	}
+	if s.installed {
+		obs.SetDefault(s.prev)
+		s.installed = false
+	}
+	if s.metrics && s.observer != nil && w != nil {
+		snap := s.observer.Snapshot()
+		var err error
+		if asJSON {
+			err = snap.WriteJSON(w)
+		} else {
+			err = snap.WriteText(w)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("metrics dump: %w", err)
+		}
+		s.metrics = false
+	}
+	return firstErr
+}

@@ -1,0 +1,90 @@
+package obscli
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minegame/internal/obs"
+)
+
+func TestBindRegistersAllFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := Bind(fs)
+	if err := fs.Parse([]string{"-trace", "t.jsonl", "-metrics", "-pprof", "addr:1", "-cpuprofile", "cpu.out"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := Options{Trace: "t.jsonl", Metrics: true, PprofAddr: "addr:1", CPUProfile: "cpu.out"}
+	if *o != want {
+		t.Errorf("options = %+v, want %+v", *o, want)
+	}
+}
+
+func TestNoOpSessionKeepsDefaultDisabled(t *testing.T) {
+	sess, err := (&Options{}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if sess.Observer() != nil {
+		t.Error("no-op session should not create an observer")
+	}
+	if obs.Default().Enabled() {
+		t.Error("no-op session must leave the process default disabled")
+	}
+	if err := sess.Close(io.Discard, false); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestSessionInstallsAndRestoresDefault(t *testing.T) {
+	before := obs.Default()
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	sess, err := (&Options{Trace: trace, Metrics: true}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if obs.Default() != sess.Observer() {
+		t.Error("session observer should be the process default while open")
+	}
+	obs.Default().Count("obscli.test", 3)
+	var out bytes.Buffer
+	if err := sess.Close(&out, false); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if obs.Default() != before {
+		t.Error("Close must restore the previous default observer")
+	}
+	if !strings.Contains(out.String(), "obscli.test") {
+		t.Errorf("metrics dump missing recorded counter:\n%s", out.String())
+	}
+}
+
+func TestPprofServerServesWhileSessionOpen(t *testing.T) {
+	sess, err := (&Options{PprofAddr: "127.0.0.1:0"}).Start()
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	addr := sess.PprofAddr()
+	if addr == "" {
+		t.Fatal("PprofAddr is empty for a bound listener")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof status = %d, want 200", resp.StatusCode)
+	}
+	if err := sess.Close(io.Discard, false); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if sess.PprofAddr() != "" {
+		t.Error("PprofAddr should be empty after Close")
+	}
+}

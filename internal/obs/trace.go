@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceWriter serializes JSONL trace lines onto one io.Writer.
+type traceWriter struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+// traceLine is the on-disk schema of one trace record: one JSON object
+// per line. Type is "event" for point-in-time records and "span" for
+// timed regions (which carry DurMS).
+type traceLine struct {
+	Type   string   `json:"type"`
+	Name   string   `json:"name"`
+	TS     string   `json:"ts"`
+	DurMS  *float64 `json:"dur_ms,omitempty"`
+	Fields Fields   `json:"fields,omitempty"`
+}
+
+// SetTrace attaches a JSONL sink; every subsequent Emit and Span.End
+// appends one line to w. Pass nil to detach. The caller owns w's
+// lifetime and should call Flush (or Close on a CLISession) before
+// closing it. No-op on a nil receiver.
+func (o *Observer) SetTrace(w io.Writer) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if w == nil {
+		o.trace = nil
+		return
+	}
+	buf := bufio.NewWriter(w)
+	o.trace = &traceWriter{buf: buf, enc: json.NewEncoder(buf)}
+}
+
+// Tracing reports whether a trace sink is attached and the observer is
+// enabled — the gate for building Fields maps that only the trace reads.
+func (o *Observer) Tracing() bool {
+	if !o.Enabled() {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.trace != nil
+}
+
+// Flush drains buffered trace output to the underlying writer.
+func (o *Observer) Flush() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	tw := o.trace
+	o.mu.Unlock()
+	if tw == nil {
+		return nil
+	}
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.buf.Flush()
+}
+
+// Emit appends one "event" line to the trace sink (if any). The fields
+// map is marshaled as-is; values must be JSON-encodable.
+func (o *Observer) Emit(name string, fields Fields) {
+	if !o.Enabled() {
+		return
+	}
+	o.emit(traceLine{Type: "event", Name: name, TS: o.clock().Format(time.RFC3339Nano), Fields: fields})
+}
+
+func (o *Observer) emit(line traceLine) {
+	o.mu.Lock()
+	tw := o.trace
+	o.mu.Unlock()
+	if tw == nil {
+		return
+	}
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	// Encoding errors (e.g. a closed file) are deliberately swallowed:
+	// observability must never fail the computation it watches.
+	_ = tw.enc.Encode(line)
+}
+
+// Span is a timed region. Obtain one with StartSpan and finish it with
+// End; a nil Span (from a disabled observer) is safe to End.
+type Span struct {
+	o      *Observer
+	name   string
+	start  time.Time
+	fields Fields
+}
+
+// StartSpan opens a named timed region. The fields recorded at start are
+// merged with those supplied to End. Returns nil — safe to End — when
+// the observer is disabled.
+func (o *Observer) StartSpan(name string, fields Fields) *Span {
+	if !o.Enabled() {
+		return nil
+	}
+	return &Span{o: o, name: name, start: o.clock(), fields: fields}
+}
+
+// End closes the span: the duration lands in the histogram "<name>.ms"
+// and, when a trace sink is attached, a "span" line is appended carrying
+// the start timestamp, duration, and the merged start/end fields.
+func (s *Span) End(fields Fields) {
+	if s == nil || !s.o.Enabled() {
+		return
+	}
+	durMS := float64(s.o.clock().Sub(s.start)) / float64(time.Millisecond)
+	s.o.Observe(s.name+".ms", durMS)
+	merged := s.fields
+	if len(fields) > 0 {
+		if merged == nil {
+			merged = fields
+		} else {
+			for k, v := range fields {
+				merged[k] = v
+			}
+		}
+	}
+	s.o.emit(traceLine{
+		Type:   "span",
+		Name:   s.name,
+		TS:     s.start.Format(time.RFC3339Nano),
+		DurMS:  &durMS,
+		Fields: merged,
+	})
+}

@@ -129,6 +129,17 @@ func (l *EpsilonGreedy) Q() []float64 {
 	return out
 }
 
+// Epsilon returns the current exploration rate — the decaying schedule
+// the trainer's observer reports as the "rl.epsilon" gauge.
+func (l *EpsilonGreedy) Epsilon() float64 { return l.epsilon }
+
+// Explorer is implemented by learners whose exploration schedule can be
+// observed (ε for ε-greedy); the trainer exports it as a gauge.
+type Explorer interface {
+	// Epsilon returns the current exploration rate in [0, 1].
+	Epsilon() float64
+}
+
 // GradientBandit is a softmax preference learner with a running average
 // baseline (Sutton & Barto's gradient bandit), offered as an alternative
 // learner for the same framework.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"minegame/internal/numeric"
+	"minegame/internal/obs"
 )
 
 // Trainer runs repeated mining rounds with a (possibly random) number of
@@ -19,8 +20,22 @@ type Trainer struct {
 	// pool size. Use population.Degenerate(n) for a fixed population.
 	PMF      numeric.DiscretePMF
 	Learners []Learner
+	// Observer receives training telemetry: per-episode reward
+	// histograms, the exploration schedule, and an estimated regret
+	// versus each participant's greedy action. Nil falls back to
+	// obs.Default().
+	Observer *obs.Observer
 
-	rng *rand.Rand
+	rng      *rand.Rand
+	episodes int // lifetime episode count, for trace sequencing
+}
+
+// observer resolves the trainer's effective observer.
+func (t *Trainer) observer() *obs.Observer {
+	if t.Observer != nil {
+		return t.Observer
+	}
+	return obs.Default()
 }
 
 // NewTrainer assembles a trainer for a pool of learners.
@@ -69,16 +84,69 @@ func (t *Trainer) Episode() ([]int, error) {
 	for j, idx := range participants {
 		t.Learners[idx].Update(actions[j], payoffs[j])
 	}
+	t.episodes++
+	t.observeEpisode(participants, actions, payoffs)
 	return participants, nil
 }
 
-// Train runs the given number of episodes.
+// observeEpisode records one episode's telemetry: mean reward, the
+// exploration schedule, and — for learners exposing value estimates — an
+// estimated per-episode regret (the value gap between each participant's
+// greedy action and the action it actually played, under its own current
+// estimates; zero when everyone exploited). The estimate consumes no
+// randomness, so enabling observability never perturbs training
+// trajectories.
+func (t *Trainer) observeEpisode(participants, actions []int, payoffs []float64) {
+	ob := t.observer()
+	if !ob.Enabled() {
+		return
+	}
+	ob.Count("rl.episodes", 1)
+	var mean float64
+	for _, p := range payoffs {
+		mean += p
+	}
+	mean /= float64(len(payoffs))
+	ob.Observe("rl.reward", mean)
+	regret, regretOK := 0.0, false
+	for j, idx := range participants {
+		if est, ok := t.Learners[idx].(interface{ Q() []float64 }); ok {
+			q := est.Q()
+			regret += q[t.Learners[idx].Greedy()] - q[actions[j]]
+			regretOK = true
+		}
+	}
+	if regretOK {
+		ob.Observe("rl.regret_vs_greedy", regret)
+	}
+	epsilon, hasEpsilon := -1.0, false
+	if ex, ok := t.Learners[participants[0]].(Explorer); ok {
+		epsilon = ex.Epsilon()
+		hasEpsilon = true
+		ob.SetGauge("rl.epsilon", epsilon)
+	}
+	if ob.Tracing() {
+		f := obs.Fields{"episode": t.episodes, "participants": len(participants), "mean_reward": mean}
+		if regretOK {
+			f["regret_vs_greedy"] = regret
+		}
+		if hasEpsilon {
+			f["epsilon"] = epsilon
+		}
+		ob.Emit("rl.episode", f)
+	}
+}
+
+// Train runs the given number of episodes under an "rl.train" span.
 func (t *Trainer) Train(episodes int) error {
+	span := t.observer().StartSpan("rl.train", obs.Fields{"episodes": episodes, "pool": len(t.Learners)})
 	for i := 0; i < episodes; i++ {
 		if _, err := t.Episode(); err != nil {
+			span.End(obs.Fields{"failed": true})
 			return fmt.Errorf("episode %d: %w", i, err)
 		}
 	}
+	span.End(nil)
 	return nil
 }
 

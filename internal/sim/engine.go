@@ -9,6 +9,9 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"time"
+
+	"minegame/internal/obs"
 )
 
 // Handler is the action executed when an event fires. It receives the
@@ -52,12 +55,33 @@ type Engine struct {
 	now     float64
 	seq     uint64
 	stopped bool
+	// highWater tracks the deepest the event queue has ever been — a
+	// plain int so the hot scheduling path stays observer-free.
+	highWater int
+	observer  *obs.Observer
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{}
 }
+
+// SetObserver routes this engine's run telemetry (events fired, queue
+// high-water mark, virtual-time rate) to o instead of the process-wide
+// default observer.
+func (e *Engine) SetObserver(o *obs.Observer) { e.observer = o }
+
+// obsv resolves the engine's effective observer.
+func (e *Engine) obsv() *obs.Observer {
+	if e.observer != nil {
+		return e.observer
+	}
+	return obs.Default()
+}
+
+// QueueHighWater returns the deepest the pending-event queue has been
+// over the engine's lifetime (Reset clears it).
+func (e *Engine) QueueHighWater() int { return e.highWater }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
@@ -83,6 +107,9 @@ func (e *Engine) ScheduleAt(t float64, fn Handler) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &event{time: t, seq: e.seq, fn: fn})
+	if len(e.queue) > e.highWater {
+		e.highWater = len(e.queue)
+	}
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -100,7 +127,19 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue drains, Stop is called, or the next
 // event would fire after horizon. Pass math.Inf(1) for no horizon. It
 // returns the number of events executed.
+//
+// When an observer is enabled, each Run records the events fired, the
+// queue high-water mark, the virtual clock, and the virtual-time rate
+// (simulated seconds advanced per wall-clock second); the per-event loop
+// itself carries no instrumentation.
 func (e *Engine) Run(horizon float64) int {
+	ob := e.obsv()
+	observing := ob.Enabled()
+	var wallStart time.Time
+	startVirtual := e.now
+	if observing {
+		wallStart = time.Now()
+	}
 	e.stopped = false
 	executed := 0
 	for !e.stopped && len(e.queue) > 0 {
@@ -109,6 +148,15 @@ func (e *Engine) Run(horizon float64) int {
 		}
 		e.Step()
 		executed++
+	}
+	if observing {
+		ob.Count("sim.events_fired", int64(executed))
+		ob.Count("sim.runs", 1)
+		ob.MaxGauge("sim.queue_high_water", float64(e.highWater))
+		ob.SetGauge("sim.virtual_time", e.now)
+		if wall := time.Since(wallStart).Seconds(); wall > 0 && e.now > startVirtual {
+			ob.SetGauge("sim.virtual_time_rate", (e.now-startVirtual)/wall)
+		}
 	}
 	return executed
 }
@@ -127,6 +175,7 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.stopped = false
+	e.highWater = 0
 }
 
 // NewRNG returns a seeded random stream. Distinct labels derive

@@ -36,6 +36,7 @@ import (
 	"minegame/internal/multiesp"
 	"minegame/internal/netmodel"
 	"minegame/internal/numeric"
+	"minegame/internal/obs"
 	"minegame/internal/population"
 	"minegame/internal/rl"
 	"minegame/internal/sim"
@@ -320,12 +321,14 @@ type (
 func Experiments() []Experiment { return experiments.All() }
 
 // RunExperiment regenerates one paper artifact by ID (e.g. "fig4").
+// When the default observer is enabled, each run records a span plus a
+// wall-time/solver-work note on its first table.
 func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
 	r, err := experiments.ByID(id)
 	if err != nil {
 		return ExperimentResult{}, err
 	}
-	return r.Run(cfg)
+	return experiments.RunObserved(r, cfg, nil)
 }
 
 // ReplicateExperiment runs an experiment across nSeeds consecutive seeds
@@ -403,3 +406,32 @@ func NewUCB1(nActions int, c, rewardScale float64) (Learner, error) {
 func NewExp3(nActions int, gamma, rewardScale float64) (Learner, error) {
 	return rl.NewExp3(nActions, gamma, rewardScale)
 }
+
+// Observability layer (package obs): a zero-dependency metrics registry
+// (counters, gauges, quantile histograms), named spans, and a JSONL
+// trace sink, threaded through every iterative solver and simulator.
+// Solvers accept an Observer via their options (e.g. NEOptions.Observer,
+// StackelbergOptions.Observer) or fall back to the process default,
+// which starts disabled and costs one atomic check per hot-loop probe.
+type (
+	// Observer is the metrics registry + trace sink handle.
+	Observer = obs.Observer
+	// ObserverFields is the structured payload on trace events/spans.
+	ObserverFields = obs.Fields
+	// ObserverSnapshot is a point-in-time copy of the registry.
+	ObserverSnapshot = obs.Snapshot
+	// ObserverSpan is a timed region recorded by an Observer.
+	ObserverSpan = obs.Span
+)
+
+// NewObserver returns an enabled observer with no trace sink; attach one
+// with SetTrace to stream JSONL convergence traces.
+func NewObserver() *Observer { return obs.New() }
+
+// DefaultObserver returns the process-wide observer instrumented code
+// falls back to. It starts disabled.
+func DefaultObserver() *Observer { return obs.Default() }
+
+// SetDefaultObserver installs o as the process-wide observer and returns
+// the previous one so callers can restore it.
+func SetDefaultObserver(o *Observer) *Observer { return obs.SetDefault(o) }
