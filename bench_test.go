@@ -271,3 +271,50 @@ func BenchmarkDegradedForms(b *testing.B)   { benchExperiment(b, "degraded", tru
 func BenchmarkAblationBilling(b *testing.B) { benchExperiment(b, "ablbill", true) }
 func BenchmarkHeadlineClaims(b *testing.B)  { benchExperiment(b, "headline", false) }
 func BenchmarkFig9aReplicated(b *testing.B) { benchExperiment(b, "fig9rep", true) }
+
+// Sequential-vs-parallel pairs (results/parallel_speedup.md). Each pair
+// runs the identical workload with the worker pool pinned to one worker
+// and at the process default (GOMAXPROCS); outputs are byte-identical,
+// so the pairs measure pure scheduling cost or gain.
+
+// benchReplicate replicates the stochastic simulator experiment across
+// four seeds — the seed fan-out path in experiments.Replicate.
+func benchReplicate(b *testing.B, workers int) {
+	b.Helper()
+	cfg := minegame.ExperimentConfig{Seed: 1, Quick: true, Parallel: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := minegame.ReplicateExperiment("simw", cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkReplicateSequential(b *testing.B) { benchReplicate(b, 1) }
+func BenchmarkReplicateParallel(b *testing.B)   { benchReplicate(b, 0) }
+
+// benchStackelbergGrid solves the two-stage game with heterogeneous
+// budgets, forcing the numeric demand oracle so every leader-grid probe
+// runs a full follower equilibrium — the price-grid fan-out path.
+func benchStackelbergGrid(b *testing.B, workers int) {
+	b.Helper()
+	cfg := defaultBenchConfig()
+	cfg.Budgets = []float64{150, 180, 200, 220, 250}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ClosedFormDemand {
+			b.Fatal("expected the numeric demand oracle")
+		}
+	}
+}
+
+func BenchmarkStackelbergGridSequential(b *testing.B) { benchStackelbergGrid(b, 1) }
+func BenchmarkStackelbergGridParallel(b *testing.B)   { benchStackelbergGrid(b, 0) }

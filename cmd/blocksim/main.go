@@ -17,6 +17,7 @@ import (
 
 	"minegame"
 	"minegame/internal/obs/obscli"
+	"minegame/internal/parallel"
 )
 
 func main() {
@@ -39,11 +40,16 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		dump     = fs.String("dump", "", "write the full block tree as JSON to this file")
 		topo     = fs.Int("topology", 0, "derive the delay from a 200-node gossip overlay with this many chords per node (overrides -delay)")
+		par      = fs.Int("parallel", 0, "worker count for the topology delay estimation (0 = GOMAXPROCS, 1 = sequential; output is identical at any count)")
 	)
 	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The chain race itself is inherently sequential (each round depends
+	// on the previous block), but the gossip-overlay delay estimation
+	// fans its Dijkstra floods out over the process-default pool.
+	defer parallel.SetDefaultWorkers(parallel.SetDefaultWorkers(*par))
 	sess, err := obsFlags.Start()
 	if err != nil {
 		return err

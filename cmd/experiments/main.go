@@ -20,6 +20,7 @@ import (
 
 	"minegame"
 	"minegame/internal/obs/obscli"
+	"minegame/internal/parallel"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		plot   = fs.Bool("plot", false, "render each table as an ASCII chart")
 		md     = fs.String("md", "", "write all results as one Markdown report to this file")
 		reps   = fs.Int("replicate", 0, "run each experiment across N seeds and report mean/std tables")
+		par    = fs.Int("parallel", 0, "worker count for seed replication and sweep fan-out (0 = GOMAXPROCS, 1 = sequential; output is identical at any count)")
 	)
 	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -53,11 +55,15 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	// The process default covers parallel work outside ExperimentConfig's
+	// reach (e.g. solver-internal price grids); restore it so embedding
+	// callers (tests) keep their setting.
+	defer parallel.SetDefaultWorkers(parallel.SetDefaultWorkers(*par))
 	sess, err := obsFlags.Start()
 	if err != nil {
 		return err
 	}
-	runErr := runExperiments(out, all, *runID, *outDir, *md, *seed, *quick, *plot, *reps)
+	runErr := runExperiments(out, all, *runID, *outDir, *md, *seed, *quick, *plot, *reps, *par)
 	closeErr := sess.Close(out, false)
 	if runErr != nil {
 		return runErr
@@ -69,7 +75,7 @@ func run(args []string, out io.Writer) error {
 // caller brackets it with the observability session so RunExperiment's
 // telemetry (it reads the process default observer) lands in the trace
 // and metrics dump.
-func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md string, seed int64, quick, plot bool, reps int) error {
+func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md string, seed int64, quick, plot bool, reps, par int) error {
 	var ids []string
 	if runID == "all" {
 		for _, r := range all {
@@ -83,7 +89,7 @@ func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md 
 			return err
 		}
 	}
-	cfg := minegame.ExperimentConfig{Seed: seed, Quick: quick}
+	cfg := minegame.ExperimentConfig{Seed: seed, Quick: quick, Parallel: par}
 	var mdFile *os.File
 	if md != "" {
 		var err error

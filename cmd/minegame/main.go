@@ -23,6 +23,7 @@ import (
 
 	"minegame"
 	"minegame/internal/obs/obscli"
+	"minegame/internal/parallel"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		asJSON   = fs.Bool("json", false, "emit machine-readable JSON instead of text")
 		mu       = fs.Float64("mu", 10, "mean miner count (population stage)")
 		sigma    = fs.Float64("sigma", 2, "miner-count std dev (population stage)")
+		par      = fs.Int("parallel", 0, "worker count for the leader-stage price grids (0 = GOMAXPROCS, 1 = sequential; results are identical at any count)")
 	)
 	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +80,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	defer parallel.SetDefaultWorkers(parallel.SetDefaultWorkers(*par))
 	sess, err := obsFlags.Start()
 	if err != nil {
 		return err
@@ -102,13 +105,13 @@ func run(args []string, out io.Writer) error {
 			}
 			return emit(eq, func() { printMinerEquilibrium(out, cfg, eq) })
 		case "full":
-			res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{})
+			res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{Workers: *par})
 			if err != nil {
 				return err
 			}
 			return emit(res, func() { printStackelberg(out, cfg, res) })
 		case "compare":
-			cmp, err := minegame.CompareModes(cfg, minegame.StackelbergOptions{})
+			cmp, err := minegame.CompareModes(cfg, minegame.StackelbergOptions{Workers: *par})
 			if err != nil {
 				return err
 			}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"minegame/internal/parallel"
 )
 
 // GossipConfig parameterizes a random peer-to-peer overlay.
@@ -114,7 +116,11 @@ func (g *GossipNetwork) PropagationTimes(source int) ([]float64, error) {
 
 // PropagationDelay estimates the time for a block from a random source to
 // reach the given fraction of the network (e.g. 0.9 for the 90th
-// percentile spread), averaged over samples random sources.
+// percentile spread), averaged over samples random sources. The sources
+// are drawn from rng up front (so the RNG consumption matches a
+// sequential sweep), then the per-source Dijkstra floods fan out over the
+// process-default worker pool; the in-order reduction keeps the estimate
+// bit-identical at any worker count.
 func (g *GossipNetwork) PropagationDelay(fraction float64, samples int, rng *rand.Rand) (float64, error) {
 	if fraction <= 0 || fraction > 1 {
 		return 0, fmt.Errorf("chain: coverage fraction %g outside (0, 1]", fraction)
@@ -127,13 +133,23 @@ func (g *GossipNetwork) PropagationDelay(fraction float64, samples int, rng *ran
 	if rank < 0 {
 		rank = 0
 	}
-	var total float64
-	for s := 0; s < samples; s++ {
-		times, err := g.PropagationTimes(rng.Intn(n))
+	sources := make([]int, samples)
+	for s := range sources {
+		sources[s] = rng.Intn(n)
+	}
+	spreads, err := parallel.Map(parallel.New(0), sources, func(_ int, source int) (float64, error) {
+		times, err := g.PropagationTimes(source)
 		if err != nil {
 			return 0, err
 		}
-		total += kthSmallest(times, rank)
+		return kthSmallest(times, rank), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, spread := range spreads {
+		total += spread
 	}
 	return total / float64(samples), nil
 }

@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"minegame/internal/game"
 	"minegame/internal/miner"
 	"minegame/internal/netmodel"
 	"minegame/internal/numeric"
 	"minegame/internal/obs"
+	"minegame/internal/parallel"
 )
 
 // StackelbergOptions tunes the two-stage solve.
@@ -33,6 +35,13 @@ type StackelbergOptions struct {
 	// counters) and is threaded into the leader and follower stages
 	// unless they carry their own. Nil falls back to obs.Default().
 	Observer *obs.Observer
+	// Workers bounds the concurrency of the leader-stage price-grid
+	// evaluation (and of CompareModes' two mode solves): 0 picks the
+	// process default (runtime.GOMAXPROCS(0) unless overridden via
+	// parallel.SetDefaultWorkers), 1 forces the exact sequential path.
+	// Results are bit-identical at every worker count; see DESIGN.md
+	// "Deterministic parallelism".
+	Workers int
 }
 
 func (o StackelbergOptions) withDefaults(cfg Config) StackelbergOptions {
@@ -51,6 +60,9 @@ func (o StackelbergOptions) withDefaults(cfg Config) StackelbergOptions {
 	}
 	if o.Leader.GridN <= 0 {
 		o.Leader.GridN = 60
+	}
+	if o.Leader.Pool == nil {
+		o.Leader.Pool = parallel.New(o.Workers).WithObserver(o.Observer)
 	}
 	if o.Observer != nil {
 		if o.Leader.Observer == nil {
@@ -91,6 +103,45 @@ type demand struct {
 	ok          bool
 }
 
+// demandMemo is a concurrency-safe memoization table for the demand
+// oracle with single-flight semantics: when several grid workers probe
+// the same price point at once, exactly one runs the follower solve and
+// the rest block on its entry's done channel, so no solve is ever
+// duplicated. The computed values are pure functions of the price point,
+// which keeps the memo's contents — and therefore every result read from
+// it — independent of the arrival order of concurrent probes.
+type demandMemo struct {
+	mu      sync.Mutex
+	entries map[Prices]*demandEntry
+}
+
+type demandEntry struct {
+	done chan struct{} // closed once d is populated
+	d    demand
+}
+
+func newDemandMemo() *demandMemo {
+	return &demandMemo{entries: make(map[Prices]*demandEntry)}
+}
+
+// get returns the memoized demand at p, computing it via compute on
+// first probe. The boolean reports a memo hit (including joins on an
+// in-flight computation).
+func (m *demandMemo) get(p Prices, compute func() demand) (demand, bool) {
+	m.mu.Lock()
+	if e, ok := m.entries[p]; ok {
+		m.mu.Unlock()
+		<-e.done
+		return e.d, true
+	}
+	e := &demandEntry{done: make(chan struct{})}
+	m.entries[p] = e
+	m.mu.Unlock()
+	e.d = compute()
+	close(e.done)
+	return e.d, false
+}
+
 // SolveStackelberg runs backward induction on the full game: the leader
 // stage iterates asynchronous best responses (Algorithm 1 in connected
 // mode; the SP stage of the Algorithm 2 price bargaining in standalone
@@ -111,24 +162,25 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 	probes := ob.Counter("core.demand_probes")
 	memoHits := ob.Counter("core.demand_memo_hits")
 
-	memo := make(map[Prices]demand)
+	memo := newDemandMemo()
 	oracle := func(p Prices) demand {
-		if d, ok := memo[p]; ok {
-			memoHits.Inc()
-			return d
-		}
-		probes.Inc()
-		var d demand
-		if useClosedForm {
-			d = cfg.closedFormDemand(p)
-		}
-		if !d.ok {
-			eq, err := SolveMinerEquilibrium(cfg, p, opts.Follower)
-			if err == nil {
-				d = demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}
+		d, hit := memo.get(p, func() demand {
+			probes.Inc()
+			var d demand
+			if useClosedForm {
+				d = cfg.closedFormDemand(p)
 			}
+			if !d.ok {
+				eq, err := SolveMinerEquilibrium(cfg, p, opts.Follower)
+				if err == nil {
+					d = demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}
+				}
+			}
+			return d
+		})
+		if hit {
+			memoHits.Inc()
 		}
-		memo[p] = d
 		return d
 	}
 
@@ -273,7 +325,7 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 	if grid <= 0 {
 		grid = 60
 	}
-	pcStar, vc := numeric.MaximizeGrid(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7)
+	pcStar, vc := numeric.MaximizeGridPool(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
 	if math.IsInf(vc, -1) {
 		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: capacity never binds; no market-clearing equilibrium (Problem 2c requires E = E_max)")
@@ -346,6 +398,9 @@ type ModeComparison struct {
 
 // CompareModes solves the full game in both modes. The connected variant
 // of cfg uses its SatisfyProb; the standalone variant its EdgeCapacity.
+// With opts.Workers allowing more than one worker the two mode solves
+// run concurrently (each keeping its own in-solve parallelism); the
+// comparison is identical to the sequential one at any worker count.
 func CompareModes(cfg Config, opts StackelbergOptions) (ModeComparison, error) {
 	conn := cfg
 	conn.Mode = netmodel.Connected
@@ -353,20 +408,21 @@ func CompareModes(cfg Config, opts StackelbergOptions) (ModeComparison, error) {
 	alone.Mode = netmodel.Standalone
 	ob := opts.observer()
 	span := ob.StartSpan("core.compare_modes", obs.Fields{"miners": cfg.N})
-	connSpan := ob.StartSpan("core.mode_solve", obs.Fields{"mode": netmodel.Connected.String()})
-	rc, err := SolveStackelberg(conn, opts)
-	connSpan.End(obs.Fields{"failed": err != nil})
+	pool := parallel.New(opts.Workers).WithObserver(opts.Observer)
+	results, err := parallel.Map(pool, []Config{conn, alone}, func(i int, c Config) (StackelbergResult, error) {
+		modeSpan := ob.StartSpan("core.mode_solve", obs.Fields{"mode": c.Mode.String()})
+		r, err := SolveStackelberg(c, opts)
+		modeSpan.End(obs.Fields{"failed": err != nil})
+		if err != nil {
+			return StackelbergResult{}, fmt.Errorf("%s mode: %w", c.Mode, err)
+		}
+		return r, nil
+	})
 	if err != nil {
 		span.End(obs.Fields{"failed": true})
-		return ModeComparison{}, fmt.Errorf("connected mode: %w", err)
+		return ModeComparison{}, err
 	}
-	aloneSpan := ob.StartSpan("core.mode_solve", obs.Fields{"mode": netmodel.Standalone.String()})
-	ra, err := SolveStackelberg(alone, opts)
-	aloneSpan.End(obs.Fields{"failed": err != nil})
-	if err != nil {
-		span.End(obs.Fields{"failed": true})
-		return ModeComparison{}, fmt.Errorf("standalone mode: %w", err)
-	}
+	rc, ra := results[0], results[1]
 	span.End(obs.Fields{
 		"profit_e_connected": rc.ProfitE, "profit_e_standalone": ra.ProfitE,
 	})

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"minegame/internal/miner"
@@ -163,5 +165,73 @@ func TestSolveStackelbergInvalidConfig(t *testing.T) {
 	cfg.N = 0
 	if _, err := SolveStackelberg(cfg, StackelbergOptions{}); err == nil {
 		t.Error("want config error")
+	}
+}
+
+// TestStackelbergBitIdenticalAcrossWorkerCounts pins the parallel
+// layer's contract at the solver level: the two-stage solve — including
+// the heterogeneous numeric-oracle path, where every price probe runs a
+// full follower solve through the single-flight memo — returns exactly
+// the same result at any worker count.
+func TestStackelbergBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		opts StackelbergOptions
+	}{
+		{name: "homogeneous connected", cfg: testConfig()},
+		{name: "numeric oracle", cfg: func() Config {
+			c := testConfig()
+			c.Budgets = []float64{150, 180, 200, 220, 250}
+			return c
+		}()},
+		{name: "standalone", cfg: func() Config {
+			c := testConfig()
+			c.Mode = netmodel.Standalone
+			c.EdgeCapacity = 25
+			c.Budgets = []float64{1000}
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.Workers = 1
+			want, err := SolveStackelberg(tc.cfg, opts)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			for _, workers := range []int{2, runtime.GOMAXPROCS(0) + 2} {
+				opts.Workers = workers
+				opts.Leader.Pool = nil // force re-resolution from Workers
+				got, err := SolveStackelberg(tc.cfg, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: result %+v differs from sequential %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCompareModesBitIdenticalAcrossWorkerCounts does the same for the
+// concurrent two-mode comparison.
+func TestCompareModesBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := testConfig()
+	cfg.EdgeCapacity = 25
+	cfg.Budgets = []float64{1000}
+	want, err := CompareModes(cfg, StackelbergOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	got, err := CompareModes(cfg, StackelbergOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("workers=4: comparison differs from sequential")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"minegame/internal/chain"
 	"minegame/internal/core"
 	"minegame/internal/game"
+	"minegame/internal/parallel"
 	"minegame/internal/population"
 	"minegame/internal/rl"
 	"minegame/internal/sim"
@@ -31,7 +32,7 @@ import (
 
 // runAblBeta compares the equilibrium under the paper's constant β with
 // the self-consistent fork-rate fixed point across propagation delays.
-func runAblBeta(Config) (Result, error) {
+func runAblBeta(exp Config) (Result, error) {
 	t := Table{
 		ID:      "ablbeta",
 		Title:   "exogenous vs self-consistent fork rate across CSP delays",
@@ -39,22 +40,27 @@ func runAblBeta(Config) (Result, error) {
 	}
 	// Delays kept in the mixed-strategy regime; at extreme delays the
 	// cloud is priced out entirely, E/S → 1, and the two rates coincide
-	// trivially.
-	for _, d := range []float64{60, 134, 240, 420} {
+	// trivially. Each delay is an independent fixed-point solve, so the
+	// points fan out over exp.Parallel workers.
+	rows, err := parallel.Map(exp.pool(), []float64{60, 134, 240, 420}, func(_ int, d float64) ([]float64, error) {
 		cfg := baseConfig()
 		cfg.Beta = chain.CollisionCDF(d, blockInterval)
 		exo, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
 		if err != nil {
-			return Result{}, fmt.Errorf("ablbeta exogenous delay=%g: %w", d, err)
+			return nil, fmt.Errorf("ablbeta exogenous delay=%g: %w", d, err)
 		}
 		sc, err := core.SolveSelfConsistentBeta(cfg, defaultPrices(), d, blockInterval, game.NEOptions{})
 		if err != nil {
-			return Result{}, fmt.Errorf("ablbeta self-consistent delay=%g: %w", d, err)
+			return nil, fmt.Errorf("ablbeta self-consistent delay=%g: %w", d, err)
 		}
-		t.AddRow(d, cfg.Beta, sc.Beta,
+		return []float64{d, cfg.Beta, sc.Beta,
 			exo.EdgeDemand, sc.Equilibrium.EdgeDemand,
-			exo.CloudDemand, sc.Equilibrium.CloudDemand)
+			exo.CloudDemand, sc.Equilibrium.CloudDemand}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"β* < β_exogenous always: only edge-solved rivals can beat an in-flight cloud block",
 		"at fixed prices the feedback UNRAVELS the edge premium: less edge power → fewer edge conflicts → smaller β → even less edge demand, collapsing to the all-cloud fixed point β* = 0",

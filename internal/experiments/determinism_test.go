@@ -1,0 +1,60 @@
+package experiments
+
+// Determinism across worker counts is the parallel layer's hard
+// contract: every table — and therefore every text, Markdown, and CSV
+// artifact assembled from one — must be byte-identical whether an
+// experiment runs sequentially or fanned out over any number of
+// workers. The goldens here pin that for a stochastic replicated
+// experiment (fig9rep: RL runs under Replicate's seed fan-out) and a
+// grid-shaped one (fig5: the sweep-point fan-out).
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderAll renders an experiment's tables as aligned text plus CSV —
+// the two byte formats the CLIs and -out emit from tables.
+func renderAll(t *testing.T, id string, cfg Config) string {
+	t.Helper()
+	r, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s (parallel=%d): %v", id, cfg.Parallel, err)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Tables {
+		if err := res.Tables[i].WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+func TestExperimentsByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs")
+	}
+	for _, id := range []string{"fig9rep", "fig5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			base := Config{Seed: 1, Quick: true, Parallel: 1}
+			want := renderAll(t, id, base)
+			for _, workers := range []int{2, runtime.GOMAXPROCS(0) + 2} {
+				cfg := base
+				cfg.Parallel = workers
+				if got := renderAll(t, id, cfg); got != want {
+					t.Errorf("parallel=%d: output differs from sequential run", workers)
+				}
+			}
+		})
+	}
+}

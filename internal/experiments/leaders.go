@@ -10,11 +10,14 @@ import (
 	"minegame/internal/core"
 	"minegame/internal/miner"
 	"minegame/internal/numeric"
+	"minegame/internal/parallel"
 )
 
 // runFig8 regenerates Fig. 8: Stackelberg equilibrium prices and profits
 // while the ESP's unit operating cost sweeps, in both operation modes.
-func runFig8(Config) (Result, error) {
+// The cost points fan out over exp.Parallel workers; each point's two
+// mode solves stay sequential (see solverWorkers).
+func runFig8(exp Config) (Result, error) {
 	t := Table{
 		ID:    "fig8",
 		Title: "SP equilibrium prices/profits vs ESP cost C_e (both modes, sufficient budget)",
@@ -24,22 +27,26 @@ func runFig8(Config) (Result, error) {
 			"pe_standalone", "pc_standalone", "esp_profit_standalone", "csp_profit_standalone",
 		},
 	}
-	for _, ce := range numeric.Linspace(1, 6, 6) {
+	rows, err := parallel.Map(exp.pool(), numeric.Linspace(1, 6, 6), func(_ int, ce float64) ([]float64, error) {
 		cfg := baseConfig()
 		cfg.CostE = ce
 		cfg.EdgeCapacity = 25
 		cfg.Budgets = []float64{1000}
-		cmp, err := core.CompareModes(cfg, core.StackelbergOptions{})
+		cmp, err := core.CompareModes(cfg, core.StackelbergOptions{Workers: solverWorkers})
 		if err != nil {
-			return Result{}, fmt.Errorf("fig8 C_e=%g: %w", ce, err)
+			return nil, fmt.Errorf("fig8 C_e=%g: %w", ce, err)
 		}
-		t.AddRow(ce,
+		return []float64{ce,
 			cmp.Connected.Prices.Edge, cmp.Connected.Prices.Cloud,
 			cmp.Connected.ProfitE, cmp.Connected.ProfitC,
 			cmp.Standalone.Prices.Edge, cmp.Standalone.Prices.Cloud,
 			cmp.Standalone.ProfitE, cmp.Standalone.ProfitC,
-		)
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"the connected ESP's price rises with its cost and stays above the CSP's",
 		"the standalone market-clearing price P_c* + βR(n−1)/(n·E_max) does not depend on C_e, so the paper's 'standalone charges more' holds near the default costs and reverses for expensive ESPs",

@@ -1,6 +1,9 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // All returns every experiment runner in presentation order.
 func All() []Runner {
@@ -41,12 +44,26 @@ func All() []Runner {
 	}
 }
 
+// byID is the lookup index over All(), built once on first use — ByID is
+// called per experiment per seed, and rebuilding the runner slice for
+// every lookup was measurable in replication loops.
+var (
+	byIDOnce sync.Once
+	byID     map[string]Runner
+)
+
 // ByID locates a runner.
 func ByID(id string) (Runner, error) {
-	for _, r := range All() {
-		if r.ID == id {
-			return r, nil
+	byIDOnce.Do(func() {
+		all := All()
+		byID = make(map[string]Runner, len(all))
+		for _, r := range all {
+			byID[r.ID] = r
 		}
+	})
+	r, ok := byID[id]
+	if !ok {
+		return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
-	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	return r, nil
 }

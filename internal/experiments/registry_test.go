@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestAllIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range All() {
+		if r.ID == "" {
+			t.Errorf("runner %q has an empty ID", r.Title)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil {
+			t.Errorf("experiment %q has no Run function", r.ID)
+		}
+	}
+}
+
+func TestByIDFindsEveryRunner(t *testing.T) {
+	for _, want := range All() {
+		got, err := ByID(want.ID)
+		if err != nil {
+			t.Fatalf("ByID(%q): %v", want.ID, err)
+		}
+		if got.ID != want.ID || got.Title != want.Title {
+			t.Errorf("ByID(%q) = %q (%q)", want.ID, got.ID, got.Title)
+		}
+	}
+	if _, err := ByID("no-such-experiment"); err == nil {
+		t.Error("want error for an unknown ID")
+	}
+}

@@ -4,53 +4,72 @@ package experiments
 // simulator checks) produce seed-dependent numbers. Replicate runs an
 // experiment across several seeds and aggregates every cell into mean and
 // sample standard deviation tables, giving the error bars the paper's
-// single-run scatter points lack.
+// single-run scatter points lack. The seed runs are independent — each
+// owns its RNG, derived from its own seed — so they fan out over
+// cfg.Parallel workers; the aggregation always walks seeds in order, so
+// the output is bit-identical to a sequential run at any worker count.
 
 import (
 	"fmt"
 
 	"minegame/internal/numeric"
+	"minegame/internal/parallel"
 )
 
 // Replicate runs the experiment nSeeds times (seeds cfg.Seed, cfg.Seed+1,
 // …) and returns, for every table of the experiment, a mean table and a
 // standard-deviation table (IDs suffixed "_mean" / "_std"). The
-// experiment must produce identically shaped tables for every seed.
+// experiment must produce identically shaped tables for every seed, or
+// an error is returned.
 func Replicate(r Runner, cfg Config, nSeeds int) (Result, error) {
 	if nSeeds < 2 {
 		return Result{}, fmt.Errorf("experiments: replication needs at least 2 seeds, got %d", nSeeds)
 	}
-	// samples[t][i][j] collects every seed's value of table t, cell (i,j).
-	var samples [][][][]float64
-	var shape []Table
-	for s := 0; s < nSeeds; s++ {
+	seeds := make([]int64, nSeeds)
+	for s := range seeds {
+		seeds[s] = cfg.Seed + int64(s)
+	}
+	runs, err := parallel.Map(cfg.pool(), seeds, func(_ int, seed int64) (Result, error) {
 		runCfg := cfg
-		runCfg.Seed = cfg.Seed + int64(s)
+		runCfg.Seed = seed
 		res, err := r.Run(runCfg)
 		if err != nil {
-			return Result{}, fmt.Errorf("experiments: replicate %s seed %d: %w", r.ID, runCfg.Seed, err)
+			return Result{}, fmt.Errorf("experiments: replicate %s seed %d: %w", r.ID, seed, err)
 		}
-		if s == 0 {
-			shape = res.Tables
-			samples = make([][][][]float64, len(res.Tables))
-			for t, tab := range res.Tables {
-				samples[t] = make([][][]float64, len(tab.Rows))
-				for i, row := range tab.Rows {
-					samples[t][i] = make([][]float64, len(row))
-					for j := range row {
-						samples[t][i][j] = make([]float64, 0, nSeeds)
-					}
-				}
+		return res, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// samples[t][i][j] collects every seed's value of table t, cell (i,j),
+	// in seed order.
+	shape := runs[0].Tables
+	samples := make([][][][]float64, len(shape))
+	for t, tab := range shape {
+		samples[t] = make([][][]float64, len(tab.Rows))
+		for i, row := range tab.Rows {
+			samples[t][i] = make([][]float64, len(row))
+			for j := range row {
+				samples[t][i][j] = make([]float64, 0, nSeeds)
 			}
 		}
+	}
+	for s, res := range runs {
 		if len(res.Tables) != len(shape) {
-			return Result{}, fmt.Errorf("experiments: replicate %s: table count changed across seeds", r.ID)
+			return Result{}, fmt.Errorf("experiments: replicate %s: table count changed across seeds (%d at seed %d vs %d at seed %d)",
+				r.ID, len(res.Tables), seeds[s], len(shape), seeds[0])
 		}
 		for t, tab := range res.Tables {
 			if len(tab.Rows) != len(shape[t].Rows) {
-				return Result{}, fmt.Errorf("experiments: replicate %s: table %s shape changed across seeds", r.ID, tab.ID)
+				return Result{}, fmt.Errorf("experiments: replicate %s: table %s shape changed across seeds (%d rows at seed %d vs %d at seed %d)",
+					r.ID, tab.ID, len(tab.Rows), seeds[s], len(shape[t].Rows), seeds[0])
 			}
 			for i, row := range tab.Rows {
+				if len(row) != len(shape[t].Rows[i]) {
+					return Result{}, fmt.Errorf("experiments: replicate %s: table %s row %d shape changed across seeds (%d cells at seed %d vs %d at seed %d)",
+						r.ID, tab.ID, i, len(row), seeds[s], len(shape[t].Rows[i]), seeds[0])
+				}
 				for j, v := range row {
 					samples[t][i][j] = append(samples[t][i][j], v)
 				}

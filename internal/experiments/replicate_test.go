@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -100,6 +102,91 @@ func TestReplicateRealExperiment(t *testing.T) {
 		}
 		if empStd[i] < 0 || empStd[i] > 0.05 {
 			t.Errorf("row %d: empirical std %g implausible", i, empStd[i])
+		}
+	}
+}
+
+// TestReplicateShapeMismatch covers the documented-error paths that used
+// to panic: a row whose cell count changes across seeds, and a table
+// whose row count changes across seeds.
+func TestReplicateShapeMismatch(t *testing.T) {
+	widthShifty := Runner{ID: "wide", Run: func(cfg Config) (Result, error) {
+		tab := Table{ID: "w", Columns: []string{"a", "b"}}
+		if cfg.Seed == 0 {
+			tab.Rows = [][]float64{{1}}
+		} else {
+			tab.Rows = [][]float64{{1, 2}}
+		}
+		return Result{Tables: []Table{tab}}, nil
+	}}
+	_, err := Replicate(widthShifty, Config{Seed: 0}, 2)
+	if err == nil {
+		t.Fatal("want error for row-width change across seeds")
+	}
+	if !strings.Contains(err.Error(), "shape changed across seeds") {
+		t.Errorf("err = %v, want the documented shape error", err)
+	}
+
+	tableShifty := Runner{ID: "tables", Run: func(cfg Config) (Result, error) {
+		tab := Table{ID: "t", Columns: []string{"v"}, Rows: [][]float64{{1}}}
+		res := Result{Tables: []Table{tab}}
+		if cfg.Seed > 0 {
+			res.Tables = append(res.Tables, tab)
+		}
+		return res, nil
+	}}
+	if _, err := Replicate(tableShifty, Config{Seed: 0}, 2); err == nil ||
+		!strings.Contains(err.Error(), "table count changed across seeds") {
+		t.Errorf("err = %v, want the documented table-count error", err)
+	}
+}
+
+// TestReplicateMidSeedFailure checks that a failure in a later seed is
+// reported with that seed's number, at any worker count.
+func TestReplicateMidSeedFailure(t *testing.T) {
+	flaky := Runner{ID: "flaky", Run: func(cfg Config) (Result, error) {
+		if cfg.Seed == 2 {
+			return Result{}, fmt.Errorf("solver diverged")
+		}
+		tab := Table{ID: "f", Columns: []string{"v"}, Rows: [][]float64{{float64(cfg.Seed)}}}
+		return Result{Tables: []Table{tab}}, nil
+	}}
+	for _, workers := range []int{1, 2, 4} {
+		_, err := Replicate(flaky, Config{Seed: 0, Parallel: workers}, 4)
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		for _, want := range []string{"flaky seed 2", "solver diverged"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: err = %v, want it to mention %q", workers, err, want)
+			}
+		}
+	}
+}
+
+// TestReplicateDeterministicAcrossWorkerCounts runs a stochastic
+// experiment's replication at several worker counts and requires the
+// rendered output to be byte-identical.
+func TestReplicateDeterministicAcrossWorkerCounts(t *testing.T) {
+	r, err := ByID("simw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		res, err := Replicate(r, Config{Seed: 3, Quick: true, Parallel: workers}, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		if err := res.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := render(1)
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0) + 1} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d: replicated output differs from sequential", workers)
 		}
 	}
 }

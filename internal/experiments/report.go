@@ -11,6 +11,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"minegame/internal/parallel"
 )
 
 // Table is one numeric series or grid of an experiment.
@@ -184,7 +186,25 @@ type Config struct {
 	// an order of magnitude (used by unit tests; benchmarks and the CLI
 	// run at full scale).
 	Quick bool
+	// Parallel bounds the harness's worker count: seed replication and
+	// the grid-shaped sweeps (fig4–fig8, sens, ablbeta) fan their
+	// independent points out over this many workers. 0 picks the process
+	// default (runtime.GOMAXPROCS(0) unless parallel.SetDefaultWorkers
+	// overrode it); 1 forces the exact sequential path. Every table is
+	// byte-identical at any worker count — see DESIGN.md "Deterministic
+	// parallelism".
+	Parallel int
 }
+
+// pool returns the worker pool the harness fans out on.
+func (c Config) pool() *parallel.Pool { return parallel.New(c.Parallel) }
+
+// solverWorkers is the worker count runners hand to the solver layer
+// (StackelbergOptions.Workers) for sweeps that already fan out at the
+// sweep level: the outer fan-out saturates the pool, so the nested
+// solves stay sequential to keep total concurrency bounded by the pool
+// width instead of its square.
+const solverWorkers = 1
 
 // rounds scales a simulation-round budget.
 func (c Config) rounds(full int) int {

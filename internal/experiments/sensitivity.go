@@ -10,6 +10,7 @@ import (
 
 	"minegame/internal/core"
 	"minegame/internal/game"
+	"minegame/internal/parallel"
 )
 
 // sensitivityKnob names one perturbable parameter.
@@ -30,7 +31,7 @@ func sensitivityKnobs() []sensitivityKnob {
 	}
 }
 
-func runSensitivity(Config) (Result, error) {
+func runSensitivity(exp Config) (Result, error) {
 	base := baseConfig()
 	basePrices := defaultPrices()
 	baseEq, err := core.SolveMinerEquilibrium(base, basePrices, game.NEOptions{})
@@ -52,7 +53,7 @@ func runSensitivity(Config) (Result, error) {
 			"elasticity = (Δq/q) / (Δp/p) from the central ±10%% difference",
 		},
 	}
-	for _, knob := range sensitivityKnobs() {
+	rows, err := parallel.Map(exp.pool(), sensitivityKnobs(), func(_ int, knob sensitivityKnob) ([]float64, error) {
 		solveAt := func(factor float64) (float64, float64, error) {
 			cfg := base
 			cfg.Budgets = append([]float64(nil), base.Budgets...)
@@ -66,11 +67,11 @@ func runSensitivity(Config) (Result, error) {
 		}
 		eLo, cLo, err := solveAt(0.9)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		eHi, cHi, err := solveAt(1.1)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		elasticity := func(lo, hi, base float64) float64 {
 			if base == 0 {
@@ -78,7 +79,11 @@ func runSensitivity(Config) (Result, error) {
 			}
 			return ((hi - lo) / base) / 0.2
 		}
-		t.AddRow(knob.code, eLo, eHi, cLo, cHi, elasticity(eLo, eHi, e0), elasticity(cLo, cHi, c0))
+		return []float64{knob.code, eLo, eHi, cLo, cHi, elasticity(eLo, eHi, e0), elasticity(cLo, cHi, c0)}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	t.Rows = rows
 	return Result{Tables: []Table{t}}, nil
 }

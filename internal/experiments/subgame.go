@@ -12,12 +12,14 @@ import (
 	"minegame/internal/game"
 	"minegame/internal/miner"
 	"minegame/internal/numeric"
+	"minegame/internal/parallel"
 )
 
 // runFig4 regenerates Fig. 4: the homogeneous connected-mode miner
 // equilibrium as the CSP unilaterally raises its price — miners shift to
-// the ESP, raising ESP demand and revenue.
-func runFig4(Config) (Result, error) {
+// the ESP, raising ESP demand and revenue. The price points are
+// independent equilibrium solves and fan out over exp.Parallel workers.
+func runFig4(exp Config) (Result, error) {
 	cfg := baseConfig()
 	t := Table{
 		ID:    "fig4",
@@ -27,19 +29,23 @@ func runFig4(Config) (Result, error) {
 			"esp_revenue", "csp_revenue", "esp_profit", "csp_profit",
 		},
 	}
-	for _, pc := range numeric.Linspace(2, 6.5, 10) {
+	rows, err := parallel.Map(exp.pool(), numeric.Linspace(2, 6.5, 10), func(_ int, pc float64) ([]float64, error) {
 		p := core.Prices{Edge: defaultPriceE, Cloud: pc}
 		eq, err := core.SolveMinerEquilibrium(cfg, p, game.NEOptions{})
 		if err != nil {
-			return Result{}, fmt.Errorf("fig4 P_c=%g: %w", pc, err)
+			return nil, fmt.Errorf("fig4 P_c=%g: %w", pc, err)
 		}
-		t.AddRow(pc,
+		return []float64{pc,
 			eq.Requests[0].E, eq.Requests[0].C,
 			eq.EdgeDemand, eq.CloudDemand,
-			p.Edge*eq.EdgeDemand, pc*eq.CloudDemand,
-			(p.Edge-cfg.CostE)*eq.EdgeDemand, (pc-cfg.CostC)*eq.CloudDemand,
-		)
+			p.Edge * eq.EdgeDemand, pc * eq.CloudDemand,
+			(p.Edge - cfg.CostE) * eq.EdgeDemand, (pc - cfg.CostC) * eq.CloudDemand,
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "raising P_c pushes miners toward the ESP: E and the ESP revenue rise")
 	return Result{Tables: []Table{t}}, nil
 }
@@ -47,7 +53,7 @@ func runFig4(Config) (Result, error) {
 // runFig5 regenerates Fig. 5: SP revenues as prices and the fork rate
 // vary; with binding budgets the total SP revenue stays near the total
 // miner budget n·B.
-func runFig5(Config) (Result, error) {
+func runFig5(exp Config) (Result, error) {
 	t := Table{
 		ID:      "fig5",
 		Title:   "SP revenues vs CSP price and fork rate (connected, homogeneous)",
@@ -57,20 +63,29 @@ func runFig5(Config) (Result, error) {
 	// not the total — responds to prices (the paper's Fig. 5(c)).
 	cfg := baseConfig()
 	cfg.Budgets = []float64{120}
+	type point struct{ beta, pc float64 }
+	var points []point
 	for _, beta := range []float64{0.1, 0.2, 0.3} {
-		c := cfg
-		c.Beta = beta
 		for _, pc := range numeric.Linspace(2, 5.5, 8) {
-			p := core.Prices{Edge: defaultPriceE, Cloud: pc}
-			eq, err := core.SolveMinerEquilibrium(c, p, game.NEOptions{})
-			if err != nil {
-				return Result{}, fmt.Errorf("fig5 beta=%g P_c=%g: %w", beta, pc, err)
-			}
-			re := p.Edge * eq.EdgeDemand
-			rc := pc * eq.CloudDemand
-			t.AddRow(beta, pc, re, rc, re+rc)
+			points = append(points, point{beta, pc})
 		}
 	}
+	rows, err := parallel.Map(exp.pool(), points, func(_ int, pt point) ([]float64, error) {
+		c := cfg
+		c.Beta = pt.beta
+		p := core.Prices{Edge: defaultPriceE, Cloud: pt.pc}
+		eq, err := core.SolveMinerEquilibrium(c, p, game.NEOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("fig5 beta=%g P_c=%g: %w", pt.beta, pt.pc, err)
+		}
+		re := p.Edge * eq.EdgeDemand
+		rc := pt.pc * eq.CloudDemand
+		return []float64{pt.beta, pt.pc, re, rc, re + rc}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "total revenue is pinned near the aggregate miner budget n·B = 600")
 	return Result{Tables: []Table{t}}, nil
 }
@@ -79,7 +94,7 @@ func runFig5(Config) (Result, error) {
 // ESP capacity and exceeds the connected-mode demand (the connected mode
 // discourages edge purchases); (b) the CSP's optimal price falls as its
 // communication delay grows, producing the crossover the paper notes.
-func runFig6(Config) (Result, error) {
+func runFig6(exp Config) (Result, error) {
 	prices := defaultPrices()
 	a := Table{
 		ID:      "fig6a",
@@ -91,15 +106,19 @@ func runFig6(Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("fig6 connected baseline: %w", err)
 	}
-	for _, emax := range []float64{10, 15, 20, 25, 30, 35, 40, 50, 60, 80} {
+	rows, err := parallel.Map(exp.pool(), []float64{10, 15, 20, 25, 30, 35, 40, 50, 60, 80}, func(_ int, emax float64) ([]float64, error) {
 		cfg := standaloneConfig()
 		cfg.EdgeCapacity = emax
 		eq, err := core.SolveMinerEquilibrium(cfg, prices, game.NEOptions{})
 		if err != nil {
-			return Result{}, fmt.Errorf("fig6 E_max=%g: %w", emax, err)
+			return nil, fmt.Errorf("fig6 E_max=%g: %w", emax, err)
 		}
-		a.AddRow(emax, eq.EdgeDemand, connEq.EdgeDemand, eq.Multiplier)
+		return []float64{emax, eq.EdgeDemand, connEq.EdgeDemand, eq.Multiplier}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	a.Rows = rows
 	a.Notes = append(a.Notes,
 		"standalone demand tracks capacity until the unconstrained optimum (40 units); the connected mode discourages edge purchases")
 
@@ -123,7 +142,7 @@ func runFig6(Config) (Result, error) {
 // budget sweeps 20→200 (the other four miners keep budget 110), at two
 // fork rates to show the near-insensitivity of its total request to the
 // CSP delay.
-func runFig7(Config) (Result, error) {
+func runFig7(exp Config) (Result, error) {
 	t := Table{
 		ID:    "fig7",
 		Title: "miner 1 requests/utility vs its budget (others fixed at 110)",
@@ -131,26 +150,35 @@ func runFig7(Config) (Result, error) {
 			"B_1", "beta", "e_1", "c_1", "total_1", "utility_1", "avg_other_utility",
 		},
 	}
+	type point struct{ beta, b1 float64 }
+	var points []point
 	for _, beta := range []float64{0.15, 0.3} {
 		for _, b1 := range numeric.Linspace(20, 200, 10) {
-			cfg := baseConfig()
-			cfg.Beta = beta
-			cfg.Budgets = []float64{b1, 110, 110, 110, 110}
-			eq, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
-			if err != nil {
-				return Result{}, fmt.Errorf("fig7 beta=%g B1=%g: %w", beta, b1, err)
-			}
-			var others float64
-			for _, u := range eq.Utilities[1:] {
-				others += u
-			}
-			t.AddRow(b1, beta,
-				eq.Requests[0].E, eq.Requests[0].C,
-				eq.Requests[0].E+eq.Requests[0].C,
-				eq.Utilities[0], others/float64(len(eq.Utilities)-1),
-			)
+			points = append(points, point{beta, b1})
 		}
 	}
+	rows, err := parallel.Map(exp.pool(), points, func(_ int, pt point) ([]float64, error) {
+		cfg := baseConfig()
+		cfg.Beta = pt.beta
+		cfg.Budgets = []float64{pt.b1, 110, 110, 110, 110}
+		eq, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 beta=%g B1=%g: %w", pt.beta, pt.b1, err)
+		}
+		var others float64
+		for _, u := range eq.Utilities[1:] {
+			others += u
+		}
+		return []float64{pt.b1, pt.beta,
+			eq.Requests[0].E, eq.Requests[0].C,
+			eq.Requests[0].E + eq.Requests[0].C,
+			eq.Utilities[0], others / float64(len(eq.Utilities)-1),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "requests and utility grow with the budget until it stops binding")
 	return Result{Tables: []Table{t}}, nil
 }

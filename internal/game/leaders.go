@@ -6,6 +6,7 @@ import (
 
 	"minegame/internal/numeric"
 	"minegame/internal/obs"
+	"minegame/internal/parallel"
 )
 
 // Leader describes one price-setting service provider in the leader
@@ -30,6 +31,12 @@ type LeaderOptions struct {
 	// "game.leader_round" trace event per bargaining round. Nil falls
 	// back to obs.Default().
 	Observer *obs.Observer
+	// Pool fans the price-grid profit evaluations out over its workers.
+	// Results are bit-identical at any worker count (see
+	// numeric.MaximizeGridPool); Profit must be safe for concurrent
+	// calls when the pool is wider than one worker. Nil runs the grids
+	// sequentially.
+	Pool *parallel.Pool
 }
 
 func (o LeaderOptions) withDefaults() LeaderOptions {
@@ -136,14 +143,20 @@ func SolveLeaderFollower(a, b Leader, opts LeaderOptions) (LeadersResult, error)
 		span.End(obs.Fields{"failed": true})
 		return LeadersResult{}, fmt.Errorf("leader %s: invalid first-mover bracket [%g, %g]", a.Name, loA, hiA)
 	}
+	// The bilevel grid parallelizes at the outer (commitment) level: each
+	// first-mover price probe runs the rival's full inner best-response
+	// grid, so the inner maximization stays sequential to keep the
+	// concurrency bounded by the pool width instead of its square.
+	innerOpts := opts
+	innerOpts.Pool = nil
 	anticipated := func(pa float64) float64 {
-		pb, err := maximizeLeader(b, pa, opts)
+		pb, err := maximizeLeader(b, pa, innerOpts)
 		if err != nil {
 			return math.Inf(-1)
 		}
 		return a.Profit(pa, pb)
 	}
-	pa, profitA := numeric.MaximizeGrid(anticipated, loA, hiA, opts.GridN, (hiA-loA)*1e-6)
+	pa, profitA := numeric.MaximizeGridPool(anticipated, loA, hiA, opts.GridN, (hiA-loA)*1e-6, opts.Pool)
 	if math.IsInf(profitA, -1) {
 		span.End(obs.Fields{"failed": true})
 		return LeadersResult{}, fmt.Errorf("leader %s: no feasible first-mover price in [%g, %g]", a.Name, loA, hiA)
@@ -169,9 +182,9 @@ func maximizeLeader(l Leader, other float64, opts LeaderOptions) (float64, error
 	if !(hi > lo) || math.IsNaN(lo) || math.IsNaN(hi) {
 		return 0, fmt.Errorf("invalid price bracket [%g, %g] against rival price %g", lo, hi, other)
 	}
-	price, profit := numeric.MaximizeGrid(func(p float64) float64 {
+	price, profit := numeric.MaximizeGridPool(func(p float64) float64 {
 		return l.Profit(p, other)
-	}, lo, hi, opts.GridN, (hi-lo)*1e-7)
+	}, lo, hi, opts.GridN, (hi-lo)*1e-7, opts.Pool)
 	if math.IsInf(profit, -1) {
 		return 0, fmt.Errorf("no feasible price in [%g, %g] against rival price %g", lo, hi, other)
 	}

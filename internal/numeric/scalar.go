@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"minegame/internal/parallel"
 )
 
 // ErrNoBracket is returned by root finders when the supplied interval does
@@ -52,6 +54,16 @@ func MaximizeGolden(f func(float64) float64, lo, hi, tol float64) (x, fx float64
 // It tolerates non-unimodal f as long as the grid is fine enough to land
 // in the basin of the global maximum. n must be at least 2.
 func MaximizeGrid(f func(float64) float64, lo, hi float64, n int, tol float64) (x, fx float64) {
+	return MaximizeGridPool(f, lo, hi, n, tol, nil)
+}
+
+// MaximizeGridPool is MaximizeGrid with the bulk grid evaluation fanned
+// out over the pool's workers (a nil or single-worker pool degenerates to
+// the inline sequential loop). The argmax scan and the golden refinement
+// stay sequential with lowest-index tie-breaking, so for a pure f the
+// result is bit-identical to MaximizeGrid at every worker count; f must
+// be safe for concurrent calls when the pool is wider than one worker.
+func MaximizeGridPool(f func(float64) float64, lo, hi float64, n int, tol float64, pool *parallel.Pool) (x, fx float64) {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
@@ -59,9 +71,26 @@ func MaximizeGrid(f func(float64) float64, lo, hi float64, n int, tol float64) (
 		n = 2
 	}
 	step := (hi - lo) / float64(n)
+	vals := make([]float64, n+1)
+	if pool.Sequential() {
+		for i := 0; i <= n; i++ {
+			vals[i] = f(lo + float64(i)*step)
+		}
+	} else {
+		// The evaluator cannot fail — infeasible points are encoded as
+		// -Inf profits by the callers' conventions — so the only error
+		// Map can report is a recovered panic, which is re-raised to
+		// match the sequential path.
+		par, err := parallel.Map(pool, vals, func(i int, _ float64) (float64, error) {
+			return f(lo + float64(i)*step), nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		vals = par
+	}
 	bestI, bestV := 0, math.Inf(-1)
-	for i := 0; i <= n; i++ {
-		v := f(lo + float64(i)*step)
+	for i, v := range vals {
 		if v > bestV {
 			bestI, bestV = i, v
 		}

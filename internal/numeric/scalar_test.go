@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"minegame/internal/parallel"
 )
 
 func TestMaximizeGoldenQuadratic(t *testing.T) {
@@ -157,4 +159,32 @@ func TestClamp(t *testing.T) {
 			t.Errorf("Clamp(%g, %g, %g) = %g, want %g", tt.x, tt.lo, tt.hi, got, tt.want)
 		}
 	}
+}
+
+func TestMaximizeGridPoolMatchesSequentialBitwise(t *testing.T) {
+	// A multimodal profit with -Inf infeasible regions, like the leader
+	// objectives: the parallel variant must reproduce MaximizeGrid's
+	// result bit for bit at every worker count.
+	f := func(x float64) float64 {
+		if x < 0.7 {
+			return math.Inf(-1)
+		}
+		return math.Sin(3*x) + 0.4*math.Cos(11*x) - 0.01*(x-5)*(x-5)
+	}
+	wantX, wantV := MaximizeGrid(f, 0, 10, 137, 1e-10)
+	for _, workers := range []int{1, 2, 3, 16} {
+		x, v := MaximizeGridPool(f, 0, 10, 137, 1e-10, parallel.New(workers))
+		if x != wantX || v != wantV {
+			t.Errorf("workers=%d: (%v, %v), want bit-identical (%v, %v)", workers, x, v, wantX, wantV)
+		}
+	}
+}
+
+func TestMaximizeGridPoolRepanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want the task panic re-raised")
+		}
+	}()
+	MaximizeGridPool(func(x float64) float64 { panic("boom") }, 0, 1, 4, 1e-9, parallel.New(2))
 }

@@ -1,0 +1,222 @@
+// Package parallel is the repository's deterministic fork-join layer: a
+// bounded worker pool with Map/ForEach primitives whose results are
+// independent of the worker count. Every hot path in the reproduction —
+// leader-stage price grids, seed replication, experiment sweeps — is an
+// embarrassingly parallel batch of pure computations keyed only by their
+// inputs, so the pool's contract is strict determinism: results come back
+// in input order, the reported error is the one with the lowest input
+// index among the tasks that ran, and a worker count of 1 degenerates to
+// an exact inline sequential loop (no goroutines at all). Because of that
+// contract, any output assembled from a Map call is byte-identical at any
+// worker count.
+//
+// Pools are cheap descriptors (a worker count plus an optional observer),
+// not resident goroutine sets: each Map call spawns its own bounded set
+// of workers and joins them before returning, so nested Map calls cannot
+// deadlock — they only multiply bounded concurrency.
+//
+// Observability (see internal/obs): each batch records a "parallel.map"
+// span, raises the "parallel.pool_size" high-water gauge, counts
+// "parallel.tasks", and feeds the "parallel.task_ms" and
+// "parallel.queue_wait_ms" histograms, so pool behavior is visible
+// through the same -trace/-metrics machinery as the solvers.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minegame/internal/obs"
+)
+
+// defaultWorkers is the process-wide fallback worker count; zero or
+// negative means "resolve to runtime.GOMAXPROCS(0) at use time".
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count used by
+// pools constructed with New(0) — the knob behind the CLIs' -parallel
+// flag. n <= 0 restores the GOMAXPROCS(0) default. It returns the
+// previous setting (0 when the default was GOMAXPROCS).
+func SetDefaultWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// DefaultWorkers resolves the process-wide default worker count.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool is a bounded-concurrency policy for Map/ForEach batches. The zero
+// value and a nil *Pool are both valid and run batches sequentially, so
+// call sites never need nil guards.
+type Pool struct {
+	workers  int
+	observer *obs.Observer
+}
+
+// New returns a pool that runs up to workers tasks concurrently.
+// workers == 0 picks the process default (GOMAXPROCS(0) unless
+// SetDefaultWorkers overrode it); workers == 1 is the exact sequential
+// fallback; negative counts are treated as 1.
+func New(workers int) *Pool {
+	if workers < 0 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// WithObserver returns a copy of the pool that reports to o instead of
+// the process-default observer. A nil o restores the default fallback.
+func (p *Pool) WithObserver(o *obs.Observer) *Pool {
+	if p == nil {
+		return &Pool{workers: 1, observer: o}
+	}
+	q := *p
+	q.observer = o
+	return &q
+}
+
+// Workers resolves the pool's effective worker count. A nil pool is
+// sequential.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	if p.workers == 0 {
+		return DefaultWorkers()
+	}
+	return p.workers
+}
+
+// Sequential reports whether batches on this pool run inline without
+// spawning goroutines.
+func (p *Pool) Sequential() bool { return p.Workers() <= 1 }
+
+// observerOrDefault resolves the pool's observer at call time, so pools
+// built before an obscli session starts still report into it.
+func (p *Pool) observerOrDefault() *obs.Observer {
+	if p != nil && p.observer != nil {
+		return p.observer
+	}
+	return obs.Default()
+}
+
+// Map applies fn to every item and returns the results in input order.
+// fn receives the item's index and value; it must be safe for concurrent
+// use when the pool's worker count exceeds 1. On failure Map returns the
+// error of the lowest-indexed task that reported one (a panic inside fn
+// is recovered into such an error); once any task fails, tasks that have
+// not yet started are skipped. Results are deterministic: for a pure fn
+// the returned slice is identical at every worker count.
+func Map[T, R any](p *Pool, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	ob := p.observerOrDefault()
+	span := ob.StartSpan("parallel.map", obs.Fields{"tasks": n, "workers": workers})
+	ob.MaxGauge("parallel.pool_size", float64(workers))
+	tasks := ob.Counter("parallel.tasks")
+	taskMS := ob.Histogram("parallel.task_ms")
+	waitMS := ob.Histogram("parallel.queue_wait_ms")
+	timed := ob.Enabled()
+
+	results := make([]R, n)
+	errs := make([]error, n)
+	run := func(i int, queued time.Time) {
+		var start time.Time
+		if timed {
+			start = time.Now()
+			waitMS.Observe(float64(start.Sub(queued)) / float64(time.Millisecond))
+		}
+		results[i], errs[i] = guard(func() (R, error) { return fn(i, items[i]) })
+		tasks.Inc()
+		if timed {
+			taskMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		}
+	}
+
+	queued := time.Now()
+	if workers <= 1 {
+		// Exact sequential fallback: no goroutines, first error wins.
+		for i := range items {
+			run(i, queued)
+			if errs[i] != nil {
+				span.End(obs.Fields{"failed": true, "executed": i + 1})
+				return nil, errs[i]
+			}
+		}
+		span.End(obs.Fields{"executed": n})
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // next undispatched index
+		failed   atomic.Bool  // stop dispatching new tasks after an error
+		executed atomic.Int64
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				run(i, queued)
+				executed.Add(1)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The reported error is the lowest-indexed one among tasks that ran,
+	// which is deterministic whenever fn is (later-started tasks can be
+	// skipped after a failure, but no task below the failing index is).
+	for _, err := range errs {
+		if err != nil {
+			span.End(obs.Fields{"failed": true, "executed": executed.Load()})
+			return nil, err
+		}
+	}
+	span.End(obs.Fields{"executed": executed.Load()})
+	return results, nil
+}
+
+// ForEach applies fn to every item for its side effects, with the same
+// ordering, error, and determinism contract as Map.
+func ForEach[T any](p *Pool, items []T, fn func(i int, item T) error) error {
+	_, err := Map(p, items, func(i int, item T) (struct{}, error) {
+		return struct{}{}, fn(i, item)
+	})
+	return err
+}
+
+// guard runs fn, converting a panic into an error carrying the panic
+// value and stack, so one bad task cannot take down the whole batch.
+func guard[R any](fn func() (R, error)) (r R, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("parallel: task panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,194 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minegame/internal/obs"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 200} {
+		got, err := Map(New(workers), items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	items := make([]float64, 64)
+	for i := range items {
+		items[i] = float64(i) * 0.37
+	}
+	fn := func(i int, v float64) (float64, error) { return v*v + float64(i), nil }
+	want, err := Map(New(1), items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0) + 3} {
+		got, err := Map(New(workers), items, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from sequential", workers)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 3, 8} {
+		_, err := Map(New(workers), items, func(i, v int) (int, error) {
+			if v >= 3 {
+				return 0, fmt.Errorf("task %d failed", v)
+			}
+			return v, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		if want := "task 3 failed"; err.Error() != want {
+			t.Fatalf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestMapStopsDispatchingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 1000)
+	_, err := Map(New(2), items, func(i, _ int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(50 * time.Microsecond)
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d tasks ran despite an early error", n)
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(New(workers), []int{0, 1, 2}, func(i, v int) (int, error) {
+			if v == 1 {
+				panic("kaboom")
+			}
+			return v, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("workers=%d: err = %v, want recovered panic", workers, err)
+		}
+	}
+}
+
+func TestMapEmptyAndNilPool(t *testing.T) {
+	if got, err := Map[int, int](New(4), nil, nil); err != nil || got != nil {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+	var p *Pool
+	got, err := Map(p, []int{1, 2}, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil || !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("nil pool: got %v, %v", got, err)
+	}
+	if w := p.Workers(); w != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", w)
+	}
+}
+
+func TestSequentialFallbackSpawnsNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, err := Map(New(1), make([]int, 50), func(i, _ int) (int, error) {
+		if n := runtime.NumGoroutine(); n > before {
+			return 0, fmt.Errorf("goroutine count rose from %d to %d", before, n)
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 20)
+	err := ForEach(New(4), out, func(i, _ int) error {
+		out[i] = i * 3
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	wantErr := errors.New("nope")
+	if err := ForEach(New(4), out, func(i, _ int) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	prev := SetDefaultWorkers(3)
+	defer SetDefaultWorkers(prev)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers() = %d, want 3", got)
+	}
+	if got := New(0).Workers(); got != 3 {
+		t.Fatalf("New(0).Workers() = %d, want 3", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d, want 7", got)
+	}
+	if got := New(-2).Workers(); got != 1 {
+		t.Fatalf("New(-2).Workers() = %d, want 1", got)
+	}
+}
+
+func TestMapRecordsObservability(t *testing.T) {
+	o := obs.New()
+	p := New(4).WithObserver(o)
+	if _, err := Map(p, make([]int, 10), func(i, _ int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Snapshot()
+	if got := snap.Counters["parallel.tasks"]; got != 10 {
+		t.Fatalf("parallel.tasks = %d, want 10", got)
+	}
+	if got := snap.Gauges["parallel.pool_size"]; got != 4 {
+		t.Fatalf("parallel.pool_size = %g, want 4", got)
+	}
+	if got := snap.Histograms["parallel.task_ms"].Count; got != 10 {
+		t.Fatalf("parallel.task_ms count = %d, want 10", got)
+	}
+	if got := snap.Histograms["parallel.queue_wait_ms"].Count; got != 10 {
+		t.Fatalf("parallel.queue_wait_ms count = %d, want 10", got)
+	}
+}

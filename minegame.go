@@ -37,6 +37,7 @@ import (
 	"minegame/internal/netmodel"
 	"minegame/internal/numeric"
 	"minegame/internal/obs"
+	"minegame/internal/parallel"
 	"minegame/internal/population"
 	"minegame/internal/rl"
 	"minegame/internal/sim"
@@ -435,3 +436,14 @@ func DefaultObserver() *Observer { return obs.Default() }
 // SetDefaultObserver installs o as the process-wide observer and returns
 // the previous one so callers can restore it.
 func SetDefaultObserver(o *Observer) *Observer { return obs.SetDefault(o) }
+
+// SetDefaultParallelism sets the process-default worker count used by
+// every fork-join path whose options leave the count at 0 (leader price
+// grids, Replicate's seed fan-out, experiment sweeps, gossip delay
+// estimation) and returns the previous value so callers can restore it.
+// 0 restores the GOMAXPROCS default; 1 forces sequential execution.
+// Results are byte-identical at any setting (DESIGN.md §7).
+func SetDefaultParallelism(n int) int { return parallel.SetDefaultWorkers(n) }
+
+// DefaultParallelism reports the current process-default worker count.
+func DefaultParallelism() int { return parallel.DefaultWorkers() }
