@@ -1,0 +1,85 @@
+// Command minelint runs the repository's static-analysis suite
+// (internal/analysis) over one or more package patterns and exits
+// nonzero when it finds violations. It enforces the invariants the
+// test suite can only probe dynamically: solver determinism (no wall
+// clock, no global math/rand, no map-order-dependent output), error
+// discipline (no undocumented panic in library code), float-comparison
+// safety (no exact ==/!= on floats), and doc coverage for every
+// exported symbol. See DESIGN.md §8 for the check catalog and the
+// //lint:allow directive syntax.
+//
+// Usage:
+//
+//	minelint [-json] [-C dir] [patterns ...]
+//
+// Patterns are directory-based ("./...", "internal/core"); the default
+// is "./...". Exit status: 0 clean, 1 findings, 2 the run itself
+// failed (bad pattern, parse or type-check error).
+//
+// Examples:
+//
+//	minelint ./...
+//	minelint -json ./internal/... ./cmd/...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"minegame/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the -json document: the findings plus their count, using
+// the same machine-readable envelope convention as the other CLIs.
+type report struct {
+	Findings []analysis.Diagnostic `json:"findings"`
+	Count    int                   `json:"count"`
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("minelint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON (file/line/col/check/message) instead of text")
+	dir := fs.String("C", ".", "resolve patterns relative to this directory (and its enclosing module)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(analysis.RunConfig{Dir: *dir, Patterns: patterns})
+	if err != nil {
+		fmt.Fprintln(errw, "minelint:", err)
+		return 2
+	}
+	if *asJSON {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // a clean run is an empty list, not null
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Findings: diags, Count: len(diags)}); err != nil {
+			fmt.Fprintln(errw, "minelint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(out, "minelint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCleanPackageExitsZero runs the CLI over this repository's
+// analysis package, which must be clean, and checks the quiet path.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "internal/analysis"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got %q", out.String())
+	}
+}
+
+// TestFindingsExitOne pins the text output and exit status over the
+// seeded badmod fixture module.
+func TestFindingsExitOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "testdata/badmod", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"floateq", "exporteddoc", "bad.go:7", "bad.go:9", "2 finding(s)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestJSONOutput pins the -json machine-readable envelope:
+// file/line/col/check/message findings plus a count, composing with
+// the repository's CLI -json convention.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "testdata/badmod", "-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, errb.String())
+	}
+	var rep struct {
+		Findings []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Count != 2 || len(rep.Findings) != 2 {
+		t.Fatalf("count=%d findings=%d, want 2/2:\n%s", rep.Count, len(rep.Findings), out.String())
+	}
+	checks := map[string]bool{}
+	for _, f := range rep.Findings {
+		checks[f.Check] = true
+		if f.File == "" || f.Line == 0 || f.Col == 0 || f.Message == "" {
+			t.Errorf("finding with empty fields: %+v", f)
+		}
+	}
+	if !checks["floateq"] || !checks["exporteddoc"] {
+		t.Errorf("findings should cover floateq and exporteddoc, got %v", checks)
+	}
+}
+
+// TestJSONCleanEmitsEmptyList pins that a clean -json run emits an
+// empty findings array, not null.
+func TestJSONCleanEmitsEmptyList(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "-json", "internal/analysis"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Errorf("clean JSON should contain an empty findings list, got:\n%s", out.String())
+	}
+}
+
+// TestBadPatternExitsTwo pins the run-failure exit status.
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./no/such/dir"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "minelint:") {
+		t.Errorf("run failure should be reported on stderr, got %q", errb.String())
+	}
+}

@@ -1,0 +1,9 @@
+// Package badmod is a standalone fixture module for the minelint CLI
+// test: it seeds exactly one floateq violation and one exporteddoc
+// violation so the CLI's exit status and -json envelope can be pinned.
+package badmod
+
+// Exact compares floats exactly (floateq violation).
+func Exact(a, b float64) bool { return a == b }
+
+func Undocumented() int { return 1 }

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the check that produced it,
+// and a human-readable message. The JSON field names are the CLI's
+// machine-readable contract (cmd/minelint -json).
+type Diagnostic struct {
+	// File is the path of the offending file, relative to the module
+	// root when possible.
+	File string `json:"file"`
+	// Line is the 1-based source line of the finding.
+	Line int `json:"line"`
+	// Col is the 1-based source column of the finding.
+	Col int `json:"col"`
+	// Check names the analyzer (or pseudo-check, e.g. "directive")
+	// that produced the finding; it is the name used in //lint:allow.
+	Check string `json:"check"`
+	// Message explains the finding and how to fix or suppress it.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: check: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the check's identifier, used in //lint:allow directives
+	// and in diagnostics.
+	Name string
+	// Doc is a one-paragraph description of what the check enforces.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed (non-test) files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression facts for the package.
+	Info *types.Info
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos for this pass's analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// sortDiagnostics orders findings by file, line, column, check, and
+// message so suite output is deterministic regardless of analyzer or
+// package iteration order.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

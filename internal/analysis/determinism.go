@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// randConstructors are the math/rand (and v2) package-level functions
+// that build an explicitly seeded generator rather than reading the
+// shared global source; they are the only package-level rand calls the
+// determinism check allows.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, // math/rand
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// timeForbidden are the time package functions that read the wall
+// clock (or depend on real elapsed time) and therefore make solver
+// output irreproducible.
+var timeForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+// Determinism returns the analyzer enforcing the repository's
+// byte-identical reproducibility contract: solver and experiment code
+// must not read the wall clock, must not draw from the global
+// math/rand source (every RNG is an injected, explicitly seeded
+// *rand.Rand), and must not emit output directly from a map iteration
+// (Go randomizes map order per run).
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "forbids wall-clock reads (time.Now/Since/...), global math/rand draws, " +
+			"and output emitted from map-range iteration in solver/experiment packages",
+		Run: runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, node)
+			case *ast.RangeStmt:
+				checkMapRange(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeterminismCall flags wall-clock reads and global-source
+// math/rand draws.
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, (time.Time).Sub) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if timeForbidden[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"call to time.%s reads the wall clock; solver output must be reproducible — "+
+					"inject timestamps or move telemetry behind internal/obs", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"call to %s.%s draws from the process-global random source; "+
+					"inject an explicitly seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map when the loop
+// body emits output directly (fmt print family or Write* methods):
+// map iteration order is randomized per run, so anything written in
+// iteration order is nondeterministic. Collecting keys and sorting
+// before output is the fix (and is not flagged).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var emit ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if emit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if emitsOutput(pass, call) {
+			emit = call
+			return false
+		}
+		return true
+	})
+	if emit != nil {
+		pass.Reportf(emit.Pos(),
+			"output emitted inside range over map: iteration order is randomized per run; "+
+				"collect and sort keys first")
+	}
+}
+
+// emitsOutput reports whether a call writes output whose order the
+// caller would observe: the fmt Print/Fprint/Sprint/Append families,
+// or any Write*-named method (io.Writer, strings.Builder, ...).
+func emitsOutput(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return strings.HasPrefix(fn.Name(), "Write")
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		name := fn.Name()
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append")
+	}
+	return false
+}
+
+// calleeFunc resolves the function or method object a call invokes,
+// or nil when the callee is not a named function (e.g. a func value).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

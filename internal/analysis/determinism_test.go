@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismFixture(t *testing.T) {
+	testFixture(t, "determinism", false, Determinism())
+}

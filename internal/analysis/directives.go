@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// directivePrefix introduces a line-scoped suppression comment:
+//
+//	//lint:allow <check> <reason>
+//
+// The directive suppresses findings of exactly one check on exactly
+// one line: the line it shares with code, or — when the comment stands
+// alone — the line directly below it.
+const directivePrefix = "//lint:allow"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos       Diagnostic // position (and pseudo-check name) for directive findings
+	file      string
+	line      int // source line of the comment itself
+	target    int // line whose findings the directive suppresses
+	check     string
+	reason    string
+	malformed string // non-empty: why the directive cannot be honored
+	used      bool
+}
+
+// scanDirectives extracts every //lint:allow directive from a loaded
+// package. The module's retained sources decide whether a directive
+// shares its line with code (suppressing that line) or stands alone
+// (suppressing the next line).
+func scanDirectives(m *Module, pkg *Package) []*directive {
+	var out []*directive
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //lint:allowX token, not ours
+				}
+				pos := m.Fset.Position(c.Pos())
+				d := &directive{
+					file:   m.Rel(pos.Filename),
+					line:   pos.Line,
+					target: pos.Line,
+				}
+				d.pos = Diagnostic{File: d.file, Line: pos.Line, Col: pos.Column, Check: "directive"}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing check name and reason (want //lint:allow <check> <reason>)"
+				case len(fields) == 1:
+					d.check = fields[0]
+					d.malformed = "missing reason (want //lint:allow <check> <reason>)"
+				default:
+					d.check = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if standsAlone(m.Source(pos.Filename), pos.Line, pos.Column) {
+					d.target = pos.Line + 1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether the comment starting at (line, col) has
+// nothing but whitespace before it on its line, i.e. it is a
+// standalone directive that applies to the following line.
+func standsAlone(src []byte, line, col int) bool {
+	if src == nil {
+		return false
+	}
+	lines := bytes.Split(src, []byte("\n"))
+	if line-1 >= len(lines) || col < 1 {
+		return false
+	}
+	prefix := lines[line-1]
+	if col-1 < len(prefix) {
+		prefix = prefix[:col-1]
+	}
+	return len(bytes.TrimSpace(prefix)) == 0
+}
+
+// applyDirectives drops findings suppressed by a directive (marking
+// the directive used) and returns the survivors. Only checks named in
+// ran — the analyzers that actually examined the package — are
+// eligible, so a directive can never "suppress" a check that was
+// skipped for its package.
+func applyDirectives(diags []Diagnostic, directives []*directive, ran map[string]bool) []Diagnostic {
+	kept := diags[:0]
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.malformed == "" && ran[d.check] && d.check == diag.Check &&
+				d.file == diag.File && d.target == diag.Line {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}
+
+// directiveFindings reports malformed, unknown-check, and stale
+// directives as pseudo-check "directive" diagnostics. known is the set
+// of check names in the configured suite; ran is the subset that
+// actually examined the directive's package (a directive for a check
+// that was package-skipped is left alone rather than called stale).
+func directiveFindings(directives []*directive, known, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range directives {
+		diag := d.pos
+		switch {
+		case d.malformed != "":
+			diag.Message = "malformed directive: " + d.malformed
+		case !known[d.check]:
+			diag.Message = fmt.Sprintf("directive names unknown check %q", d.check)
+		case ran[d.check] && !d.used:
+			diag.Message = fmt.Sprintf(
+				"stale directive: //lint:allow %s no longer suppresses any finding on line %d; delete it",
+				d.check, d.target)
+		default:
+			continue
+		}
+		out = append(out, diag)
+	}
+	return out
+}

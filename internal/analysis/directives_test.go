@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDirectivesFixture pins the //lint:allow semantics: honored when
+// check and line match (trailing or standalone form), scoped to
+// exactly one line and exactly one check.
+func TestDirectivesFixture(t *testing.T) {
+	testFixture(t, "directives", false, FloatEq(), NoPanic())
+}
+
+// TestStaleDirectiveFindings pins the driver's directive hygiene: an
+// allow that suppresses nothing is reported as stale, an unknown check
+// name is reported, a missing reason is malformed, and a live
+// directive stays silent.
+func TestStaleDirectiveFindings(t *testing.T) {
+	diags := fixtureDiags(t, "stale", true, FloatEq())
+	var stale, unknown, malformed int
+	for _, d := range diags {
+		if d.Check != "directive" {
+			t.Errorf("unexpected non-directive diagnostic %s", d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "stale directive"):
+			stale++
+			if !strings.Contains(d.Message, "floateq") {
+				t.Errorf("stale finding should name the check: %s", d)
+			}
+		case strings.Contains(d.Message, "unknown check"):
+			unknown++
+			if !strings.Contains(d.Message, "bogus") {
+				t.Errorf("unknown-check finding should name the bogus check: %s", d)
+			}
+		case strings.Contains(d.Message, "malformed directive"):
+			malformed++
+		default:
+			t.Errorf("unclassified directive diagnostic %s", d)
+		}
+	}
+	if stale != 1 || unknown != 1 || malformed != 1 {
+		t.Errorf("got stale=%d unknown=%d malformed=%d, want exactly one of each:\n%v",
+			stale, unknown, malformed, diags)
+	}
+}
+
+// TestDirectiveSkippedChecksNotStale pins the interaction between the
+// package-level allowlist and directive hygiene: when a check is
+// skipped for a package (here nopanic, via PackageSkips), a directive
+// naming that check is neither honored nor reported stale — staleness
+// can only be judged for checks that actually examined the file.
+func TestDirectiveSkippedChecksNotStale(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	rel := "internal/analysis/testdata/directives"
+	pkg, err := mod.CheckDir("testdata/directives", mod.Path+"/"+rel)
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	analyzers := []*Analyzer{FloatEq(), NoPanic()}
+	known := map[string]bool{"floateq": true, "nopanic": true}
+	skips := map[string][]string{"nopanic": {rel}}
+	diags, err := runPackage(mod, pkg, analyzers, skips, known, false)
+	if err != nil {
+		t.Fatalf("runPackage: %v", err)
+	}
+	var stale int
+	for _, d := range diags {
+		if d.Check == "directive" && strings.Contains(d.Message, "nopanic") {
+			t.Errorf("directive for a package-skipped check must not be judged: %s", d)
+		}
+		if d.Check == "directive" && strings.Contains(d.Message, "stale") {
+			stale++
+		}
+	}
+	// The fixture's Gap function carries the one genuinely stale
+	// floateq directive (it covers a blank line).
+	if stale != 1 {
+		t.Errorf("got %d stale directive findings, want exactly 1 (Gap's):\n%v", stale, diags)
+	}
+}

@@ -1,0 +1,38 @@
+// Package analysis is the repository's static-analysis suite: a
+// stdlib-only (go/ast, go/parser, go/token, go/types) collection of
+// repo-specific analyzers plus the shared driver that loads packages,
+// runs the analyzers, and applies suppression directives. It exists to
+// pin *mechanically* the invariants the test suite pins dynamically —
+// above all the byte-identical determinism contract of the
+// Stackelberg/GNEP solvers (a future call to time.Now or the global
+// math/rand source inside a solver would silently break reproducibility
+// long before a golden test caught it).
+//
+// The suite ships four checks (see DESIGN.md §8 for the full policy):
+//
+//   - determinism: no wall-clock reads, no global math/rand source, no
+//     time-seeded RNG construction, no output emitted directly from a
+//     map iteration, in any solver or experiment package.
+//   - nopanic: no panic in non-test library code outside functions
+//     whose doc comment documents the panic as an invariant violation.
+//   - floateq: no ==/!= between floating-point operands outside named
+//     epsilon helpers (exact comparisons against the zero constant,
+//     ±Inf sentinels, and x != x NaN probes are allowed).
+//   - exporteddoc: every exported declaration carries a doc comment
+//     (the ported lint_test.go walker).
+//
+// Findings are suppressed either package-wide (the suite's
+// PackageSkips table — e.g. obs/parallel/sim may read the wall clock
+// for telemetry) or per line with a directive:
+//
+//	//lint:allow <check> <reason>
+//
+// placed at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory, the directive suppresses
+// exactly one check on exactly one line, and the driver flags stale
+// directives that no longer suppress anything, so allowlists cannot
+// rot silently.
+//
+// The suite runs as `go run ./cmd/minelint ./...` (CI) and as the
+// TestMinelint gate in the root package (tier-1).
+package analysis

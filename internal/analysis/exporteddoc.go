@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ExportedDoc returns the analyzer enforcing the repository's go-doc
+// discipline: every exported declaration in non-test code carries a
+// doc comment. This is the former root lint_test.go walker, ported
+// into the suite so all checks share one driver and one directive
+// syntax.
+func ExportedDoc() *Analyzer {
+	return &Analyzer{
+		Name: "exporteddoc",
+		Doc:  "requires a doc comment on every exported declaration in non-test code",
+		Run:  runExportedDoc,
+	}
+}
+
+func runExportedDoc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc.Text() == "" {
+					pass.Reportf(d.Name.Pos(), "exported func %s lacks a doc comment", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc.Text()
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && groupDoc == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+							pass.Reportf(s.Name.Pos(), "exported type %s lacks a doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && groupDoc == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+								pass.Reportf(name.Pos(), "exported %s lacks a doc comment", name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestExportedDocFixture(t *testing.T) {
+	testFixture(t, "exporteddoc", false, ExportedDoc())
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// epsilonHelperNames are substrings that mark a function as a named
+// epsilon-comparison helper; exact float equality is the helper's job
+// (e.g. the `a == b` fast path of numeric.AlmostEqual that makes
+// equal infinities compare equal), so its body is exempt.
+var epsilonHelperNames = []string{"almostequal", "approxeq", "floateq"}
+
+// FloatEq returns the analyzer forbidding == and != between
+// floating-point operands. Exact float comparison is almost always a
+// latent bug in iterative numeric code; use numeric.AlmostEqual or an
+// explicit tolerance. Three well-defined idioms stay legal: comparing
+// against the exact zero constant (sign/sentinel tests in the root
+// finders), comparing against ±Inf via math.Inf (infeasibility
+// sentinels), and x != x (a NaN probe). Named epsilon helpers (see
+// epsilonHelperNames) are exempt wholesale.
+func FloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc: "forbids ==/!= on float operands outside named epsilon helpers " +
+			"(zero-constant, math.Inf, and x != x comparisons are allowed)",
+		Run: runFloatEq,
+	}
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && isEpsilonHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass, bin.X) && !isFloat(pass, bin.Y) {
+					return true
+				}
+				if exemptFloatCompare(pass, bin) {
+					return true
+				}
+				pass.Reportf(bin.OpPos,
+					"%s on float operands: exact float comparison is unreliable — "+
+						"use numeric.AlmostEqual or an explicit tolerance", bin.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isEpsilonHelper reports whether a function name marks a documented
+// epsilon-comparison helper whose body may compare floats exactly.
+func isEpsilonHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range epsilonHelperNames {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether an expression has floating-point type
+// (including untyped float constants).
+func isFloat(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// exemptFloatCompare recognizes the three float-comparison idioms that
+// are exact by construction: comparison against the zero constant,
+// comparison against ±Inf produced by math.Inf, and self-comparison
+// (the NaN probe x != x).
+func exemptFloatCompare(pass *Pass, bin *ast.BinaryExpr) bool {
+	if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+		return true // NaN probe
+	}
+	return isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) ||
+		isMathInf(pass, bin.X) || isMathInf(pass, bin.Y)
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to
+// exactly zero.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isMathInf reports whether e is a direct call to math.Inf.
+func isMathInf(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestFloatEqFixture(t *testing.T) {
+	testFixture(t, "floateq", false, FloatEq())
+}

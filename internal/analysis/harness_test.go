@@ -1,0 +1,119 @@
+package analysis
+
+// Fixture harness: an analysistest-style driver built on the stdlib.
+// A fixture is a directory under testdata/ holding one package whose
+// sources annotate expected findings with trailing comments:
+//
+//	return a == b // want "== on float operands"
+//
+// Each quoted string is a regexp matched against "check: message" of a
+// diagnostic reported on that line. The harness fails the test on any
+// unmatched want and on any unexpected diagnostic, so fixtures pin
+// both that violations are reported and that allowed idioms (and
+// //lint:allow directives) stay silent.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE captures the quoted regexps of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// fixtureDiags loads testdata/<name> as one package, runs the given
+// analyzers over it with directives applied, and returns the surviving
+// diagnostics. directiveFindings toggles the pseudo-check "directive"
+// (malformed/unknown/stale) findings.
+func fixtureDiags(t *testing.T, name string, directiveFindings bool, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	dir := filepath.Join("testdata", name)
+	pkg, err := mod.CheckDir(dir, mod.Path+"/internal/analysis/testdata/"+name)
+	if err != nil {
+		t.Fatalf("CheckDir(%s): %v", dir, err)
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	diags, err := runPackage(mod, pkg, analyzers, map[string][]string{}, known, !directiveFindings)
+	if err != nil {
+		t.Fatalf("runPackage(%s): %v", name, err)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// testFixture runs analyzers over testdata/<name> and diffs the
+// findings against the fixture's // want annotations.
+func testFixture(t *testing.T, name string, directiveFindings bool, analyzers ...*Analyzer) {
+	t.Helper()
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := fixtureDiags(t, name, directiveFindings, analyzers...)
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string]map[int][]*want) // file -> line -> expectations
+	dir := filepath.Join("testdata", name)
+	pkg, err := mod.CheckDir(dir, mod.Path+"/internal/analysis/testdata/"+name)
+	if err != nil {
+		t.Fatalf("CheckDir(%s): %v", dir, err)
+	}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := mod.Fset.Position(c.Pos())
+				fname := mod.Rel(pos.Filename)
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					pattern := strings.ReplaceAll(m[1], `\"`, `"`)
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, pos.Line, pattern, err)
+					}
+					if wants[fname] == nil {
+						wants[fname] = make(map[int][]*want)
+					}
+					wants[fname][pos.Line] = append(wants[fname][pos.Line], &want{re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		text := d.Check + ": " + d.Message
+		matched := false
+		for _, w := range wants[d.File][d.Line] {
+			if w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for fname, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", fname, line, w.raw)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked (non-test) package of the module.
+type Package struct {
+	// ImportPath is the package's import path.
+	ImportPath string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test Go files, in filename order.
+	Files []*ast.File
+	// Types is the type-checker's package object.
+	Types *types.Package
+	// Info holds expression types, definitions, and uses.
+	Info *types.Info
+}
+
+// Module loads and type-checks packages of a single Go module without
+// any dependency beyond the standard library: module-internal imports
+// are resolved recursively from source, and everything else is handed
+// to the standard library's source importer (which compiles GOROOT
+// packages from source, so no pre-built export data is needed).
+type Module struct {
+	// Root is the directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset is the file set shared by all packages the module loads.
+	Fset *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package
+	srcs map[string][]byte
+}
+
+// LoadModule locates the enclosing module of dir (walking up to the
+// nearest go.mod) and returns a loader for it.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found in or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Module{
+		Root: root,
+		Path: modPath,
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*Package),
+		srcs: make(map[string][]byte),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer: module-internal paths load
+// recursively from source, everything else falls through to the
+// standard library's source importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg, err := m.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// Load parses and type-checks the module package with the given import
+// path (memoized; import cycles are reported as errors).
+func (m *Module) Load(importPath string) (*Package, error) {
+	if pkg, ok := m.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	m.pkgs[importPath] = nil // cycle marker
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, m.Path), "/")
+	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
+	pkg, err := m.CheckDir(dir, importPath)
+	if err != nil {
+		delete(m.pkgs, importPath)
+		return nil, err
+	}
+	m.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// CheckDir parses and type-checks the non-test Go files of a single
+// directory under the given import path. It is the low-level entry the
+// fixture test harness uses to load testdata directories that the
+// normal pattern expansion deliberately skips.
+func (m *Module) CheckDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		m.srcs[path] = src
+		file, err := parser.ParseFile(m.Fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(importPath, m.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Source returns the raw bytes of a file the module has loaded, or nil
+// if the file has not been parsed by this loader.
+func (m *Module) Source(filename string) []byte { return m.srcs[filename] }
+
+// Rel makes path relative to the module root when possible; otherwise
+// it returns path unchanged. Used to keep diagnostics portable.
+func (m *Module) Rel(path string) string {
+	if rel, err := filepath.Rel(m.Root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+// Expand resolves package patterns into sorted module import paths.
+// Patterns are directory-based, relative to base: "./..." (or
+// "dir/...") walks recursively, anything else names a single package
+// directory. Hidden directories and testdata/results trees are
+// skipped, as are directories with no non-test Go files.
+func (m *Module) Expand(base string, patterns []string) ([]string, error) {
+	absBase, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var paths []string
+	add := func(dir string) error {
+		ip, err := m.importPathFor(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[ip] {
+			seen[ip] = true
+			paths = append(paths, ip)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		if rest, recursive := strings.CutSuffix(pat, "..."); recursive {
+			start := filepath.Join(absBase, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(start, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "results") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					return add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := filepath.Join(absBase, filepath.FromSlash(pat))
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("analysis: no non-test Go files match pattern %q", pat)
+		}
+		if err := add(dir); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (m *Module) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: directory %s is outside module %s", dir, m.Root)
+	}
+	if rel == "." {
+		return m.Path, nil
+	}
+	return m.Path + "/" + filepath.ToSlash(rel), nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go source file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}

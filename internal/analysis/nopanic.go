@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic returns the analyzer enforcing the repository's error
+// discipline: library code returns errors, it does not panic. A panic
+// is tolerated only inside a function whose doc comment documents the
+// panic as an invariant violation (the word "panic" must appear in the
+// doc), which is the convention for must-style helpers.
+func NoPanic() *Analyzer {
+	return &Analyzer{
+		Name: "nopanic",
+		Doc: "forbids panic in non-test library code unless the enclosing function's " +
+			"doc comment documents the panic as an invariant violation",
+		Run: runNoPanic,
+	}
+}
+
+func runNoPanic(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && docMentionsPanic(fd.Doc) {
+				continue // documented invariant-violation helper
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin {
+						pass.Reportf(call.Pos(),
+							"panic in library code: return an error, or document the panic "+
+								"as an invariant violation in the function's doc comment")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// docMentionsPanic reports whether a doc comment documents panicking
+// behavior (contains the word "panic" in any casing or inflection).
+func docMentionsPanic(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(strings.ToLower(doc.Text()), "panic")
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestNoPanicFixture(t *testing.T) {
+	testFixture(t, "nopanic", false, NoPanic())
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// DefaultSuite returns the repository's four analyzers in their
+// canonical order: determinism, nopanic, floateq, exporteddoc.
+func DefaultSuite() []*Analyzer {
+	return []*Analyzer{Determinism(), NoPanic(), FloatEq(), ExportedDoc()}
+}
+
+// DefaultPackageSkips is the package-level allowlist: for each check,
+// the module-relative package prefixes it does not examine (the prefix
+// covers subpackages). The observability, parallel, and simulation
+// layers legitimately read the wall clock for telemetry — their output
+// never feeds solver results — so the determinism check skips them.
+func DefaultPackageSkips() map[string][]string {
+	return map[string][]string{
+		"determinism": {"internal/obs", "internal/parallel", "internal/sim"},
+	}
+}
+
+// RunConfig configures one suite run.
+type RunConfig struct {
+	// Dir is the directory patterns are resolved against; the
+	// enclosing module is found by walking up to go.mod. Empty means
+	// the current directory.
+	Dir string
+	// Patterns are directory-based package patterns ("./...",
+	// "internal/core", ...). Empty means "./...".
+	Patterns []string
+	// Analyzers are the checks to run. Empty means DefaultSuite.
+	Analyzers []*Analyzer
+	// PackageSkips maps a check name to module-relative package
+	// prefixes it skips. Nil means DefaultPackageSkips; use an empty
+	// (non-nil) map to disable skipping.
+	PackageSkips map[string][]string
+	// NoDirectiveFindings suppresses the pseudo-check "directive"
+	// findings (malformed, unknown-check, and stale //lint:allow
+	// comments). The fixture harness sets it when running a single
+	// analyzer, where staleness cannot be judged.
+	NoDirectiveFindings bool
+}
+
+// Run loads every package matching the config's patterns, runs the
+// configured analyzers over each (honoring the package-level
+// allowlist), filters findings through //lint:allow directives, and
+// returns the surviving diagnostics sorted by position. A non-nil
+// error means the run itself failed (unreadable pattern, parse or
+// type-check failure) — findings are not errors.
+func Run(cfg RunConfig) ([]Diagnostic, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := cfg.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = DefaultSuite()
+	}
+	skips := cfg.PackageSkips
+	if skips == nil {
+		skips = DefaultPackageSkips()
+	}
+
+	mod, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := mod.Expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var all []Diagnostic
+	for _, importPath := range paths {
+		pkg, err := mod.Load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := runPackage(mod, pkg, analyzers, skips, known, cfg.NoDirectiveFindings)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// runPackage executes the applicable analyzers over one loaded package
+// and resolves directives against the raw findings.
+func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer,
+	skips map[string][]string, known map[string]bool, noDirectives bool) ([]Diagnostic, error) {
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkg.ImportPath, mod.Path), "/")
+	ran := make(map[string]bool)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if skipped(skips[a.Name], rel) {
+			continue
+		}
+		ran[a.Name] = true
+		pass := &Pass{
+			Fset:       mod.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ImportPath: pkg.ImportPath,
+			analyzer:   a,
+			report: func(d Diagnostic) {
+				d.File = mod.Rel(d.File)
+				raw = append(raw, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	directives := scanDirectives(mod, pkg)
+	diags := applyDirectives(raw, directives, ran)
+	if !noDirectives {
+		diags = append(diags, directiveFindings(directives, known, ran)...)
+	}
+	return diags, nil
+}
+
+// skipped reports whether a module-relative package path matches one
+// of the skip prefixes (a prefix covers the package and its subtree).
+func skipped(prefixes []string, rel string) bool {
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}

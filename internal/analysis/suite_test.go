@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRandDisciplineAudit is the chain/rl/netmodel/experiments RNG
+// audit, kept as a standing gate: every generator in the stochastic
+// layers must be an injected, explicitly seeded *rand.Rand (or derived
+// from a config seed, as in experiments/substrate.go), so the
+// determinism analyzer must come back empty over them.
+func TestRandDisciplineAudit(t *testing.T) {
+	diags, err := Run(RunConfig{
+		Dir: "../..",
+		Patterns: []string{
+			"internal/chain", "internal/rl", "internal/netmodel", "internal/experiments",
+		},
+		Analyzers:           []*Analyzer{Determinism()},
+		NoDirectiveFindings: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("stochastic layer uses an unseeded/global source: %s", d)
+	}
+}
+
+func TestDefaultSuiteCheckNames(t *testing.T) {
+	want := []string{"determinism", "nopanic", "floateq", "exporteddoc"}
+	suite := DefaultSuite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+	skips := DefaultPackageSkips()
+	for check := range skips {
+		found := false
+		for _, a := range suite {
+			if a.Name == check {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("PackageSkips names unknown check %q", check)
+		}
+	}
+}
+
+func TestSkippedPrefixSemantics(t *testing.T) {
+	prefixes := []string{"internal/obs"}
+	for rel, want := range map[string]bool{
+		"internal/obs":         true,
+		"internal/obs/obscli":  true,
+		"internal/observatory": false,
+		"internal/core":        false,
+		"":                     false,
+	} {
+		if got := skipped(prefixes, rel); got != want {
+			t.Errorf("skipped(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}
+
+// TestExpandSkipsFixtures pins that pattern expansion never descends
+// into testdata (where this package's seeded violations live), hidden
+// directories, or results.
+func TestExpandSkipsFixtures(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	paths, err := mod.Expand("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("Expand found no packages")
+	}
+	seenSelf := false
+	for _, p := range paths {
+		if p == mod.Path+"/internal/analysis" {
+			seenSelf = true
+		}
+		for _, frag := range []string{"/testdata/", "/results/"} {
+			if strings.Contains(p, frag) {
+				t.Errorf("Expand leaked fixture package %s", p)
+			}
+		}
+	}
+	if !seenSelf {
+		t.Errorf("Expand missed internal/analysis itself: %v", paths)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Check: "floateq", Message: "boom"}
+	if got, want := d.String(), "a/b.go:3:7: floateq: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

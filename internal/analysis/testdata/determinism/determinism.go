@@ -1,0 +1,79 @@
+// Package determinism is a minelint fixture seeding determinism
+// violations (wall-clock reads, global math/rand draws, map-order
+// output) next to the idioms the check must keep accepting (seeded
+// constructors, injected generators, collect-and-sort emission).
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "call to time\.Now reads the wall clock"
+}
+
+// Elapsed measures real elapsed time.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "call to time\.Since reads the wall clock"
+}
+
+// Draw uses the process-global random source.
+func Draw() int {
+	return rand.Intn(6) // want "draws from the process-global random source"
+}
+
+// Shuffled permutes via the global source.
+func Shuffled(n int) []int {
+	return rand.Perm(n) // want "draws from the process-global random source"
+}
+
+// TimeSeeded builds a generator seeded from the wall clock; the
+// constructor is fine but the seed expression is not.
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "call to time\.Now reads the wall clock"
+}
+
+// Seeded builds an explicitly seeded generator: allowed.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// UsesInjected draws from an injected generator: methods are allowed.
+func UsesInjected(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// PrintAll emits output in map-iteration order.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output emitted inside range over map"
+	}
+}
+
+// RenderAll formats entries in map-iteration order.
+func RenderAll(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += fmt.Sprintf("%s;", k) // want "output emitted inside range over map"
+	}
+	return out
+}
+
+// SortedKeys collects then sorts before any output: allowed.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Allowed reads the wall clock under a scoped directive.
+func Allowed() int64 {
+	return time.Now().UnixNano() //lint:allow determinism fixture: telemetry-style read, explicitly waived
+}

@@ -1,0 +1,39 @@
+// Package directives is a minelint fixture exercising the //lint:allow
+// machinery: a directive suppresses exactly one check on exactly one
+// line, whether trailing the offending line or standing alone directly
+// above it.
+package directives
+
+// Trailing suppresses a finding on its own line.
+func Trailing(a, b float64) bool {
+	return a == b //lint:allow floateq fixture: trailing directive
+}
+
+// Standalone suppresses a finding on the next line.
+func Standalone(a, b float64) bool {
+	//lint:allow floateq fixture: standalone directive covers the line below
+	return a == b
+}
+
+// OneLineOnly shows the directive covers exactly one line: the second
+// comparison is still flagged.
+func OneLineOnly(a, b float64) bool {
+	if a == b { //lint:allow floateq fixture: first comparison only
+		return true
+	}
+	return a != b // want "!= on float operands"
+}
+
+// OneCheckOnly shows a directive for a different check suppresses
+// nothing here: the comparison is still flagged.
+func OneCheckOnly(a, b float64) bool {
+	//lint:allow nopanic fixture: names the wrong check for the line below
+	return a == b // want "== on float operands"
+}
+
+// Gap shows a standalone directive does not reach past the next line.
+func Gap(a, b float64) bool {
+	//lint:allow floateq fixture: covers only the blank line below
+
+	return a == b // want "== on float operands"
+}

@@ -1,0 +1,24 @@
+// Package exporteddoc is a minelint fixture seeding doc-discipline
+// violations: exported declarations without doc comments, next to
+// documented ones the check accepts.
+package exporteddoc
+
+// Documented carries a doc comment.
+func Documented() int { return 1 }
+
+func Undocumented() int { return 2 } // want "exported func Undocumented lacks a doc comment"
+
+type widget struct{}
+
+func (widget) Render() int { return 3 } // want "exported func Render lacks a doc comment"
+
+// render is unexported: no doc required.
+func (widget) render() int { return 4 }
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+// Limit is a documented exported constant.
+const Limit = 10
+
+func Allowed() int { return 5 } //lint:allow exporteddoc fixture: explicitly waived

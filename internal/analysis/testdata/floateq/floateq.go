@@ -1,0 +1,72 @@
+// Package floateq is a minelint fixture seeding float-comparison
+// violations next to every exempt idiom: zero-constant sentinels,
+// math.Inf sentinels, the x != x NaN probe, named epsilon helpers,
+// integer comparisons, and a scoped //lint:allow directive.
+package floateq
+
+import "math"
+
+// Same compares floats exactly.
+func Same(a, b float64) bool {
+	return a == b // want "== on float operands"
+}
+
+// Different compares floats exactly.
+func Different(a, b float64) bool {
+	return a != b // want "!= on float operands"
+}
+
+// Single flags float32 too.
+func Single(a, b float32) bool {
+	return a == b // want "== on float operands"
+}
+
+// Halfway flags mixed constant comparisons: 0.5 is not the zero
+// sentinel.
+func Halfway(x float64) bool {
+	return x == 0.5 // want "== on float operands"
+}
+
+// IsZero compares against the exact zero constant: allowed.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// NonZero compares against zero on the left: allowed.
+func NonZero(x float64) bool {
+	return 0 != x
+}
+
+// IsNaN is the self-comparison NaN probe: allowed.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Infeasible compares against the math.Inf sentinel: allowed.
+func Infeasible(p float64) bool {
+	return p == math.Inf(-1)
+}
+
+// almostEqualAbs is a named epsilon helper; its exact fast path is the
+// helper's job and is exempt.
+func almostEqualAbs(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// Ints compares integers, which is not a float comparison: allowed.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Close delegates to the helper: allowed.
+func Close(a, b float64) bool {
+	return almostEqualAbs(a, b, 1e-9)
+}
+
+// Allowed compares exactly under a scoped directive.
+func Allowed(a, b float64) bool {
+	return a == b //lint:allow floateq fixture: explicitly waived
+}

@@ -1,0 +1,49 @@
+// Package nopanic is a minelint fixture seeding error-discipline
+// violations: undocumented panics in library code, next to the two
+// forms the check accepts (documented invariant-violation helpers and
+// a scoped //lint:allow directive).
+package nopanic
+
+import "errors"
+
+// Reciprocal blows up on negative input without documenting it, which
+// the check must flag.
+func Reciprocal(x float64) float64 {
+	if x < 0 {
+		panic("negative") // want "panic in library code"
+	}
+	return 1 / x
+}
+
+// Deep blows up inside a nested closure, which is still undocumented
+// library code.
+func Deep(xs []int) func() int {
+	return func() int {
+		if len(xs) == 0 {
+			panic("empty") // want "panic in library code"
+		}
+		return xs[0]
+	}
+}
+
+// mustPositive returns n, panicking if n is not positive: a documented
+// invariant-violation helper, which the check accepts.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("n must be positive")
+	}
+	return n
+}
+
+// Checked returns an error like a well-behaved library function.
+func Checked(n int) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("n must be positive")
+	}
+	return mustPositive(n), nil
+}
+
+// Allowed panics under a scoped directive.
+func Allowed() {
+	panic("unreachable") //lint:allow nopanic fixture: explicitly waived
+}

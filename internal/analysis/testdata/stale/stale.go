@@ -1,0 +1,26 @@
+// Package stale is a minelint fixture seeding directive-hygiene
+// violations for the driver's pseudo-check "directive": a stale allow
+// that suppresses nothing, an allow naming an unknown check, and a
+// malformed allow with no reason.
+package stale
+
+// Orphan carries an allow that suppresses nothing: the comparison is
+// between integers, so floateq never fires here.
+func Orphan(a, b int) bool {
+	return a == b //lint:allow floateq ints compare exactly; nothing here to suppress
+}
+
+// Unknown names a check that does not exist in the suite.
+func Unknown() int {
+	return 4 //lint:allow bogus no such check in the suite
+}
+
+// MissingReason omits the mandatory reason.
+func MissingReason() int {
+	return 5 //lint:allow floateq
+}
+
+// Valid carries a live directive that must not be reported.
+func Valid(a, b float64) bool {
+	return a == b //lint:allow floateq fixture: genuinely suppressing the finding on this line
+}

@@ -179,10 +179,19 @@ type gossipItem struct {
 
 type gossipQueue []gossipItem
 
-func (q gossipQueue) Len() int           { return len(q) }
+// Len implements heap.Interface.
+func (q gossipQueue) Len() int { return len(q) }
+
+// Less implements heap.Interface: earlier arrival times pop first.
 func (q gossipQueue) Less(i, j int) bool { return q[i].time < q[j].time }
-func (q gossipQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *gossipQueue) Push(x any)        { *q = append(*q, x.(gossipItem)) }
+
+// Swap implements heap.Interface.
+func (q gossipQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *gossipQueue) Push(x any) { *q = append(*q, x.(gossipItem)) }
+
+// Pop implements heap.Interface.
 func (q *gossipQueue) Pop() any {
 	old := *q
 	n := len(old)

@@ -90,7 +90,7 @@ func (c Config) Homogeneous() bool {
 		return true
 	}
 	for _, b := range c.Budgets[1:] {
-		if b != c.Budgets[0] {
+		if b != c.Budgets[0] { //lint:allow floateq exact identity test on user-supplied config values, not computed floats
 			return false
 		}
 	}

@@ -325,7 +325,11 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 	if grid <= 0 {
 		grid = 60
 	}
-	pcStar, vc := numeric.MaximizeGridPool(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
+	pcStar, vc, err := numeric.MaximizeGridPool(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
+	if err != nil {
+		span.End(obs.Fields{"failed": true})
+		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: %w", err)
+	}
 	if math.IsInf(vc, -1) {
 		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: capacity never binds; no market-clearing equilibrium (Problem 2c requires E = E_max)")

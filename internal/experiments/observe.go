@@ -24,9 +24,9 @@ func RunObserved(r Runner, cfg Config, o *obs.Observer) (Result, error) {
 	}
 	before := o.Snapshot().Counters
 	span := o.StartSpan("experiments."+r.ID, obs.Fields{"quick": cfg.Quick, "seed": cfg.Seed})
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock provenance note, reached only when the observer is explicitly enabled; disabled runs are byte-identical
 	res, err := r.Run(cfg)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow determinism wall-clock provenance note, reached only when the observer is explicitly enabled; disabled runs are byte-identical
 	span.End(obs.Fields{"tables": len(res.Tables), "failed": err != nil})
 	if err != nil {
 		return res, err

@@ -49,10 +49,10 @@ func AsciiPlot(w io.Writer, tab Table, xCol string, yCols []string, width, heigh
 	if finite == 0 {
 		return fmt.Errorf("experiments: no finite points to plot in table %s", tab.ID)
 	}
-	if xmax == xmin {
+	if xmax == xmin { //lint:allow floateq degenerate-range guard: only an exactly zero span divides by zero in the scale below
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //lint:allow floateq degenerate-range guard: only an exactly zero span divides by zero in the scale below
 		ymax = ymin + 1
 	}
 	grid := make([][]byte, height)

@@ -156,7 +156,11 @@ func SolveLeaderFollower(a, b Leader, opts LeaderOptions) (LeadersResult, error)
 		}
 		return a.Profit(pa, pb)
 	}
-	pa, profitA := numeric.MaximizeGridPool(anticipated, loA, hiA, opts.GridN, (hiA-loA)*1e-6, opts.Pool)
+	pa, profitA, err := numeric.MaximizeGridPool(anticipated, loA, hiA, opts.GridN, (hiA-loA)*1e-6, opts.Pool)
+	if err != nil {
+		span.End(obs.Fields{"failed": true})
+		return LeadersResult{}, fmt.Errorf("leader %s: first-mover grid: %w", a.Name, err)
+	}
 	if math.IsInf(profitA, -1) {
 		span.End(obs.Fields{"failed": true})
 		return LeadersResult{}, fmt.Errorf("leader %s: no feasible first-mover price in [%g, %g]", a.Name, loA, hiA)
@@ -182,9 +186,12 @@ func maximizeLeader(l Leader, other float64, opts LeaderOptions) (float64, error
 	if !(hi > lo) || math.IsNaN(lo) || math.IsNaN(hi) {
 		return 0, fmt.Errorf("invalid price bracket [%g, %g] against rival price %g", lo, hi, other)
 	}
-	price, profit := numeric.MaximizeGridPool(func(p float64) float64 {
+	price, profit, err := numeric.MaximizeGridPool(func(p float64) float64 {
 		return l.Profit(p, other)
 	}, lo, hi, opts.GridN, (hi-lo)*1e-7, opts.Pool)
+	if err != nil {
+		return 0, fmt.Errorf("price grid on [%g, %g]: %w", lo, hi, err)
+	}
 	if math.IsInf(profit, -1) {
 		return 0, fmt.Errorf("no feasible price in [%g, %g] against rival price %g", lo, hi, other)
 	}

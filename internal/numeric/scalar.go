@@ -54,7 +54,11 @@ func MaximizeGolden(f func(float64) float64, lo, hi, tol float64) (x, fx float64
 // It tolerates non-unimodal f as long as the grid is fine enough to land
 // in the basin of the global maximum. n must be at least 2.
 func MaximizeGrid(f func(float64) float64, lo, hi float64, n int, tol float64) (x, fx float64) {
-	return MaximizeGridPool(f, lo, hi, n, tol, nil)
+	// A nil pool takes the sequential path, which never produces an
+	// error (a panic in f propagates to the caller unchanged), so the
+	// discarded error is structurally nil here.
+	x, fx, _ = MaximizeGridPool(f, lo, hi, n, tol, nil)
+	return x, fx
 }
 
 // MaximizeGridPool is MaximizeGrid with the bulk grid evaluation fanned
@@ -63,7 +67,14 @@ func MaximizeGrid(f func(float64) float64, lo, hi float64, n int, tol float64) (
 // stay sequential with lowest-index tie-breaking, so for a pure f the
 // result is bit-identical to MaximizeGrid at every worker count; f must
 // be safe for concurrent calls when the pool is wider than one worker.
-func MaximizeGridPool(f func(float64) float64, lo, hi float64, n int, tol float64, pool *parallel.Pool) (x, fx float64) {
+//
+// The evaluator itself cannot fail — infeasible points are encoded as
+// -Inf profits by the callers' conventions — so the only possible error
+// is a panic inside f recovered by the worker pool, reported with the
+// offending grid point's recovered value and stack. On the sequential
+// path no goroutine sits between caller and f, so a panic there
+// propagates unchanged instead.
+func MaximizeGridPool(f func(float64) float64, lo, hi float64, n int, tol float64, pool *parallel.Pool) (x, fx float64, err error) {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
@@ -77,15 +88,11 @@ func MaximizeGridPool(f func(float64) float64, lo, hi float64, n int, tol float6
 			vals[i] = f(lo + float64(i)*step)
 		}
 	} else {
-		// The evaluator cannot fail — infeasible points are encoded as
-		// -Inf profits by the callers' conventions — so the only error
-		// Map can report is a recovered panic, which is re-raised to
-		// match the sequential path.
-		par, err := parallel.Map(pool, vals, func(i int, _ float64) (float64, error) {
+		par, perr := parallel.Map(pool, vals, func(i int, _ float64) (float64, error) {
 			return f(lo + float64(i)*step), nil
 		})
-		if err != nil {
-			panic(err)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("numeric: grid evaluation on [%g, %g]: %w", lo, hi, perr)
 		}
 		vals = par
 	}
@@ -101,9 +108,9 @@ func MaximizeGridPool(f func(float64) float64, lo, hi float64, n int, tol float6
 	if bestV > fx {
 		// Golden refinement can lose to the raw grid point when f is
 		// flat or noisy; keep the better of the two.
-		return lo + float64(bestI)*step, bestV
+		return lo + float64(bestI)*step, bestV, nil
 	}
-	return x, fx
+	return x, fx, nil
 }
 
 // Bisect finds a root of f in [lo, hi] by bisection. f(lo) and f(hi) must
@@ -166,7 +173,10 @@ func BrentRoot(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	mflag := true
 	for i := 0; i < 200 && fb != 0 && math.Abs(b-a) > tol; i++ {
 		var s float64
-		if fa != fc && fb != fc {
+		// Exact degeneracy guard: inverse quadratic interpolation
+		// divides by (fa-fc)(fb-fc); only exact coincidence makes that
+		// division blow up, and the secant branch handles it.
+		if fa != fc && fb != fc { //lint:allow floateq exact IQI degeneracy guard against division by zero
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +

@@ -3,6 +3,7 @@ package numeric
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"minegame/internal/parallel"
@@ -173,18 +174,39 @@ func TestMaximizeGridPoolMatchesSequentialBitwise(t *testing.T) {
 	}
 	wantX, wantV := MaximizeGrid(f, 0, 10, 137, 1e-10)
 	for _, workers := range []int{1, 2, 3, 16} {
-		x, v := MaximizeGridPool(f, 0, 10, 137, 1e-10, parallel.New(workers))
+		x, v, err := MaximizeGridPool(f, 0, 10, 137, 1e-10, parallel.New(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
 		if x != wantX || v != wantV {
 			t.Errorf("workers=%d: (%v, %v), want bit-identical (%v, %v)", workers, x, v, wantX, wantV)
 		}
 	}
 }
 
-func TestMaximizeGridPoolRepanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want the task panic re-raised")
-		}
-	}()
-	MaximizeGridPool(func(x float64) float64 { panic("boom") }, 0, 1, 4, 1e-9, parallel.New(2))
+func TestMaximizeGridPoolPanicBecomesError(t *testing.T) {
+	// A panic inside the evaluator on the parallel path is recovered by
+	// the worker pool and surfaced as an error, never re-raised: the
+	// no-panic discipline (see internal/analysis) applies to this
+	// library too.
+	_, _, err := MaximizeGridPool(func(x float64) float64 { panic("boom") }, 0, 1, 4, 1e-9, parallel.New(2))
+	if err == nil {
+		t.Fatal("want the task panic reported as an error")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "grid evaluation") {
+		t.Errorf("error %q should carry the panic value and the grid-evaluation context", err)
+	}
+}
+
+func TestMaximizeGridPoolSequentialNeverErrors(t *testing.T) {
+	// The sequential path has no goroutine between caller and evaluator,
+	// so it cannot produce an error (a panic there propagates unchanged,
+	// which MaximizeGrid relies on when discarding the error).
+	x, v, err := MaximizeGridPool(func(x float64) float64 { return -x * x }, -1, 1, 8, 1e-9, nil)
+	if err != nil {
+		t.Fatalf("sequential path returned error: %v", err)
+	}
+	if gx, gv := MaximizeGrid(func(x float64) float64 { return -x * x }, -1, 1, 8, 1e-9); x != gx || v != gv {
+		t.Errorf("pool-nil path (%v, %v) disagrees with MaximizeGrid (%v, %v)", x, v, gx, gv)
+	}
 }

@@ -270,7 +270,7 @@ func AdaptivePricing(
 				bestC = priceProbe{price: cand, profit: vc}
 			}
 		}
-		moved := bestE.price != pe || bestC.price != pc
+		moved := bestE.price != pe || bestC.price != pc //lint:allow floateq exact fixed-point test: prices are either copied unchanged or replaced by a distinct candidate
 		pe, pc = bestE.price, bestC.price
 		if !moved {
 			break

@@ -26,19 +26,26 @@ type event struct {
 
 type eventQueue []*event
 
+// Len implements heap.Interface.
 func (q eventQueue) Len() int { return len(q) }
 
+// Less implements heap.Interface: earlier events pop first, with the
+// insertion sequence number breaking exact-time ties so simultaneous
+// events fire in a deterministic order.
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
+	if q[i].time != q[j].time { //lint:allow floateq exact tie-break: equal times must fall through to the seq comparison
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq
 }
 
+// Swap implements heap.Interface.
 func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 
+// Push implements heap.Interface.
 func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
 
+// Pop implements heap.Interface.
 func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)

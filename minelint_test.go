@@ -1,0 +1,27 @@
+package minegame_test
+
+// Tier-1 static-analysis gate: the whole module must come back clean
+// from the minelint suite (internal/analysis) — determinism, error
+// discipline, float-comparison safety, doc coverage, and directive
+// hygiene. This replaces the old lint_test.go doc walker, which is now
+// the suite's exporteddoc check (sharing the driver and the
+// //lint:allow directive syntax with the other checks).
+
+import (
+	"testing"
+
+	"minegame/internal/analysis"
+)
+
+func TestMinelint(t *testing.T) {
+	diags, err := analysis.Run(analysis.RunConfig{Dir: ".", Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatalf("minelint run failed: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("minelint: %d finding(s); fix them or add a scoped //lint:allow <check> <reason> (see DESIGN.md §8)", len(diags))
+	}
+}
