@@ -1,0 +1,341 @@
+// Command benchjson runs a named benchmark subset through `go test
+// -bench` and emits a machine-readable BENCH_<n>.json snapshot —
+// ns/op, B/op, and allocs/op per benchmark — so the repository carries
+// a perf trajectory that tools (and CI) can diff instead of prose
+// tables. With -compare it re-runs the subset and fails when any
+// benchmark shared with the baseline snapshot regressed by more than
+// -max-ratio in ns/op, which is the CI smoke gate over the hot-path
+// solvers.
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-benchtime d] [-count n] [-o file]
+//	          [-compare baseline.json] [-max-ratio r] [packages ...]
+//
+// Packages default to ".". Without -o the snapshot is written to the
+// first free BENCH_<n>.json in the current directory (BENCH_1.json,
+// BENCH_2.json, ...). In -compare mode no snapshot is written unless
+// -o is given explicitly. Exit status: 0 ok, 1 regression found,
+// 2 the run itself failed (go test error, unparsable output, no
+// overlapping benchmarks to compare).
+//
+// Examples:
+//
+//	benchjson -bench 'BenchmarkSolveNE' ./internal/core
+//	benchjson -compare BENCH_1.json -benchtime 1x -bench 'SolveNE|Fig5Revenue' . ./internal/core
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, runGoTest))
+}
+
+// Benchmark is one measured benchmark in a snapshot. Pkg+Name identify
+// it across runs; the per-op numbers are what regressions are judged
+// on.
+type Benchmark struct {
+	// Pkg is the import path printed by `go test` ("minegame",
+	// "minegame/internal/core", ...).
+	Pkg string `json:"pkg"`
+	// Name is the benchmark name with the -GOMAXPROCS suffix
+	// stripped, sub-benchmarks included ("BenchmarkSolveNE/N=1000").
+	Name string `json:"name"`
+	// Runs is b.N for the reported measurement.
+	Runs int64 `json:"runs"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per operation (-benchmem).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per operation (-benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the BENCH_<n>.json document: the invocation that
+// produced it plus the sorted benchmark measurements.
+type Snapshot struct {
+	// Bench is the -bench regex the subset was selected with.
+	Bench string `json:"bench"`
+	// Benchtime is the -benchtime passed to go test ("" = default).
+	Benchtime string `json:"benchtime,omitempty"`
+	// Count is the -count passed to go test.
+	Count int `json:"count"`
+	// Packages are the package patterns benchmarked.
+	Packages []string `json:"packages"`
+	// Goos/Goarch/CPU are the platform lines go test printed, so a
+	// snapshot records the host class it was measured on.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	// CPU is the cpu model line from the benchmark header.
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks are the measurements, sorted by (pkg, name). With
+	// -count > 1 each benchmark keeps its fastest run (least noise).
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// testRunner abstracts the `go test` subprocess so the CLI logic is
+// testable without a Go toolchain.
+type testRunner func(args []string, errw io.Writer) (string, error)
+
+// runGoTest shells out to `go test` and returns its combined stdout;
+// benchmark failures surface as a nonzero exit with output preserved.
+func runGoTest(args []string, errw io.Writer) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = errw
+	out, err := cmd.Output()
+	return string(out), err
+}
+
+func run(args []string, out, errw io.Writer, runner testRunner) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	bench := fs.String("bench", ".", "benchmark selection regex passed to go test -bench")
+	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 100ms); empty keeps the go default")
+	count := fs.Int("count", 1, "go test -count; with >1 each benchmark keeps its fastest run")
+	outPath := fs.String("o", "", "snapshot output path; empty auto-numbers BENCH_<n>.json (and skips writing in -compare mode)")
+	comparePath := fs.String("compare", "", "baseline snapshot to compare against; any shared benchmark slower by more than -max-ratio fails the run")
+	maxRatio := fs.Float64("max-ratio", 2, "maximum allowed new/old ns/op ratio in -compare mode")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"."}
+	}
+
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	if *count > 1 {
+		goArgs = append(goArgs, "-count", strconv.Itoa(*count))
+	}
+	goArgs = append(goArgs, pkgs...)
+	raw, err := runner(goArgs, errw)
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: go %s: %v\n", strings.Join(goArgs, " "), err)
+		return 2
+	}
+
+	snap, err := parseBenchOutput(raw)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 2
+	}
+	snap.Bench = *bench
+	snap.Benchtime = *benchtime
+	snap.Count = *count
+	snap.Packages = pkgs
+
+	if *comparePath != "" {
+		base, err := readSnapshot(*comparePath)
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 2
+		}
+		regressions, compared, err := compareSnapshots(base, snap, *maxRatio)
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 2
+		}
+		for _, line := range regressions {
+			fmt.Fprintln(out, line)
+		}
+		fmt.Fprintf(out, "benchjson: compared %d benchmark(s) against %s, %d regression(s) over %gx\n",
+			compared, *comparePath, len(regressions), *maxRatio)
+		if *outPath != "" {
+			if err := writeSnapshot(*outPath, snap); err != nil {
+				fmt.Fprintln(errw, "benchjson:", err)
+				return 2
+			}
+		}
+		if len(regressions) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	path := *outPath
+	if path == "" {
+		path, err = nextSnapshotPath(".")
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 2
+		}
+	}
+	if err := writeSnapshot(path, snap); err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 2
+	}
+	fmt.Fprintf(out, "benchjson: wrote %d benchmark(s) to %s\n", len(snap.Benchmarks), path)
+	return 0
+}
+
+// parseBenchOutput turns `go test -bench -benchmem` text into a
+// Snapshot. It tracks the goos/goarch/pkg/cpu header lines and keeps
+// the fastest measurement per (pkg, name) when -count repeats them.
+func parseBenchOutput(raw string) (Snapshot, error) {
+	var snap Snapshot
+	best := map[string]int{} // "pkg name" -> index into snap.Benchmarks
+	pkg := ""
+	for _, line := range strings.Split(raw, "\n") {
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseBenchLine(line)
+			if err != nil {
+				return Snapshot{}, err
+			}
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			key := b.Pkg + " " + b.Name
+			if i, seen := best[key]; seen {
+				if b.NsPerOp < snap.Benchmarks[i].NsPerOp {
+					snap.Benchmarks[i] = b
+				}
+				continue
+			}
+			best[key] = len(snap.Benchmarks)
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		return Snapshot{}, fmt.Errorf("no benchmark lines in go test output (wrong -bench regex or package list?)")
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		a, b := snap.Benchmarks[i], snap.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return snap, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkSolveNE/N=1000-8  100  1234567 ns/op  49248 B/op  5 allocs/op
+//
+// ok=false for Benchmark-prefixed lines that are not results (a
+// benchmark's own log output).
+func parseBenchLine(line string) (Benchmark, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Benchmark{}, false, nil
+	}
+	var b Benchmark
+	b.Name = f[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	var err error
+	if b.Runs, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+		return Benchmark{}, false, fmt.Errorf("bad run count in %q: %v", line, err)
+	}
+	if b.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+		return Benchmark{}, false, fmt.Errorf("bad ns/op in %q: %v", line, err)
+	}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true, nil
+}
+
+// compareSnapshots reports, as printable lines, every benchmark shared
+// by base and cur whose ns/op grew by more than maxRatio, plus how
+// many benchmarks overlapped. Zero overlap is an error: a gate that
+// compares nothing must not pass silently.
+func compareSnapshots(base, cur Snapshot, maxRatio float64) (regressions []string, compared int, err error) {
+	baseline := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseline[b.Pkg+" "+b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		old, ok := baseline[b.Pkg+" "+b.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if ratio := b.NsPerOp / old.NsPerOp; ratio > maxRatio {
+			regressions = append(regressions, fmt.Sprintf(
+				"REGRESSION %s %s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx)",
+				b.Pkg, b.Name, b.NsPerOp, old.NsPerOp, ratio, maxRatio))
+		}
+	}
+	if compared == 0 {
+		return nil, 0, fmt.Errorf("no benchmarks overlap with the baseline (baseline has %d, run produced %d)",
+			len(base.Benchmarks), len(cur.Benchmarks))
+	}
+	return regressions, compared, nil
+}
+
+// nextSnapshotPath returns the first BENCH_<n>.json in dir that does
+// not exist yet, numbering from the highest committed snapshot.
+func nextSnapshotPath(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if n, err := strconv.Atoi(base); err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// readSnapshot loads a snapshot written by writeSnapshot.
+func readSnapshot(path string) (Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+// writeSnapshot marshals the snapshot with stable indentation so the
+// committed file diffs cleanly.
+func writeSnapshot(path string, s Snapshot) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: minegame/internal/core
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSolveNE/N=10-2         	   48310	     24135 ns/op	     576 B/op	       5 allocs/op
+BenchmarkSolveNE/N=1000-2       	      33	  34372994 ns/op	   49248 B/op	       5 allocs/op
+PASS
+ok  	minegame/internal/core	4.2s
+pkg: minegame
+BenchmarkFig5Revenue-2          	    1234	    966486 ns/op	    5312 B/op	     166 allocs/op
+PASS
+ok  	minegame	2.0s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || !strings.Contains(snap.CPU, "Xeon") {
+		t.Errorf("platform header not captured: %+v", snap)
+	}
+	// Sorted by (pkg, name): the root-package benchmark sorts first.
+	first := snap.Benchmarks[0]
+	if first.Pkg != "minegame" || first.Name != "BenchmarkFig5Revenue" {
+		t.Errorf("first benchmark = %s %s, want minegame BenchmarkFig5Revenue", first.Pkg, first.Name)
+	}
+	if math.Abs(first.NsPerOp-966486) > 0.5 || math.Abs(first.AllocsPerOp-166) > 0.5 {
+		t.Errorf("BenchmarkFig5Revenue parsed as %+v", first)
+	}
+	ne := snap.Benchmarks[2]
+	if ne.Name != "BenchmarkSolveNE/N=1000" || ne.Runs != 33 {
+		t.Errorf("sub-benchmark parsed as %+v", ne)
+	}
+	if math.Abs(ne.BytesPerOp-49248) > 0.5 {
+		t.Errorf("B/op parsed as %g", ne.BytesPerOp)
+	}
+}
+
+func TestParseBenchOutputKeepsFastestOfCount(t *testing.T) {
+	out := `pkg: p
+BenchmarkX-2	10	200 ns/op	0 B/op	0 allocs/op
+BenchmarkX-2	10	100 ns/op	0 B/op	0 allocs/op
+BenchmarkX-2	10	150 ns/op	0 B/op	0 allocs/op
+`
+	snap, err := parseBenchOutput(out)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(snap.Benchmarks) != 1 || math.Abs(snap.Benchmarks[0].NsPerOp-100) > 0.5 {
+		t.Errorf("want single fastest run at 100 ns/op, got %+v", snap.Benchmarks)
+	}
+}
+
+func TestParseBenchOutputRejectsEmpty(t *testing.T) {
+	if _, err := parseBenchOutput("PASS\nok  \tminegame\t0.1s\n"); err == nil {
+		t.Error("want error for output without benchmark lines")
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	base := Snapshot{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkB", NsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 100},
+	}}
+	cur := Snapshot{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkA", NsPerOp: 150}, // within 2x
+		{Pkg: "p", Name: "BenchmarkB", NsPerOp: 250}, // regression
+		{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 1}, // not in baseline
+	}}
+	regressions, compared, err := compareSnapshots(base, cur, 2)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if compared != 2 {
+		t.Errorf("compared %d, want 2", compared)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkB") {
+		t.Errorf("regressions = %v, want exactly BenchmarkB", regressions)
+	}
+}
+
+func TestCompareSnapshotsRequiresOverlap(t *testing.T) {
+	base := Snapshot{Benchmarks: []Benchmark{{Pkg: "p", Name: "BenchmarkA", NsPerOp: 1}}}
+	cur := Snapshot{Benchmarks: []Benchmark{{Pkg: "q", Name: "BenchmarkB", NsPerOp: 1}}}
+	if _, _, err := compareSnapshots(base, cur, 2); err == nil {
+		t.Error("want error when no benchmarks overlap")
+	}
+}
+
+func TestNextSnapshotPath(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := nextSnapshotPath(dir)
+	if err != nil || filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first snapshot = %q (%v), want BENCH_1.json", p1, err)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_7.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p8, err := nextSnapshotPath(dir)
+	if err != nil || filepath.Base(p8) != "BENCH_8.json" {
+		t.Errorf("next snapshot = %q (%v), want BENCH_8.json", p8, err)
+	}
+}
+
+// fakeRunner returns canned go test output and records the arguments
+// it was invoked with.
+type fakeRunner struct {
+	out  string
+	args []string
+}
+
+func (f *fakeRunner) run(args []string, _ io.Writer) (string, error) {
+	f.args = args
+	return f.out, nil
+}
+
+func TestRunWritesSnapshotAndComparesClean(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	fake := &fakeRunner{out: sampleOutput}
+	var out, errw strings.Builder
+
+	if code := run([]string{"-bench", "SolveNE|Fig5", "-benchtime", "1x", "-o", path, ".", "./internal/core"}, &out, &errw, fake.run); code != 0 {
+		t.Fatalf("snapshot run exited %d: %s%s", code, out.String(), errw.String())
+	}
+	want := []string{"test", "-run", "^$", "-bench", "SolveNE|Fig5", "-benchmem", "-benchtime", "1x", ".", "./internal/core"}
+	if strings.Join(fake.args, " ") != strings.Join(want, " ") {
+		t.Errorf("go test args = %v, want %v", fake.args, want)
+	}
+	snap, err := readSnapshot(path)
+	if err != nil {
+		t.Fatalf("read snapshot back: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 || snap.Bench != "SolveNE|Fig5" {
+		t.Errorf("round-tripped snapshot = %+v", snap)
+	}
+
+	// Same measurements vs themselves: clean compare, exit 0.
+	out.Reset()
+	if code := run([]string{"-compare", path}, &out, &errw, fake.run); code != 0 {
+		t.Fatalf("clean compare exited %d: %s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Errorf("compare output = %q", out.String())
+	}
+}
+
+func TestRunCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	fast := Snapshot{Benchmarks: []Benchmark{{Pkg: "minegame/internal/core", Name: "BenchmarkSolveNE/N=10", NsPerOp: 1000}}}
+	if err := writeSnapshot(path, fast); err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeRunner{out: sampleOutput} // 24135 ns/op today: > 2x the 1000 baseline
+	var out, errw strings.Builder
+	if code := run([]string{"-compare", path}, &out, &errw, fake.run); code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1: %s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("compare output = %q", out.String())
+	}
+}

@@ -169,6 +169,20 @@ func (c Config) summarize(p Prices, prof miner.Profile, iters int, converged boo
 	return eq
 }
 
+// envFromOthers adapts the aggregate solvers' others-total to a
+// miner.Env, clamping the tiny negative residues incremental totals can
+// carry so the guards that treat aggregates ≤ tiny as empty behave
+// exactly as with fresh summation.
+func envFromOthers(others numeric.Point2) miner.Env {
+	if others.E < 0 {
+		others.E = 0
+	}
+	if others.C < 0 {
+		others.C = 0
+	}
+	return miner.Env{EdgeOthers: others.E, CloudOthers: others.C}
+}
+
 // startProfile seeds best-response iteration with a modest, feasible
 // spread of requests.
 func (c Config) startProfile(p Prices) []numeric.Point2 {
@@ -196,6 +210,48 @@ func (c Config) startProfile(p Prices) []numeric.Point2 {
 	return prof
 }
 
+// ColdStart returns the heuristic starting profile: a modest feasible
+// spread with no knowledge of the equilibrium. Pass it to
+// SolveMinerEquilibriumFrom when the iteration itself is the object of
+// study (convergence diagnostics) or when a numeric solve must stay
+// independent of the closed forms it is cross-checked against —
+// SolveMinerEquilibrium otherwise seeds homogeneous configurations from
+// the closed-form equilibrium, which those use cases must not inherit.
+func (c Config) ColdStart(p Prices) miner.Profile {
+	return c.startProfile(p)
+}
+
+// seedProfile returns the default starting profile for the iterating
+// solvers: the closed-form homogeneous equilibrium when the regime
+// admits one (Theorem 3 / Table II) — the first sweep's KKT warm path
+// then accepts it almost immediately — and the heuristic cold start
+// otherwise.
+func (c Config) seedProfile(p Prices) []numeric.Point2 {
+	if c.Homogeneous() {
+		params := c.Params(p)
+		switch c.Mode {
+		case netmodel.Connected:
+			if sol, err := miner.HomogeneousConnected(params, c.N, c.Budget(0)); err == nil {
+				prof := make([]numeric.Point2, c.N)
+				for i := range prof {
+					prof[i] = sol.Request
+				}
+				return prof
+			}
+		default:
+			sol, err := miner.HomogeneousStandalone(params, c.N, c.EdgeCapacity)
+			if err == nil && params.Spend(sol.Request) <= c.Budget(0) {
+				prof := make([]numeric.Point2, c.N)
+				for i := range prof {
+					prof[i] = sol.Request
+				}
+				return prof
+			}
+		}
+	}
+	return c.startProfile(p)
+}
+
 // SolveMinerEquilibrium computes the miner-subgame equilibrium at the
 // given prices.
 //
@@ -206,6 +262,19 @@ func (c Config) startProfile(p Prices) []numeric.Point2 {
 // guarantees existence; the variational solution is the economically
 // meaningful one, with every miner facing the same scarcity price).
 func SolveMinerEquilibrium(cfg Config, p Prices, opts game.NEOptions) (MinerEquilibrium, error) {
+	return SolveMinerEquilibriumFrom(cfg, p, opts, nil)
+}
+
+// SolveMinerEquilibriumFrom is SolveMinerEquilibrium with an explicit
+// starting profile for the best-response iteration. A nil start picks
+// the config's default seed (the closed-form homogeneous equilibrium
+// when the regime admits one, the heuristic spread otherwise); a
+// non-nil start — a neighbouring price point's equilibrium during a
+// leader-stage grid sweep, or Config.ColdStart for convergence studies
+// — must have length cfg.N. The returned equilibrium is independent of
+// the start up to the solver tolerance; the start only changes how many
+// sweeps the solve takes. The given profile is not mutated.
+func SolveMinerEquilibriumFrom(cfg Config, p Prices, opts game.NEOptions, start miner.Profile) (MinerEquilibrium, error) {
 	if err := cfg.Validate(); err != nil {
 		return MinerEquilibrium{}, err
 	}
@@ -216,18 +285,22 @@ func SolveMinerEquilibrium(cfg Config, p Prices, opts game.NEOptions) (MinerEqui
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-6
 	}
-	start := cfg.startProfile(p)
+	if start == nil {
+		start = cfg.seedProfile(p)
+	} else if len(start) != cfg.N {
+		return MinerEquilibrium{}, fmt.Errorf("core: start profile has %d entries, config has %d miners", len(start), cfg.N)
+	}
 	switch cfg.Mode {
 	case netmodel.Connected:
-		br := func(i int, prof []numeric.Point2) numeric.Point2 {
-			return miner.BestResponseConnected(params, cfg.Budget(i), miner.Profile(prof).Env(i), prof[i])
+		br := func(i int, own, others numeric.Point2) numeric.Point2 {
+			return miner.BestResponseConnected(params, cfg.Budget(i), envFromOthers(others), own)
 		}
-		res := game.SolveNE(start, br, opts)
+		res := game.SolveNEAggregate(start, br, opts)
 		return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, 0), nil
 	default:
-		brAt := func(mu float64) game.BestResponse {
-			return func(i int, prof []numeric.Point2) numeric.Point2 {
-				return miner.BestResponseStandalonePenalized(params, mu, cfg.Budget(i), miner.Profile(prof).Env(i), prof[i])
+		brAt := func(mu float64) game.AggregateBestResponse {
+			return func(i int, own, others numeric.Point2) numeric.Point2 {
+				return miner.BestResponseStandalonePenalized(params, mu, cfg.Budget(i), envFromOthers(others), own)
 			}
 		}
 		shared := func(prof []numeric.Point2) float64 {
@@ -237,7 +310,7 @@ func SolveMinerEquilibrium(cfg Config, p Prices, opts game.NEOptions) (MinerEqui
 			}
 			return e
 		}
-		res, err := game.SolveVariationalGNE(start, brAt, shared, cfg.EdgeCapacity, 1e-4*cfg.EdgeCapacity, opts)
+		res, err := game.SolveVariationalGNEAggregate(start, brAt, shared, cfg.EdgeCapacity, 1e-4*cfg.EdgeCapacity, opts)
 		if err != nil {
 			return MinerEquilibrium{}, fmt.Errorf("standalone miner subgame: %w", err)
 		}
@@ -270,37 +343,41 @@ func SolveMinerGNE(cfg Config, p Prices, opts game.NEOptions) (MinerEquilibrium,
 		// capacity handoff from oscillating.
 		opts.Damping = 0.5
 	}
-	br := func(i int, prof []numeric.Point2) numeric.Point2 {
-		env := miner.Profile(prof).Env(i)
-		return miner.BestResponseStandalone(params, cfg.Budget(i), cfg.EdgeCapacity-env.EdgeOthers, env, prof[i])
+	br := func(i int, own, others numeric.Point2) numeric.Point2 {
+		env := envFromOthers(others)
+		return miner.BestResponseStandalone(params, cfg.Budget(i), cfg.EdgeCapacity-env.EdgeOthers, env, own)
 	}
-	res := game.SolveNE(cfg.startProfile(p), br, opts)
+	// The GNEP's equilibrium selection depends on the starting point, so
+	// keep the historical heuristic start rather than the closed-form seed.
+	res := game.SolveNEAggregate(cfg.startProfile(p), br, opts)
 	return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, 0), nil
 }
 
 // Deviation returns the largest utility gain any miner can realize by a
 // unilateral deviation from the profile — a certificate of equilibrium
-// quality (≈0 at a Nash equilibrium).
+// quality (≈0 at a Nash equilibrium). The aggregate form shares one O(N)
+// total across all miners, so the certificate costs O(N) best responses
+// plus O(N) arithmetic instead of the O(N²) of per-miner re-summation.
 func Deviation(cfg Config, p Prices, prof miner.Profile) float64 {
 	params := cfg.Params(p)
 	switch cfg.Mode {
 	case netmodel.Connected:
-		br := func(i int, pr []numeric.Point2) numeric.Point2 {
-			return miner.BestResponseConnected(params, cfg.Budget(i), miner.Profile(pr).Env(i))
+		br := func(i int, own, others numeric.Point2) numeric.Point2 {
+			return miner.BestResponseConnected(params, cfg.Budget(i), envFromOthers(others))
 		}
-		utility := func(i int, pr []numeric.Point2) float64 {
-			return miner.UtilityConnected(params, pr[i], miner.Profile(pr).Env(i))
+		utility := func(i int, own, others numeric.Point2) float64 {
+			return miner.UtilityConnected(params, own, envFromOthers(others))
 		}
-		return game.Deviation(prof, br, utility)
+		return game.DeviationAggregate(prof, br, utility)
 	default:
-		br := func(i int, pr []numeric.Point2) numeric.Point2 {
-			env := miner.Profile(pr).Env(i)
+		br := func(i int, own, others numeric.Point2) numeric.Point2 {
+			env := envFromOthers(others)
 			return miner.BestResponseStandalone(params, cfg.Budget(i), cfg.EdgeCapacity-env.EdgeOthers, env)
 		}
-		utility := func(i int, pr []numeric.Point2) float64 {
-			return miner.UtilityStandalone(params, pr[i], miner.Profile(pr).Env(i))
+		utility := func(i int, own, others numeric.Point2) float64 {
+			return miner.UtilityStandalone(params, own, envFromOthers(others))
 		}
-		return game.Deviation(prof, br, utility)
+		return game.DeviationAggregate(prof, br, utility)
 	}
 }
 

@@ -89,7 +89,9 @@ func TestConfigNetwork(t *testing.T) {
 func TestSolveMinerEquilibriumConnectedMatchesClosedForm(t *testing.T) {
 	cfg := testConfig()
 	p := testPrices()
-	eq, err := SolveMinerEquilibrium(cfg, p, game.NEOptions{})
+	// Cold start: the default solve seeds from the very closed form this
+	// test cross-checks, which would make the comparison circular.
+	eq, err := SolveMinerEquilibriumFrom(cfg, p, game.NEOptions{}, cfg.ColdStart(p))
 	if err != nil {
 		t.Fatalf("SolveMinerEquilibrium: %v", err)
 	}
@@ -155,7 +157,8 @@ func TestSolveMinerEquilibriumStandaloneSlackCapacity(t *testing.T) {
 	cfg.Mode = netmodel.Standalone
 	cfg.EdgeCapacity = 60 // unconstrained demand is 40
 	p := testPrices()
-	eq, err := SolveMinerEquilibrium(cfg, p, game.NEOptions{})
+	// Cold start keeps the cross-check against the closed form honest.
+	eq, err := SolveMinerEquilibriumFrom(cfg, p, game.NEOptions{}, cfg.ColdStart(p))
 	if err != nil {
 		t.Fatalf("SolveMinerEquilibrium: %v", err)
 	}
@@ -179,7 +182,8 @@ func TestSolveMinerEquilibriumStandaloneBindingCapacity(t *testing.T) {
 	cfg.Mode = netmodel.Standalone
 	cfg.EdgeCapacity = 20 // unconstrained demand is 40
 	p := testPrices()
-	eq, err := SolveMinerEquilibrium(cfg, p, game.NEOptions{})
+	// Cold start keeps the cross-check against the closed form honest.
+	eq, err := SolveMinerEquilibriumFrom(cfg, p, game.NEOptions{}, cfg.ColdStart(p))
 	if err != nil {
 		t.Fatalf("SolveMinerEquilibrium: %v", err)
 	}

@@ -116,8 +116,13 @@ type demandMemo struct {
 }
 
 type demandEntry struct {
-	done chan struct{} // closed once d is populated
+	done chan struct{} // closed once d and prof are populated
 	d    demand
+	// prof is the solved follower profile behind d — nil on the
+	// closed-form path, which never materializes one. It lets later
+	// solves at exactly the same price point warm-start from the
+	// already-known equilibrium.
+	prof miner.Profile
 }
 
 func newDemandMemo() *demandMemo {
@@ -127,7 +132,7 @@ func newDemandMemo() *demandMemo {
 // get returns the memoized demand at p, computing it via compute on
 // first probe. The boolean reports a memo hit (including joins on an
 // in-flight computation).
-func (m *demandMemo) get(p Prices, compute func() demand) (demand, bool) {
+func (m *demandMemo) get(p Prices, compute func() (demand, miner.Profile)) (demand, bool) {
 	m.mu.Lock()
 	if e, ok := m.entries[p]; ok {
 		m.mu.Unlock()
@@ -137,9 +142,25 @@ func (m *demandMemo) get(p Prices, compute func() demand) (demand, bool) {
 	e := &demandEntry{done: make(chan struct{})}
 	m.entries[p] = e
 	m.mu.Unlock()
-	e.d = compute()
+	e.d, e.prof = compute()
 	close(e.done)
 	return e.d, false
+}
+
+// profileAt returns the follower profile memoized at exactly p, or nil
+// when p was never probed (or was served by the closed form). Because
+// every memo entry is a pure function of its price point, the returned
+// profile — like every other memo read — is independent of the arrival
+// order of concurrent probes.
+func (m *demandMemo) profileAt(p Prices) miner.Profile {
+	m.mu.Lock()
+	e, ok := m.entries[p]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	<-e.done
+	return e.prof
 }
 
 // SolveStackelberg runs backward induction on the full game: the leader
@@ -162,21 +183,35 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 	probes := ob.Counter("core.demand_probes")
 	memoHits := ob.Counter("core.demand_memo_hits")
 
+	// Anchor warm start: solve one canonical follower equilibrium at the
+	// starting prices and seed every numeric demand probe from it. The
+	// anchor is fixed before the price grids fan out, so every probe's
+	// result stays a pure function of its price point — worker count and
+	// arrival order cannot reach it — while each solve starts within a
+	// few sweeps of its equilibrium instead of from the heuristic spread.
+	var anchor miner.Profile
+	if !useClosedForm {
+		if eq, err := SolveMinerEquilibrium(cfg, Prices{Edge: opts.StartE, Cloud: opts.StartC}, opts.Follower); err == nil {
+			anchor = eq.Requests
+		}
+	}
+
 	memo := newDemandMemo()
 	oracle := func(p Prices) demand {
-		d, hit := memo.get(p, func() demand {
+		d, hit := memo.get(p, func() (demand, miner.Profile) {
 			probes.Inc()
 			var d demand
 			if useClosedForm {
 				d = cfg.closedFormDemand(p)
 			}
-			if !d.ok {
-				eq, err := SolveMinerEquilibrium(cfg, p, opts.Follower)
-				if err == nil {
-					d = demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}
-				}
+			if d.ok {
+				return d, nil
 			}
-			return d
+			eq, err := SolveMinerEquilibriumFrom(cfg, p, opts.Follower, anchor)
+			if err != nil {
+				return d, nil
+			}
+			return demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}, eq.Requests
 		})
 		if hit {
 			memoHits.Inc()
@@ -238,7 +273,15 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 		return StackelbergResult{}, fmt.Errorf("leader stage: %w", err)
 	}
 	prices := Prices{Edge: lead.PriceA, Cloud: lead.PriceB}
-	follower, err := SolveMinerEquilibrium(cfg, prices, opts.Follower)
+	// The leader search almost always probed the winning price pair; its
+	// memoized profile (or failing that the anchor) warm-starts the final
+	// follower solve. Both candidates are arrival-order independent, so
+	// determinism is preserved.
+	start := memo.profileAt(prices)
+	if start == nil {
+		start = anchor
+	}
+	follower, err := SolveMinerEquilibriumFrom(cfg, prices, opts.Follower, start)
 	if err != nil {
 		span.End(obs.Fields{"failed": true})
 		return StackelbergResult{}, fmt.Errorf("follower stage at equilibrium prices %+v: %w", prices, err)
@@ -272,7 +315,13 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 	ob := opts.observer()
 	span := ob.StartSpan("core.standalone_bargain", obs.Fields{"miners": c.N, "capacity": c.EdgeCapacity})
 	clearingSolves := ob.Counter("core.clearing_price_solves")
-	clearing := func(pc float64) (float64, bool) {
+	// clearing returns the market-clearing edge price at pc and, on the
+	// numeric path, the unconstrained follower profile at that price —
+	// a warm start for the constrained solve the caller runs next. Each
+	// call is self-contained (the bisection chains warm starts through a
+	// call-local profile), so its result depends only on pc and the
+	// surrounding grid stays worker-count independent.
+	clearing := func(pc float64) (float64, miner.Profile, bool) {
 		clearingSolves.Inc()
 		if c.Homogeneous() {
 			pe := miner.ClearingPriceEdge(c.Reward, c.Beta, pc, c.N, c.EdgeCapacity)
@@ -280,42 +329,45 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 			if params.Validate() == nil && pe > pc && pc < (1-c.Beta)*pe {
 				sol, err := miner.HomogeneousStandalone(params, c.N, c.EdgeCapacity)
 				if err == nil && params.Spend(sol.Request) <= c.Budget(0) {
-					return pe, true
+					return pe, nil, true
 				}
 			}
 		}
-		// Numeric fallback: bisect the unconstrained edge demand.
+		// Numeric fallback: bisect the unconstrained edge demand, each
+		// solve warm-started from the previous bisection point's profile.
 		unconstrained := c
 		unconstrained.EdgeCapacity = math.Inf(1)
+		var last miner.Profile
 		demandAt := func(pe float64) float64 {
-			eq, err := SolveMinerEquilibrium(unconstrained, Prices{Edge: pe, Cloud: pc}, opts.Follower)
+			eq, err := SolveMinerEquilibriumFrom(unconstrained, Prices{Edge: pe, Cloud: pc}, opts.Follower, last)
 			if err != nil {
 				return 0
 			}
+			last = eq.Requests
 			return eq.EdgeDemand
 		}
 		lo := math.Max(pc*(1+1e-6), c.CostE+1e-9)
 		hi := math.Max(opts.MaxPriceE, lo*1.5)
 		if demandAt(lo) < c.EdgeCapacity {
-			return 0, false // capacity never binds; no clearing price
+			return 0, nil, false // capacity never binds; no clearing price
 		}
 		if demandAt(hi) >= c.EdgeCapacity {
-			return hi, true
+			return hi, last, true
 		}
 		pe, err := numeric.Bisect(func(pe float64) float64 {
 			return demandAt(pe) - c.EdgeCapacity
 		}, lo, hi, 1e-6*(1+hi))
 		if err != nil {
-			return 0, false
+			return 0, nil, false
 		}
-		return pe, true
+		return pe, last, true
 	}
 	profitC := func(pc float64) float64 {
-		pe, ok := clearing(pc)
+		pe, warm, ok := clearing(pc)
 		if !ok {
 			return math.Inf(-1)
 		}
-		eq, err := SolveMinerEquilibrium(c, Prices{Edge: pe, Cloud: pc}, opts.Follower)
+		eq, err := SolveMinerEquilibriumFrom(c, Prices{Edge: pe, Cloud: pc}, opts.Follower, warm)
 		if err != nil {
 			return math.Inf(-1)
 		}
@@ -325,7 +377,15 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 	if grid <= 0 {
 		grid = 60
 	}
-	pcStar, vc, err := numeric.MaximizeGridPool(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
+	var (
+		pcStar, vc float64
+		err        error
+	)
+	if opts.Leader.CoarseGridN > 0 {
+		pcStar, vc, err = numeric.MaximizeGridTwoLevel(profitC, c.CostC+1e-6, opts.MaxPriceC, opts.Leader.CoarseGridN, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
+	} else {
+		pcStar, vc, err = numeric.MaximizeGridPool(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
+	}
 	if err != nil {
 		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: %w", err)
@@ -334,12 +394,12 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: capacity never binds; no market-clearing equilibrium (Problem 2c requires E = E_max)")
 	}
-	peStar, ok := clearing(pcStar)
+	peStar, warm, ok := clearing(pcStar)
 	if !ok {
 		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: no clearing price at P_c = %g", pcStar)
 	}
-	eq, err := SolveMinerEquilibrium(c, Prices{Edge: peStar, Cloud: pcStar}, opts.Follower)
+	eq, err := SolveMinerEquilibriumFrom(c, Prices{Edge: peStar, Cloud: pcStar}, opts.Follower, warm)
 	if err != nil {
 		span.End(obs.Fields{"failed": true})
 		return game.LeadersResult{}, fmt.Errorf("standalone SP stage: %w", err)

@@ -41,9 +41,10 @@ func runHeadline(Config) (Result, error) {
 
 	prices := defaultPrices()
 
-	// Claim 1: iterated NEP vs Theorem 3.
+	// Claim 1: iterated NEP vs Theorem 3. The cold start keeps the
+	// iteration independent of the closed form it is checked against.
 	conn := baseConfig()
-	eqConn, err := core.SolveMinerEquilibrium(conn, prices, game.NEOptions{})
+	eqConn, err := core.SolveMinerEquilibriumFrom(conn, prices, game.NEOptions{}, conn.ColdStart(prices))
 	if err != nil {
 		return Result{}, fmt.Errorf("headline claim 1: %w", err)
 	}

@@ -42,7 +42,10 @@ func runConvergence(Config) (Result, error) {
 		if gne {
 			_, err = core.SolveMinerGNE(cfg, prices, opts)
 		} else {
-			_, err = core.SolveMinerEquilibrium(cfg, prices, opts)
+			// The iteration itself is the object of study here: an explicit
+			// cold start keeps the traces meaningful now that the default
+			// solve seeds homogeneous configs from the closed form.
+			_, err = core.SolveMinerEquilibriumFrom(cfg, prices, opts, cfg.ColdStart(prices))
 		}
 		return deltas, err
 	}
@@ -73,14 +76,21 @@ func runConvergence(Config) (Result, error) {
 	{
 		cfg := baseConfig()
 		params := cfg.Params(prices)
-		br := func(i int, prof []numeric.Point2) numeric.Point2 {
-			return miner.BestResponseConnected(params, cfg.Budget(i), miner.Profile(prof).Env(i), prof[i])
+		br := func(i int, own, others numeric.Point2) numeric.Point2 {
+			if others.E < 0 {
+				others.E = 0
+			}
+			if others.C < 0 {
+				others.C = 0
+			}
+			return miner.BestResponseConnected(params, cfg.Budget(i),
+				miner.Env{EdgeOthers: others.E, CloudOthers: others.C}, own)
 		}
 		start := make([]numeric.Point2, cfg.N)
 		for i := range start {
 			start[i] = numeric.Point2{E: 2, C: 10}
 		}
-		game.SolveNEFictitious(start, br, game.NEOptions{
+		game.SolveNEFictitiousAggregate(start, br, game.NEOptions{
 			MaxIter: 60,
 			Tol:     1e-9,
 			OnSweep: func(_ int, d float64) { fp = append(fp, d) },

@@ -74,14 +74,17 @@ func runTable2(Config) (Result, error) {
 		return Result{}, fmt.Errorf("table2 standalone closed form: %w", err)
 	}
 
+	// Cold starts keep the numeric columns an INDEPENDENT check of the
+	// closed forms: the default solve would otherwise seed the iteration
+	// from the very formulas this table is cross-checking.
 	numConn := cfg
-	eqConn, err := core.SolveMinerEquilibrium(numConn, prices, core.StackelbergOptions{}.Follower)
+	eqConn, err := core.SolveMinerEquilibriumFrom(numConn, prices, core.StackelbergOptions{}.Follower, numConn.ColdStart(prices))
 	if err != nil {
 		return Result{}, fmt.Errorf("table2 connected numeric: %w", err)
 	}
 	numAlone := cfg
 	numAlone.Mode = standaloneConfig().Mode
-	eqAlone, err := core.SolveMinerEquilibrium(numAlone, prices, core.StackelbergOptions{}.Follower)
+	eqAlone, err := core.SolveMinerEquilibriumFrom(numAlone, prices, core.StackelbergOptions{}.Follower, numAlone.ColdStart(prices))
 	if err != nil {
 		return Result{}, fmt.Errorf("table2 standalone numeric: %w", err)
 	}
@@ -112,7 +115,7 @@ func runTable2(Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("table2 binding closed form: %w", err)
 	}
-	capEq, err := core.SolveMinerEquilibrium(capCfg, prices, core.StackelbergOptions{}.Follower)
+	capEq, err := core.SolveMinerEquilibriumFrom(capCfg, prices, core.StackelbergOptions{}.Follower, capCfg.ColdStart(prices))
 	if err != nil {
 		return Result{}, fmt.Errorf("table2 binding numeric: %w", err)
 	}

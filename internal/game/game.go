@@ -23,6 +23,29 @@ import (
 // Implementations must not mutate the profile.
 type BestResponse func(i int, profile []numeric.Point2) numeric.Point2
 
+// AggregateBestResponse computes player i's optimal strategy in an
+// aggregative game: own is the player's current strategy and others is
+// the coordinate-wise total of every OTHER player's strategy (profile
+// totals minus own). Solvers driving this form maintain the totals as
+// O(1) running aggregates across a sweep — updated by delta as each
+// player moves and re-summed exactly at every sweep boundary — so a
+// sweep over N players costs O(N) instead of the O(N²) a profile-based
+// BestResponse pays re-summing its environment. others may carry tiny
+// negative residues from floating-point cancellation; implementations
+// that require non-negative aggregates must clamp.
+type AggregateBestResponse func(i int, own, others numeric.Point2) numeric.Point2
+
+// sumPoints re-sums a profile exactly — the sweep-boundary step that
+// bounds the running totals' floating-point drift to a single sweep's
+// worth of rounding.
+func sumPoints(ps []numeric.Point2) numeric.Point2 {
+	var t numeric.Point2
+	for _, p := range ps {
+		t = t.Add(p)
+	}
+	return t
+}
+
 // NEOptions tunes best-response iteration.
 type NEOptions struct {
 	MaxIter int     // outer sweeps over all players (default 500)
@@ -84,14 +107,40 @@ type NEResult struct {
 // contractive best responses (the paper's Theorem 2 setting) the iteration
 // converges to the equilibrium.
 func SolveNE(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
+	return solveNE(start, br, nil, opts)
+}
+
+// SolveNEAggregate is SolveNE for aggregative games: the best response
+// depends on the opponents only through their coordinate-wise total, so
+// the solver maintains running profile totals (delta-updated as each
+// player moves, exactly re-summed at every sweep boundary) and each
+// sweep costs O(N) instead of O(N²). The iteration order, damping and
+// convergence semantics match SolveNE exactly.
+func SolveNEAggregate(start []numeric.Point2, br AggregateBestResponse, opts NEOptions) NEResult {
+	return solveNE(start, nil, br, opts)
+}
+
+// solveNE is the shared Gauss–Seidel/Jacobi loop behind SolveNE and
+// SolveNEAggregate: exactly one of br and abr is non-nil. The aggregate
+// form carries running totals through the sweep; the classic form skips
+// all totals bookkeeping.
+func solveNE(start []numeric.Point2, br BestResponse, abr AggregateBestResponse, opts NEOptions) NEResult {
 	opts = opts.withDefaults()
-	tel := newSolveTelemetry(opts, "game.solve_ne", "best_response", len(start))
+	solver := "best_response"
+	if abr != nil {
+		solver = "aggregate_best_response"
+	}
+	tel := newSolveTelemetry(opts, "game.solve_ne", solver, len(start))
 	prof := make([]numeric.Point2, len(start))
 	copy(prof, start)
 	res := NEResult{Profile: prof}
 	var frozen []numeric.Point2
 	if opts.Jacobi {
 		frozen = make([]numeric.Point2, len(prof))
+	}
+	var totals numeric.Point2
+	if abr != nil {
+		totals = sumPoints(prof)
 	}
 	for it := 0; it < opts.MaxIter; it++ {
 		res.Iterations = it + 1
@@ -101,15 +150,38 @@ func SolveNE(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
 			copy(frozen, prof)
 			view = frozen
 		}
+		// Jacobi responds to the PREVIOUS sweep's aggregate, so freeze the
+		// totals alongside the profile.
+		frozenTotals := totals
 		for i := range prof {
-			next := br(i, view)
+			var next numeric.Point2
+			if abr != nil {
+				own := view[i]
+				others := totals.Sub(prof[i])
+				if opts.Jacobi {
+					others = frozenTotals.Sub(own)
+				}
+				next = abr(i, own, others)
+			} else {
+				next = br(i, view)
+			}
 			if opts.Damping < 1 {
 				next = prof[i].Scale(1 - opts.Damping).Add(next.Scale(opts.Damping))
 			}
 			if d := next.Sub(prof[i]).Norm(); d > res.MaxDelta {
 				res.MaxDelta = d
 			}
+			if abr != nil {
+				// O(1) delta update keeps the running totals current for the
+				// next player in this sweep.
+				totals = totals.Add(next.Sub(prof[i]))
+			}
 			prof[i] = next
+		}
+		if abr != nil {
+			// Sweep boundary: re-sum exactly so incremental floating-point
+			// drift never outlives a single sweep.
+			totals = sumPoints(prof)
 		}
 		if opts.OnSweep != nil {
 			opts.OnSweep(res.Iterations, res.MaxDelta)
@@ -213,21 +285,57 @@ func ContractionRate(deltas []float64) float64 {
 // and its best response to the others' averages — and convergence is
 // declared when that residual falls below Tol.
 func SolveNEFictitious(start []numeric.Point2, br BestResponse, opts NEOptions) NEResult {
+	return solveNEFictitious(start, br, nil, opts)
+}
+
+// SolveNEFictitiousAggregate is SolveNEFictitious for aggregative games:
+// identical 1/t averaging and residual semantics, with each player's best
+// response driven by the running total of the others' average strategies
+// (delta-updated within a sweep, exactly re-summed at sweep boundaries)
+// so a sweep costs O(N) instead of O(N²).
+func SolveNEFictitiousAggregate(start []numeric.Point2, br AggregateBestResponse, opts NEOptions) NEResult {
+	return solveNEFictitious(start, nil, br, opts)
+}
+
+// solveNEFictitious is the shared fictitious-play loop; exactly one of br
+// and abr is non-nil.
+func solveNEFictitious(start []numeric.Point2, br BestResponse, abr AggregateBestResponse, opts NEOptions) NEResult {
 	opts = opts.withDefaults()
-	tel := newSolveTelemetry(opts, "game.solve_fictitious", "fictitious_play", len(start))
+	solver := "fictitious_play"
+	if abr != nil {
+		solver = "aggregate_fictitious_play"
+	}
+	tel := newSolveTelemetry(opts, "game.solve_fictitious", solver, len(start))
 	avg := make([]numeric.Point2, len(start))
 	copy(avg, start)
 	res := NEResult{Profile: avg}
+	var totals numeric.Point2
+	if abr != nil {
+		totals = sumPoints(avg)
+	}
 	for it := 1; it <= opts.MaxIter; it++ {
 		res.Iterations = it
 		res.MaxDelta = 0
 		step := 1 / float64(it+1)
 		for i := range avg {
-			response := br(i, avg)
+			var response numeric.Point2
+			if abr != nil {
+				response = abr(i, avg[i], totals.Sub(avg[i]))
+			} else {
+				response = br(i, avg)
+			}
 			if d := response.Sub(avg[i]).Norm(); d > res.MaxDelta {
 				res.MaxDelta = d
 			}
-			avg[i] = avg[i].Add(response.Sub(avg[i]).Scale(step))
+			next := avg[i].Add(response.Sub(avg[i]).Scale(step))
+			if abr != nil {
+				totals = totals.Add(next.Sub(avg[i]))
+			}
+			avg[i] = next
+		}
+		if abr != nil {
+			// Sweep boundary: exact re-summation bounds incremental drift.
+			totals = sumPoints(avg)
 		}
 		if opts.OnSweep != nil {
 			opts.OnSweep(it, res.MaxDelta)
@@ -258,6 +366,29 @@ func Deviation(profile []numeric.Point2, br BestResponse, utility func(int, []nu
 		gain := utility(i, work) - current
 		work[i] = old
 		if gain > worst {
+			worst = gain
+		}
+	}
+	return worst
+}
+
+// DeviationAggregate is Deviation for aggregative games: utilities and
+// best responses see the opponents only through their coordinate-wise
+// total (profile totals minus own), so the whole equilibrium certificate
+// costs O(N) instead of O(N²). utility(i, own, others) must evaluate
+// player i's payoff when playing own against the aggregate others.
+func DeviationAggregate(
+	profile []numeric.Point2,
+	br AggregateBestResponse,
+	utility func(i int, own, others numeric.Point2) float64,
+) float64 {
+	totals := sumPoints(profile)
+	var worst float64
+	for i, own := range profile {
+		others := totals.Sub(own)
+		current := utility(i, own, others)
+		dev := br(i, own, others)
+		if gain := utility(i, dev, others) - current; gain > worst {
 			worst = gain
 		}
 	}
@@ -295,6 +426,42 @@ func SolveVariationalGNE(
 	capacity float64,
 	capTol float64,
 	opts NEOptions,
+) (VGNEResult, error) {
+	neAt := func(mu float64, from []numeric.Point2) NEResult {
+		return SolveNE(from, brAt(mu), opts)
+	}
+	return solveVariationalGNE(start, neAt, shared, capacity, capTol, opts)
+}
+
+// SolveVariationalGNEAggregate is SolveVariationalGNE for aggregative
+// games: brAt(μ) returns the μ-penalized best response in aggregate form,
+// so every inner NEP solve runs O(N) sweeps via SolveNEAggregate. The
+// multiplier search (slackness check, doubling, bisection) is shared with
+// SolveVariationalGNE and behaves identically.
+func SolveVariationalGNEAggregate(
+	start []numeric.Point2,
+	brAt func(mu float64) AggregateBestResponse,
+	shared func([]numeric.Point2) float64,
+	capacity float64,
+	capTol float64,
+	opts NEOptions,
+) (VGNEResult, error) {
+	neAt := func(mu float64, from []numeric.Point2) NEResult {
+		return SolveNEAggregate(from, brAt(mu), opts)
+	}
+	return solveVariationalGNE(start, neAt, shared, capacity, capTol, opts)
+}
+
+// solveVariationalGNE is the shared multiplier search behind the two
+// exported variational solvers: neAt(μ, from) must solve the μ-penalized
+// NEP warm-started from the given profile.
+func solveVariationalGNE(
+	start []numeric.Point2,
+	neAt func(mu float64, from []numeric.Point2) NEResult,
+	shared func([]numeric.Point2) float64,
+	capacity float64,
+	capTol float64,
+	opts NEOptions,
 ) (result VGNEResult, err error) {
 	if capTol <= 0 {
 		capTol = 1e-6
@@ -316,7 +483,7 @@ func SolveVariationalGNE(
 	tracing := ob.Tracing()
 	solve := func(mu float64, from []numeric.Point2) NEResult {
 		probes.Inc()
-		res := SolveNE(from, brAt(mu), opts)
+		res := neAt(mu, from)
 		if tracing {
 			ob.Emit("game.gne_probe", obs.Fields{"mu": mu, "iterations": res.Iterations, "converged": res.Converged})
 		}

@@ -39,6 +39,22 @@ func BestResponseConnected(p Params, budget float64, env Env, hints ...numeric.P
 	f := func(x numeric.Point2) float64 { return UtilityConnected(p, x, env) }
 	grad := func(x numeric.Point2) numeric.Point2 { return GradConnected(p, x, env) }
 
+	// Warm path: a hint that already satisfies the KKT conditions is the
+	// answer — the iterating solvers hit this on almost every sweep once
+	// the profile settles near the equilibrium. The check costs one
+	// gradient evaluation and one projection. The e = 0 discontinuity of
+	// the fork bonus cannot trap the warm path: at e_i = 0 with rival
+	// edge demand the bonus gradient blows up, so KKT fails and the full
+	// search below runs.
+	if env.SumOthers() > tiny {
+		for _, h := range hints {
+			h = k.Project(h)
+			if kktSatisfied(k, h, grad(h), 1e-7) {
+				return h
+			}
+		}
+	}
+
 	if cand, ok := analyticConnected(p, budget, env); ok {
 		cand = k.Project(cand)
 		if kktSatisfied(k, cand, grad(cand), 1e-7) {
@@ -72,8 +88,10 @@ func BestResponseConnected(p Params, budget float64, env Env, hints ...numeric.P
 	}
 	// Numeric refinement from several starts: the hints, the analytic
 	// candidate (or current best), the polytope "center", and the two
-	// budget corners.
-	starts := append([]numeric.Point2{}, hints...)
+	// budget corners. The constant capacity keeps the scratch slice on
+	// the stack (callers pass at most one hint).
+	starts := make([]numeric.Point2, 0, 8)
+	starts = append(starts, hints...)
 	starts = append(starts,
 		best,
 		numeric.Point2{E: budget / (4 * p.PriceE), C: budget / (4 * p.PriceC)},
@@ -185,7 +203,8 @@ func bestResponsePenalized(p Params, mu, budget, edgeCap float64, env Env, hints
 	}
 
 	maxE := math.Min(edgeCap, budget/p.PriceE)
-	starts := append([]numeric.Point2{}, hints...)
+	starts := make([]numeric.Point2, 0, 8)
+	starts = append(starts, hints...)
 	starts = append(starts,
 		numeric.Point2{E: maxE / 2, C: budget / (2 * p.PriceC)},
 		numeric.Point2{E: maxE, C: 0},

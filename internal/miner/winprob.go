@@ -124,20 +124,24 @@ func WinProbRejectedGrad(beta float64, own numeric.Point2, env Env) numeric.Poin
 	return numeric.Point2{C: (1 - beta) * env.SumOthers() / (s * s)}
 }
 
-// WinProbsFull evaluates Eq. 6 for every miner in the profile.
+// WinProbsFull evaluates Eq. 6 for every miner in the profile. The
+// aggregates are summed once, so the whole profile costs O(N).
 func WinProbsFull(beta float64, p Profile) []float64 {
 	ws := make([]float64, len(p))
+	t := p.Aggregate()
 	for i, r := range p {
-		ws[i] = WinProbFull(beta, r, p.Env(i))
+		ws[i] = WinProbFull(beta, r, t.Env(r))
 	}
 	return ws
 }
 
-// WinProbsConnected evaluates Eq. 9 for every miner in the profile.
+// WinProbsConnected evaluates Eq. 9 for every miner in the profile. The
+// aggregates are summed once, so the whole profile costs O(N).
 func WinProbsConnected(beta, h float64, p Profile) []float64 {
 	ws := make([]float64, len(p))
+	t := p.Aggregate()
 	for i, r := range p {
-		ws[i] = WinProbConnected(beta, h, r, p.Env(i))
+		ws[i] = WinProbConnected(beta, h, r, t.Env(r))
 	}
 	return ws
 }

@@ -81,22 +81,30 @@ func (c Config) prices() numeric.Vec {
 	return p
 }
 
-// env aggregates the other miners' strategies: per-coordinate totals.
-type env struct {
-	totalsOthers numeric.Vec // Σ_{j≠i} x_j
-}
-
-func (c Config) envOf(profile []numeric.Vec, i int) env {
-	tot := make(numeric.Vec, c.dims())
-	for j, x := range profile {
-		if j == i {
-			continue
-		}
-		for d := range tot {
-			tot[d] += x[d]
+// sumInto overwrites totals with the per-coordinate profile sums — the
+// O(N·D) pass the iterating solvers run once per sweep instead of once
+// per miner.
+func sumInto(totals numeric.Vec, profile []numeric.Vec) {
+	for d := range totals {
+		totals[d] = 0
+	}
+	for _, x := range profile {
+		for d := range totals {
+			totals[d] += x[d]
 		}
 	}
-	return env{totalsOthers: tot}
+}
+
+// othersInto fills dst with totals − own, clamping the tiny negative
+// residues incremental totals can carry so aggregates stay non-negative.
+func othersInto(dst, totals, own numeric.Vec) {
+	for d := range dst {
+		v := totals[d] - own[d]
+		if v < 0 {
+			v = 0
+		}
+		dst[d] = v
+	}
 }
 
 const tiny = 1e-12
@@ -166,18 +174,22 @@ func (c Config) grad(own, others numeric.Vec) numeric.Vec {
 // by multi-start projected gradient ascent over the budget polytope.
 // Hints (e.g. the current strategy) warm-start the search.
 func (c Config) BestResponse(others numeric.Vec, hints ...numeric.Vec) numeric.Vec {
-	k := numeric.BudgetPolytope{Prices: c.prices(), Budget: c.Budget}
-	f := func(x numeric.Vec) float64 { return c.Utility(x, others) }
+	pv := c.prices()
+	k := numeric.BudgetPolytope{Prices: pv, Budget: c.Budget}
+	// pv is hoisted so the objective does not re-build the price vector
+	// on every ascent evaluation.
+	f := func(x numeric.Vec) float64 { return c.Reward*c.WinProb(x, others) - pv.Dot(x) }
 	grad := func(x numeric.Vec) numeric.Vec { return c.grad(x, others) }
 
 	dims := c.dims()
-	starts := append([]numeric.Vec{}, hints...)
+	starts := make([]numeric.Vec, 0, len(hints)+dims+2)
+	starts = append(starts, hints...)
 	center := make(numeric.Vec, dims)
-	for d, p := range c.prices() {
+	for d, p := range pv {
 		center[d] = c.Budget / (2 * float64(dims) * p)
 	}
 	starts = append(starts, center)
-	for d, p := range c.prices() {
+	for d, p := range pv {
 		corner := make(numeric.Vec, dims)
 		corner[d] = c.Budget / p
 		starts = append(starts, corner)
@@ -231,18 +243,28 @@ func Solve(cfg Config) (Equilibrium, error) {
 		}
 	}
 	eq := Equilibrium{}
+	// Running totals make each sweep O(N·D): the per-miner environment is
+	// totals − own, delta-updated as miners move and re-summed exactly at
+	// every sweep boundary to bound floating-point drift.
+	totals := make(numeric.Vec, dims)
+	sumInto(totals, profile)
+	others := make(numeric.Vec, dims)
 	for it := 0; it < maxIter; it++ {
 		eq.Iterations = it + 1
 		maxDelta := 0.0
 		for i := range profile {
-			e := cfg.envOf(profile, i)
-			next := cfg.BestResponse(e.totalsOthers, profile[i])
+			othersInto(others, totals, profile[i])
+			next := cfg.BestResponse(others, profile[i])
 			blended := profile[i].Scale(1 - damping).Add(next.Scale(damping))
 			if d := blended.Sub(profile[i]).Norm(); d > maxDelta {
 				maxDelta = d
 			}
+			for d := range totals {
+				totals[d] += blended[d] - profile[i][d]
+			}
 			profile[i] = blended
 		}
+		sumInto(totals, profile)
 		if maxDelta < tol {
 			eq.Converged = true
 			break
@@ -252,13 +274,9 @@ func Solve(cfg Config) (Equilibrium, error) {
 	eq.Demands = make(numeric.Vec, dims)
 	eq.Utilities = make([]float64, cfg.N)
 	eq.WinProbs = make([]float64, cfg.N)
-	for _, x := range profile {
-		for d := range x {
-			eq.Demands[d] += x[d]
-		}
-	}
+	sumInto(eq.Demands, profile)
 	for i, x := range profile {
-		others := cfg.envOf(profile, i).totalsOthers
+		othersInto(others, eq.Demands, x)
 		eq.Utilities[i] = cfg.Utility(x, others)
 		eq.WinProbs[i] = cfg.WinProb(x, others)
 	}
@@ -268,9 +286,13 @@ func Solve(cfg Config) (Equilibrium, error) {
 // Deviation returns the largest unilateral best-response gain at the
 // profile — the equilibrium-quality certificate.
 func Deviation(cfg Config, profile []numeric.Vec) float64 {
+	dims := cfg.dims()
+	totals := make(numeric.Vec, dims)
+	sumInto(totals, profile)
+	others := make(numeric.Vec, dims)
 	var worst float64
 	for i := range profile {
-		others := cfg.envOf(profile, i).totalsOthers
+		othersInto(others, totals, profile[i])
 		current := cfg.Utility(profile[i], others)
 		dev := cfg.BestResponse(others, profile[i])
 		if gain := cfg.Utility(dev, others) - current; gain > worst {

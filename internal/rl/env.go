@@ -79,10 +79,11 @@ func (e ModelEnv) Payoffs(requests []numeric.Point2, rng *rand.Rand) ([]float64,
 		return nil, err
 	}
 	beta := e.Net.Beta()
-	prof := miner.Profile(requests)
+	// One O(N) summation serves every miner's environment.
+	totals := miner.Profile(requests).Aggregate()
 	us := make([]float64, len(outcomes))
 	for i, o := range outcomes {
-		env := prof.Env(i)
+		env := totals.Env(requests[i])
 		var w float64
 		switch o.Kind {
 		case netmodel.Transferred:
