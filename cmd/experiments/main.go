@@ -21,6 +21,7 @@ import (
 	"minegame"
 	"minegame/internal/obs/obscli"
 	"minegame/internal/parallel"
+	"minegame/internal/verify"
 )
 
 func main() {
@@ -34,15 +35,16 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		list   = fs.Bool("list", false, "list available experiments and exit")
-		runID  = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		outDir = fs.String("out", "", "directory for CSV output (optional)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		quick  = fs.Bool("quick", false, "reduced simulation/learning scale")
-		plot   = fs.Bool("plot", false, "render each table as an ASCII chart")
-		md     = fs.String("md", "", "write all results as one Markdown report to this file")
-		reps   = fs.Int("replicate", 0, "run each experiment across N seeds and report mean/std tables")
-		par    = fs.Int("parallel", 0, "worker count for seed replication and sweep fan-out (0 = GOMAXPROCS, 1 = sequential; output is identical at any count)")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		runID   = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		outDir  = fs.String("out", "", "directory for CSV output (optional)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		quick   = fs.Bool("quick", false, "reduced simulation/learning scale")
+		plot    = fs.Bool("plot", false, "render each table as an ASCII chart")
+		md      = fs.String("md", "", "write all results as one Markdown report to this file")
+		reps    = fs.Int("replicate", 0, "run each experiment across N seeds and report mean/std tables")
+		par     = fs.Int("parallel", 0, "worker count for seed replication and sweep fan-out (0 = GOMAXPROCS, 1 = sequential; output is identical at any count)")
+		certify = fs.Bool("certify", false, "independently certify every solved equilibrium behind the tables (ε-Nash + feasibility); a failed certificate aborts the run")
 	)
 	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -63,7 +65,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runErr := runExperiments(out, all, *runID, *outDir, *md, *seed, *quick, *plot, *reps, *par)
+	runErr := runExperiments(out, all, *runID, *outDir, *md, *seed, *quick, *plot, *reps, *par, *certify)
 	closeErr := sess.Close(out, false)
 	if runErr != nil {
 		return runErr
@@ -75,7 +77,7 @@ func run(args []string, out io.Writer) error {
 // caller brackets it with the observability session so RunExperiment's
 // telemetry (it reads the process default observer) lands in the trace
 // and metrics dump.
-func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md string, seed int64, quick, plot bool, reps, par int) error {
+func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md string, seed int64, quick, plot bool, reps, par int, certify bool) error {
 	var ids []string
 	if runID == "all" {
 		for _, r := range all {
@@ -90,6 +92,9 @@ func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md 
 		}
 	}
 	cfg := minegame.ExperimentConfig{Seed: seed, Quick: quick, Parallel: par}
+	if certify {
+		cfg.CertifyAfterSolve = verify.NECertifier(verify.Options{})
+	}
 	var mdFile *os.File
 	if md != "" {
 		var err error

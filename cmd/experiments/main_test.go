@@ -106,3 +106,18 @@ func TestRunReplicated(t *testing.T) {
 		t.Errorf("replicated output incomplete:\n%s", got)
 	}
 }
+
+func TestRunCertified(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig4,tab2", "-quick", "-certify"}, &out); err != nil {
+		t.Fatalf("run with -certify: %v", err)
+	}
+	// Certification only validates: the output must match an uncertified run.
+	var plain bytes.Buffer
+	if err := run([]string{"-run", "fig4,tab2", "-quick"}, &plain); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != plain.String() {
+		t.Error("-certify changed the rendered tables")
+	}
+}

@@ -8,6 +8,12 @@
 //	minegame -stage full -mode standalone -emax 25 -budget 1000
 //	minegame -stage compare -emax 25 -budget 1000
 //
+// The verify subcommand certifies previously solved artifacts (JSON
+// solves or experiment CSV directories) with internal/verify:
+//
+//	minegame verify -in eq.json -pe 8 -pc 4
+//	minegame verify -results results/
+//
 // Observability (see README.md "Observability"):
 //
 //	minegame -stage full -trace /tmp/solve.jsonl -metrics
@@ -34,6 +40,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "verify" {
+		return runVerify(args[1:], out)
+	}
 	fs := flag.NewFlagSet("minegame", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (

@@ -1,0 +1,294 @@
+package main
+
+// The verify subcommand certifies solved artifacts after the fact:
+// either a single -json artifact produced by this CLI (a miner
+// equilibrium or a full Stackelberg result), or a results/ directory of
+// experiment CSVs produced by `experiments -out`. It shares no solver
+// internals with what it checks — see internal/verify.
+//
+// Examples:
+//
+//	minegame -stage miners -json > eq.json
+//	minegame verify -in eq.json -pe 8 -pc 4
+//
+//	experiments -run headline,tab2,fig5 -out results
+//	minegame verify -results results
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"minegame"
+	"minegame/internal/verify"
+)
+
+func runVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("minegame verify", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		in      = fs.String("in", "", "JSON artifact to certify (emitted by minegame -json): a miner equilibrium or a Stackelberg result")
+		results = fs.String("results", "", "directory of experiment CSVs to cross-check (written by experiments -out)")
+		mode    = fs.String("mode", "connected", "ESP operation mode the artifact was solved under: connected | standalone")
+		n       = fs.Int("n", 5, "number of miners")
+		budget  = fs.Float64("budget", 200, "per-miner budget B")
+		reward  = fs.Float64("reward", 1000, "mining reward R")
+		beta    = fs.Float64("beta", 0.2, "blockchain fork rate β")
+		h       = fs.Float64("h", 0.7, "connected ESP satisfy probability h")
+		emax    = fs.Float64("emax", 60, "standalone ESP capacity E_max")
+		costE   = fs.Float64("ce", 2, "ESP unit cost C_e")
+		costC   = fs.Float64("cc", 1, "CSP unit cost C_c")
+		priceE  = fs.Float64("pe", 8, "ESP unit price P_e (miner-equilibrium artifacts)")
+		priceC  = fs.Float64("pc", 4, "CSP unit price P_c (miner-equilibrium artifacts)")
+		asJSON  = fs.Bool("json", false, "emit the certificate as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *in != "" && *results != "":
+		return fmt.Errorf("verify: -in and -results are mutually exclusive")
+	case *in != "":
+		cfg := minegame.Config{
+			N: *n, Budgets: []float64{*budget}, Reward: *reward, Beta: *beta,
+			SatisfyProb: *h, EdgeCapacity: *emax, CostE: *costE, CostC: *costC,
+		}
+		switch *mode {
+		case "connected":
+			cfg.Mode = minegame.Connected
+		case "standalone":
+			cfg.Mode = minegame.Standalone
+		default:
+			return fmt.Errorf("verify: unknown mode %q", *mode)
+		}
+		return verifyArtifact(out, *in, cfg, minegame.Prices{Edge: *priceE, Cloud: *priceC}, *asJSON)
+	case *results != "":
+		return verifyResultsDir(out, *results)
+	default:
+		return fmt.Errorf("verify: need -in <artifact.json> or -results <dir>")
+	}
+}
+
+// verifyArtifact certifies one -json artifact. The artifact kind is
+// auto-detected: a Stackelberg result carries its own prices; a miner
+// equilibrium is certified at the -pe/-pc prices.
+func verifyArtifact(out io.Writer, path string, cfg minegame.Config, p minegame.Prices, asJSON bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var probe struct {
+		Prices   *minegame.Prices
+		Requests []json.RawMessage
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Errorf("verify: %s is not a minegame JSON artifact: %w", path, err)
+	}
+	var cert verify.Certificate
+	switch {
+	case probe.Prices != nil:
+		var res minegame.StackelbergResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			return fmt.Errorf("verify: decode Stackelberg result: %w", err)
+		}
+		cert, err = verify.CertifyStackelberg(cfg, res, verify.Options{})
+	case probe.Requests != nil:
+		var eq minegame.MinerEquilibrium
+		if err := json.Unmarshal(raw, &eq); err != nil {
+			return fmt.Errorf("verify: decode miner equilibrium: %w", err)
+		}
+		cert, err = verify.Certify(cfg, p, eq, verify.Options{})
+	default:
+		return fmt.Errorf("verify: %s has neither Prices nor Requests — not a minegame artifact", path)
+	}
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cert); err != nil {
+			return err
+		}
+	} else {
+		printCertificate(out, path, cert)
+	}
+	if !cert.OK {
+		return fmt.Errorf("verify: %s failed certification: %w", path, cert.Err())
+	}
+	return nil
+}
+
+func printCertificate(out io.Writer, path string, cert verify.Certificate) {
+	fmt.Fprintf(out, "certificate for %s (%s, %s mode, %d miners)\n", path, cert.Kind, cert.Mode, cert.N)
+	for _, c := range cert.Checks {
+		verdict := "ok"
+		if !c.OK {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(out, "  %-20s %-4s residual %.3g (tol %.3g)\n", c.Name, verdict, c.Residual, c.Tol)
+	}
+	fmt.Fprintf(out, "  epsilon: %.3g (%.3g relative to the reward)\n", cert.Epsilon, cert.EpsilonRel)
+}
+
+// verifyResultsDir cross-checks the experiment CSV artifacts that carry
+// internal consistency constraints, and errors if none of the known
+// files are present (a wrong or empty directory would otherwise pass
+// vacuously).
+func verifyResultsDir(out io.Writer, dir string) error {
+	checks := []struct {
+		file  string
+		check func([]string, [][]float64) error
+	}{
+		{"headline.csv", checkHeadline},
+		{"tab2.csv", checkTable2},
+		{"tab2cap.csv", checkTable2Cap},
+		{"fig5.csv", checkFig5},
+	}
+	checked := 0
+	for _, c := range checks {
+		path := filepath.Join(dir, c.file)
+		header, rows, err := readCSV(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("verify: %s: %w", path, err)
+		}
+		if err := c.check(header, rows); err != nil {
+			return fmt.Errorf("verify: %s: %w", path, err)
+		}
+		fmt.Fprintf(out, "  %-14s ok (%d rows)\n", c.file, len(rows))
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("verify: no checkable artifacts (headline/tab2/tab2cap/fig5 CSVs) in %s", dir)
+	}
+	fmt.Fprintf(out, "results in %s pass %d artifact checks\n", dir, checked)
+	return nil
+}
+
+func readCSV(path string) ([]string, [][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil, fmt.Errorf("empty CSV")
+	}
+	rows := make([][]float64, 0, len(recs)-1)
+	for _, rec := range recs[1:] {
+		row := make([]float64, len(rec))
+		for j, s := range rec {
+			if row[j], err = strconv.ParseFloat(s, 64); err != nil {
+				return nil, nil, fmt.Errorf("cell %q: %w", s, err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return recs[0], rows, nil
+}
+
+func columnIndex(header []string, name string) (int, error) {
+	for j, c := range header {
+		if c == name {
+			return j, nil
+		}
+	}
+	return 0, fmt.Errorf("missing column %q", name)
+}
+
+// checkHeadline asserts every re-verified paper claim holds (flag 1).
+func checkHeadline(header []string, rows [][]float64) error {
+	claim, err := columnIndex(header, "claim")
+	if err != nil {
+		return err
+	}
+	holds, err := columnIndex(header, "holds")
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		// The holds column is a 0/1 flag; anything below 1 is a failure.
+		if row[holds] < 0.5 {
+			return fmt.Errorf("claim %g does not hold", row[claim])
+		}
+	}
+	return nil
+}
+
+// checkTable2 asserts the numeric equilibria agree with the closed forms
+// in both modes (Table II's cross-check).
+func checkTable2(header []string, rows [][]float64) error {
+	for _, pair := range [][2]string{
+		{"connected_closed", "connected_numeric"},
+		{"standalone_closed", "standalone_numeric"},
+	} {
+		a, err := columnIndex(header, pair[0])
+		if err != nil {
+			return err
+		}
+		b, err := columnIndex(header, pair[1])
+		if err != nil {
+			return err
+		}
+		for i, row := range rows {
+			if math.Abs(row[a]-row[b]) > 1e-2*(1+math.Abs(row[a])) {
+				return fmt.Errorf("row %d: %s %g vs %s %g disagree", i, pair[0], row[a], pair[1], row[b])
+			}
+		}
+	}
+	return nil
+}
+
+// checkTable2Cap asserts the binding-capacity variational GNE matches its
+// closed form; the shadow price carries the loosest agreement (5%).
+func checkTable2Cap(header []string, rows [][]float64) error {
+	a, err := columnIndex(header, "closed_form")
+	if err != nil {
+		return err
+	}
+	b, err := columnIndex(header, "numeric")
+	if err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if math.Abs(row[a]-row[b]) > 5e-2*(1+math.Abs(row[a])) {
+			return fmt.Errorf("row %d: closed form %g vs numeric %g disagree", i, row[a], row[b])
+		}
+	}
+	return nil
+}
+
+// checkFig5 asserts the revenue accounting identity esp + csp = total.
+func checkFig5(header []string, rows [][]float64) error {
+	esp, err := columnIndex(header, "esp_revenue")
+	if err != nil {
+		return err
+	}
+	cspCol, err := columnIndex(header, "csp_revenue")
+	if err != nil {
+		return err
+	}
+	total, err := columnIndex(header, "total_revenue")
+	if err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if math.Abs(row[esp]+row[cspCol]-row[total]) > 1e-6*(1+math.Abs(row[total])) {
+			return fmt.Errorf("row %d: esp %g + csp %g != total %g", i, row[esp], row[cspCol], row[total])
+		}
+	}
+	return nil
+}

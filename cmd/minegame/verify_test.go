@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minegame"
+)
+
+// solveArtifact runs the solving CLI with -json and writes the artifact
+// to a temp file, mirroring the solve-then-verify pipeline.
+func solveArtifact(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(append(args, "-json"), &out); err != nil {
+		t.Fatalf("solve %v: %v", args, err)
+	}
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyMinerArtifact(t *testing.T) {
+	path := solveArtifact(t, "-stage", "miners", "-mode", "connected", "-pe", "8", "-pc", "4")
+	var out bytes.Buffer
+	if err := run([]string{"verify", "-in", path, "-mode", "connected", "-pe", "8", "-pc", "4"}, &out); err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"certificate for", "deviation", "epsilon:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestVerifyStackelbergArtifact(t *testing.T) {
+	path := solveArtifact(t, "-stage", "full", "-mode", "standalone", "-emax", "25", "-budget", "1000")
+	var out bytes.Buffer
+	err := run([]string{"verify", "-in", path, "-mode", "standalone", "-emax", "25", "-budget", "1000"}, &out)
+	if err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "stackelberg") {
+		t.Errorf("auto-detection should certify the Stackelberg kind:\n%s", out.String())
+	}
+}
+
+func TestVerifyFlagsTamperedArtifact(t *testing.T) {
+	path := solveArtifact(t, "-stage", "miners", "-mode", "connected")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eq minegame.MinerEquilibrium
+	if err := json.Unmarshal(raw, &eq); err != nil {
+		t.Fatal(err)
+	}
+	// Halve one miner's edge request: no longer a best response.
+	eq.Requests[0].E *= 0.5
+	tampered, err := json.Marshal(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"verify", "-in", path, "-mode", "connected"}, &out); err == nil {
+		t.Fatalf("tampered artifact must fail certification:\n%s", out.String())
+	}
+}
+
+func TestVerifyArtifactJSONOutput(t *testing.T) {
+	path := solveArtifact(t, "-stage", "miners", "-mode", "connected")
+	var out bytes.Buffer
+	if err := run([]string{"verify", "-in", path, "-mode", "connected", "-json"}, &out); err != nil {
+		t.Fatalf("verify -json: %v", err)
+	}
+	var cert struct {
+		Kind string
+		OK   bool
+	}
+	if err := json.Unmarshal(out.Bytes(), &cert); err != nil {
+		t.Fatalf("certificate is not JSON: %v\n%s", err, out.String())
+	}
+	if cert.Kind != "miner_ne" || !cert.OK {
+		t.Errorf("certificate = %+v", cert)
+	}
+}
+
+func TestVerifyResultsDir(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-rolled artifacts with the documented schemas: a passing set.
+	files := map[string]string{
+		"headline.csv": "claim,lhs,rhs,holds\n1,0.5,0.5,1\n2,20,20,1\n",
+		"tab2.csv": "quantity,connected_closed,connected_numeric,standalone_closed,standalone_numeric\n" +
+			"1,2.6,2.6001,5.0,5.001\n",
+		"tab2cap.csv": "quantity,closed_form,numeric\n2,1.37,1.372\n",
+		"fig5.csv":    "beta,P_c,esp_revenue,csp_revenue,total_revenue\n0.1,2,400,200,600\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"verify", "-results", dir}, &out); err != nil {
+		t.Fatalf("verify -results: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "pass 4 artifact checks") {
+		t.Errorf("expected all four artifacts checked:\n%s", out.String())
+	}
+}
+
+func TestVerifyResultsDirFailures(t *testing.T) {
+	tests := []struct {
+		name, file, content string
+	}{
+		{"claim fails", "headline.csv", "claim,lhs,rhs,holds\n4,1,2,0\n"},
+		{"closed-numeric disagreement", "tab2.csv",
+			"quantity,connected_closed,connected_numeric,standalone_closed,standalone_numeric\n1,2.6,3.9,5,5\n"},
+		{"revenue identity broken", "fig5.csv",
+			"beta,P_c,esp_revenue,csp_revenue,total_revenue\n0.1,2,400,200,700\n"},
+		{"schema drift", "headline.csv", "claim,lhs,rhs\n1,1,1\n"},
+		{"non-numeric cell", "tab2cap.csv", "quantity,closed_form,numeric\n1,abc,2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, tt.file), []byte(tt.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run([]string{"verify", "-results", dir}, &out); err == nil {
+				t.Errorf("want failure:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestVerifyUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no inputs", []string{"verify"}},
+		{"both inputs", []string{"verify", "-in", "x.json", "-results", "dir"}},
+		{"missing file", []string{"verify", "-in", "/definitely/not/there.json"}},
+		{"empty results dir", []string{"verify", "-results", "."}},
+		{"bad mode", []string{"verify", "-in", "x.json", "-mode", "nope"}},
+		{"bad flag", []string{"verify", "-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsNonArtifactJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte(`{"foo": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"verify", "-in", path}, &out); err == nil {
+		t.Error("want error for JSON without Prices or Requests")
+	}
+	if err := os.WriteFile(path, []byte(`not json at all`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-in", path}, &out); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}

@@ -5,6 +5,7 @@ package minegame_test
 // package-level tests never touch them; this closes that gap in CI.
 
 import (
+	"os"
 	"os/exec"
 	"testing"
 )
@@ -31,5 +32,41 @@ func TestExamplesVet(t *testing.T) {
 	out, err := exec.Command(goTool(t), "vet", "./examples/...").CombinedOutput()
 	if err != nil {
 		t.Fatalf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}
+
+// TestExamplesRun executes every example end to end. Each one prints a
+// self-contained demonstration and exits zero in well under a second
+// (the slowest, learning, trains a small Q-learner); a panic, a solver
+// regression, or an empty demo would all surface here.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every example binary")
+	}
+	go_ := goTool(t)
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ran++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command(go_, "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran < 8 {
+		t.Errorf("only %d example directories found, want the full set of 8", ran)
 	}
 }

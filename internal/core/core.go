@@ -39,7 +39,11 @@ type Config struct {
 	CostE, CostC float64
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Non-finite values are rejected
+// everywhere (a NaN passes every ordering comparison and would otherwise
+// slip through to the solvers and poison them); the one exception is
+// EdgeCapacity, which may be +Inf to model an uncapacitated standalone
+// ESP (the clearing-price search relies on that).
 func (c Config) Validate() error {
 	if c.N < 2 {
 		return fmt.Errorf("core config: need at least 2 miners, got %d", c.N)
@@ -48,9 +52,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core config: budgets must have 1 or %d entries, got %d", c.N, len(c.Budgets))
 	}
 	for i, b := range c.Budgets {
-		if b <= 0 {
-			return fmt.Errorf("core config: budget %d is %g, must be positive", i, b)
+		if !(b > 0) || math.IsInf(b, 0) {
+			return fmt.Errorf("core config: budget %d is %g, must be positive and finite", i, b)
 		}
+	}
+	for _, v := range [...]struct {
+		name  string
+		value float64
+	}{
+		{"reward", c.Reward}, {"beta", c.Beta}, {"satisfy probability", c.SatisfyProb},
+		{"cost C_e", c.CostE}, {"cost C_c", c.CostC},
+	} {
+		if math.IsNaN(v.value) || math.IsInf(v.value, 0) {
+			return fmt.Errorf("core config: %s is %g, must be finite", v.name, v.value)
+		}
+	}
+	if math.IsNaN(c.EdgeCapacity) || math.IsInf(c.EdgeCapacity, -1) {
+		return fmt.Errorf("core config: edge capacity is %g, must be positive (or +Inf for uncapacitated)", c.EdgeCapacity)
 	}
 	if c.Reward <= 0 {
 		return fmt.Errorf("core config: reward %g must be positive", c.Reward)
@@ -252,6 +270,48 @@ func (c Config) seedProfile(p Prices) []numeric.Point2 {
 	return c.startProfile(p)
 }
 
+// escapeZeroCollapse detects the all-zero pseudo-equilibrium and
+// returns a tiny interior restart profile for a second solve.
+//
+// The empty market is always a fixed point of the COMPUTED best-response
+// map: against zero rivals the contest utility jumps to ≈R at any
+// positive request, so the supremum is not attained and the numeric
+// best response returns zero. But it is never a Nash equilibrium — a
+// miner deviating to an arbitrarily small request wins the whole
+// contest. In regimes where competing is unprofitable against the
+// default seed (reward small relative to prices), every miner drops out
+// in the first sweep and the iteration stalls on this artifact; found
+// by FuzzSolveVariationalGNE. Restarting from a small interior profile
+// (spend ≈ R/4n each, well under the interior equilibrium scale) lets
+// the iteration climb to the genuine contest equilibrium instead.
+func (c Config) escapeZeroCollapse(p Prices, prof []numeric.Point2) ([]numeric.Point2, bool) {
+	var s float64
+	for _, r := range prof {
+		s += r.E + r.C
+	}
+	if s > 1e-9 {
+		return nil, false
+	}
+	seed := make([]numeric.Point2, c.N)
+	for i := range seed {
+		spend := math.Min(c.Budget(i), c.Reward/float64(4*c.N))
+		seed[i] = numeric.Point2{E: spend / (2 * p.Edge), C: spend / (2 * p.Cloud)}
+	}
+	if c.Mode == netmodel.Standalone && !math.IsInf(c.EdgeCapacity, 1) {
+		var e float64
+		for _, r := range seed {
+			e += r.E
+		}
+		if e > c.EdgeCapacity/2 {
+			scale := c.EdgeCapacity / (2 * e)
+			for i := range seed {
+				seed[i].E *= scale
+			}
+		}
+	}
+	return seed, true
+}
+
 // SolveMinerEquilibrium computes the miner-subgame equilibrium at the
 // given prices.
 //
@@ -296,6 +356,9 @@ func SolveMinerEquilibriumFrom(cfg Config, p Prices, opts game.NEOptions, start 
 			return miner.BestResponseConnected(params, cfg.Budget(i), envFromOthers(others), own)
 		}
 		res := game.SolveNEAggregate(start, br, opts)
+		if prof, ok := cfg.escapeZeroCollapse(p, res.Profile); ok {
+			res = game.SolveNEAggregate(prof, br, opts)
+		}
 		return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, 0), nil
 	default:
 		brAt := func(mu float64) game.AggregateBestResponse {
@@ -313,6 +376,12 @@ func SolveMinerEquilibriumFrom(cfg Config, p Prices, opts game.NEOptions, start 
 		res, err := game.SolveVariationalGNEAggregate(start, brAt, shared, cfg.EdgeCapacity, 1e-4*cfg.EdgeCapacity, opts)
 		if err != nil {
 			return MinerEquilibrium{}, fmt.Errorf("standalone miner subgame: %w", err)
+		}
+		if prof, ok := cfg.escapeZeroCollapse(p, res.Profile); ok {
+			res, err = game.SolveVariationalGNEAggregate(prof, brAt, shared, cfg.EdgeCapacity, 1e-4*cfg.EdgeCapacity, opts)
+			if err != nil {
+				return MinerEquilibrium{}, fmt.Errorf("standalone miner subgame: %w", err)
+			}
 		}
 		return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, res.Multiplier), nil
 	}
@@ -359,6 +428,22 @@ func SolveMinerGNE(cfg Config, p Prices, opts game.NEOptions) (MinerEquilibrium,
 // total across all miners, so the certificate costs O(N) best responses
 // plus O(N) arithmetic instead of the O(N²) of per-miner re-summation.
 func Deviation(cfg Config, p Prices, prof miner.Profile) float64 {
+	var worst float64
+	for _, g := range Deviations(cfg, p, prof) {
+		if g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// Deviations is the per-miner form of Deviation: gains[i] is the largest
+// utility improvement miner i can realize by a unilateral best-response
+// deviation from the profile (zero when the miner is already playing a
+// best response). The vector is the raw material of an ε-Nash
+// certificate: the profile is an ε-equilibrium exactly when every entry
+// is at most ε.
+func Deviations(cfg Config, p Prices, prof miner.Profile) []float64 {
 	params := cfg.Params(p)
 	switch cfg.Mode {
 	case netmodel.Connected:
@@ -368,7 +453,7 @@ func Deviation(cfg Config, p Prices, prof miner.Profile) float64 {
 		utility := func(i int, own, others numeric.Point2) float64 {
 			return miner.UtilityConnected(params, own, envFromOthers(others))
 		}
-		return game.DeviationAggregate(prof, br, utility)
+		return game.DeviationsAggregate(prof, br, utility)
 	default:
 		br := func(i int, own, others numeric.Point2) numeric.Point2 {
 			env := envFromOthers(others)
@@ -377,7 +462,7 @@ func Deviation(cfg Config, p Prices, prof miner.Profile) float64 {
 		utility := func(i int, own, others numeric.Point2) float64 {
 			return miner.UtilityStandalone(params, own, envFromOthers(others))
 		}
-		return game.DeviationAggregate(prof, br, utility)
+		return game.DeviationsAggregate(prof, br, utility)
 	}
 }
 

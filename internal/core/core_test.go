@@ -42,6 +42,19 @@ func TestConfigValidate(t *testing.T) {
 		{"standalone no capacity", func(c *Config) { c.Mode = netmodel.Standalone; c.EdgeCapacity = 0 }, false},
 		{"negative cost", func(c *Config) { c.CostE = -1 }, false},
 		{"heterogeneous ok", func(c *Config) { c.Budgets = []float64{10, 20, 30, 40, 50} }, true},
+		// Non-finite inputs: NaN satisfies no inequality, so naive x <= 0
+		// range checks waved it through (pinned from fuzzing minimizations).
+		{"nan budget", func(c *Config) { c.Budgets = []float64{math.NaN()} }, false},
+		{"inf budget", func(c *Config) { c.Budgets = []float64{math.Inf(1)} }, false},
+		{"nan reward", func(c *Config) { c.Reward = math.NaN() }, false},
+		{"inf reward", func(c *Config) { c.Reward = math.Inf(1) }, false},
+		{"nan beta", func(c *Config) { c.Beta = math.NaN() }, false},
+		{"nan satisfy prob", func(c *Config) { c.SatisfyProb = math.NaN() }, false},
+		{"nan cost", func(c *Config) { c.CostC = math.NaN() }, false},
+		{"nan capacity standalone", func(c *Config) { c.Mode = netmodel.Standalone; c.EdgeCapacity = math.NaN() }, false},
+		// +Inf capacity is the documented uncapacitated-ESP sentinel the
+		// standalone leader solver relies on — it must stay valid.
+		{"inf capacity standalone", func(c *Config) { c.Mode = netmodel.Standalone; c.EdgeCapacity = math.Inf(1) }, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -180,3 +180,82 @@ func TestSolversRejectPathologicalInputs(t *testing.T) {
 		})
 	}
 }
+
+// TestZeroCollapseEscapesToContestEquilibrium pins the fuzz-found
+// mis-convergence (corpus entry FuzzSolveVariationalGNE/ddb5ec61b674edf4):
+// with a reward small relative to prices, every miner's best response
+// against the default seed is to drop out, and the iteration stalled on
+// the all-zero profile — a fixed point of the computed best-response map
+// but never a Nash equilibrium, since an ε-deviator wins the whole
+// contest. The solver must restart and land on the interior contest
+// equilibrium, whose per-miner edge request in this edge-only regime is
+// the Tullock spend R(n−1)/n² divided by P_e.
+func TestZeroCollapseEscapesToContestEquilibrium(t *testing.T) {
+	cfg := Config{
+		N: 5, Budgets: []float64{9792}, Reward: 11.49206349206349, Beta: 0.2,
+		SatisfyProb: 0.7, Mode: netmodel.Standalone, EdgeCapacity: 175,
+		CostE: 1, CostC: 1,
+	}
+	p := Prices{Edge: 2.3333333333333335, Cloud: 162}
+	eq, err := SolveMinerEquilibrium(cfg, p, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if !eq.Converged {
+		t.Fatal("solver did not converge")
+	}
+	if eq.TotalDemand <= 0 {
+		t.Fatal("collapsed to the all-zero pseudo-equilibrium")
+	}
+	n := float64(cfg.N)
+	wantE := cfg.Reward * (n - 1) / (n * n) / p.Edge
+	for i, r := range eq.Requests {
+		if math.Abs(r.E-wantE) > 1e-3*wantE || r.C > 1e-9 {
+			t.Errorf("miner %d at %+v, want edge-only Tullock request e*=%g", i, r, wantE)
+		}
+	}
+	if worst := Deviation(cfg, p, eq.Requests); worst > 1e-6*cfg.Reward {
+		t.Errorf("deviation gain %g at the restarted equilibrium", worst)
+	}
+
+	// The same collapse existed in connected mode.
+	ccfg := cfg
+	ccfg.Mode = netmodel.Connected
+	ceq, err := SolveMinerEquilibrium(ccfg, p, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("connected solve: %v", err)
+	}
+	if ceq.TotalDemand <= 0 {
+		t.Error("connected mode collapsed to the all-zero pseudo-equilibrium")
+	}
+}
+
+// TestStandaloneLeaderNeverPricesBelowCost pins the fuzz-found regression
+// (corpus entry FuzzStackelberg/ee9b131f0069cd67): with capacity so
+// plentiful that the market-clearing edge price falls below the ESP's
+// cost, the homogeneous clearing fast path used to accept that price and
+// return a Stackelberg "equilibrium" with negative ESP profit. The solve
+// must instead either report the absence of a market-clearing equilibrium
+// or return prices that cover both providers' costs.
+func TestStandaloneLeaderNeverPricesBelowCost(t *testing.T) {
+	cfg := Config{
+		N: 5, Budgets: []float64{1000}, Reward: 1000, Beta: 0.2,
+		SatisfyProb: 0.7, Mode: netmodel.Standalone, EdgeCapacity: 385,
+		CostE: 2, CostC: 1,
+	}
+	for _, grid := range []int{12, 60} {
+		res, err := SolveStackelberg(cfg, StackelbergOptions{
+			Leader: game.LeaderOptions{GridN: grid, MaxIter: 20},
+		})
+		if err != nil {
+			continue // no market-clearing equilibrium is a documented outcome
+		}
+		if res.Prices.Edge <= cfg.CostE || res.Prices.Cloud <= cfg.CostC {
+			t.Errorf("grid %d: equilibrium prices %+v undercut costs (C_e=%g, C_c=%g)",
+				grid, res.Prices, cfg.CostE, cfg.CostC)
+		}
+		if res.ProfitE < 0 || res.ProfitC < 0 {
+			t.Errorf("grid %d: negative leader profit E=%g C=%g", grid, res.ProfitE, res.ProfitC)
+		}
+	}
+}

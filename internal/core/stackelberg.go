@@ -42,7 +42,19 @@ type StackelbergOptions struct {
 	// Results are bit-identical at every worker count; see DESIGN.md
 	// "Deterministic parallelism".
 	Workers int
+	// CertifyAfterSolve, when non-nil, independently checks the follower
+	// equilibrium behind the returned result (internal/verify supplies
+	// implementations). It runs once, on the final solve at the
+	// equilibrium prices — never on the leader search's probes — so
+	// enabling it cannot change the computed result, only reject it: a
+	// certification error fails the whole solve.
+	CertifyAfterSolve Certifier
 }
+
+// Certifier independently validates a solved miner equilibrium — an
+// ε-Nash / feasibility check that shares no solver internals. A non-nil
+// error means the equilibrium failed certification.
+type Certifier func(cfg Config, p Prices, eq MinerEquilibrium) error
 
 func (o StackelbergOptions) withDefaults(cfg Config) StackelbergOptions {
 	scale := math.Max(1, math.Max(cfg.CostE, cfg.CostC))
@@ -286,6 +298,12 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 		span.End(obs.Fields{"failed": true})
 		return StackelbergResult{}, fmt.Errorf("follower stage at equilibrium prices %+v: %w", prices, err)
 	}
+	if opts.CertifyAfterSolve != nil {
+		if err := opts.CertifyAfterSolve(cfg, prices, follower); err != nil {
+			span.End(obs.Fields{"failed": true})
+			return StackelbergResult{}, fmt.Errorf("certify follower equilibrium at prices %+v: %w", prices, err)
+		}
+	}
 	res := StackelbergResult{
 		Prices:           prices,
 		Follower:         follower,
@@ -326,7 +344,14 @@ func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersRes
 		if c.Homogeneous() {
 			pe := miner.ClearingPriceEdge(c.Reward, c.Beta, pc, c.N, c.EdgeCapacity)
 			params := c.Params(Prices{Edge: pe, Cloud: pc})
-			if params.Validate() == nil && pe > pc && pc < (1-c.Beta)*pe {
+			// A clearing price at or below the ESP's cost means capacity is
+			// so plentiful that selling out requires selling at a loss —
+			// outside Problem 2c's regime. Fall through to the numeric path,
+			// whose bracket floors at CostE and reports the absence of a
+			// market-clearing equilibrium (pinned by
+			// testdata/fuzz/FuzzStackelberg/ee9b131f0069cd67, which used to
+			// return P_e < C_e with negative ESP profit).
+			if params.Validate() == nil && pe > pc && pe > c.CostE && pc < (1-c.Beta)*pe {
 				sol, err := miner.HomogeneousStandalone(params, c.N, c.EdgeCapacity)
 				if err == nil && params.Spend(sol.Request) <= c.Budget(0) {
 					return pe, nil, true

@@ -14,7 +14,7 @@ import (
 	"minegame/internal/population"
 )
 
-func runHeadline(Config) (Result, error) {
+func runHeadline(exp Config) (Result, error) {
 	t := Table{
 		ID:      "headline",
 		Title:   "the paper's main claims, re-verified (1 = holds)",
@@ -48,6 +48,9 @@ func runHeadline(Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("headline claim 1: %w", err)
 	}
+	if err := exp.certify(conn, prices, eqConn); err != nil {
+		return Result{}, fmt.Errorf("headline claim 1: %w", err)
+	}
 	closed, err := miner.HomogeneousConnected(conn.Params(prices), conn.N, conn.Budget(0))
 	if err != nil {
 		return Result{}, err
@@ -62,6 +65,9 @@ func runHeadline(Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("headline claim 2: %w", err)
 	}
+	if err := exp.certify(scarce, prices, eqScarce); err != nil {
+		return Result{}, fmt.Errorf("headline claim 2: %w", err)
+	}
 	addClaim(2, eqScarce.EdgeDemand, scarce.EdgeCapacity,
 		abs(eqScarce.EdgeDemand-scarce.EdgeCapacity) < 0.05*scarce.EdgeCapacity)
 
@@ -69,6 +75,9 @@ func runHeadline(Config) (Result, error) {
 	alone := standaloneConfig()
 	eqAlone, err := core.SolveMinerEquilibrium(alone, prices, game.NEOptions{})
 	if err != nil {
+		return Result{}, fmt.Errorf("headline claim 3: %w", err)
+	}
+	if err := exp.certify(alone, prices, eqAlone); err != nil {
 		return Result{}, fmt.Errorf("headline claim 3: %w", err)
 	}
 	addClaim(3, eqConn.TotalDemand, eqAlone.TotalDemand,
@@ -79,7 +88,7 @@ func runHeadline(Config) (Result, error) {
 	full := baseConfig()
 	full.EdgeCapacity = 25
 	full.Budgets = []float64{1000}
-	cmp, err := core.CompareModes(full, core.StackelbergOptions{})
+	cmp, err := core.CompareModes(full, exp.stackOpts(core.StackelbergOptions{}))
 	if err != nil {
 		return Result{}, fmt.Errorf("headline claims 5-6: %w", err)
 	}

@@ -32,7 +32,7 @@ func runFig8(exp Config) (Result, error) {
 		cfg.CostE = ce
 		cfg.EdgeCapacity = 25
 		cfg.Budgets = []float64{1000}
-		cmp, err := core.CompareModes(cfg, core.StackelbergOptions{Workers: solverWorkers})
+		cmp, err := core.CompareModes(cfg, exp.stackOpts(core.StackelbergOptions{Workers: solverWorkers}))
 		if err != nil {
 			return nil, fmt.Errorf("fig8 C_e=%g: %w", ce, err)
 		}
@@ -56,7 +56,7 @@ func runFig8(exp Config) (Result, error) {
 
 // runTable2 regenerates Table II: sufficient-budget closed forms per
 // mode, cross-checked against the numeric equilibrium solvers.
-func runTable2(Config) (Result, error) {
+func runTable2(exp Config) (Result, error) {
 	prices := defaultPrices()
 	cfg := baseConfig()
 	cfg.Budgets = []float64{1e6}
@@ -82,10 +82,16 @@ func runTable2(Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("table2 connected numeric: %w", err)
 	}
+	if err := exp.certify(numConn, prices, eqConn); err != nil {
+		return Result{}, fmt.Errorf("table2 connected numeric: %w", err)
+	}
 	numAlone := cfg
 	numAlone.Mode = standaloneConfig().Mode
 	eqAlone, err := core.SolveMinerEquilibriumFrom(numAlone, prices, core.StackelbergOptions{}.Follower, numAlone.ColdStart(prices))
 	if err != nil {
+		return Result{}, fmt.Errorf("table2 standalone numeric: %w", err)
+	}
+	if err := exp.certify(numAlone, prices, eqAlone); err != nil {
 		return Result{}, fmt.Errorf("table2 standalone numeric: %w", err)
 	}
 
@@ -117,6 +123,9 @@ func runTable2(Config) (Result, error) {
 	}
 	capEq, err := core.SolveMinerEquilibriumFrom(capCfg, prices, core.StackelbergOptions{}.Follower, capCfg.ColdStart(prices))
 	if err != nil {
+		return Result{}, fmt.Errorf("table2 binding numeric: %w", err)
+	}
+	if err := exp.certify(capCfg, prices, capEq); err != nil {
 		return Result{}, fmt.Errorf("table2 binding numeric: %w", err)
 	}
 	capTab := Table{

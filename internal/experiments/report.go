@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"minegame/internal/core"
 	"minegame/internal/parallel"
 )
 
@@ -194,6 +195,29 @@ type Config struct {
 	// byte-identical at any worker count — see DESIGN.md "Deterministic
 	// parallelism".
 	Parallel int
+	// CertifyAfterSolve, when non-nil, independently certifies the miner
+	// equilibria behind the subgame runners (fig4–fig7, headline, tab2)
+	// and is threaded into the Stackelberg solver's own hook for the
+	// two-stage runners (fig8, headline claims 5–6).
+	// internal/verify.NECertifier supplies the standard implementation.
+	// Certification runs on final solves only, never on leader-search
+	// probes, so enabling it cannot change any table — it can only fail
+	// the run when an equilibrium flunks its certificate.
+	CertifyAfterSolve core.Certifier
+}
+
+// certify runs the configured equilibrium certifier, if any.
+func (c Config) certify(cfg core.Config, p core.Prices, eq core.MinerEquilibrium) error {
+	if c.CertifyAfterSolve == nil {
+		return nil
+	}
+	return c.CertifyAfterSolve(cfg, p, eq)
+}
+
+// stackOpts threads the harness certifier into solver options.
+func (c Config) stackOpts(o core.StackelbergOptions) core.StackelbergOptions {
+	o.CertifyAfterSolve = c.CertifyAfterSolve
+	return o
 }
 
 // pool returns the worker pool the harness fans out on.

@@ -35,6 +35,9 @@ func runFig4(exp Config) (Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig4 P_c=%g: %w", pc, err)
 		}
+		if err := exp.certify(cfg, p, eq); err != nil {
+			return nil, fmt.Errorf("fig4 P_c=%g: %w", pc, err)
+		}
 		return []float64{pc,
 			eq.Requests[0].E, eq.Requests[0].C,
 			eq.EdgeDemand, eq.CloudDemand,
@@ -78,6 +81,9 @@ func runFig5(exp Config) (Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig5 beta=%g P_c=%g: %w", pt.beta, pt.pc, err)
 		}
+		if err := exp.certify(c, p, eq); err != nil {
+			return nil, fmt.Errorf("fig5 beta=%g P_c=%g: %w", pt.beta, pt.pc, err)
+		}
 		re := p.Edge * eq.EdgeDemand
 		rc := pt.pc * eq.CloudDemand
 		return []float64{pt.beta, pt.pc, re, rc, re + rc}, nil
@@ -106,11 +112,17 @@ func runFig6(exp Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("fig6 connected baseline: %w", err)
 	}
+	if err := exp.certify(conn, prices, connEq); err != nil {
+		return Result{}, fmt.Errorf("fig6 connected baseline: %w", err)
+	}
 	rows, err := parallel.Map(exp.pool(), []float64{10, 15, 20, 25, 30, 35, 40, 50, 60, 80}, func(_ int, emax float64) ([]float64, error) {
 		cfg := standaloneConfig()
 		cfg.EdgeCapacity = emax
 		eq, err := core.SolveMinerEquilibrium(cfg, prices, game.NEOptions{})
 		if err != nil {
+			return nil, fmt.Errorf("fig6 E_max=%g: %w", emax, err)
+		}
+		if err := exp.certify(cfg, prices, eq); err != nil {
 			return nil, fmt.Errorf("fig6 E_max=%g: %w", emax, err)
 		}
 		return []float64{emax, eq.EdgeDemand, connEq.EdgeDemand, eq.Multiplier}, nil
@@ -163,6 +175,9 @@ func runFig7(exp Config) (Result, error) {
 		cfg.Budgets = []float64{pt.b1, 110, 110, 110, 110}
 		eq, err := core.SolveMinerEquilibrium(cfg, defaultPrices(), game.NEOptions{})
 		if err != nil {
+			return nil, fmt.Errorf("fig7 beta=%g B1=%g: %w", pt.beta, pt.b1, err)
+		}
+		if err := exp.certify(cfg, defaultPrices(), eq); err != nil {
 			return nil, fmt.Errorf("fig7 beta=%g B1=%g: %w", pt.beta, pt.b1, err)
 		}
 		var others float64

@@ -395,6 +395,30 @@ func DeviationAggregate(
 	return worst
 }
 
+// DeviationsAggregate is the per-player form of DeviationAggregate: it
+// returns each player's maximal unilateral best-response gain against the
+// rest of the profile (clamped below at zero, so a player already at its
+// best response reports exactly 0). The whole vector costs O(N) best
+// responses plus O(N) arithmetic; an ε-Nash certificate is the claim
+// max_i gains[i] ≤ ε.
+func DeviationsAggregate(
+	profile []numeric.Point2,
+	br AggregateBestResponse,
+	utility func(i int, own, others numeric.Point2) float64,
+) []float64 {
+	totals := sumPoints(profile)
+	gains := make([]float64, len(profile))
+	for i, own := range profile {
+		others := totals.Sub(own)
+		current := utility(i, own, others)
+		dev := br(i, own, others)
+		if gain := utility(i, dev, others) - current; gain > 0 {
+			gains[i] = gain
+		}
+	}
+	return gains
+}
+
 // ErrNoEquilibrium is returned when an iterative solver cannot locate an
 // equilibrium within its iteration budget.
 var ErrNoEquilibrium = errors.New("game: equilibrium search did not converge")

@@ -193,3 +193,49 @@ func TestSolveVariationalGNEInfeasible(t *testing.T) {
 		t.Error("want error for unthrottlable demand")
 	}
 }
+
+// Degenerate-profile behavior of the deviation certificates: empty and
+// singleton profiles are legal inputs (a certificate over no players is
+// vacuously exact; a lone player checks only its own best response).
+func TestDeviationDegenerateProfiles(t *testing.T) {
+	util := func(_ int, prof []numeric.Point2) float64 {
+		var s float64
+		for _, p := range prof {
+			s -= (p.E - 1) * (p.E - 1)
+		}
+		return s
+	}
+	br := func(int, []numeric.Point2) numeric.Point2 { return numeric.Point2{E: 1} }
+	if d := Deviation(nil, br, util); d != 0 {
+		t.Errorf("empty profile deviation = %g, want 0", d)
+	}
+	if d := Deviation([]numeric.Point2{{E: 1}}, br, util); d != 0 {
+		t.Errorf("singleton at best response: deviation = %g, want 0", d)
+	}
+	if d := Deviation([]numeric.Point2{{E: 3}}, br, util); d <= 0 {
+		t.Errorf("singleton off best response must gain, got %g", d)
+	}
+}
+
+func TestDeviationAggregateDegenerateProfiles(t *testing.T) {
+	util := func(_ int, own, others numeric.Point2) float64 {
+		return -(own.E - 1 - others.E) * (own.E - 1 - others.E)
+	}
+	br := func(_ int, _, others numeric.Point2) numeric.Point2 {
+		return numeric.Point2{E: 1 + others.E}
+	}
+	if d := DeviationAggregate(nil, br, util); d != 0 {
+		t.Errorf("empty profile deviation = %g, want 0", d)
+	}
+	if gains := DeviationsAggregate(nil, br, util); len(gains) != 0 {
+		t.Errorf("empty profile gains = %v, want empty", gains)
+	}
+	// Singleton: the aggregate of the others is the zero point.
+	if d := DeviationAggregate([]numeric.Point2{{E: 1}}, br, util); d != 0 {
+		t.Errorf("singleton at best response: deviation = %g, want 0", d)
+	}
+	gains := DeviationsAggregate([]numeric.Point2{{E: 5}}, br, util)
+	if len(gains) != 1 || gains[0] <= 0 {
+		t.Errorf("singleton off best response: gains = %v", gains)
+	}
+}

@@ -20,6 +20,7 @@ package multiesp
 
 import (
 	"fmt"
+	"math"
 
 	"minegame/internal/numeric"
 )
@@ -43,25 +44,29 @@ type Config struct {
 	Tol     float64 // convergence threshold (default 1e-6)
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Every scalar is checked in its
+// affirmative range (¬(x > 0) rather than x ≤ 0) so NaN inputs are
+// rejected instead of flowing into the best-response arithmetic, and
+// infinities are refused explicitly.
 func (c Config) Validate() error {
 	if c.N < 2 {
 		return fmt.Errorf("multiesp: need at least 2 miners, got %d", c.N)
 	}
-	if c.Budget <= 0 || c.Reward <= 0 || c.PriceC <= 0 {
-		return fmt.Errorf("multiesp: budget %g, reward %g and cloud price %g must be positive", c.Budget, c.Reward, c.PriceC)
+	if !(c.Budget > 0) || !(c.Reward > 0) || !(c.PriceC > 0) ||
+		math.IsInf(c.Budget, 0) || math.IsInf(c.Reward, 0) || math.IsInf(c.PriceC, 0) {
+		return fmt.Errorf("multiesp: budget %g, reward %g and cloud price %g must be positive and finite", c.Budget, c.Reward, c.PriceC)
 	}
-	if c.Beta < 0 || c.Beta >= 1 {
+	if !(c.Beta >= 0 && c.Beta < 1) {
 		return fmt.Errorf("multiesp: beta %g outside [0, 1)", c.Beta)
 	}
 	if len(c.ESPs) == 0 {
 		return fmt.Errorf("multiesp: need at least one edge provider")
 	}
 	for k, e := range c.ESPs {
-		if e.Price <= 0 {
-			return fmt.Errorf("multiesp: ESP %d price %g must be positive", k, e.Price)
+		if !(e.Price > 0) || math.IsInf(e.Price, 0) {
+			return fmt.Errorf("multiesp: ESP %d price %g must be positive and finite", k, e.Price)
 		}
-		if e.H < 0 || e.H > 1 {
+		if !(e.H >= 0 && e.H <= 1) {
 			return fmt.Errorf("multiesp: ESP %d satisfy probability %g outside [0, 1]", k, e.H)
 		}
 	}

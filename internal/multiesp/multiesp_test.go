@@ -42,6 +42,14 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.ESPs[0].Price = 0 },
 		func(c *Config) { c.ESPs[0].H = 1.5 },
 		func(c *Config) { c.PriceC = 0 },
+		// NaN passes x <= 0 checks, Inf passes x > 0: both must be caught
+		// by the affirmative-range validation (found by fuzzing).
+		func(c *Config) { c.Budget = math.NaN() },
+		func(c *Config) { c.Reward = math.Inf(1) },
+		func(c *Config) { c.Beta = math.NaN() },
+		func(c *Config) { c.PriceC = math.NaN() },
+		func(c *Config) { c.ESPs[0].Price = math.NaN() },
+		func(c *Config) { c.ESPs[0].H = math.NaN() },
 	}
 	for i, mutate := range mutations {
 		cfg := singleESPConfig()

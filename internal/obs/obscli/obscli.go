@@ -119,6 +119,13 @@ func (s *Session) PprofAddr() string {
 // abort releases everything acquired so far without emitting output;
 // used when a later Start step fails.
 func (s *Session) abort() {
+	if s.cpuFile != nil {
+		// The profile is running by the time a later step (pprof listen)
+		// can fail; leaving it running would poison the next Start.
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
 	if s.installed {
 		obs.SetDefault(s.prev)
 	}

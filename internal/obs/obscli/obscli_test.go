@@ -2,10 +2,14 @@ package obscli
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -86,5 +90,154 @@ func TestPprofServerServesWhileSessionOpen(t *testing.T) {
 	}
 	if sess.PprofAddr() != "" {
 		t.Error("PprofAddr should be empty after Close")
+	}
+}
+
+func TestStartTraceCreateFailure(t *testing.T) {
+	before := obs.Default()
+	_, err := (&Options{Trace: filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}).Start()
+	if err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("want trace create error, got %v", err)
+	}
+	if obs.Default() != before {
+		t.Error("failed Start must not leave an observer installed")
+	}
+}
+
+func TestStartCPUProfileCreateFailureAborts(t *testing.T) {
+	before := obs.Default()
+	o := &Options{
+		Trace:      filepath.Join(t.TempDir(), "t.jsonl"),
+		CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"),
+	}
+	_, err := o.Start()
+	if err == nil || !strings.Contains(err.Error(), "cpuprofile") {
+		t.Fatalf("want cpuprofile create error, got %v", err)
+	}
+	if obs.Default() != before {
+		t.Error("abort must restore the previous default observer")
+	}
+}
+
+func TestStartSecondCPUProfileFails(t *testing.T) {
+	dir := t.TempDir()
+	sess, err := (&Options{CPUProfile: filepath.Join(dir, "cpu1.out")}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer sess.Close(io.Discard, false)
+	// runtime/pprof allows one active CPU profile per process: a second
+	// session must fail cleanly (and abort its own partial state).
+	if _, err := (&Options{CPUProfile: filepath.Join(dir, "cpu2.out")}).Start(); err == nil {
+		t.Error("want error for a second concurrent CPU profile")
+	}
+}
+
+func TestStartPprofListenFailureStopsProfile(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer ln.Close()
+	dir := t.TempDir()
+	o := &Options{CPUProfile: filepath.Join(dir, "cpu.out"), PprofAddr: ln.Addr().String()}
+	if _, err := o.Start(); err == nil || !strings.Contains(err.Error(), "pprof") {
+		t.Fatalf("want pprof listen error, got %v", err)
+	}
+	// abort must have stopped the profile: a fresh session can start one.
+	sess, err := (&Options{CPUProfile: filepath.Join(dir, "cpu2.out")}).Start()
+	if err != nil {
+		t.Fatalf("profile left running by aborted Start: %v", err)
+	}
+	if err := sess.Close(io.Discard, false); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestCloseNilSession(t *testing.T) {
+	var s *Session
+	if err := s.Close(io.Discard, false); err != nil {
+		t.Errorf("nil session Close = %v, want nil", err)
+	}
+}
+
+func TestCloseWritesCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	sess, err := (&Options{CPUProfile: path}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := sess.Close(io.Discard, false); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile file: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
+func TestCloseMetricsAsJSON(t *testing.T) {
+	sess, err := (&Options{Metrics: true}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	obs.Default().Count("obscli.json_test", 7)
+	var out bytes.Buffer
+	if err := sess.Close(&out, true); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("metrics dump is not JSON: %v\n%s", err, out.String())
+	}
+}
+
+func TestDoubleCloseDumpsMetricsOnce(t *testing.T) {
+	sess, err := (&Options{Metrics: true}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	obs.Default().Count("obscli.double", 1)
+	var first, second bytes.Buffer
+	if err := sess.Close(&first, false); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := sess.Close(&second, false); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if first.Len() == 0 {
+		t.Error("first Close must dump metrics")
+	}
+	if second.Len() != 0 {
+		t.Errorf("second Close dumped metrics again:\n%s", second.String())
+	}
+}
+
+// failWriter errors on every write, exercising the metrics-dump error path.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink full") }
+
+func TestCloseReportsMetricsDumpError(t *testing.T) {
+	sess, err := (&Options{Metrics: true}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	obs.Default().Count("obscli.failsink", 1)
+	if err := sess.Close(failWriter{}, false); err == nil || !strings.Contains(err.Error(), "metrics dump") {
+		t.Errorf("Close = %v, want metrics dump error", err)
+	}
+}
+
+func TestCloseNilWriterSkipsMetrics(t *testing.T) {
+	sess, err := (&Options{Metrics: true}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := sess.Close(nil, false); err != nil {
+		t.Errorf("close with nil writer: %v", err)
 	}
 }

@@ -32,13 +32,15 @@ type Model struct {
 	MaxN int
 }
 
-// Validate reports model errors.
+// Validate reports model errors. Non-finite parameters are rejected
+// explicitly: a NaN mean satisfies neither m.Mu < 1 nor m.Mu ≥ 1, so
+// without these checks it would slip through and poison the PMF.
 func (m Model) Validate() error {
-	if m.Mu < 1 {
-		return fmt.Errorf("population: mean %g must be at least 1", m.Mu)
+	if !(m.Mu >= 1) || math.IsInf(m.Mu, 0) {
+		return fmt.Errorf("population: mean %g must be finite and at least 1", m.Mu)
 	}
-	if m.Sigma <= 0 {
-		return fmt.Errorf("population: sigma %g must be positive", m.Sigma)
+	if !(m.Sigma > 0) || math.IsInf(m.Sigma, 0) {
+		return fmt.Errorf("population: sigma %g must be positive and finite", m.Sigma)
 	}
 	if m.MaxN < 0 {
 		return fmt.Errorf("population: max miners %d must be non-negative", m.MaxN)

@@ -28,7 +28,14 @@ func TestModelValidateAndPMF(t *testing.T) {
 	if pmf.Lo != 1 {
 		t.Errorf("support starts at %d, want 1 (paper truncates at k ≥ 1)", pmf.Lo)
 	}
-	for _, bad := range []Model{{Mu: 0, Sigma: 2}, {Mu: 10, Sigma: 0}, {Mu: 10, Sigma: 2, MaxN: -1}} {
+	for _, bad := range []Model{
+		{Mu: 0, Sigma: 2}, {Mu: 10, Sigma: 0}, {Mu: 10, Sigma: 2, MaxN: -1},
+		// Non-finite parameters must be rejected, not discretized: a NaN
+		// mean satisfies neither Mu < 1 nor Mu ≥ 1 and used to slip
+		// through the range checks (found by FuzzPopulationPMF).
+		{Mu: math.NaN(), Sigma: 2}, {Mu: 10, Sigma: math.NaN()},
+		{Mu: math.Inf(1), Sigma: 2}, {Mu: 10, Sigma: math.Inf(1)},
+	} {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("model %+v should be invalid", bad)
 		}

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"minegame/internal/chain"
@@ -18,12 +19,14 @@ type ActionGrid struct {
 }
 
 // NewActionGrid builds the lattice for the given prices and budget.
+// Prices and budget must be positive and finite — the affirmative-range
+// checks reject NaN, which x ≤ 0 would wave through into the lattice.
 func NewActionGrid(priceE, priceC, budget float64, nE, nC int) (ActionGrid, error) {
-	if priceE <= 0 || priceC <= 0 {
-		return ActionGrid{}, fmt.Errorf("rl: prices (%g, %g) must be positive", priceE, priceC)
+	if !(priceE > 0) || !(priceC > 0) || math.IsInf(priceE, 0) || math.IsInf(priceC, 0) {
+		return ActionGrid{}, fmt.Errorf("rl: prices (%g, %g) must be positive and finite", priceE, priceC)
 	}
-	if budget <= 0 {
-		return ActionGrid{}, fmt.Errorf("rl: budget %g must be positive", budget)
+	if !(budget > 0) || math.IsInf(budget, 0) {
+		return ActionGrid{}, fmt.Errorf("rl: budget %g must be positive and finite", budget)
 	}
 	if nE < 2 || nC < 2 {
 		return ActionGrid{}, fmt.Errorf("rl: grid %dx%d too coarse, need at least 2x2", nE, nC)

@@ -67,6 +67,20 @@ func TestNewActionGridErrors(t *testing.T) {
 	if _, err := NewActionGrid(8, 4, 200, 1, 6); err == nil {
 		t.Error("want error for degenerate grid")
 	}
+	// NaN prices/budget used to pass the x <= 0 checks and build a
+	// lattice of NaN actions; Inf built an empty or unbounded lattice.
+	if _, err := NewActionGrid(math.NaN(), 4, 200, 6, 6); err == nil {
+		t.Error("want error for NaN edge price")
+	}
+	if _, err := NewActionGrid(8, math.NaN(), 200, 6, 6); err == nil {
+		t.Error("want error for NaN cloud price")
+	}
+	if _, err := NewActionGrid(8, 4, math.NaN(), 6, 6); err == nil {
+		t.Error("want error for NaN budget")
+	}
+	if _, err := NewActionGrid(8, 4, math.Inf(1), 6, 6); err == nil {
+		t.Error("want error for infinite budget")
+	}
 }
 
 func TestActionGridNearest(t *testing.T) {

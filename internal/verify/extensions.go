@@ -1,0 +1,162 @@
+package verify
+
+// Certificates for the extension solvers: the multi-ESP subgame
+// (K edge providers plus the cloud) and the dynamic-population
+// symmetric equilibrium. Both reuse the solvers' public best-response
+// and utility surfaces, so a certificate never trusts the iteration
+// that produced the candidate point.
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/multiesp"
+	"minegame/internal/population"
+
+	"minegame/internal/miner"
+	"minegame/internal/numeric"
+)
+
+// CertifyMultiESP checks a solved multi-ESP miner equilibrium:
+// non-negativity and per-miner budget feasibility of every request
+// vector, the per-miner best-response deviation gains (ε-Nash), and
+// consistency of the reported demands, utilities, and win
+// probabilities with the request profile.
+func CertifyMultiESP(cfg multiesp.Config, eq multiesp.Equilibrium, opts Options) (Certificate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Certificate{}, fmt.Errorf("certify multiesp: %w", err)
+	}
+	opts = opts.withDefaults()
+	dims := len(cfg.ESPs) + 1
+	if len(eq.Requests) != cfg.N {
+		return Certificate{}, fmt.Errorf("certify multiesp: %d request vectors for %d miners", len(eq.Requests), cfg.N)
+	}
+	cert := Certificate{Kind: "multiesp", Mode: "multiesp", N: cfg.N, OK: true}
+
+	prices := make(numeric.Vec, dims)
+	for d, e := range cfg.ESPs {
+		prices[d] = e.Price
+	}
+	prices[dims-1] = cfg.PriceC
+
+	var negRes, budRes float64
+	totals := make(numeric.Vec, dims)
+	for _, x := range eq.Requests {
+		if len(x) != dims {
+			return Certificate{}, fmt.Errorf("certify multiesp: request has %d coordinates, want %d", len(x), dims)
+		}
+		spend := 0.0
+		for d, v := range x {
+			negRes = math.Max(negRes, -v)
+			spend += prices[d] * v
+			totals[d] += v
+		}
+		budRes = math.Max(budRes, (spend-cfg.Budget)/(1+cfg.Budget))
+	}
+	cert.add("nonneg", math.Max(0, negRes), opts.FeasTol, "request coordinates must be non-negative")
+	cert.add("budget", math.Max(0, budRes), opts.FeasTol, "relative budget overspend across miners")
+
+	// ε-Nash: each miner's unilateral best-response gain against the rest
+	// of the profile, through the same surfaces the solver optimizes.
+	gains := make([]float64, cfg.N)
+	eps := 0.0
+	others := make(numeric.Vec, dims)
+	for i, x := range eq.Requests {
+		for d := range others {
+			others[d] = totals[d] - x[d]
+		}
+		current := cfg.Utility(x, others)
+		dev := cfg.BestResponse(others, x)
+		if gain := cfg.Utility(dev, others) - current; gain > 0 {
+			gains[i] = gain
+			eps = math.Max(eps, gain)
+		}
+	}
+	cert.Gains = gains
+	cert.Epsilon = eps
+	cert.EpsilonRel = eps / cfg.Reward
+	cert.add("deviation", cert.EpsilonRel, opts.GainTol,
+		"max unilateral best-response gain relative to the reward")
+
+	demandRes := 0.0
+	for d, want := range totals {
+		if d < len(eq.Demands) {
+			demandRes = math.Max(demandRes, math.Abs(want-eq.Demands[d])/(1+math.Abs(want)))
+		} else {
+			demandRes = math.Inf(1)
+		}
+	}
+	cert.add("aggregates", demandRes, opts.ConsistTol, "reported demands vs summed requests")
+
+	utilWant := make([]float64, cfg.N)
+	probWant := make([]float64, cfg.N)
+	for i, x := range eq.Requests {
+		for d := range others {
+			others[d] = totals[d] - x[d]
+		}
+		utilWant[i] = cfg.Utility(x, others)
+		probWant[i] = cfg.WinProb(x, others)
+	}
+	uRes, uScale := sliceResidual(utilWant, eq.Utilities)
+	cert.add("utilities", uRes/uScale, opts.ConsistTol, "reported utilities vs recomputed utilities")
+	wRes, _ := sliceResidual(probWant, eq.WinProbs)
+	cert.add("winprobs_reported", wRes, opts.ProbTol, "reported win probabilities vs recomputed values")
+	return cert, nil
+}
+
+// CertifyPopulation checks a symmetric equilibrium of the
+// dynamic-population game: feasibility of the common strategy, the
+// symmetric best-response deviation gain under the random opponent
+// count, and consistency of the reported expected demands and utility
+// with the strategy and the miner-count distribution.
+func CertifyPopulation(
+	p miner.Params,
+	pmf numeric.DiscretePMF,
+	budget float64,
+	form population.Degraded,
+	eq population.Equilibrium,
+	opts Options,
+) (Certificate, error) {
+	if err := p.Validate(); err != nil {
+		return Certificate{}, fmt.Errorf("certify population: %w", err)
+	}
+	if !(budget > 0) || math.IsInf(budget, 0) {
+		return Certificate{}, fmt.Errorf("certify population: budget %g must be positive and finite", budget)
+	}
+	if len(pmf.P) == 0 {
+		return Certificate{}, fmt.Errorf("certify population: empty miner-count distribution")
+	}
+	opts = opts.withDefaults()
+	if form == 0 {
+		form = population.DegradedTransfer
+	}
+	cert := Certificate{Kind: "population", Mode: "population", N: 1, OK: true}
+
+	x := eq.Request
+	cert.add("nonneg", math.Max(0, math.Max(-x.E, -x.C)), opts.FeasTol,
+		"strategy coordinates must be non-negative")
+	cert.add("budget", math.Max(0, (p.Spend(x)-budget)/(1+budget)), opts.FeasTol,
+		"relative budget overspend of the common strategy")
+
+	// Symmetric ε: the gain one miner gets by deviating from the common
+	// strategy while everyone else keeps playing it.
+	current := population.ExpectedUtilityForm(p, pmf, x, x, form)
+	dev := population.BestResponseForm(p, pmf, budget, x, form, x)
+	gain := math.Max(0, population.ExpectedUtilityForm(p, pmf, dev, x, form)-current)
+	cert.Gains = []float64{gain}
+	cert.Epsilon = gain
+	cert.EpsilonRel = gain / p.Reward
+	cert.add("deviation", cert.EpsilonRel, opts.GainTol,
+		"symmetric best-response gain relative to the reward")
+
+	mean := pmf.Mean()
+	demandRes := math.Max(
+		math.Abs(mean*x.E-eq.ExpectedEdgeDemand),
+		math.Abs(mean*x.C-eq.ExpectedCloudDemand),
+	) / (1 + mean*(x.E+x.C))
+	cert.add("aggregates", demandRes, opts.ConsistTol,
+		"reported expected demands vs E[N] × strategy")
+	cert.add("utilities", math.Abs(current-eq.Utility)/(1+p.Reward), opts.ConsistTol,
+		"reported symmetric utility vs recomputed expected utility")
+	return cert, nil
+}

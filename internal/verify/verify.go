@@ -1,0 +1,316 @@
+// Package verify independently certifies solver outputs of the mining
+// game: given a configuration and a solved profile it re-derives, from
+// the model primitives alone, everything an equilibrium must satisfy —
+// per-miner ε-Nash deviation bounds (the machine-checkable form of
+// Algorithms 1–2's fixed points), budget/capacity feasibility residuals,
+// the GNEP shared-multiplier consistency conditions, Theorem 1's
+// winning-probability identities, and (for full Stackelberg results) the
+// leaders' first-order residuals on the price stage.
+//
+// The package deliberately shares no solver internals: certificates are
+// built from the public best-response and utility oracles, so a bug in
+// an iterating solver cannot silently certify its own output. Every
+// certificate is a plain data value with JSON encoding, suitable for
+// logging next to the result it vouches for.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"minegame/internal/core"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+)
+
+// Options tunes certification tolerances. The zero value picks defaults
+// calibrated so every equilibrium the iterating solvers produce at their
+// default tolerances certifies cleanly, while a strategy perturbation
+// visible at the third significant digit is flagged.
+type Options struct {
+	// GainTol bounds the per-miner best-response gain RELATIVE to the
+	// mining reward R: the profile is accepted as an ε-Nash equilibrium
+	// when max_i gain_i ≤ GainTol·R. Default 1e-4.
+	GainTol float64
+	// FeasTol is the relative feasibility tolerance on the budget, the
+	// non-negativity and the shared-capacity constraints. Default 1e-6.
+	FeasTol float64
+	// ProbTol bounds the winning-probability identity residuals
+	// (Theorem 1 and the connected-mode mass identity). Default 1e-6.
+	ProbTol float64
+	// ConsistTol is the relative tolerance on internal consistency of a
+	// result struct (reported utilities, aggregates and profits vs
+	// recomputation). Default 1e-9.
+	ConsistTol float64
+	// SlackTol bounds the standalone shared-capacity residuals: the
+	// relative overshoot E − E_max of the profile, and the complementary
+	// slackness of the multiplier (with μ > 0 the capacity must clear to
+	// within SlackTol·E_max). Default 1e-3 — the variational solver's
+	// own market-clearing tolerance is 1e-4·E_max, in either direction.
+	SlackTol float64
+	// LeaderProbe is the relative price perturbation used for the leader
+	// first-order residuals, and LeaderGainTol the relative profit gain
+	// tolerated at the probes. Defaults 1e-2 and 2e-2. SkipLeader drops
+	// the leader checks entirely (they re-solve the follower subgame at
+	// each probe, which costs a few miner-equilibrium solves).
+	LeaderProbe   float64
+	LeaderGainTol float64
+	SkipLeader    bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.GainTol <= 0 {
+		o.GainTol = 1e-4
+	}
+	if o.FeasTol <= 0 {
+		o.FeasTol = 1e-6
+	}
+	if o.ProbTol <= 0 {
+		o.ProbTol = 1e-6
+	}
+	if o.ConsistTol <= 0 {
+		o.ConsistTol = 1e-9
+	}
+	if o.SlackTol <= 0 {
+		o.SlackTol = 1e-3
+	}
+	if o.LeaderProbe <= 0 {
+		o.LeaderProbe = 1e-2
+	}
+	if o.LeaderGainTol <= 0 {
+		o.LeaderGainTol = 2e-2
+	}
+	return o
+}
+
+// Check is one verified property: a named residual compared against its
+// tolerance. Residuals are oriented so that larger is worse and zero is
+// perfect; OK is Residual ≤ Tol.
+type Check struct {
+	Name     string  // e.g. "deviation", "budget", "capacity"
+	Residual float64 // measured violation / identity error
+	Tol      float64 // bound applied
+	OK       bool
+	Detail   string `json:",omitempty"` // human-readable context
+}
+
+// Certificate is an independently derived verdict on a solver output.
+type Certificate struct {
+	// Kind identifies what was certified: "miner_ne", "stackelberg",
+	// "multiesp" or "population".
+	Kind string
+	Mode string `json:",omitempty"` // ESP operation mode, when applicable
+	N    int    // miners
+	// Epsilon is the worst per-miner unilateral best-response gain in
+	// utility units; EpsilonRel is Epsilon relative to the reward R —
+	// the ε of the ε-Nash claim.
+	Epsilon    float64
+	EpsilonRel float64
+	// Gains holds the per-miner deviation gains behind Epsilon.
+	Gains  []float64 `json:",omitempty"`
+	Checks []Check
+	OK     bool // conjunction of every check
+}
+
+// Failures returns the checks that did not pass.
+func (c Certificate) Failures() []Check {
+	var bad []Check
+	for _, ck := range c.Checks {
+		if !ck.OK {
+			bad = append(bad, ck)
+		}
+	}
+	return bad
+}
+
+// Err returns nil for a passing certificate and otherwise one error
+// naming every failed check with its residual and tolerance.
+func (c Certificate) Err() error {
+	bad := c.Failures()
+	if len(bad) == 0 {
+		return nil
+	}
+	parts := make([]string, len(bad))
+	for i, ck := range bad {
+		parts[i] = fmt.Sprintf("%s residual %.6g > tol %.6g", ck.Name, ck.Residual, ck.Tol)
+		if ck.Detail != "" {
+			parts[i] += " (" + ck.Detail + ")"
+		}
+	}
+	return fmt.Errorf("verify: %s certificate failed: %s", c.Kind, strings.Join(parts, "; "))
+}
+
+// add appends a check, deriving OK from residual ≤ tol. NaN residuals
+// never pass: a certificate must not vouch for poisoned arithmetic.
+func (c *Certificate) add(name string, residual, tol float64, detail string) {
+	ok := residual <= tol && !math.IsNaN(residual)
+	c.Checks = append(c.Checks, Check{Name: name, Residual: residual, Tol: tol, OK: ok, Detail: detail})
+	if !ok {
+		c.OK = false
+	}
+}
+
+// Certify checks a solved miner-subgame equilibrium: the profile-level
+// ε-Nash and feasibility certificate of CertifyProfile plus internal
+// consistency of the MinerEquilibrium summary (reported aggregates,
+// utilities, winning probabilities and the shared-capacity multiplier
+// must match what the profile implies). The returned error reports
+// malformed inputs only; the verification verdict is Certificate.OK.
+func Certify(cfg core.Config, p core.Prices, eq core.MinerEquilibrium, opts Options) (Certificate, error) {
+	cert, err := CertifyProfile(cfg, p, eq.Requests, opts)
+	if err != nil {
+		return Certificate{}, err
+	}
+	opts = opts.withDefaults()
+	params := cfg.Params(p)
+
+	// Aggregate consistency: the summary's E, C, S vs fresh summation.
+	tot := eq.Requests.Aggregate()
+	scale := 1 + math.Abs(tot.Edge) + math.Abs(tot.Cloud)
+	aggRes := math.Max(math.Abs(tot.Edge-eq.EdgeDemand), math.Abs(tot.Cloud-eq.CloudDemand))
+	aggRes = math.Max(aggRes, math.Abs(tot.Edge+tot.Cloud-eq.TotalDemand))
+	cert.add("aggregates", aggRes/scale, opts.ConsistTol,
+		fmt.Sprintf("reported E=%g C=%g S=%g", eq.EdgeDemand, eq.CloudDemand, eq.TotalDemand))
+
+	// Reported utilities and winning probabilities vs recomputation.
+	var us, ws []float64
+	if cfg.Mode == netmodel.Connected {
+		us = miner.UtilitiesConnected(params, eq.Requests)
+		ws = miner.WinProbsConnected(cfg.Beta, cfg.SatisfyProb, eq.Requests)
+	} else {
+		us = miner.UtilitiesStandalone(params, eq.Requests)
+		ws = miner.WinProbsFull(cfg.Beta, eq.Requests)
+	}
+	uRes, uScale := sliceResidual(us, eq.Utilities)
+	cert.add("utilities", uRes/uScale, opts.ConsistTol, "reported vs recomputed miner utilities")
+	wRes, _ := sliceResidual(ws, eq.WinProbs)
+	cert.add("winprobs_reported", wRes, opts.ConsistTol, "reported vs recomputed winning probabilities")
+
+	// GNEP shared-multiplier consistency (standalone only): μ ≥ 0, and a
+	// strictly positive μ prices a BINDING capacity, so the market must
+	// clear to within the slackness tolerance.
+	if cfg.Mode == netmodel.Standalone {
+		cert.add("multiplier_sign", math.Max(0, -eq.Multiplier), 0, "shared-capacity shadow price must be non-negative")
+		if !math.IsInf(cfg.EdgeCapacity, 1) {
+			slack := math.Max(0, cfg.EdgeCapacity-tot.Edge)
+			res := 0.0
+			if eq.Multiplier > opts.ConsistTol*params.PriceE {
+				res = slack / cfg.EdgeCapacity
+			}
+			cert.add("multiplier_slackness", res, opts.SlackTol,
+				fmt.Sprintf("mu=%g, capacity slack=%g", eq.Multiplier, slack))
+		}
+	}
+	return cert, nil
+}
+
+// CertifyProfile certifies a bare strategy profile at the given prices:
+// per-miner ε-Nash deviation gains, budget and non-negativity residuals,
+// the standalone shared-capacity residual, and Theorem 1's
+// winning-probability identities. It is the certificate core shared by
+// every richer result shape (and the right entry point for profiles that
+// carry no solver summary, e.g. an RL learner's greedy profile). The
+// returned error reports malformed inputs only; the verification verdict
+// is Certificate.OK.
+func CertifyProfile(cfg core.Config, p core.Prices, prof miner.Profile, opts Options) (Certificate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Certificate{}, fmt.Errorf("verify: %w", err)
+	}
+	params := cfg.Params(p)
+	if err := params.Validate(); err != nil {
+		return Certificate{}, fmt.Errorf("verify: %w", err)
+	}
+	if len(prof) != cfg.N {
+		return Certificate{}, fmt.Errorf("verify: profile has %d entries, config has %d miners", len(prof), cfg.N)
+	}
+	opts = opts.withDefaults()
+	cert := Certificate{Kind: "miner_ne", Mode: cfg.Mode.String(), N: cfg.N, OK: true}
+
+	// Feasibility residuals: every request in its polytope, and (in
+	// standalone mode) the shared capacity respected jointly.
+	var nonneg, budget float64
+	for i, r := range prof {
+		nonneg = math.Max(nonneg, math.Max(-r.E, -r.C))
+		b := cfg.Budget(i)
+		if over := (params.Spend(r) - b) / (1 + b); over > budget {
+			budget = over
+		}
+	}
+	cert.add("nonneg", nonneg, opts.FeasTol, "negative request coordinates")
+	cert.add("budget", budget, opts.FeasTol, "relative budget overspend max_i (spend_i - B_i)/(1 + B_i)")
+	tot := prof.Aggregate()
+	if cfg.Mode == netmodel.Standalone && !math.IsInf(cfg.EdgeCapacity, 1) {
+		// The variational solver clears the shared market to 1e-4·E_max by
+		// contract, so the overshoot bound is SlackTol, not the (tighter)
+		// per-miner feasibility tolerance.
+		cert.add("capacity", (tot.Edge-cfg.EdgeCapacity)/cfg.EdgeCapacity, opts.SlackTol,
+			fmt.Sprintf("relative shared-capacity overshoot, E=%g E_max=%g", tot.Edge, cfg.EdgeCapacity))
+	}
+
+	// ε-Nash: per-miner best-response deviation gains, normalized by R.
+	gains := core.Deviations(cfg, p, prof)
+	var eps float64
+	for _, g := range gains {
+		if g > eps {
+			eps = g
+		}
+	}
+	cert.Gains = gains
+	cert.Epsilon = eps
+	cert.EpsilonRel = eps / cfg.Reward
+	cert.add("deviation", cert.EpsilonRel, opts.GainTol, "worst unilateral best-response gain relative to R")
+
+	// Theorem 1: the fully satisfied winning probabilities sum to one;
+	// in connected mode the expected mass is (1−β) + βh·1{E > 0}.
+	if tot.Edge+tot.Cloud > 0 {
+		wFull := numeric.Sum(miner.WinProbsFull(cfg.Beta, prof))
+		cert.add("winprob_sum_full", math.Abs(wFull-1), opts.ProbTol,
+			"Theorem 1: fully satisfied winning probabilities must sum to 1")
+		if cfg.Mode == netmodel.Connected {
+			want := 1 - cfg.Beta
+			if tot.Edge > 1e-12 {
+				want += cfg.Beta * cfg.SatisfyProb
+			}
+			wConn := numeric.Sum(miner.WinProbsConnected(cfg.Beta, cfg.SatisfyProb, prof))
+			cert.add("winprob_sum_connected", math.Abs(wConn-want), opts.ProbTol,
+				"connected-mode mass identity ΣW = (1−β) + βh·1{E>0}")
+		}
+	}
+	return cert, nil
+}
+
+// sliceResidual returns the largest absolute difference between two
+// equal-length slices and a scale (1 + largest magnitude seen) for
+// relative comparison. Length mismatches return an infinite residual:
+// a summary that lost entries cannot certify.
+func sliceResidual(want, got []float64) (res, scale float64) {
+	scale = 1
+	if len(want) != len(got) {
+		return math.Inf(1), scale
+	}
+	for i := range want {
+		if d := math.Abs(want[i] - got[i]); d > res {
+			res = d
+		}
+		if m := math.Abs(want[i]); m+1 > scale {
+			scale = m + 1
+		}
+	}
+	return res, scale
+}
+
+// NECertifier adapts Certify into a core.Certifier suitable for
+// core.StackelbergOptions.CertifyAfterSolve and the experiment drivers'
+// CertifyAfterSolve hooks: it returns nil exactly when the certificate
+// passes.
+func NECertifier(opts Options) core.Certifier {
+	return func(cfg core.Config, p core.Prices, eq core.MinerEquilibrium) error {
+		cert, err := Certify(cfg, p, eq, opts)
+		if err != nil {
+			return err
+		}
+		return cert.Err()
+	}
+}
