@@ -60,7 +60,7 @@ func TestMetricsFlagReportsRaceStats(t *testing.T) {
 	for _, want := range []string{
 		"mined 50 canonical blocks", // normal report intact
 		"== metrics ==",
-		"chain.blocks_mined",
+		"chain.blocks_mined_total",
 		"sim.queue_high_water",
 		"chain.round_duration_s",
 	} {

@@ -14,9 +14,17 @@
 //	minegame verify -in eq.json -pe 8 -pc 4
 //	minegame verify -results results/
 //
+// The trace subcommand analyzes a JSONL trace offline — span-tree
+// reconstruction, per-name aggregates, the critical path, and the
+// slowest solves:
+//
+//	minegame trace -in /tmp/solve.jsonl
+//	minegame trace -in postmortem-001-solve_not_converged.jsonl -format json
+//
 // Observability (see README.md "Observability"):
 //
 //	minegame -stage full -trace /tmp/solve.jsonl -metrics
+//	minegame -stage full -serve-metrics localhost:9090
 //	minegame -stage compare -cpuprofile cpu.out -pprof localhost:6060
 package main
 
@@ -42,6 +50,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	if len(args) > 0 && args[0] == "verify" {
 		return runVerify(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], out)
 	}
 	fs := flag.NewFlagSet("minegame", flag.ContinueOnError)
 	fs.SetOutput(out)

@@ -89,7 +89,7 @@ func TestMetricsFlagDumpsText(t *testing.T) {
 	for _, want := range []string{
 		"Stackelberg equilibrium", // the solve itself still prints
 		"== metrics ==",
-		"game.sweeps",
+		"game.sweeps_total",
 		"game.solve_ne.ms",
 	} {
 		if !strings.Contains(got, want) {
@@ -115,8 +115,8 @@ func TestMetricsComposesWithJSON(t *testing.T) {
 	if err := dec.Decode(&metrics); err != nil {
 		t.Fatalf("second JSON object (metrics): %v", err)
 	}
-	if metrics.Counters["game.sweeps"] <= 0 {
-		t.Errorf("metrics.counters[game.sweeps] = %d, want > 0", metrics.Counters["game.sweeps"])
+	if metrics.Counters["game.sweeps_total"] <= 0 {
+		t.Errorf("metrics.counters[game.sweeps_total] = %d, want > 0", metrics.Counters["game.sweeps_total"])
 	}
 	if _, ok := metrics.Histograms["game.solve_ne.ms"]; !ok {
 		t.Errorf("metrics missing game.solve_ne.ms histogram: %+v", metrics.Histograms)

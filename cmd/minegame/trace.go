@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"minegame/internal/obs/report"
+)
+
+// runTrace implements the `minegame trace` subcommand: the offline
+// analyzer for JSONL traces written by -trace or by the flight
+// recorder's postmortem bundles (internal/obs/report does the work).
+func runTrace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("minegame trace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		in     = fs.String("in", "", "trace file to analyze (JSONL from -trace or a postmortem bundle); - reads stdin")
+		format = fs.String("format", "text", "output format: text | json | csv")
+		topK   = fs.Int("top", 10, "rows in the slowest-spans table")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: minegame trace -in <file.jsonl> [-format text|json|csv] [-top N]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("trace: -in is required")
+	}
+
+	var r io.Reader
+	if *in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	recs, malformed, err := report.Parse(r)
+	if err != nil {
+		return err
+	}
+	a := report.Analyze(recs, malformed, *topK)
+
+	switch *format {
+	case "text":
+		return a.WriteText(out)
+	case "json":
+		return a.WriteJSON(out)
+	case "csv":
+		return a.WriteCSV(out)
+	default:
+		return fmt.Errorf("trace: unknown format %q (want text, json or csv)", *format)
+	}
+}

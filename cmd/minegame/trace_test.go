@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// solveWithTrace runs a real solve with -trace and returns the trace
+// file path.
+func solveWithTrace(t *testing.T) string {
+	t.Helper()
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-stage", "full", "-trace", trace}, &out); err != nil {
+		t.Fatalf("traced solve: %v", err)
+	}
+	return trace
+}
+
+func TestTraceSubcommandText(t *testing.T) {
+	trace := solveWithTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"trace", "-in", trace}, &out); err != nil {
+		t.Fatalf("trace subcommand: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace:", "spans", "by span name", "slowest spans", "critical path",
+		"core.stackelberg", // the root span of a full solve
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceSubcommandJSONAndCSV(t *testing.T) {
+	trace := solveWithTrace(t)
+
+	var js bytes.Buffer
+	if err := run([]string{"trace", "-in", trace, "-format", "json", "-top", "3"}, &js); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var a struct {
+		Spans   int `json:"spans"`
+		Slowest []struct {
+			Name string `json:"name"`
+		} `json:"slowest"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &a); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, js.String())
+	}
+	if a.Spans == 0 {
+		t.Error("JSON report has zero spans")
+	}
+	if len(a.Slowest) > 3 {
+		t.Errorf("-top 3 gave %d slowest rows", len(a.Slowest))
+	}
+
+	var csv bytes.Buffer
+	if err := run([]string{"trace", "-in", trace, "-format", "csv"}, &csv); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "name,count,") {
+		t.Errorf("csv output malformed:\n%s", csv.String())
+	}
+}
+
+func TestTraceSubcommandErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"trace"}, &out); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run([]string{"trace", "-in", filepath.Join(t.TempDir(), "nope.jsonl")}, &out); err == nil {
+		t.Error("missing file should error")
+	}
+	trace := solveWithTrace(t)
+	if err := run([]string{"trace", "-in", trace, "-format", "xml"}, &out); err == nil {
+		t.Error("unknown format should error")
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// obsPkgSuffix identifies the instrumentation package whose recording
+// methods take metric names. Matching by suffix keeps the check
+// portable across module renames (and lets the fixture package declare
+// its own stand-in obs package).
+const obsPkgSuffix = "internal/obs"
+
+// metricNameMethods maps each obs recording method to the kind of
+// series its literal name argument creates.
+var metricNameMethods = map[string]string{
+	"Counter":   "counter",
+	"Count":     "counter",
+	"Gauge":     "gauge",
+	"SetGauge":  "gauge",
+	"MaxGauge":  "gauge",
+	"Histogram": "histogram",
+	"Observe":   "histogram",
+	"StartSpan": "span",
+	"Emit":      "event",
+	"Child":     "span",
+}
+
+// metricNamePattern is the repository convention for every series name:
+// lower-case dot-separated segments, at least subsystem.name, with
+// underscores allowed past the first segment.
+var metricNamePattern = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9_]*)+$`)
+
+// histUnits is the unit vocabulary a histogram name must end with
+// (after "_" or "."): duration, size, iteration-count, and the solver's
+// dimensionless residual/quality units.
+var histUnits = []string{
+	"ms", "s", "seconds", "bytes", "iterations",
+	"rate", "ratio", "rel", "distance", "delta", "reward",
+}
+
+// MetricName returns the analyzer enforcing the subsystem.name_unit
+// metric-name convention on literal names passed to the obs recording
+// methods: every name matches metricNamePattern (dots become
+// underscores at exposition, yielding Prometheus's subsystem_name_unit
+// shape), counter names end in _total, and histogram names end in a
+// unit from histUnits. Dynamically built names (string concatenation,
+// variables) are skipped — the convention is enforced where the name is
+// spelled out.
+func MetricName() *Analyzer {
+	return &Analyzer{
+		Name: "metricname",
+		Doc: "enforces the subsystem.name_unit convention on literal metric names: " +
+			"dot-separated lower-case segments, counters ending _total, histograms ending in a known unit",
+		Run: runMetricName,
+	}
+}
+
+func runMetricName(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind, ok := metricKind(pass, call)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				return true // dynamic name; out of scope
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if msg := checkMetricName(name, kind); msg != "" {
+				pass.Reportf(lit.Pos(), "%s", msg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// metricKind resolves a call to an obs recording method and returns the
+// series kind its name argument creates.
+func metricKind(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path != obsPkgSuffix && !strings.HasSuffix(path, "/"+obsPkgSuffix) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	kind, ok := metricNameMethods[fn.Name()]
+	return kind, ok
+}
+
+// checkMetricName validates one literal series name against the
+// convention for its kind; it returns the diagnostic message, or ""
+// when the name complies.
+func checkMetricName(name, kind string) string {
+	if !metricNamePattern.MatchString(name) {
+		return "metric name " + strconv.Quote(name) +
+			" does not match the subsystem.name_unit convention (" + metricNamePattern.String() + ")"
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return "counter name " + strconv.Quote(name) + " must end in _total"
+		}
+	case "histogram":
+		if !hasUnitSuffix(name) {
+			return "histogram name " + strconv.Quote(name) +
+				" must end in a unit (_" + strings.Join(histUnits, ", _") + ")"
+		}
+	}
+	return ""
+}
+
+// hasUnitSuffix reports whether a histogram name ends in one of the
+// vocabulary units, attached with "_" or as its own ".unit" segment.
+func hasUnitSuffix(name string) bool {
+	for _, u := range histUnits {
+		if strings.HasSuffix(name, "_"+u) || strings.HasSuffix(name, "."+u) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+func TestMetricNameFixture(t *testing.T) {
+	testFixture(t, "metricname", false, MetricName())
+}
+
+func TestCheckMetricName(t *testing.T) {
+	cases := []struct {
+		name, kind string
+		wantBad    bool
+	}{
+		{"core.demand_probes_total", "counter", false},
+		{"chain.wins.edge_total", "counter", false},
+		{"core.demand_probes", "counter", true},
+		{"chain.height", "gauge", false},
+		{"height", "gauge", true},
+		{"game.sweep_delta", "histogram", false},
+		{"core.stackelberg.ms", "histogram", false},
+		{"game.solve_ne.iterations", "histogram", false},
+		{"game.sweep", "histogram", true},
+		{"game.sweep_units", "histogram", true},
+		{"game.solve_ne", "span", false},
+		{"Game.sweep", "span", true},
+		{"game.", "event", true},
+		{"game..sweep", "event", true},
+		{"game.sweep-rate", "event", true},
+	}
+	for _, tc := range cases {
+		msg := checkMetricName(tc.name, tc.kind)
+		if got := msg != ""; got != tc.wantBad {
+			t.Errorf("checkMetricName(%q, %s) = %q, wantBad=%v", tc.name, tc.kind, msg, tc.wantBad)
+		}
+	}
+}

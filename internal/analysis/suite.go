@@ -4,10 +4,11 @@ import (
 	"strings"
 )
 
-// DefaultSuite returns the repository's four analyzers in their
-// canonical order: determinism, nopanic, floateq, exporteddoc.
+// DefaultSuite returns the repository's five analyzers in their
+// canonical order: determinism, nopanic, floateq, exporteddoc,
+// metricname.
 func DefaultSuite() []*Analyzer {
-	return []*Analyzer{Determinism(), NoPanic(), FloatEq(), ExportedDoc()}
+	return []*Analyzer{Determinism(), NoPanic(), FloatEq(), ExportedDoc(), MetricName()}
 }
 
 // DefaultPackageSkips is the package-level allowlist: for each check,

@@ -28,7 +28,7 @@ func TestRandDisciplineAudit(t *testing.T) {
 }
 
 func TestDefaultSuiteCheckNames(t *testing.T) {
-	want := []string{"determinism", "nopanic", "floateq", "exporteddoc"}
+	want := []string{"determinism", "nopanic", "floateq", "exporteddoc", "metricname"}
 	suite := DefaultSuite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

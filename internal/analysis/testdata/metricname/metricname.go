@@ -1,0 +1,59 @@
+// Package metricname is a minelint fixture seeding metric-name
+// convention violations (bare names, counters without _total,
+// histograms without units, illegal characters) next to compliant
+// names and the dynamic-name idioms the check must keep accepting.
+package metricname
+
+import "minegame/internal/obs"
+
+// Compliant names: every recording method, nothing reported.
+func Compliant(o *obs.Observer) {
+	o.Count("core.demand_probes_total", 1)
+	_ = o.Counter("miner.kkt_warm_hits_total")
+	o.SetGauge("chain.height", 10)
+	o.MaxGauge("parallel.pool_size", 4)
+	_ = o.Gauge("rl.epsilon")
+	o.Observe("game.sweep_delta", 0.5)
+	_ = o.Histogram("parallel.task_ms")
+	o.Observe("verify.epsilon_rel", 1e-6)
+	o.Observe("chain.round_duration_s", 12)
+	o.Emit("game.sweep", nil)
+	sp := o.StartSpan("core.stackelberg", nil)
+	child := sp.Child("game.solve_ne", nil)
+	child.End(nil)
+	sp.End(nil)
+}
+
+// BadShape seeds names outside the subsystem.name pattern.
+func BadShape(o *obs.Observer) {
+	o.Count("sweeps_total", 1)            // want "does not match the subsystem\.name_unit convention"
+	o.SetGauge("Game.Height", 1)          // want "does not match the subsystem\.name_unit convention"
+	o.Emit("game.solve-ne", nil)          // want "does not match the subsystem\.name_unit convention"
+	_ = o.StartSpan("_private.name", nil) // want "does not match the subsystem\.name_unit convention"
+}
+
+// BadCounter seeds counters missing the _total suffix.
+func BadCounter(o *obs.Observer) {
+	o.Count("game.sweeps", 1)    // want "counter name \"game\.sweeps\" must end in _total"
+	_ = o.Counter("chain.forks") // want "counter name \"chain\.forks\" must end in _total"
+}
+
+// BadHistogram seeds histograms without a recognized unit.
+func BadHistogram(o *obs.Observer) {
+	o.Observe("game.sweep", 0.5)          // want "histogram name \"game\.sweep\" must end in a unit"
+	_ = o.Histogram("parallel.task_time") // want "histogram name \"parallel\.task_time\" must end in a unit"
+}
+
+// Dynamic names are out of scope: the convention is enforced where the
+// name is a literal.
+func Dynamic(o *obs.Observer, id string) {
+	o.Count("experiments."+id, 1)
+	o.Observe(spanName(id)+".ms", 1)
+}
+
+func spanName(id string) string { return "experiments." + id }
+
+// Allowed suppresses a finding with a scoped directive.
+func Allowed(o *obs.Observer) {
+	o.Count("legacy.sweeps", 1) //lint:allow metricname migration shim: external dashboards still scrape the unsuffixed name
+}

@@ -221,18 +221,18 @@ func (s *WinStats) record(res RoundResult, ob *obs.Observer, emitRound bool) {
 	if !ob.Enabled() {
 		return
 	}
-	ob.Count("chain.blocks_mined", 1)
-	ob.Count("chain.blocks_solved", int64(res.Solved))
+	ob.Count("chain.blocks_mined_total", 1)
+	ob.Count("chain.blocks_solved_total", int64(res.Solved))
 	if res.Forked {
-		ob.Count("chain.forks", 1)
-		ob.Count("chain.blocks_discarded", int64(res.Solved-1))
+		ob.Count("chain.forks_total", 1)
+		ob.Count("chain.blocks_discarded_total", int64(res.Solved-1))
 	}
 	if res.WinnerOrigin == OriginEdge {
-		ob.Count("chain.wins.edge", 1)
+		ob.Count("chain.wins.edge_total", 1)
 	} else {
-		ob.Count("chain.wins.cloud", 1)
+		ob.Count("chain.wins.cloud_total", 1)
 	}
-	ob.Count(fmt.Sprintf("chain.wins.miner_%d", res.WinnerID), 1)
+	ob.Count(fmt.Sprintf("chain.wins.miner_%d_total", res.WinnerID), 1)
 	ob.Observe("chain.round_duration_s", res.Duration)
 	ob.MaxGauge("chain.max_rivals_per_round", float64(res.Solved-1))
 	if emitRound && ob.Tracing() {

@@ -192,8 +192,9 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 	span := ob.StartSpan("core.stackelberg", obs.Fields{
 		"mode": cfg.Mode.String(), "miners": cfg.N, "closed_form": useClosedForm,
 	})
-	probes := ob.Counter("core.demand_probes")
-	memoHits := ob.Counter("core.demand_memo_hits")
+	probes := ob.Counter("core.demand_probes_total")
+	memoHits := ob.Counter("core.demand_memo_hits_total")
+	warmDist := ob.Histogram("core.warm_start_distance")
 
 	// Anchor warm start: solve one canonical follower equilibrium at the
 	// starting prices and seed every numeric demand probe from it. The
@@ -222,6 +223,9 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 			eq, err := SolveMinerEquilibriumFrom(cfg, p, opts.Follower, anchor)
 			if err != nil {
 				return d, nil
+			}
+			if warmDist != nil {
+				warmDist.Observe(profileDistance(anchor, eq.Requests))
 			}
 			return demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}, eq.Requests
 		})
@@ -318,7 +322,28 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 		"profit_e": res.ProfitE, "profit_c": res.ProfitC,
 		"leader_iterations": res.Iterations, "converged": res.Converged,
 	})
+	if !res.Converged {
+		ob.ReportAnomaly("leader_not_converged", obs.Fields{
+			"mode": cfg.Mode.String(), "iterations": res.Iterations,
+			"price_e": prices.Edge, "price_c": prices.Cloud,
+		})
+	}
 	return res, nil
+}
+
+// profileDistance is the RMS request-space distance between two
+// profiles — how far the anchor warm start sat from the equilibrium a
+// probe actually converged to. Mismatched or missing profiles yield 0.
+func profileDistance(a, b miner.Profile) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	var sum float64
+	for i := range a {
+		de, dc := a[i].E-b[i].E, a[i].C-b[i].C
+		sum += de*de + dc*dc
+	}
+	return math.Sqrt(sum / float64(len(a)))
 }
 
 // solveStandaloneLeaders implements the SP stage of Algorithm 2 under
@@ -332,7 +357,7 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 func (c Config) solveStandaloneLeaders(opts StackelbergOptions) (game.LeadersResult, error) {
 	ob := opts.observer()
 	span := ob.StartSpan("core.standalone_bargain", obs.Fields{"miners": c.N, "capacity": c.EdgeCapacity})
-	clearingSolves := ob.Counter("core.clearing_price_solves")
+	clearingSolves := ob.Counter("core.clearing_price_solves_total")
 	// clearing returns the market-clearing edge price at pc and, on the
 	// numeric path, the unconstrained follower profile at that price —
 	// a warm start for the constrained solve the caller runs next. Each

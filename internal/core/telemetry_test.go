@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"minegame/internal/netmodel"
+	"minegame/internal/obs"
+)
+
+// TestSolveTelemetryCounters pins the hot-path instrumentation contract:
+// an observed solve reports its demand-oracle traffic, memo efficiency,
+// warm-start quality, and per-sweep residuals, and the miner layer's
+// KKT fast-path hit rates reach the process-default observer.
+func TestSolveTelemetryCounters(t *testing.T) {
+	ob := obs.New()
+	// The miner best responses report through obs.Default (they have no
+	// options struct to carry an observer); route it to this test's
+	// observer and restore afterwards.
+	prev := obs.SetDefault(ob)
+	defer obs.SetDefault(prev)
+
+	cfg := Config{
+		Mode:    netmodel.Connected,
+		N:       4,
+		Budgets: []float64{200, 210, 190, 205}, // heterogeneous → numeric demand oracle
+		Reward:  1000, Beta: 0.2, SatisfyProb: 0.7,
+		CostE: 2, CostC: 1,
+	}
+	res, err := SolveStackelberg(cfg, StackelbergOptions{Workers: 1, Observer: ob})
+	if err != nil {
+		t.Fatalf("SolveStackelberg: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("solve did not converge; telemetry assertions below assume a clean run")
+	}
+
+	snap := ob.Snapshot()
+	probes := snap.Counters["core.demand_probes_total"]
+	if probes == 0 {
+		t.Error("core.demand_probes_total = 0, want > 0")
+	}
+	if snap.Counters["core.demand_memo_hits_total"] == 0 {
+		t.Error("core.demand_memo_hits_total = 0: the leader grids revisit prices, some probes must hit the memo")
+	}
+	if snap.Counters["game.sweeps_total"] == 0 {
+		t.Error("game.sweeps_total = 0, want > 0")
+	}
+
+	// The numeric oracle measures every probe's distance from the anchor
+	// warm start; samples land in core.warm_start_distance.
+	wd, ok := snap.Histograms["core.warm_start_distance"]
+	if !ok || wd.Count == 0 {
+		t.Errorf("core.warm_start_distance missing or empty: %+v", snap.Histograms)
+	} else if wd.Min < 0 {
+		t.Errorf("warm-start distance must be non-negative, min = %g", wd.Min)
+	}
+
+	// Per-sweep residuals: one sample per recorded sweep.
+	sd, ok := snap.Histograms["game.sweep_delta"]
+	if !ok || sd.Count != snap.Counters["game.sweeps_total"] {
+		t.Errorf("game.sweep_delta count = %d, want %d (one sample per sweep)",
+			sd.Count, snap.Counters["game.sweeps_total"])
+	}
+
+	// KKT fast paths: calls always tick; warm hits dominate once the
+	// best-response iteration settles.
+	calls := snap.Counters["miner.best_response_calls_total"]
+	warm := snap.Counters["miner.kkt_warm_hits_total"]
+	if calls == 0 {
+		t.Error("miner.best_response_calls_total = 0, want > 0")
+	}
+	if warm == 0 {
+		t.Error("miner.kkt_warm_hits_total = 0: warm-started sweeps must settle some responses via KKT")
+	}
+	if warm+snap.Counters["miner.kkt_analytic_hits_total"] > calls {
+		t.Errorf("KKT hits (%d warm + %d analytic) exceed calls (%d)",
+			warm, snap.Counters["miner.kkt_analytic_hits_total"], calls)
+	}
+}
+
+// TestSolveTelemetryDisabledIsSilent pins the zero-cost-when-disabled
+// contract: a solve against a disabled observer records nothing.
+func TestSolveTelemetryDisabledIsSilent(t *testing.T) {
+	ob := obs.New()
+	ob.SetEnabled(false)
+	prev := obs.SetDefault(ob)
+	defer obs.SetDefault(prev)
+
+	cfg := Config{
+		Mode: netmodel.Connected,
+		N:    3, Budgets: []float64{200}, Reward: 1000, Beta: 0.2,
+		SatisfyProb: 0.7, CostE: 2, CostC: 1,
+	}
+	if _, err := SolveStackelberg(cfg, StackelbergOptions{Workers: 1, Observer: ob}); err != nil {
+		t.Fatalf("SolveStackelberg: %v", err)
+	}
+	snap := ob.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("disabled observer recorded metrics: counters=%v histograms=%v",
+			snap.Counters, snap.Histograms)
+	}
+}

@@ -35,10 +35,10 @@ func RunObserved(r Runner, cfg Config, o *obs.Observer) (Result, error) {
 		after := o.Snapshot().Counters
 		note := fmt.Sprintf("observability: wall time %s", elapsed.Round(time.Millisecond))
 		for _, c := range []struct{ counter, label string }{
-			{"game.sweeps", "solver sweeps"},
-			{"game.leader_rounds", "leader rounds"},
-			{"chain.blocks_mined", "mining rounds"},
-			{"rl.episodes", "RL episodes"},
+			{"game.sweeps_total", "solver sweeps"},
+			{"game.leader_rounds_total", "leader rounds"},
+			{"chain.blocks_mined_total", "mining rounds"},
+			{"rl.episodes_total", "RL episodes"},
 		} {
 			if d := after[c.counter] - before[c.counter]; d > 0 {
 				note += fmt.Sprintf(", %s %d", c.label, d)

@@ -203,14 +203,15 @@ func solveNE(start []numeric.Point2, br BestResponse, abr AggregateBestResponse,
 // contraction-rate summary. The zero-cost story: when the observer is
 // disabled, every method is a single boolean test.
 type solveTelemetry struct {
-	ob      *obs.Observer
-	span    *obs.Span
-	sweeps  *obs.Counter
-	deltas  []float64
-	name    string
-	solver  string
-	on      bool
-	tracing bool
+	ob        *obs.Observer
+	span      *obs.Span
+	sweeps    *obs.Counter
+	delta     *obs.Histogram
+	deltas    []float64
+	name      string
+	solver    string
+	on        bool
+	recording bool
 }
 
 func newSolveTelemetry(opts NEOptions, name, solver string, players int) *solveTelemetry {
@@ -219,13 +220,17 @@ func newSolveTelemetry(opts NEOptions, name, solver string, players int) *solveT
 		return &solveTelemetry{}
 	}
 	return &solveTelemetry{
-		ob:      ob,
-		span:    ob.StartSpan(name, obs.Fields{"players": players, "solver": solver, "tol": opts.Tol, "damping": opts.Damping}),
-		sweeps:  ob.Counter("game.sweeps"),
-		name:    name,
-		solver:  solver,
-		on:      true,
-		tracing: ob.Tracing(),
+		ob:     ob,
+		span:   ob.StartSpan(name, obs.Fields{"players": players, "solver": solver, "tol": opts.Tol, "damping": opts.Damping}),
+		sweeps: ob.Counter("game.sweeps_total"),
+		delta:  ob.Histogram("game.sweep_delta"),
+		name:   name,
+		solver: solver,
+		on:     true,
+		// Recording (not Tracing): the per-sweep Fields maps are worth
+		// building whenever any sink — trace file or flight recorder —
+		// will keep them.
+		recording: ob.Recording(),
 	}
 }
 
@@ -235,13 +240,16 @@ func (t *solveTelemetry) sweep(iter int, maxDelta float64) {
 		return
 	}
 	t.sweeps.Inc()
+	t.delta.Observe(maxDelta)
 	t.deltas = append(t.deltas, maxDelta)
-	if t.tracing {
+	if t.recording {
 		t.ob.Emit("game.sweep", obs.Fields{"solver": t.solver, "iter": iter, "max_delta": maxDelta})
 	}
 }
 
-// finish closes the solve span with convergence stats.
+// finish closes the solve span with convergence stats. A solve that ran
+// out of iterations is an anomaly: the flight recorder (when armed)
+// dumps the sweep history that led up to it.
 func (t *solveTelemetry) finish(res NEResult) {
 	if !t.on {
 		return
@@ -253,6 +261,12 @@ func (t *solveTelemetry) finish(res NEResult) {
 		end["contraction_rate"] = rate
 	}
 	t.span.End(end)
+	if !res.Converged {
+		t.ob.ReportAnomaly("solve_not_converged", obs.Fields{
+			"solve": t.name, "solver": t.solver,
+			"iterations": res.Iterations, "max_delta": res.MaxDelta,
+		})
+	}
 }
 
 // ContractionRate estimates the geometric convergence factor of a
@@ -493,22 +507,26 @@ func solveVariationalGNE(
 	ob := opts.observer()
 	span := ob.StartSpan("game.solve_vgne", obs.Fields{"players": len(start), "capacity": capacity})
 	defer func() {
-		if span == nil {
-			return
+		if span != nil {
+			span.End(obs.Fields{
+				"multiplier":   result.Multiplier,
+				"shared_value": result.SharedValue,
+				"converged":    result.Converged,
+				"failed":       err != nil,
+			})
 		}
-		span.End(obs.Fields{
-			"multiplier":   result.Multiplier,
-			"shared_value": result.SharedValue,
-			"converged":    result.Converged,
-			"failed":       err != nil,
-		})
+		if err != nil {
+			ob.ReportAnomaly("gne_no_equilibrium", obs.Fields{
+				"players": len(start), "capacity": capacity, "error": err.Error(),
+			})
+		}
 	}()
-	probes := ob.Counter("game.gne_multiplier_probes")
-	tracing := ob.Tracing()
+	probes := ob.Counter("game.gne_multiplier_probes_total")
+	recording := ob.Recording()
 	solve := func(mu float64, from []numeric.Point2) NEResult {
 		probes.Inc()
 		res := neAt(mu, from)
-		if tracing {
+		if recording {
 			ob.Emit("game.gne_probe", obs.Fields{"mu": mu, "iterations": res.Iterations, "converged": res.Converged})
 		}
 		return res

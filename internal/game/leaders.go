@@ -91,7 +91,7 @@ func SolveLeaders(a, b Leader, startA, startB float64, opts LeaderOptions) (Lead
 	opts = opts.withDefaults()
 	ob := opts.observer()
 	span := ob.StartSpan("game.solve_leaders", obs.Fields{"leader_a": a.Name, "leader_b": b.Name})
-	rounds := ob.Counter("game.leader_rounds")
+	rounds := ob.Counter("game.leader_rounds_total")
 	tracing := ob.Tracing()
 	pa, pb := startA, startB
 	res := LeadersResult{}

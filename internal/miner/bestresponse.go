@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"minegame/internal/numeric"
+	"minegame/internal/obs"
 )
 
 // kktSatisfied reports whether x is (numerically) a KKT point of the
@@ -38,6 +39,13 @@ func BestResponseConnected(p Params, budget float64, env Env, hints ...numeric.P
 	}
 	f := func(x numeric.Point2) float64 { return UtilityConnected(p, x, env) }
 	grad := func(x numeric.Point2) numeric.Point2 { return GradConnected(p, x, env) }
+	// The package-wide hit-rate counters answer "how often does the warm
+	// or analytic fast path settle a best response" — the lever behind
+	// the O(N)-per-sweep hot path. The miner layer has no observer
+	// plumbing of its own, so these report through the process default
+	// (a single atomic check when observability is off).
+	ob := obs.Default()
+	ob.Count("miner.best_response_calls_total", 1)
 
 	// Warm path: a hint that already satisfies the KKT conditions is the
 	// answer — the iterating solvers hit this on almost every sweep once
@@ -50,6 +58,7 @@ func BestResponseConnected(p Params, budget float64, env Env, hints ...numeric.P
 		for _, h := range hints {
 			h = k.Project(h)
 			if kktSatisfied(k, h, grad(h), 1e-7) {
+				ob.Count("miner.kkt_warm_hits_total", 1)
 				return h
 			}
 		}
@@ -58,6 +67,7 @@ func BestResponseConnected(p Params, budget float64, env Env, hints ...numeric.P
 	if cand, ok := analyticConnected(p, budget, env); ok {
 		cand = k.Project(cand)
 		if kktSatisfied(k, cand, grad(cand), 1e-7) {
+			ob.Count("miner.kkt_analytic_hits_total", 1)
 			return cand
 		}
 	}
@@ -193,11 +203,14 @@ func bestResponsePenalized(p Params, mu, budget, edgeCap float64, env Env, hints
 		return g
 	}
 
+	ob := obs.Default()
+	ob.Count("miner.best_response_calls_total", 1)
 	// Warm path: a hint that already satisfies the KKT conditions is the
 	// answer (the iterating solvers hit this almost every sweep).
 	for _, h := range hints {
 		h = k.Project(h)
 		if kktSatisfied(k, h, grad(h), 1e-7) {
+			ob.Count("miner.kkt_warm_hits_total", 1)
 			return h
 		}
 	}

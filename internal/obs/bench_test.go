@@ -81,3 +81,25 @@ func BenchmarkEnabledEmitWithTrace(b *testing.B) {
 		o.Emit("game.sweep", Fields{"iter": i, "max_delta": 0.5})
 	}
 }
+
+// Flight-recorder costs: the ring is the serving-mode middle ground —
+// records are retained in memory without the JSON encoding a trace sink
+// pays.
+
+func BenchmarkFlightRecorderEmit(b *testing.B) {
+	o := New()
+	o.EnableFlightRecorder(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Emit("game.sweep", Fields{"iter": i, "max_delta": 0.5})
+	}
+}
+
+func BenchmarkFlightRecorderSpan(b *testing.B) {
+	o := New()
+	o.EnableFlightRecorder(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.StartSpan("game.solve_ne", nil).End(nil)
+	}
+}

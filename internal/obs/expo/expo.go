@@ -1,0 +1,179 @@
+// Package expo serves an obs.Observer's registry over HTTP in the
+// OpenMetrics / Prometheus text exposition format, alongside liveness
+// and readiness probes and a JSON debug view — the serving-grade face of
+// the instrumentation layer. NewMux mounts the full endpoint set
+// (/metrics, /healthz, /readyz, /debug/obs); the CLIs expose it behind
+// the shared -serve-metrics flag (internal/obs/obscli), and a
+// long-running pricing server mounts the same handlers.
+//
+// The renderer maps the repository's dot-separated metric names
+// (subsystem.name_unit, see the minelint "metricname" check) onto the
+// exposition alphabet by replacing every character outside
+// [a-zA-Z0-9_:] with an underscore: "core.demand_probes_total" is
+// scraped as core_demand_probes_total. Counters render as counter
+// families, gauges as gauges, and histograms as summaries with exact
+// min/max as the 0 and 1 quantiles plus the p50/p90/p99 estimates from
+// the bounded sample ring.
+package expo
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"minegame/internal/obs"
+)
+
+// ContentType is the OpenMetrics content type served by MetricsHandler.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// SnapshotFunc supplies the metrics to render — typically
+// (*obs.Observer).Snapshot bound to the serving observer.
+type SnapshotFunc func() obs.Snapshot
+
+// WriteOpenMetrics renders one snapshot in OpenMetrics text format:
+// sorted metric families with TYPE (and, where help has an entry keyed
+// by the RAW metric name, HELP) lines, terminated by the mandatory
+// "# EOF" marker. help may be nil.
+func WriteOpenMetrics(w io.Writer, snap obs.Snapshot, help map[string]string) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(snap.Counters) {
+		family := strings.TrimSuffix(sanitizeName(name), "_total")
+		writeMeta(&b, family, "counter", help[name])
+		fmt.Fprintf(&b, "%s_total %s\n", family, formatValue(float64(snap.Counters[name])))
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		family := sanitizeName(name)
+		writeMeta(&b, family, "gauge", help[name])
+		fmt.Fprintf(&b, "%s %s\n", family, formatValue(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		family := sanitizeName(name)
+		h := snap.Histograms[name]
+		writeMeta(&b, family, "summary", help[name])
+		if h.Count > 0 {
+			for _, q := range []struct {
+				label string
+				value float64
+			}{
+				{"0", h.Min}, {"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}, {"1", h.Max},
+			} {
+				fmt.Fprintf(&b, "%s{quantile=\"%s\"} %s\n", family, q.label, formatValue(q.value))
+			}
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", family, formatValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", family, h.Count)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricsHandler serves the snapshot source as an OpenMetrics /metrics
+// endpoint. help maps RAW (pre-sanitization) metric names to HELP text;
+// nil serves DefaultHelp.
+func MetricsHandler(src SnapshotFunc, help map[string]string) http.Handler {
+	if help == nil {
+		help = DefaultHelp
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// The snapshot is consistent by construction; rendering to the
+		// response writer directly keeps the handler allocation-light.
+		_ = WriteOpenMetrics(w, src(), help)
+	})
+}
+
+// DebugHandler serves the snapshot as indented JSON — the /debug/obs
+// view, a structured complement to the text exposition for humans and
+// scripts that want exact values.
+func DebugHandler(src SnapshotFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = src().WriteJSON(w)
+	})
+}
+
+// MuxConfig assembles the full serving-telemetry endpoint set.
+type MuxConfig struct {
+	// Snapshot supplies /metrics and /debug/obs. Required.
+	Snapshot SnapshotFunc
+	// Help maps raw metric names to HELP text; nil picks DefaultHelp.
+	Help map[string]string
+	// Liveness and Readiness back /healthz and /readyz. Nil probes
+	// serve an unconditional 200 — a process that answers is alive.
+	Liveness, Readiness *Probes
+}
+
+// NewMux mounts /metrics, /healthz, /readyz and /debug/obs on a fresh
+// ServeMux. It returns an error when the config carries no snapshot
+// source.
+func NewMux(cfg MuxConfig) (*http.ServeMux, error) {
+	if cfg.Snapshot == nil {
+		return nil, fmt.Errorf("expo: MuxConfig.Snapshot is required")
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(cfg.Snapshot, cfg.Help))
+	mux.Handle("/healthz", cfg.Liveness.Handler())
+	mux.Handle("/readyz", cfg.Readiness.Handler())
+	mux.Handle("/debug/obs", DebugHandler(cfg.Snapshot))
+	return mux, nil
+}
+
+// writeMeta emits the HELP (when present) and TYPE lines of one family.
+func writeMeta(b *strings.Builder, family, typ, help string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", family, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", family, typ)
+}
+
+// sanitizeName maps a registry metric name onto the exposition alphabet
+// [a-zA-Z0-9_:] (leading digits get an underscore prefix); the
+// repository convention's dots become underscores.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value; the exposition format spells
+// non-finite values NaN, +Inf and -Inf.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in ascending order — exposition
+// output must be deterministic for golden tests and diffable scrapes.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

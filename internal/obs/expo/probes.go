@@ -1,0 +1,96 @@
+package expo
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Probes is a registry of named health checks backing /healthz and
+// /readyz: each probe is a func returning nil when healthy. Probes are
+// evaluated on every request, in name order, and the endpoint answers
+// 200 only when every probe passes — so a probe closing over live state
+// (a listener, a cache, a shutdown flag) flips the endpoint the moment
+// the state changes. The zero value and nil are usable (no probes:
+// always healthy).
+type Probes struct {
+	mu  sync.Mutex
+	fns map[string]func() error
+}
+
+// NewProbes returns an empty probe registry.
+func NewProbes() *Probes { return &Probes{} }
+
+// Register installs (or replaces) the named probe. No-op on a nil
+// receiver.
+func (p *Probes) Register(name string, fn func() error) {
+	if p == nil || fn == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fns == nil {
+		p.fns = make(map[string]func() error)
+	}
+	p.fns[name] = fn
+}
+
+// Deregister removes the named probe.
+func (p *Probes) Deregister(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.fns, name)
+}
+
+// Check runs every probe in name order and returns overall health plus
+// a text report, one "name: ok|error" line per probe. A nil receiver or
+// empty registry is healthy with the report "ok".
+func (p *Probes) Check() (bool, string) {
+	if p == nil {
+		return true, "ok\n"
+	}
+	p.mu.Lock()
+	names := make([]string, 0, len(p.fns))
+	for name := range p.fns {
+		names = append(names, name)
+	}
+	fns := make([]func() error, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fns = append(fns, p.fns[name])
+	}
+	p.mu.Unlock()
+	if len(names) == 0 {
+		return true, "ok\n"
+	}
+	ok := true
+	var b strings.Builder
+	for i, name := range names {
+		if err := fns[i](); err != nil {
+			ok = false
+			fmt.Fprintf(&b, "%s: %v\n", name, err)
+		} else {
+			fmt.Fprintf(&b, "%s: ok\n", name)
+		}
+	}
+	return ok, b.String()
+}
+
+// Handler serves the probe verdict: 200 with the report when every
+// probe passes, 503 with the report otherwise. Safe on a nil receiver
+// (always 200 "ok").
+func (p *Probes) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, report := p.Check()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_, _ = fmt.Fprint(w, report)
+	})
+}

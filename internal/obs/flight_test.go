@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRetainsRecordsWithoutTraceSink(t *testing.T) {
+	o := New()
+	o.EnableFlightRecorder(8)
+	if o.Tracing() {
+		t.Error("Tracing() = true with no JSONL sink")
+	}
+	if !o.Recording() {
+		t.Error("Recording() = false with a flight recorder attached")
+	}
+	o.Emit("game.sweep", Fields{"iter": 1})
+	o.StartSpan("core.stackelberg", nil).End(Fields{"converged": true})
+	recs := o.FlightRecords()
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d records, want 2", len(recs))
+	}
+	if recs[0].Type != "event" || recs[0].Name != "game.sweep" {
+		t.Errorf("first record = %+v", recs[0])
+	}
+	if recs[1].Type != "span" || recs[1].DurMS == nil || recs[1].SpanID == 0 {
+		t.Errorf("span record = %+v", recs[1])
+	}
+}
+
+func TestFlightRecorderRingOverwritesOldest(t *testing.T) {
+	o := New()
+	o.EnableFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		o.Emit("tick", Fields{"i": i})
+	}
+	recs := o.FlightRecords()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	for k, rec := range recs {
+		if got := rec.Fields["i"].(int); got != 6+k {
+			t.Errorf("record %d carries i=%v, want %d (oldest-first window of the last 4)", k, rec.Fields["i"], 6+k)
+		}
+	}
+	if !sort.SliceIsSorted(recs, func(a, b int) bool { return recs[a].Seq < recs[b].Seq }) {
+		t.Error("ring records not in sequence order")
+	}
+}
+
+func TestSpanIDsParentsAndMonotonicSeq(t *testing.T) {
+	var buf bytes.Buffer
+	o := New()
+	o.SetTrace(&buf)
+	root := o.StartSpan("core.stackelberg", nil)
+	child := root.Child("core.standalone_bargain", nil)
+	grand := child.Child("game.solve_ne", nil)
+	grand.End(nil)
+	child.End(nil)
+	root.End(nil)
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var recs []TraceRecord
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec TraceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d lines, want 3", len(recs))
+	}
+	byName := map[string]TraceRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	rootRec := byName["core.stackelberg"]
+	childRec := byName["core.standalone_bargain"]
+	grandRec := byName["game.solve_ne"]
+	if rootRec.ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", rootRec.ParentID)
+	}
+	if childRec.ParentID != rootRec.SpanID {
+		t.Errorf("child parent = %d, want root span id %d", childRec.ParentID, rootRec.SpanID)
+	}
+	if grandRec.ParentID != childRec.SpanID {
+		t.Errorf("grandchild parent = %d, want child span id %d", grandRec.ParentID, childRec.SpanID)
+	}
+	// Sequence numbers are strictly increasing in emission order and
+	// distinct from every span ID in this trace (one shared ID space).
+	if !(recs[0].Seq < recs[1].Seq && recs[1].Seq < recs[2].Seq) {
+		t.Errorf("sequence numbers not monotonic: %d %d %d", recs[0].Seq, recs[1].Seq, recs[2].Seq)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		for _, id := range []uint64{r.Seq, r.SpanID} {
+			if seen[id] {
+				t.Errorf("ID %d reused across seq/span space", id)
+			}
+			seen[id] = true
+		}
+	}
+	// Nil-safety: a disabled observer's span chain stays nil end to end.
+	o.SetEnabled(false)
+	if sp := o.StartSpan("x.y", nil).Child("x.z", nil); sp != nil {
+		t.Error("Child on nil span must return nil")
+	}
+}
+
+func TestPostmortemDumpOnAnomaly(t *testing.T) {
+	dir := t.TempDir()
+	o := New()
+	o.EnableFlightRecorder(16)
+	o.SetPostmortemDir(dir)
+	o.Emit("game.sweep", Fields{"iter": 1, "max_delta": 0.5})
+	o.StartSpan("game.solve_ne", nil).End(Fields{"converged": false})
+	o.ReportAnomaly("solve_not_converged", Fields{"iterations": 500})
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("postmortem dir holds %d files, want 1", len(entries))
+	}
+	name := entries[0].Name()
+	if !strings.HasPrefix(name, "postmortem-001-solve_not_converged") || !strings.HasSuffix(name, ".jsonl") {
+		t.Errorf("bundle name = %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bundle holds %d lines, want 3 (event, span, anomaly)", len(lines))
+	}
+	var last TraceRecord
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bundle line not JSON: %v", err)
+	}
+	if last.Type != "anomaly" || last.Fields["reason"] != "solve_not_converged" {
+		t.Errorf("last bundle record = %+v, want the anomaly marker", last)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["obs.anomalies_total"] != 1 || snap.Counters["obs.postmortems_total"] != 1 {
+		t.Errorf("anomaly counters = %+v", snap.Counters)
+	}
+}
+
+func TestPostmortemDumpCapAndDisarmedPaths(t *testing.T) {
+	dir := t.TempDir()
+	o := New()
+	o.EnableFlightRecorder(4)
+	o.SetPostmortemDir(dir)
+	for i := 0; i < maxPostmortemDumps+5; i++ {
+		o.ReportAnomaly("storm", nil)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != maxPostmortemDumps {
+		t.Errorf("anomaly storm wrote %d bundles, want cap %d", len(entries), maxPostmortemDumps)
+	}
+
+	// No recorder → anomalies count but never dump.
+	o2 := New()
+	o2.SetPostmortemDir(dir)
+	o2.ReportAnomaly("no_recorder", nil)
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != maxPostmortemDumps {
+		t.Error("anomaly without a flight recorder wrote a bundle")
+	}
+	// Disabled observer → full no-op.
+	o3 := New()
+	o3.SetEnabled(false)
+	o3.ReportAnomaly("disabled", nil)
+	if !o3.Snapshot().Empty() {
+		t.Error("disabled observer recorded an anomaly")
+	}
+}
+
+func TestSlowSpanAnomalyTrigger(t *testing.T) {
+	o := New()
+	now := time.Unix(0, 0)
+	o.clock = func() time.Time {
+		now = now.Add(50 * time.Millisecond)
+		return now
+	}
+	o.EnableFlightRecorder(8)
+	o.SetSlowSpanMS(10)
+	o.StartSpan("core.stackelberg", nil).End(nil) // 50ms under the fake clock
+	recs := o.FlightRecords()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want span + anomaly", len(recs))
+	}
+	if recs[1].Type != "anomaly" || recs[1].Fields["reason"] != "slow_span" {
+		t.Errorf("anomaly record = %+v", recs[1])
+	}
+	if recs[1].Fields["span"] != "core.stackelberg" {
+		t.Errorf("anomaly span field = %v", recs[1].Fields["span"])
+	}
+	// Below the threshold: no trigger.
+	o.SetSlowSpanMS(1000)
+	o.StartSpan("core.fast", nil).End(nil)
+	if n := len(o.FlightRecords()); n != 3 {
+		t.Errorf("fast span triggered an anomaly (records = %d)", n)
+	}
+	if o.Snapshot().Counters["obs.anomalies_total"] != 1 {
+		t.Errorf("anomalies counter = %d, want 1", o.Snapshot().Counters["obs.anomalies_total"])
+	}
+}
+
+// TestConcurrentSpansRecorderAndSetTrace hammers the record path from
+// many goroutines while the trace sink is attached, detached, and
+// flushed concurrently — the race-mode guarantee behind deterministic
+// trace reconstruction (run with -race).
+func TestConcurrentSpansRecorderAndSetTrace(t *testing.T) {
+	o := New()
+	o.EnableFlightRecorder(64)
+	stop := make(chan struct{})
+	var flipper sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		buf := &safeBuffer{}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				o.SetTrace(buf)
+			case 1:
+				_ = o.Flush()
+			default:
+				o.SetTrace(nil)
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < 300; i++ {
+				sp := o.StartSpan("work.outer", Fields{"g": g})
+				sp.Child("work.inner", nil).End(nil)
+				o.Emit("work.tick", Fields{"i": i})
+				sp.End(nil)
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	flipper.Wait()
+	recs := o.FlightRecords()
+	if len(recs) != 64 {
+		t.Fatalf("ring holds %d records, want full capacity 64", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("ring out of sequence order at %d: %d after %d", i, recs[i].Seq, recs[i-1].Seq)
+		}
+	}
+}
+
+func TestHistogramFootprintPinned(t *testing.T) {
+	h := newHistogram()
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	if len(h.samples) != maxHistSamples {
+		t.Errorf("sample buffer grew to %d entries, pinned cap is %d", len(h.samples), maxHistSamples)
+	}
+	if cap(h.samples) > 2*maxHistSamples {
+		t.Errorf("sample buffer capacity %d exceeds the pinned footprint", cap(h.samples))
+	}
+	st := h.Stat()
+	if st.Count != n || st.Min != 0 || st.Max != n-1 {
+		t.Errorf("exact aggregates survived bounding wrong: %+v", st)
+	}
+	// The ring keeps the most recent window, so quantiles summarize the
+	// last maxHistSamples observations.
+	lo := float64(n - maxHistSamples)
+	if st.P50 < lo || st.P50 > n {
+		t.Errorf("p50 %g outside the recent window [%g, %d]", st.P50, lo, n)
+	}
+}
+
+// TestHistogramQuantileAccuracy pins the quantile estimator's accuracy:
+// within one buffer the estimates are exact (linear interpolation over
+// all samples), and past the buffer they track the recent window to
+// within a small relative error.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < maxHistSamples; i++ {
+		h.Observe(float64(i))
+	}
+	st := h.Stat()
+	n := float64(maxHistSamples - 1)
+	for _, c := range []struct {
+		q    float64
+		got  float64
+		want float64
+	}{
+		{0.50, st.P50, 0.50 * n},
+		{0.90, st.P90, 0.90 * n},
+		{0.99, st.P99, 0.99 * n},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("q%g = %g, want exact %g within one buffer", c.q, c.got, c.want)
+		}
+	}
+	// Overflow the ring with a shifted uniform stream: quantiles must
+	// land within 1% (relative to the window width) of the analytic
+	// values for the retained window.
+	h2 := newHistogram()
+	total := 10 * maxHistSamples
+	for i := 0; i < total; i++ {
+		h2.Observe(float64(i))
+	}
+	st2 := h2.Stat()
+	winLo := float64(total - maxHistSamples)
+	width := float64(maxHistSamples)
+	for _, c := range []struct {
+		q   float64
+		got float64
+	}{{0.50, st2.P50}, {0.90, st2.P90}, {0.99, st2.P99}} {
+		want := winLo + c.q*(width-1)
+		if math.Abs(c.got-want) > 0.01*width {
+			t.Errorf("overflowed q%g = %g, want ≈%g (±1%% of window)", c.q, c.got, want)
+		}
+	}
+}

@@ -86,15 +86,18 @@ func (h *Histogram) Stat() HistStat {
 		Min:   h.min,
 		Max:   h.max,
 		Mean:  h.sum / float64(h.count),
-		P50:   quantile(sorted, 0.50),
-		P90:   quantile(sorted, 0.90),
-		P99:   quantile(sorted, 0.99),
+		P50:   Quantile(sorted, 0.50),
+		P90:   Quantile(sorted, 0.90),
+		P99:   Quantile(sorted, 0.99),
 	}
 }
 
-// quantile reads the q-th quantile from an ascending-sorted slice using
-// linear interpolation between the two straddling order statistics.
-func quantile(sorted []float64, q float64) float64 {
+// Quantile reads the q-th quantile from an ascending-sorted slice using
+// linear interpolation between the two straddling order statistics. It
+// is exported for consumers that summarize their own sample sets the
+// same way the registry does (e.g. the offline trace analyzer); NaN on
+// an empty slice.
+func Quantile(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 0 {
 		return math.NaN()

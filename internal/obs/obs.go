@@ -31,12 +31,22 @@ type Fields map[string]any
 type Observer struct {
 	enabled atomic.Bool
 	clock   func() time.Time
+	// seq is the shared monotonic ID space for trace-record sequence
+	// numbers and span IDs; it makes offline reconstruction of a trace
+	// deterministic regardless of goroutine interleaving.
+	seq atomic.Uint64
+	// slowSpanBits holds the slow-span anomaly threshold in ms as raw
+	// float bits (0 = disabled); see SetSlowSpanMS.
+	slowSpanBits atomic.Uint64
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	trace    *traceWriter
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	hists         map[string]*Histogram
+	trace         *traceWriter
+	recorder      *flightRecorder
+	postmortemDir string
+	postmortems   int
 }
 
 // New returns an enabled observer with no trace sink. Attach one with
@@ -86,6 +96,21 @@ func (o *Observer) SetEnabled(v bool) {
 	if o != nil {
 		o.enabled.Store(v)
 	}
+}
+
+// SetClock replaces the observer's time source — span durations and
+// trace timestamps come from it. For deterministic trace fixtures in
+// tests; call before any recording starts (the field is read without
+// synchronization on the hot path). Nil restores time.Now; no-op on a
+// nil receiver.
+func (o *Observer) SetClock(now func() time.Time) {
+	if o == nil {
+		return
+	}
+	if now == nil {
+		now = time.Now
+	}
+	o.clock = now
 }
 
 // Counter returns the named monotonic counter, creating it on first use.

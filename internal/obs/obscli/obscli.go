@@ -1,9 +1,11 @@
 // Package obscli wires the obs instrumentation layer into a command-line
 // program: it registers the shared observability flags (-trace, -metrics,
-// -pprof, -cpuprofile) on a flag.FlagSet and manages the session lifetime
-// — installing an enabled default observer while work runs, streaming the
-// JSONL trace, serving net/http/pprof, writing the CPU profile, and
-// dumping the metrics registry at exit.
+// -serve-metrics, -postmortem, -slow-span-ms, -pprof, -cpuprofile) on a
+// flag.FlagSet and manages the session lifetime — installing an enabled
+// default observer while work runs, streaming the JSONL trace, serving
+// the OpenMetrics /metrics endpoint and health probes, arming the flight
+// recorder's dump-on-anomaly bundles, serving net/http/pprof, writing
+// the CPU profile, and dumping the metrics registry at exit.
 package obscli
 
 import (
@@ -17,6 +19,7 @@ import (
 	"runtime/pprof"
 
 	"minegame/internal/obs"
+	"minegame/internal/obs/expo"
 )
 
 // Options holds the values of the shared observability flags.
@@ -25,6 +28,15 @@ type Options struct {
 	Trace string
 	// Metrics requests a registry dump when the session closes.
 	Metrics bool
+	// ServeMetrics serves the OpenMetrics /metrics endpoint (plus
+	// /healthz, /readyz and /debug/obs) on this address ("" disables).
+	ServeMetrics string
+	// Postmortem arms the flight recorder and dumps its ring as a JSONL
+	// bundle under this directory on every anomaly ("" disables).
+	Postmortem string
+	// SlowSpanMS reports any span slower than this many milliseconds as
+	// a "slow_span" anomaly (0 disables).
+	SlowSpanMS float64
 	// PprofAddr serves net/http/pprof on this address ("" disables).
 	PprofAddr string
 	// CPUProfile writes a runtime/pprof CPU profile to this path.
@@ -37,6 +49,9 @@ func Bind(fs *flag.FlagSet) *Options {
 	o := &Options{}
 	fs.StringVar(&o.Trace, "trace", "", "stream solver/simulation trace events as JSONL to this file")
 	fs.BoolVar(&o.Metrics, "metrics", false, "dump the metrics registry at exit")
+	fs.StringVar(&o.ServeMetrics, "serve-metrics", "", "serve OpenMetrics /metrics and health probes on this address (e.g. localhost:9090)")
+	fs.StringVar(&o.Postmortem, "postmortem", "", "dump flight-recorder postmortem JSONL bundles to this directory on anomalies")
+	fs.Float64Var(&o.SlowSpanMS, "slow-span-ms", 0, "report spans slower than this many milliseconds as anomalies (0 disables)")
 	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	return o
@@ -46,23 +61,26 @@ func Bind(fs *flag.FlagSet) *Options {
 // the error path) to stop profiling, flush the trace, and restore the
 // previous default observer.
 type Session struct {
-	observer   *obs.Observer
-	prev       *obs.Observer
-	installed  bool
-	metrics    bool
-	traceFile  *os.File
-	cpuFile    *os.File
-	pprofLn    net.Listener
-	pprofErrCh chan error
+	observer     *obs.Observer
+	prev         *obs.Observer
+	installed    bool
+	metrics      bool
+	traceFile    *os.File
+	cpuFile      *os.File
+	pprofLn      net.Listener
+	pprofErrCh   chan error
+	metricsLn    net.Listener
+	metricsErrCh chan error
 }
 
 // Start activates whatever the options request. When any of trace,
-// metrics, or a profile sink is wanted it installs an enabled observer
-// as the process default; with all options off it is a no-op session, so
-// instrumented code keeps its zero-cost disabled path.
+// metrics, the metrics server, or a flight-recorder option is wanted it
+// installs an enabled observer as the process default; with all options
+// off it is a no-op session, so instrumented code keeps its zero-cost
+// disabled path.
 func (o *Options) Start() (*Session, error) {
 	s := &Session{metrics: o.Metrics}
-	if o.Trace != "" || o.Metrics {
+	if o.Trace != "" || o.Metrics || o.ServeMetrics != "" || o.Postmortem != "" || o.SlowSpanMS > 0 {
 		s.observer = obs.New()
 		if o.Trace != "" {
 			f, err := os.Create(o.Trace)
@@ -72,8 +90,33 @@ func (o *Options) Start() (*Session, error) {
 			s.traceFile = f
 			s.observer.SetTrace(f)
 		}
+		if o.Postmortem != "" {
+			s.observer.EnableFlightRecorder(0)
+			s.observer.SetPostmortemDir(o.Postmortem)
+		}
+		if o.SlowSpanMS > 0 {
+			s.observer.SetSlowSpanMS(o.SlowSpanMS)
+		}
 		s.prev = obs.SetDefault(s.observer)
 		s.installed = true
+	}
+	if o.ServeMetrics != "" {
+		mux, err := expo.NewMux(expo.MuxConfig{Snapshot: s.observer.Snapshot})
+		if err != nil {
+			s.abort()
+			return nil, fmt.Errorf("serve-metrics: %w", err)
+		}
+		ln, err := net.Listen("tcp", o.ServeMetrics)
+		if err != nil {
+			s.abort()
+			return nil, fmt.Errorf("serve-metrics: %w", err)
+		}
+		s.metricsLn = ln
+		s.metricsErrCh = make(chan error, 1)
+		go func() { s.metricsErrCh <- http.Serve(ln, mux) }()
+		// Report the bound address so -serve-metrics :0 (ephemeral port)
+		// is usable.
+		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}
 	if o.CPUProfile != "" {
 		f, err := os.Create(o.CPUProfile)
@@ -116,6 +159,15 @@ func (s *Session) PprofAddr() string {
 	return s.pprofLn.Addr().String()
 }
 
+// MetricsAddr returns the bound metrics listener address ("" when not
+// serving) — useful when the flag asked for port 0.
+func (s *Session) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return ""
+	}
+	return s.metricsLn.Addr().String()
+}
+
 // abort releases everything acquired so far without emitting output;
 // used when a later Start step fails.
 func (s *Session) abort() {
@@ -125,6 +177,11 @@ func (s *Session) abort() {
 		pprof.StopCPUProfile()
 		s.cpuFile.Close()
 		s.cpuFile = nil
+	}
+	if s.metricsLn != nil {
+		s.metricsLn.Close()
+		<-s.metricsErrCh
+		s.metricsLn = nil
 	}
 	if s.installed {
 		obs.SetDefault(s.prev)
@@ -155,6 +212,11 @@ func (s *Session) Close(w io.Writer, asJSON bool) error {
 		s.pprofLn.Close()
 		<-s.pprofErrCh // http.Serve returns once the listener closes
 		s.pprofLn = nil
+	}
+	if s.metricsLn != nil {
+		s.metricsLn.Close()
+		<-s.metricsErrCh
+		s.metricsLn = nil
 	}
 	var firstErr error
 	if s.observer != nil {

@@ -20,10 +20,16 @@ import (
 func TestBindRegistersAllFlags(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	o := Bind(fs)
-	if err := fs.Parse([]string{"-trace", "t.jsonl", "-metrics", "-pprof", "addr:1", "-cpuprofile", "cpu.out"}); err != nil {
+	if err := fs.Parse([]string{
+		"-trace", "t.jsonl", "-metrics", "-serve-metrics", "addr:2", "-postmortem", "pm",
+		"-slow-span-ms", "2.5", "-pprof", "addr:1", "-cpuprofile", "cpu.out",
+	}); err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	want := Options{Trace: "t.jsonl", Metrics: true, PprofAddr: "addr:1", CPUProfile: "cpu.out"}
+	want := Options{
+		Trace: "t.jsonl", Metrics: true, ServeMetrics: "addr:2", Postmortem: "pm",
+		SlowSpanMS: 2.5, PprofAddr: "addr:1", CPUProfile: "cpu.out",
+	}
 	if *o != want {
 		t.Errorf("options = %+v, want %+v", *o, want)
 	}
@@ -90,6 +96,94 @@ func TestPprofServerServesWhileSessionOpen(t *testing.T) {
 	}
 	if sess.PprofAddr() != "" {
 		t.Error("PprofAddr should be empty after Close")
+	}
+}
+
+func TestServeMetricsServesWhileSessionOpen(t *testing.T) {
+	sess, err := (&Options{ServeMetrics: "127.0.0.1:0"}).Start()
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	addr := sess.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr is empty for a bound listener")
+	}
+	obs.Default().Count("obscli.scrape_test_total", 5)
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status = %d, want 200", resp.StatusCode)
+	}
+	if got := string(body); !strings.Contains(got, "obscli_scrape_test_total 5") || !strings.HasSuffix(got, "# EOF\n") {
+		t.Errorf("scrape missing counter or EOF marker:\n%s", got)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		r2, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, r2.StatusCode)
+		}
+	}
+	if err := sess.Close(io.Discard, false); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if sess.MetricsAddr() != "" {
+		t.Error("MetricsAddr should be empty after Close")
+	}
+}
+
+func TestPostmortemFlagArmsDumpOnAnomaly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pm")
+	sess, err := (&Options{Postmortem: dir}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	ob := obs.Default()
+	sp := ob.StartSpan("obscli.postmortem_probe", nil)
+	sp.End(nil)
+	ob.ReportAnomaly("test_anomaly", nil)
+	if err := sess.Close(io.Discard, false); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	bundles, err := filepath.Glob(filepath.Join(dir, "postmortem-*-test_anomaly.jsonl"))
+	if err != nil || len(bundles) != 1 {
+		t.Fatalf("postmortem bundles = %v (err %v), want exactly one", bundles, err)
+	}
+	data, err := os.ReadFile(bundles[0])
+	if err != nil {
+		t.Fatalf("read bundle: %v", err)
+	}
+	if !strings.Contains(string(data), "obscli.postmortem_probe") {
+		t.Errorf("bundle missing the recorded span:\n%s", data)
+	}
+}
+
+func TestSlowSpanFlagReportsAnomaly(t *testing.T) {
+	// A threshold far below any real span duration guarantees the probe
+	// span trips the trigger without sleeping in the test.
+	sess, err := (&Options{SlowSpanMS: 1e-9}).Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	ob := obs.Default()
+	sp := ob.StartSpan("obscli.slow_probe", nil)
+	sp.End(nil)
+	snap := ob.Snapshot()
+	if err := sess.Close(io.Discard, false); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if snap.Counters["obs.anomalies_total"] == 0 {
+		t.Error("slow-span threshold did not report an anomaly")
 	}
 }
 

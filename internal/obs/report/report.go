@@ -1,0 +1,334 @@
+// Package report analyzes JSONL trace files produced by internal/obs —
+// the offline half of the telemetry subsystem. It reconstructs the span
+// forest from span/parent IDs, aggregates per-name duration statistics
+// with the same quantile estimator the live registry uses, finds the
+// critical path through the slowest root span, and tallies events and
+// anomalies. The `minegame trace` subcommand is a thin CLI over this
+// package; postmortem bundles written by the flight recorder parse the
+// same way.
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"minegame/internal/obs"
+)
+
+// Parse reads a JSONL trace stream tolerantly: lines that are blank or
+// fail to decode are counted, not fatal, so a truncated trace from a
+// crashed run still yields its intact prefix. Records come back sorted
+// by sequence number — the authoritative order even when concurrent
+// writers interleaved lines in the file.
+func Parse(r io.Reader) ([]obs.TraceRecord, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recs []obs.TraceRecord
+	malformed := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec obs.TraceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.Type == "" {
+			malformed++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, malformed, fmt.Errorf("report: scanning trace: %w", err)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs, malformed, nil
+}
+
+// SpanNode is one span in the reconstructed forest. Children are in
+// sequence order. Spans whose parent never closed (or was evicted from
+// a flight-recorder ring) surface as roots rather than vanishing.
+type SpanNode struct {
+	Record   obs.TraceRecord
+	Children []*SpanNode
+}
+
+// DurMS returns the span's duration, 0 when absent.
+func (n *SpanNode) DurMS() float64 {
+	if n.Record.DurMS == nil {
+		return 0
+	}
+	return *n.Record.DurMS
+}
+
+// BuildForest links span records into trees by SpanID/ParentID and
+// returns the roots in sequence order.
+func BuildForest(recs []obs.TraceRecord) []*SpanNode {
+	nodes := make(map[uint64]*SpanNode)
+	var order []*SpanNode
+	for _, rec := range recs {
+		if rec.Type != "span" || rec.SpanID == 0 {
+			continue
+		}
+		n := &SpanNode{Record: rec}
+		nodes[rec.SpanID] = n
+		order = append(order, n)
+	}
+	var roots []*SpanNode
+	for _, n := range order {
+		if parent, ok := nodes[n.Record.ParentID]; ok && n.Record.ParentID != n.Record.SpanID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// NameStat aggregates every span with one name.
+type NameStat struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	Total float64 `json:"total_ms"`
+	Min   float64 `json:"min_ms"`
+	Max   float64 `json:"max_ms"`
+	Mean  float64 `json:"mean_ms"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// SlowSpan is one entry in the slowest-spans table.
+type SlowSpan struct {
+	Name   string     `json:"name"`
+	DurMS  float64    `json:"dur_ms"`
+	Seq    uint64     `json:"seq"`
+	SpanID uint64     `json:"span_id"`
+	Fields obs.Fields `json:"fields,omitempty"`
+}
+
+// PathStep is one hop of the critical path.
+type PathStep struct {
+	Name  string  `json:"name"`
+	DurMS float64 `json:"dur_ms"`
+	Share float64 `json:"share"` // fraction of the parent step's duration
+}
+
+// Analysis is the full digest of one trace file.
+type Analysis struct {
+	Records      int            `json:"records"`
+	Malformed    int            `json:"malformed"`
+	Spans        int            `json:"spans"`
+	Events       int            `json:"events"`
+	Anomalies    int            `json:"anomalies"`
+	Roots        int            `json:"roots"`
+	ByName       []NameStat     `json:"by_name"`
+	Slowest      []SlowSpan     `json:"slowest"`
+	CriticalPath []PathStep     `json:"critical_path"`
+	EventCounts  map[string]int `json:"event_counts,omitempty"`
+	// AnomalyReasons tallies anomaly records by their "reason" field —
+	// the quickest read on why a run needed a postmortem.
+	AnomalyReasons map[string]int `json:"anomaly_reasons,omitempty"`
+}
+
+// Analyze digests parsed records. topK bounds the slowest-spans table
+// (<=0 picks 10).
+func Analyze(recs []obs.TraceRecord, malformed, topK int) Analysis {
+	if topK <= 0 {
+		topK = 10
+	}
+	a := Analysis{
+		Records:        len(recs),
+		Malformed:      malformed,
+		EventCounts:    map[string]int{},
+		AnomalyReasons: map[string]int{},
+	}
+	durs := map[string][]float64{}
+	var slow []SlowSpan
+	for _, rec := range recs {
+		switch rec.Type {
+		case "span":
+			a.Spans++
+			d := 0.0
+			if rec.DurMS != nil {
+				d = *rec.DurMS
+			}
+			durs[rec.Name] = append(durs[rec.Name], d)
+			slow = append(slow, SlowSpan{Name: rec.Name, DurMS: d, Seq: rec.Seq, SpanID: rec.SpanID, Fields: rec.Fields})
+		case "event":
+			a.Events++
+			a.EventCounts[rec.Name]++
+		case "anomaly":
+			a.Anomalies++
+			reason, _ := rec.Fields["reason"].(string)
+			if reason == "" {
+				reason = "unknown"
+			}
+			a.AnomalyReasons[reason]++
+		}
+	}
+
+	for name, ds := range durs {
+		sorted := append([]float64(nil), ds...)
+		sort.Float64s(sorted)
+		total := 0.0
+		for _, d := range ds {
+			total += d
+		}
+		a.ByName = append(a.ByName, NameStat{
+			Name:  name,
+			Count: len(ds),
+			Total: total,
+			Min:   sorted[0],
+			Max:   sorted[len(sorted)-1],
+			Mean:  total / float64(len(ds)),
+			P50:   obs.Quantile(sorted, 0.50),
+			P90:   obs.Quantile(sorted, 0.90),
+			P99:   obs.Quantile(sorted, 0.99),
+		})
+	}
+	// Heaviest names first; name as a deterministic tiebreak.
+	sort.Slice(a.ByName, func(i, j int) bool {
+		if a.ByName[i].Total != a.ByName[j].Total { //lint:allow floateq exact tie-break: unequal totals order by weight, exact ties fall through to the name comparison
+			return a.ByName[i].Total > a.ByName[j].Total
+		}
+		return a.ByName[i].Name < a.ByName[j].Name
+	})
+
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].DurMS > slow[j].DurMS })
+	if len(slow) > topK {
+		slow = slow[:topK]
+	}
+	a.Slowest = slow
+
+	roots := BuildForest(recs)
+	a.Roots = len(roots)
+	a.CriticalPath = criticalPath(roots)
+	return a
+}
+
+// criticalPath walks from the slowest root down through each node's
+// slowest child (earliest sequence breaks ties), recording every hop's
+// share of its parent — where the wall-clock of the worst solve went.
+func criticalPath(roots []*SpanNode) []PathStep {
+	cur := slowest(roots)
+	if cur == nil {
+		return nil
+	}
+	var path []PathStep
+	parentDur := cur.DurMS()
+	path = append(path, PathStep{Name: cur.Record.Name, DurMS: parentDur, Share: 1})
+	for {
+		next := slowest(cur.Children)
+		if next == nil {
+			return path
+		}
+		share := 1.0
+		if parentDur > 0 {
+			share = next.DurMS() / parentDur
+		}
+		path = append(path, PathStep{Name: next.Record.Name, DurMS: next.DurMS(), Share: share})
+		cur, parentDur = next, next.DurMS()
+	}
+}
+
+func slowest(nodes []*SpanNode) *SpanNode {
+	var best *SpanNode
+	for _, n := range nodes {
+		switch {
+		case best == nil:
+			best = n
+		case n.DurMS() > best.DurMS():
+			best = n
+		case n.DurMS() == best.DurMS() && n.Record.Seq < best.Record.Seq: //lint:allow floateq exact tie-break: only exactly equal durations defer to the earlier sequence number
+			best = n
+		}
+	}
+	return best
+}
+
+// WriteJSON writes the analysis as indented JSON.
+func (a Analysis) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteCSV writes the per-name aggregate table as CSV — the shape the
+// results pipeline and spreadsheets want.
+func (a Analysis) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "name,count,total_ms,min_ms,max_ms,mean_ms,p50_ms,p90_ms,p99_ms"); err != nil {
+		return err
+	}
+	for _, s := range a.ByName {
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%s,%s,%s,%s,%s,%s\n",
+			s.Name, s.Count, num(s.Total), num(s.Min), num(s.Max), num(s.Mean), num(s.P50), num(s.P90), num(s.P99)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText writes the human-facing report.
+func (a Analysis) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d records (%d spans, %d events, %d anomalies, %d malformed lines), %d root spans\n",
+		a.Records, a.Spans, a.Events, a.Anomalies, a.Malformed, a.Roots)
+
+	if len(a.ByName) > 0 {
+		b.WriteString("\nby span name (heaviest total first):\n")
+		fmt.Fprintf(&b, "  %-36s %7s %12s %10s %10s %10s\n", "name", "count", "total_ms", "mean_ms", "p90_ms", "max_ms")
+		for _, s := range a.ByName {
+			fmt.Fprintf(&b, "  %-36s %7d %12s %10s %10s %10s\n",
+				s.Name, s.Count, num(s.Total), num(s.Mean), num(s.P90), num(s.Max))
+		}
+	}
+	if len(a.Slowest) > 0 {
+		b.WriteString("\nslowest spans:\n")
+		for i, s := range a.Slowest {
+			fmt.Fprintf(&b, "  %2d. %-36s %10s ms  (seq %d)\n", i+1, s.Name, num(s.DurMS), s.Seq)
+		}
+	}
+	if len(a.CriticalPath) > 0 {
+		b.WriteString("\ncritical path (slowest root, slowest child at each level):\n")
+		for i, step := range a.CriticalPath {
+			fmt.Fprintf(&b, "  %s%-36s %10s ms  (%4.1f%% of parent)\n",
+				strings.Repeat("  ", i), step.Name, num(step.DurMS), 100*step.Share)
+		}
+	}
+	if len(a.EventCounts) > 0 {
+		b.WriteString("\nevents:\n")
+		for _, name := range sortedCountKeys(a.EventCounts) {
+			fmt.Fprintf(&b, "  %-36s %7d\n", name, a.EventCounts[name])
+		}
+	}
+	if len(a.AnomalyReasons) > 0 {
+		b.WriteString("\nanomalies:\n")
+		for _, reason := range sortedCountKeys(a.AnomalyReasons) {
+			fmt.Fprintf(&b, "  %-36s %7d\n", reason, a.AnomalyReasons[reason])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedCountKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// num renders a float compactly, with NaN guarded for CSV consumers.
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,231 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"minegame/internal/obs"
+)
+
+// traceFixture runs a real instrumented workload through an Observer
+// with a deterministic clock and returns the JSONL it wrote: a
+// three-level span tree, events, and one anomaly.
+func traceFixture(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	o := obs.New()
+	o.SetEnabled(true)
+	o.SetTrace(&buf)
+	o.SetClock(fakeClock())
+
+	root := o.StartSpan("core.stackelberg", nil)
+	for i := 0; i < 3; i++ {
+		ne := root.Child("game.solve_ne", obs.Fields{"round": i})
+		inner := ne.Child("game.sweep", nil)
+		inner.End(nil)
+		ne.End(nil)
+		o.Emit("game.leader_round", obs.Fields{"round": i})
+	}
+	o.ReportAnomaly("solve_not_converged", obs.Fields{"delta": 0.5})
+	root.End(nil)
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func fakeClock() func() time.Time {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		now = now.Add(10 * time.Millisecond)
+		return now
+	}
+}
+
+func TestParseTolerantAndSeqSorted(t *testing.T) {
+	trace := traceFixture(t)
+	// Corrupt the stream: garbage line, blank line, truncated JSON, and
+	// shuffle by prepending the last line first.
+	lines := strings.Split(strings.TrimSpace(trace), "\n")
+	mangled := lines[len(lines)-1] + "\n" +
+		"not json\n\n{\"type\":\"span\",\"nam\n" +
+		strings.Join(lines[:len(lines)-1], "\n")
+
+	recs, malformed, err := Parse(strings.NewReader(mangled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if malformed != 2 {
+		t.Errorf("malformed = %d, want 2", malformed)
+	}
+	if len(recs) != len(lines) {
+		t.Fatalf("parsed %d records, want %d", len(recs), len(lines))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("records not sorted by Seq: %d after %d", recs[i].Seq, recs[i-1].Seq)
+		}
+	}
+}
+
+func TestBuildForestReconstructsTree(t *testing.T) {
+	recs, _, err := Parse(strings.NewReader(traceFixture(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := BuildForest(recs)
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Record.Name != "core.stackelberg" {
+		t.Errorf("root = %q", root.Record.Name)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3", len(root.Children))
+	}
+	for _, c := range root.Children {
+		if c.Record.Name != "game.solve_ne" || len(c.Children) != 1 ||
+			c.Children[0].Record.Name != "game.sweep" {
+			t.Errorf("unexpected subtree under %q: %+v", c.Record.Name, c.Children)
+		}
+	}
+}
+
+func TestBuildForestOrphanBecomesRoot(t *testing.T) {
+	d := 1.0
+	recs := []obs.TraceRecord{
+		{Seq: 1, Type: "span", Name: "orphan", SpanID: 7, ParentID: 999, DurMS: &d},
+	}
+	roots := BuildForest(recs)
+	if len(roots) != 1 || roots[0].Record.Name != "orphan" {
+		t.Fatalf("orphan span should surface as a root, got %+v", roots)
+	}
+}
+
+func TestAnalyzeAggregatesAndCriticalPath(t *testing.T) {
+	recs, malformed, err := Parse(strings.NewReader(traceFixture(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(recs, malformed, 5)
+
+	if a.Spans != 7 { // 1 root + 3 ne + 3 sweep
+		t.Errorf("spans = %d, want 7", a.Spans)
+	}
+	if a.Events != 3 || a.EventCounts["game.leader_round"] != 3 {
+		t.Errorf("events = %d, counts = %v", a.Events, a.EventCounts)
+	}
+	if a.Anomalies != 1 || a.AnomalyReasons["solve_not_converged"] != 1 {
+		t.Errorf("anomalies = %d, reasons = %v", a.Anomalies, a.AnomalyReasons)
+	}
+	if a.Roots != 1 {
+		t.Errorf("roots = %d, want 1", a.Roots)
+	}
+
+	byName := map[string]NameStat{}
+	for _, s := range a.ByName {
+		byName[s.Name] = s
+	}
+	if byName["game.solve_ne"].Count != 3 || byName["game.sweep"].Count != 3 {
+		t.Errorf("per-name counts wrong: %+v", a.ByName)
+	}
+	// The root span encloses everything, so it must lead the table.
+	if a.ByName[0].Name != "core.stackelberg" {
+		t.Errorf("heaviest name = %q, want core.stackelberg", a.ByName[0].Name)
+	}
+	if len(a.Slowest) == 0 || a.Slowest[0].Name != "core.stackelberg" {
+		t.Errorf("slowest table should lead with the root span: %+v", a.Slowest)
+	}
+	for i := 1; i < len(a.Slowest); i++ {
+		if a.Slowest[i].DurMS > a.Slowest[i-1].DurMS {
+			t.Errorf("slowest table not descending at %d", i)
+		}
+	}
+
+	if len(a.CriticalPath) != 3 {
+		t.Fatalf("critical path len = %d, want 3: %+v", len(a.CriticalPath), a.CriticalPath)
+	}
+	wantPath := []string{"core.stackelberg", "game.solve_ne", "game.sweep"}
+	for i, step := range a.CriticalPath {
+		if step.Name != wantPath[i] {
+			t.Errorf("path[%d] = %q, want %q", i, step.Name, wantPath[i])
+		}
+	}
+	if a.CriticalPath[0].Share != 1 {
+		t.Errorf("root share = %v, want 1", a.CriticalPath[0].Share)
+	}
+	for _, step := range a.CriticalPath[1:] {
+		if step.Share <= 0 || step.Share > 1 {
+			t.Errorf("share out of range: %+v", step)
+		}
+	}
+}
+
+func TestAnalyzeTopKBoundsSlowest(t *testing.T) {
+	recs, _, err := Parse(strings.NewReader(traceFixture(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(recs, 0, 2)
+	if len(a.Slowest) != 2 {
+		t.Errorf("topK=2 gave %d slowest entries", len(a.Slowest))
+	}
+}
+
+func TestWriters(t *testing.T) {
+	recs, _, err := Parse(strings.NewReader(traceFixture(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(recs, 1, 5)
+
+	var text bytes.Buffer
+	if err := a.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"7 spans", "3 events", "1 anomalies", "1 malformed",
+		"critical path", "solve_not_converged", "game.leader_round",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := a.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(a.ByName) {
+		t.Errorf("csv rows = %d, want %d", len(lines), 1+len(a.ByName))
+	}
+	if lines[0] != "name,count,total_ms,min_ms,max_ms,mean_ms,p50_ms,p90_ms,p99_ms" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+
+	var js bytes.Buffer
+	if err := a.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"critical_path\"") {
+		t.Errorf("json report missing critical_path:\n%s", js.String())
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	a := Analyze(nil, 0, 5)
+	if a.Records != 0 || len(a.CriticalPath) != 0 {
+		t.Errorf("empty trace analysis not empty: %+v", a)
+	}
+	var text bytes.Buffer
+	if err := a.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "0 records") {
+		t.Errorf("empty report: %s", text.String())
+	}
+}

@@ -15,15 +15,26 @@ type traceWriter struct {
 	enc *json.Encoder
 }
 
-// traceLine is the on-disk schema of one trace record: one JSON object
-// per line. Type is "event" for point-in-time records and "span" for
-// timed regions (which carry DurMS).
-type traceLine struct {
-	Type   string   `json:"type"`
-	Name   string   `json:"name"`
-	TS     string   `json:"ts"`
-	DurMS  *float64 `json:"dur_ms,omitempty"`
-	Fields Fields   `json:"fields,omitempty"`
+// TraceRecord is the schema of one trace line: one JSON object per line.
+// Type is "event" for point-in-time records, "span" for timed regions
+// (which carry DurMS), and "anomaly" for ReportAnomaly markers.
+//
+// Seq is a monotonic per-observer sequence number shared with span IDs:
+// it totally orders every record an observer produced, regardless of the
+// goroutine interleaving that wrote them, so offline reconstruction
+// (internal/obs/report) is deterministic — sort by Seq, never by file
+// order or wall-clock timestamps. SpanID and ParentID link span records
+// into a tree: a span started with (*Span).Child carries its parent's
+// SpanID; root spans carry ParentID 0.
+type TraceRecord struct {
+	Seq      uint64   `json:"seq,omitempty"`
+	Type     string   `json:"type"`
+	Name     string   `json:"name"`
+	TS       string   `json:"ts"`
+	DurMS    *float64 `json:"dur_ms,omitempty"`
+	SpanID   uint64   `json:"span_id,omitempty"`
+	ParentID uint64   `json:"parent_id,omitempty"`
+	Fields   Fields   `json:"fields,omitempty"`
 }
 
 // SetTrace attaches a JSONL sink; every subsequent Emit and Span.End
@@ -44,8 +55,10 @@ func (o *Observer) SetTrace(w io.Writer) {
 	o.trace = &traceWriter{buf: buf, enc: json.NewEncoder(buf)}
 }
 
-// Tracing reports whether a trace sink is attached and the observer is
-// enabled — the gate for building Fields maps that only the trace reads.
+// Tracing reports whether a JSONL trace sink is attached and the
+// observer is enabled. Instrumented code gating the construction of
+// Fields maps should prefer Recording, which also covers the flight
+// recorder.
 func (o *Observer) Tracing() bool {
 	if !o.Enabled() {
 		return false
@@ -53,6 +66,19 @@ func (o *Observer) Tracing() bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.trace != nil
+}
+
+// Recording reports whether emitted events and spans reach any sink — a
+// JSONL trace writer or the flight recorder. It is the gate for building
+// Fields maps that only the record stream reads: with neither sink
+// attached the maps would be allocated and immediately dropped.
+func (o *Observer) Recording() bool {
+	if !o.Enabled() {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.trace != nil || o.recorder != nil
 }
 
 // Flush drains buffered trace output to the underlying writer.
@@ -71,19 +97,31 @@ func (o *Observer) Flush() error {
 	return tw.buf.Flush()
 }
 
-// Emit appends one "event" line to the trace sink (if any). The fields
-// map is marshaled as-is; values must be JSON-encodable.
+// Emit appends one "event" line to the trace sink and flight recorder
+// (whichever are attached). The fields map is marshaled as-is; values
+// must be JSON-encodable.
 func (o *Observer) Emit(name string, fields Fields) {
 	if !o.Enabled() {
 		return
 	}
-	o.emit(traceLine{Type: "event", Name: name, TS: o.clock().Format(time.RFC3339Nano), Fields: fields})
+	o.emit(TraceRecord{Type: "event", Name: name, TS: o.clock().Format(time.RFC3339Nano), Fields: fields})
 }
 
-func (o *Observer) emit(line traceLine) {
+// emit stamps the record with the next sequence number and delivers it
+// to the attached sinks. With no sink at all the record is dropped
+// without consuming a sequence number, so purely-metrics sessions keep
+// their IDs dense for when a sink attaches.
+func (o *Observer) emit(rec TraceRecord) {
 	o.mu.Lock()
-	tw := o.trace
+	tw, fr := o.trace, o.recorder
 	o.mu.Unlock()
+	if tw == nil && fr == nil {
+		return
+	}
+	rec.Seq = o.seq.Add(1)
+	if fr != nil {
+		fr.add(rec)
+	}
 	if tw == nil {
 		return
 	}
@@ -91,16 +129,19 @@ func (o *Observer) emit(line traceLine) {
 	defer tw.mu.Unlock()
 	// Encoding errors (e.g. a closed file) are deliberately swallowed:
 	// observability must never fail the computation it watches.
-	_ = tw.enc.Encode(line)
+	_ = tw.enc.Encode(rec)
 }
 
-// Span is a timed region. Obtain one with StartSpan and finish it with
-// End; a nil Span (from a disabled observer) is safe to End.
+// Span is a timed region. Obtain one with StartSpan (or Child for a
+// nested region) and finish it with End; a nil Span (from a disabled
+// observer) is safe to End and to Child.
 type Span struct {
 	o      *Observer
 	name   string
 	start  time.Time
 	fields Fields
+	id     uint64
+	parent uint64
 }
 
 // StartSpan opens a named timed region. The fields recorded at start are
@@ -110,12 +151,24 @@ func (o *Observer) StartSpan(name string, fields Fields) *Span {
 	if !o.Enabled() {
 		return nil
 	}
-	return &Span{o: o, name: name, start: o.clock(), fields: fields}
+	return &Span{o: o, name: name, start: o.clock(), fields: fields, id: o.seq.Add(1)}
+}
+
+// Child opens a nested span whose trace record carries this span's ID as
+// its parent, so offline reconstruction recovers the call tree. A nil
+// receiver (disabled observer at StartSpan time) yields nil.
+func (s *Span) Child(name string, fields Fields) *Span {
+	if s == nil || !s.o.Enabled() {
+		return nil
+	}
+	return &Span{o: s.o, name: name, start: s.o.clock(), fields: fields, id: s.o.seq.Add(1), parent: s.id}
 }
 
 // End closes the span: the duration lands in the histogram "<name>.ms"
-// and, when a trace sink is attached, a "span" line is appended carrying
-// the start timestamp, duration, and the merged start/end fields.
+// and, when a sink is attached, a "span" line is appended carrying the
+// start timestamp, duration, span/parent IDs, and the merged start/end
+// fields. A span that exceeds the observer's slow-span threshold
+// additionally reports a "slow_span" anomaly (see SetSlowSpanMS).
 func (s *Span) End(fields Fields) {
 	if s == nil || !s.o.Enabled() {
 		return
@@ -132,11 +185,16 @@ func (s *Span) End(fields Fields) {
 			}
 		}
 	}
-	s.o.emit(traceLine{
-		Type:   "span",
-		Name:   s.name,
-		TS:     s.start.Format(time.RFC3339Nano),
-		DurMS:  &durMS,
-		Fields: merged,
+	s.o.emit(TraceRecord{
+		Type:     "span",
+		Name:     s.name,
+		TS:       s.start.Format(time.RFC3339Nano),
+		DurMS:    &durMS,
+		SpanID:   s.id,
+		ParentID: s.parent,
+		Fields:   merged,
 	})
+	if limit := s.o.slowSpanMS(); limit > 0 && durMS > limit {
+		s.o.ReportAnomaly("slow_span", Fields{"span": s.name, "dur_ms": durMS, "limit_ms": limit})
+	}
 }

@@ -17,7 +17,7 @@
 //
 // Observability (see internal/obs): each batch records a "parallel.map"
 // span, raises the "parallel.pool_size" high-water gauge, counts
-// "parallel.tasks", and feeds the "parallel.task_ms" and
+// "parallel.tasks_total", and feeds the "parallel.task_ms" and
 // "parallel.queue_wait_ms" histograms, so pool behavior is visible
 // through the same -trace/-metrics machinery as the solvers.
 package parallel
@@ -130,7 +130,7 @@ func Map[T, R any](p *Pool, items []T, fn func(i int, item T) (R, error)) ([]R, 
 	ob := p.observerOrDefault()
 	span := ob.StartSpan("parallel.map", obs.Fields{"tasks": n, "workers": workers})
 	ob.MaxGauge("parallel.pool_size", float64(workers))
-	tasks := ob.Counter("parallel.tasks")
+	tasks := ob.Counter("parallel.tasks_total")
 	taskMS := ob.Histogram("parallel.task_ms")
 	waitMS := ob.Histogram("parallel.queue_wait_ms")
 	timed := ob.Enabled()

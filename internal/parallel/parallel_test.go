@@ -179,8 +179,8 @@ func TestMapRecordsObservability(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := o.Snapshot()
-	if got := snap.Counters["parallel.tasks"]; got != 10 {
-		t.Fatalf("parallel.tasks = %d, want 10", got)
+	if got := snap.Counters["parallel.tasks_total"]; got != 10 {
+		t.Fatalf("parallel.tasks_total = %d, want 10", got)
 	}
 	if got := snap.Gauges["parallel.pool_size"]; got != 4 {
 		t.Fatalf("parallel.pool_size = %g, want 4", got)

@@ -101,13 +101,13 @@ func (t *Trainer) observeEpisode(participants, actions []int, payoffs []float64)
 	if !ob.Enabled() {
 		return
 	}
-	ob.Count("rl.episodes", 1)
+	ob.Count("rl.episodes_total", 1)
 	var mean float64
 	for _, p := range payoffs {
 		mean += p
 	}
 	mean /= float64(len(payoffs))
-	ob.Observe("rl.reward", mean)
+	ob.Observe("rl.episode_reward", mean)
 	regret, regretOK := 0.0, false
 	for j, idx := range participants {
 		if est, ok := t.Learners[idx].(interface{ Q() []float64 }); ok {
@@ -117,7 +117,7 @@ func (t *Trainer) observeEpisode(participants, actions []int, payoffs []float64)
 		}
 	}
 	if regretOK {
-		ob.Observe("rl.regret_vs_greedy", regret)
+		ob.Observe("rl.regret_vs_greedy_reward", regret)
 	}
 	epsilon, hasEpsilon := -1.0, false
 	if ex, ok := t.Learners[participants[0]].(Explorer); ok {

@@ -157,8 +157,8 @@ func (e *Engine) Run(horizon float64) int {
 		executed++
 	}
 	if observing {
-		ob.Count("sim.events_fired", int64(executed))
-		ob.Count("sim.runs", 1)
+		ob.Count("sim.events_fired_total", int64(executed))
+		ob.Count("sim.runs_total", 1)
 		ob.MaxGauge("sim.queue_high_water", float64(e.highWater))
 		ob.SetGauge("sim.virtual_time", e.now)
 		if wall := time.Since(wallStart).Seconds(); wall > 0 && e.now > startVirtual {

@@ -101,6 +101,7 @@ func CertifyMultiESP(cfg multiesp.Config, eq multiesp.Equilibrium, opts Options)
 	cert.add("utilities", uRes/uScale, opts.ConsistTol, "reported utilities vs recomputed utilities")
 	wRes, _ := sliceResidual(probWant, eq.WinProbs)
 	cert.add("winprobs_reported", wRes, opts.ProbTol, "reported win probabilities vs recomputed values")
+	opts.recordCert(cert)
 	return cert, nil
 }
 
@@ -158,5 +159,6 @@ func CertifyPopulation(
 		"reported expected demands vs E[N] × strategy")
 	cert.add("utilities", math.Abs(current-eq.Utility)/(1+p.Reward), opts.ConsistTol,
 		"reported symmetric utility vs recomputed expected utility")
+	opts.recordCert(cert)
 	return cert, nil
 }

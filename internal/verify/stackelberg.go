@@ -36,7 +36,16 @@ import (
 // The returned error reports malformed inputs only; the verification
 // verdict is Certificate.OK.
 func CertifyStackelberg(cfg core.Config, res core.StackelbergResult, opts Options) (Certificate, error) {
-	cert, err := Certify(cfg, res.Prices, res.Follower, opts)
+	cert, err := certifyStackelberg(cfg, res, opts)
+	if err == nil {
+		opts.recordCert(cert)
+	}
+	return cert, err
+}
+
+// certifyStackelberg is CertifyStackelberg without the telemetry record.
+func certifyStackelberg(cfg core.Config, res core.StackelbergResult, opts Options) (Certificate, error) {
+	cert, err := certify(cfg, res.Prices, res.Follower, opts)
 	if err != nil {
 		return Certificate{}, err
 	}

@@ -23,6 +23,7 @@ import (
 	"minegame/internal/miner"
 	"minegame/internal/netmodel"
 	"minegame/internal/numeric"
+	"minegame/internal/obs"
 )
 
 // Options tunes certification tolerances. The zero value picks defaults
@@ -58,6 +59,44 @@ type Options struct {
 	LeaderProbe   float64
 	LeaderGainTol float64
 	SkipLeader    bool
+	// Observer receives certification telemetry: one
+	// "verify.certificates_total" tick and a "verify.epsilon_rel" sample
+	// per certificate, a "verify.failures_total" tick plus a
+	// "certificate_failed" anomaly (which arms the flight recorder's
+	// postmortem dump) per failing one. Nil falls back to the process
+	// default, which starts disabled — certification is silent unless
+	// somebody is watching.
+	Observer *obs.Observer
+}
+
+func (o Options) observer() *obs.Observer {
+	if o.Observer != nil {
+		return o.Observer
+	}
+	return obs.Default()
+}
+
+// recordCert reports one finished certificate to the observer.
+func (o Options) recordCert(c Certificate) {
+	ob := o.observer()
+	if !ob.Enabled() {
+		return
+	}
+	ob.Count("verify.certificates_total", 1)
+	ob.Observe("verify.epsilon_rel", c.EpsilonRel)
+	if c.OK {
+		return
+	}
+	ob.Count("verify.failures_total", 1)
+	bad := c.Failures()
+	names := make([]string, len(bad))
+	for i, ck := range bad {
+		names[i] = ck.Name
+	}
+	ob.ReportAnomaly("certificate_failed", obs.Fields{
+		"kind": c.Kind, "mode": c.Mode, "miners": c.N,
+		"checks": strings.Join(names, ","), "epsilon_rel": c.EpsilonRel,
+	})
 }
 
 func (o Options) withDefaults() Options {
@@ -159,7 +198,17 @@ func (c *Certificate) add(name string, residual, tol float64, detail string) {
 // must match what the profile implies). The returned error reports
 // malformed inputs only; the verification verdict is Certificate.OK.
 func Certify(cfg core.Config, p core.Prices, eq core.MinerEquilibrium, opts Options) (Certificate, error) {
-	cert, err := CertifyProfile(cfg, p, eq.Requests, opts)
+	cert, err := certify(cfg, p, eq, opts)
+	if err == nil {
+		opts.recordCert(cert)
+	}
+	return cert, err
+}
+
+// certify is Certify without the telemetry record, for wrappers that
+// extend the certificate before reporting it exactly once.
+func certify(cfg core.Config, p core.Prices, eq core.MinerEquilibrium, opts Options) (Certificate, error) {
+	cert, err := certifyProfile(cfg, p, eq.Requests, opts)
 	if err != nil {
 		return Certificate{}, err
 	}
@@ -215,6 +264,15 @@ func Certify(cfg core.Config, p core.Prices, eq core.MinerEquilibrium, opts Opti
 // returned error reports malformed inputs only; the verification verdict
 // is Certificate.OK.
 func CertifyProfile(cfg core.Config, p core.Prices, prof miner.Profile, opts Options) (Certificate, error) {
+	cert, err := certifyProfile(cfg, p, prof, opts)
+	if err == nil {
+		opts.recordCert(cert)
+	}
+	return cert, err
+}
+
+// certifyProfile is CertifyProfile without the telemetry record.
+func certifyProfile(cfg core.Config, p core.Prices, prof miner.Profile, opts Options) (Certificate, error) {
 	if err := cfg.Validate(); err != nil {
 		return Certificate{}, fmt.Errorf("verify: %w", err)
 	}
