@@ -8,6 +8,7 @@
 //	experiments -run fig4,fig8
 //	experiments -run all -out results/
 //	experiments -run fig4 -trace /tmp/fig4.jsonl -metrics
+//	experiments -run meanfield -miners 1000000 -certify
 package main
 
 import (
@@ -45,6 +46,8 @@ func run(args []string, out io.Writer) error {
 		reps    = fs.Int("replicate", 0, "run each experiment across N seeds and report mean/std tables")
 		par     = fs.Int("parallel", 0, "worker count for seed replication and sweep fan-out (0 = GOMAXPROCS, 1 = sequential; output is identical at any count)")
 		certify = fs.Bool("certify", false, "independently certify every solved equilibrium behind the tables (ε-Nash + feasibility); a failed certificate aborts the run")
+		miners  = fs.Int("miners", 0, "override the largest population the meanfield experiment scales to (0 = 10⁶)")
+		classes = fs.Int("classes", 0, "cap the meanfield experiment's budget classes via quantile binning (0 = exact deduplication)")
 	)
 	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +68,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runErr := runExperiments(out, all, *runID, *outDir, *md, *seed, *quick, *plot, *reps, *par, *certify)
+	runErr := runExperiments(out, all, *runID, *outDir, *md, *seed, *quick, *plot, *reps, *par, *certify, *miners, *classes)
 	closeErr := sess.Close(out, false)
 	if runErr != nil {
 		return runErr
@@ -77,7 +80,7 @@ func run(args []string, out io.Writer) error {
 // caller brackets it with the observability session so RunExperiment's
 // telemetry (it reads the process default observer) lands in the trace
 // and metrics dump.
-func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md string, seed int64, quick, plot bool, reps, par int, certify bool) error {
+func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md string, seed int64, quick, plot bool, reps, par int, certify bool, miners, classes int) error {
 	var ids []string
 	if runID == "all" {
 		for _, r := range all {
@@ -91,9 +94,10 @@ func runExperiments(out io.Writer, all []minegame.Experiment, runID, outDir, md 
 			return err
 		}
 	}
-	cfg := minegame.ExperimentConfig{Seed: seed, Quick: quick, Parallel: par}
+	cfg := minegame.ExperimentConfig{Seed: seed, Quick: quick, Parallel: par, Miners: miners, Classes: classes}
 	if certify {
 		cfg.CertifyAfterSolve = verify.NECertifier(verify.Options{})
+		cfg.CertifyClassedAfterSolve = verify.ClassedNECertifier(verify.Options{})
 	}
 	var mdFile *os.File
 	if md != "" {

@@ -8,6 +8,12 @@
 //	minegame -stage full -mode standalone -emax 25 -budget 1000
 //	minegame -stage compare -emax 25 -budget 1000
 //
+// With -miners the miner market is class-compressed (DESIGN.md §12):
+// a million-miner Stackelberg solve with certificates spot-checked on
+// 64 expanded miners:
+//
+//	minegame -stage full -miners 1000000 -classes 7 -certify-sample 64
+//
 // The verify subcommand certifies previously solved artifacts (JSON
 // solves or experiment CSV directories) with internal/verify:
 //
@@ -38,6 +44,7 @@ import (
 	"minegame"
 	"minegame/internal/obs/obscli"
 	"minegame/internal/parallel"
+	"minegame/internal/verify"
 )
 
 func main() {
@@ -76,6 +83,9 @@ func run(args []string, out io.Writer) error {
 		mu       = fs.Float64("mu", 10, "mean miner count (population stage)")
 		sigma    = fs.Float64("sigma", 2, "miner-count std dev (population stage)")
 		par      = fs.Int("parallel", 0, "worker count for the leader-stage price grids (0 = GOMAXPROCS, 1 = sequential; results are identical at any count)")
+		miners   = fs.Int("miners", 0, "solve a class-compressed market of this many miners instead of the exact N-miner game (miners/full stages; 0 = exact)")
+		classes  = fs.Int("classes", 7, "budget classes of the compressed market: levels spread ±15% around -budget (with -miners)")
+		certSamp = fs.Int("certify-sample", 0, "certify the compressed equilibrium and spot-check this many expanded miners (with -miners)")
 	)
 	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -119,12 +129,40 @@ func run(args []string, out io.Writer) error {
 	runErr := func() error {
 		switch *stage {
 		case "miners":
+			if *miners > 0 {
+				cfg, cp, err := classedMarket(cfg, *miners, *classes, *budget)
+				if err != nil {
+					return err
+				}
+				eq, err := minegame.SolveMinerEquilibriumClassed(cfg, cp, minegame.Prices{Edge: *priceE, Cloud: *priceC}, minegame.NEOptions{})
+				if err != nil {
+					return err
+				}
+				if err := certifyClassed(out, cfg, cp, minegame.Prices{Edge: *priceE, Cloud: *priceC}, eq, *certSamp, *asJSON); err != nil {
+					return err
+				}
+				return emit(eq, func() { printClassedEquilibrium(out, cfg, cp, eq) })
+			}
 			eq, err := minegame.SolveMinerEquilibrium(cfg, minegame.Prices{Edge: *priceE, Cloud: *priceC}, minegame.NEOptions{})
 			if err != nil {
 				return err
 			}
 			return emit(eq, func() { printMinerEquilibrium(out, cfg, eq) })
 		case "full":
+			if *miners > 0 {
+				cfg, cp, err := classedMarket(cfg, *miners, *classes, *budget)
+				if err != nil {
+					return err
+				}
+				res, err := minegame.SolveStackelbergClassed(cfg, cp, minegame.StackelbergOptions{Workers: *par})
+				if err != nil {
+					return err
+				}
+				if err := certifyClassed(out, cfg, cp, res.Prices, res.Follower, *certSamp, *asJSON); err != nil {
+					return err
+				}
+				return emit(res, func() { printClassedStackelberg(out, cfg, cp, res) })
+			}
 			res, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{Workers: *par})
 			if err != nil {
 				return err
@@ -206,6 +244,92 @@ func run(args []string, out io.Writer) error {
 		return runErr
 	}
 	return closeErr
+}
+
+// classedMarket synthesizes the class-compressed market behind -miners:
+// k budget levels spread ±15% around the base budget with the n miners
+// split evenly across them (remainder to the lowest classes), never
+// materializing per-miner state. It returns the config resized to n.
+func classedMarket(cfg minegame.Config, n, k int, budget float64) (minegame.Config, minegame.ClassedPopulation, error) {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	cs := make([]minegame.MinerClass, k)
+	for j := range cs {
+		b := budget
+		if k > 1 {
+			b = budget * (0.85 + 0.3*float64(j)/float64(k-1))
+		}
+		cs[j] = minegame.MinerClass{Budget: b, Count: n / k}
+	}
+	for j := 0; j < n%k; j++ {
+		cs[j].Count++
+	}
+	cp, err := minegame.MinersFromClasses(cs)
+	if err != nil {
+		return cfg, cp, err
+	}
+	cfg.N = n
+	cfg.Budgets = []float64{budget}
+	return cfg, cp, nil
+}
+
+// certifyClassed runs the O(K) classed certificate plus, with a
+// positive sample, the expanded-profile spot check over that many
+// evenly strided miners of the full market.
+func certifyClassed(out io.Writer, cfg minegame.Config, cp minegame.ClassedPopulation, p minegame.Prices, eq minegame.ClassedEquilibrium, sample int, quiet bool) error {
+	if sample <= 0 {
+		return nil
+	}
+	cert, err := verify.CertifyClassed(cfg, cp, p, eq, verify.Options{})
+	if err != nil {
+		return err
+	}
+	if err := cert.Err(); err != nil {
+		return err
+	}
+	sampled, err := verify.CertifyExpandedSample(cfg, cp, p, eq, sample, verify.Options{})
+	if err != nil {
+		return err
+	}
+	if err := sampled.Err(); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(out, "certificates: %s OK (eps_rel %.3g), %s OK over %d of %d miners (eps_rel %.3g)\n",
+			cert.Kind, cert.EpsilonRel, sampled.Kind, sample, cp.N(), sampled.EpsilonRel)
+	}
+	return nil
+}
+
+func printClassedEquilibrium(out io.Writer, cfg minegame.Config, cp minegame.ClassedPopulation, eq minegame.ClassedEquilibrium) {
+	fmt.Fprintf(out, "classed miner equilibrium (%s mode, %d miners in %d classes, compression %.3gx)\n",
+		cfg.Mode, cp.N(), cp.K(), cp.CompressRatio())
+	fmt.Fprintf(out, "  converged: %v after %d sweeps\n", eq.Converged, eq.Iterations)
+	for k, c := range cp.Classes {
+		r := eq.Requests[k]
+		fmt.Fprintf(out, "  class %d: %d miners, budget %.4g: e=%.6f c=%.6f  utility=%.3f  win prob=%.3g\n",
+			k+1, c.Count, c.Budget, r.E, r.C, eq.Utilities[k], eq.WinProbs[k])
+	}
+	fmt.Fprintf(out, "  aggregate: E=%.4f C=%.4f S=%.4f\n", eq.EdgeDemand, eq.CloudDemand, eq.TotalDemand)
+	if eq.Multiplier > 0 {
+		fmt.Fprintf(out, "  capacity shadow price: %.4f\n", eq.Multiplier)
+	}
+}
+
+func printClassedStackelberg(out io.Writer, cfg minegame.Config, cp minegame.ClassedPopulation, res minegame.ClassedStackelbergResult) {
+	fmt.Fprintf(out, "classed Stackelberg equilibrium (%s mode, %d miners in %d classes)\n",
+		cfg.Mode, cp.N(), cp.K())
+	fmt.Fprintf(out, "  prices: P_e=%.4f P_c=%.4f (converged=%v)\n", res.Prices.Edge, res.Prices.Cloud, res.Converged)
+	fmt.Fprintf(out, "  profits: V_e=%.3f V_c=%.3f\n", res.ProfitE, res.ProfitC)
+	fmt.Fprintf(out, "  demand: E=%.4f C=%.4f\n", res.Follower.EdgeDemand, res.Follower.CloudDemand)
+	if len(res.Follower.Requests) > 0 {
+		r := res.Follower.Requests[0]
+		fmt.Fprintf(out, "  class-1 request: e=%.6f c=%.6f\n", r.E, r.C)
+	}
 }
 
 func printMinerEquilibrium(out io.Writer, cfg minegame.Config, eq minegame.MinerEquilibrium) {

@@ -1,0 +1,567 @@
+package core
+
+// Mean-field class compression at the core layer: the miner subgame and
+// the full two-stage Stackelberg solve over a miner.ClassedPopulation.
+// A sweep (and an ε-Nash certificate) costs O(K) best responses instead
+// of O(N), which is what lets the leader-stage price grids anticipate
+// N = 10⁶ follower markets. See DESIGN.md §12 for the exactness
+// conditions and the quantile-binning approximation bound.
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+	"minegame/internal/obs"
+)
+
+// Classes compresses the configuration's budget vector into a classed
+// population: a homogeneous config becomes a single class of N miners,
+// a heterogeneous one is exact-deduplicated, falling back to quantile
+// binning when the distinct budgets exceed maxClasses (≤ 0 means no
+// cap). The population's BudgetSpread reports any binning error.
+func (c Config) Classes(maxClasses int) (miner.ClassedPopulation, error) {
+	if err := c.Validate(); err != nil {
+		return miner.ClassedPopulation{}, err
+	}
+	if len(c.Budgets) == 1 {
+		return miner.FromClasses([]miner.Class{{Budget: c.Budgets[0], Count: c.N}})
+	}
+	cp := miner.ClassifyQuantile(c.Budgets, maxClasses)
+	if err := cp.Validate(); err != nil {
+		return miner.ClassedPopulation{}, err
+	}
+	return cp, nil
+}
+
+// ClassedEquilibrium is a solved miner subgame in compressed form: one
+// representative request per class, population-level demand, and
+// per-class member statistics. Every member of class k plays
+// Requests[k] and — facing the identical environment — earns
+// Utilities[k] with winning probability WinProbs[k], so the struct
+// carries the full equilibrium of all N miners in O(K) space.
+type ClassedEquilibrium struct {
+	Population  miner.ClassedPopulation
+	Requests    []numeric.Point2 // class representatives (e_k*, c_k*)
+	EdgeDemand  float64          // E = Σ_k count_k·e_k
+	CloudDemand float64          // C = Σ_k count_k·c_k
+	TotalDemand float64          // S = E + C
+	Utilities   []float64        // utility of ONE member of each class
+	WinProbs    []float64        // winning probability of ONE member of each class
+	Iterations  int
+	Converged   bool
+	// Multiplier is the standalone shared-capacity shadow price (zero in
+	// connected mode or when capacity is slack).
+	Multiplier float64
+}
+
+// Expand materializes the full N-miner request profile, restoring the
+// original miner order when the population remembers one. The O(N)
+// expansion is timed through the process observer (span
+// "meanfield.expansion", landing in the meanfield.expansion.ms
+// histogram) — a single atomic check when observability is off.
+func (e ClassedEquilibrium) Expand() miner.Profile {
+	ob := obs.Default()
+	span := ob.StartSpan("meanfield.expansion", obs.Fields{
+		"miners": e.Population.N(), "classes": e.Population.K(),
+	})
+	prof := e.Population.Expand(e.Requests)
+	span.End(obs.Fields{"expanded": len(prof)})
+	return prof
+}
+
+// Full expands the classed equilibrium into a complete MinerEquilibrium
+// with per-miner utilities and winning probabilities — an O(N) summary
+// intended for cross-checks at feasible N, not the million-miner path.
+func (e ClassedEquilibrium) Full(cfg Config, p Prices) MinerEquilibrium {
+	return cfg.summarize(p, e.Expand(), e.Iterations, e.Converged, e.Multiplier)
+}
+
+// classedSummarize assembles the per-class statistics of a solved
+// classed profile in O(K): each class member's environment is the
+// weighted totals minus its own request.
+func (c Config) classedSummarize(p Prices, cp miner.ClassedPopulation, reps []numeric.Point2, iters int, converged bool, mu float64) ClassedEquilibrium {
+	params := c.Params(p)
+	totals := cp.Aggregate(reps)
+	eq := ClassedEquilibrium{
+		Population: cp,
+		Requests:   reps,
+		Iterations: iters,
+		Converged:  converged,
+		Multiplier: mu,
+		Utilities:  make([]float64, len(reps)),
+		WinProbs:   make([]float64, len(reps)),
+	}
+	eq.EdgeDemand, eq.CloudDemand = totals.Edge, totals.Cloud
+	eq.TotalDemand = totals.Edge + totals.Cloud
+	for k, own := range reps {
+		env := totals.Env(own)
+		switch c.Mode {
+		case netmodel.Connected:
+			eq.Utilities[k] = miner.UtilityConnected(params, own, env)
+			eq.WinProbs[k] = miner.WinProbConnected(c.Beta, c.SatisfyProb, own, env)
+		default:
+			eq.Utilities[k] = miner.UtilityStandalone(params, own, env)
+			eq.WinProbs[k] = miner.WinProbFull(c.Beta, own, env)
+		}
+	}
+	return eq
+}
+
+// classedSeed returns the default starting representatives: the
+// closed-form homogeneous equilibrium evaluated per class — each class
+// seeded as if the whole N-miner market shared its budget, which the
+// first sweeps then correct — with a heuristic feasible spread as the
+// fallback. Standalone seeds are scaled to stay jointly within the
+// shared capacity.
+func (c Config) classedSeed(cp miner.ClassedPopulation, p Prices) []numeric.Point2 {
+	params := c.Params(p)
+	reps := make([]numeric.Point2, cp.K())
+	for k, cl := range cp.Classes {
+		seeded := false
+		switch c.Mode {
+		case netmodel.Connected:
+			if sol, err := miner.HomogeneousConnected(params, cp.N(), cl.Budget); err == nil {
+				reps[k] = sol.Request
+				seeded = true
+			}
+		default:
+			if sol, err := miner.HomogeneousStandalone(params, cp.N(), c.EdgeCapacity); err == nil && params.Spend(sol.Request) <= cl.Budget {
+				reps[k] = sol.Request
+				seeded = true
+			}
+		}
+		if !seeded {
+			reps[k] = numeric.Point2{E: cl.Budget / (4 * p.Edge), C: cl.Budget / (4 * p.Cloud)}
+		}
+	}
+	if c.Mode == netmodel.Standalone && !math.IsInf(c.EdgeCapacity, 1) {
+		if e := cp.Aggregate(reps).Edge; e > c.EdgeCapacity {
+			scale := c.EdgeCapacity / e * 0.9
+			for k := range reps {
+				reps[k].E *= scale
+			}
+		}
+	}
+	return reps
+}
+
+// escapeZeroCollapseClassed is Config.escapeZeroCollapse for classed
+// profiles: when the solve stalls on the all-zero pseudo-equilibrium
+// (never a Nash equilibrium — see escapeZeroCollapse), restart each
+// class from a small interior request.
+func (c Config) escapeZeroCollapseClassed(cp miner.ClassedPopulation, p Prices, reps []numeric.Point2) ([]numeric.Point2, bool) {
+	var s float64
+	for k, r := range reps {
+		s += float64(cp.Classes[k].Count) * (r.E + r.C)
+	}
+	if s > 1e-9 {
+		return nil, false
+	}
+	seed := make([]numeric.Point2, cp.K())
+	for k, cl := range cp.Classes {
+		spend := math.Min(cl.Budget, c.Reward/float64(4*cp.N()))
+		seed[k] = numeric.Point2{E: spend / (2 * p.Edge), C: spend / (2 * p.Cloud)}
+	}
+	if c.Mode == netmodel.Standalone && !math.IsInf(c.EdgeCapacity, 1) {
+		if e := cp.Aggregate(seed).Edge; e > c.EdgeCapacity/2 {
+			scale := c.EdgeCapacity / (2 * e)
+			for k := range seed {
+				seed[k].E *= scale
+			}
+		}
+	}
+	return seed, true
+}
+
+// SolveMinerEquilibriumClassed computes the miner-subgame equilibrium
+// over a classed population at the given prices: connected mode runs
+// the classed Gauss–Seidel NEP solve, standalone mode the classed
+// variational GNEP solve (shared capacity priced by a common
+// multiplier). Per-class budgets come from the population; cfg supplies
+// the game constants, and cfg.N must equal cp.N(). Each sweep costs
+// O(K) best responses, so N = 10⁶ with K ≤ 10³ classes solves at the
+// cost of a thousand-miner market.
+func SolveMinerEquilibriumClassed(cfg Config, cp miner.ClassedPopulation, p Prices, opts game.NEOptions) (ClassedEquilibrium, error) {
+	return SolveMinerEquilibriumClassedFrom(cfg, cp, p, opts, nil)
+}
+
+// SolveMinerEquilibriumClassedFrom is SolveMinerEquilibriumClassed with
+// an explicit starting representative vector (length cp.K()); nil picks
+// the per-class closed-form seed. The start only changes how many
+// sweeps the solve takes, never the equilibrium (up to the solver
+// tolerance). The given slice is not mutated.
+func SolveMinerEquilibriumClassedFrom(cfg Config, cp miner.ClassedPopulation, p Prices, opts game.NEOptions, start []numeric.Point2) (ClassedEquilibrium, error) {
+	if err := cfg.Validate(); err != nil {
+		return ClassedEquilibrium{}, err
+	}
+	if err := cp.Validate(); err != nil {
+		return ClassedEquilibrium{}, err
+	}
+	if cp.N() != cfg.N {
+		return ClassedEquilibrium{}, fmt.Errorf("core: classed population has %d miners, config has %d", cp.N(), cfg.N)
+	}
+	return solveClassedValidated(cfg, cp, p, opts, start)
+}
+
+// solveClassedValidated is the post-validation body of
+// SolveMinerEquilibriumClassedFrom. The Stackelberg demand oracle
+// calls it directly: cfg.Validate scans the O(N) budget vector, and
+// paying that once per leader-stage probe would put an O(N) term back
+// into the per-probe cost the compression exists to remove. Callers
+// must have validated cfg and cp and checked cp.N() == cfg.N; the
+// price-dependent params check (O(1)) stays here.
+func solveClassedValidated(cfg Config, cp miner.ClassedPopulation, p Prices, opts game.NEOptions, start []numeric.Point2) (ClassedEquilibrium, error) {
+	params := cfg.Params(p)
+	if err := params.Validate(); err != nil {
+		return ClassedEquilibrium{}, err
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if start == nil {
+		start = cfg.classedSeed(cp, p)
+	} else if len(start) != cp.K() {
+		return ClassedEquilibrium{}, fmt.Errorf("core: start has %d representatives, population has %d classes", len(start), cp.K())
+	}
+	if ob := classedObserver(opts); ob.Enabled() {
+		ob.SetGauge("meanfield.class_count", float64(cp.K()))
+		ob.SetGauge("meanfield.compress_ratio", cp.CompressRatio())
+	}
+	counts := cp.Counts()
+	switch cfg.Mode {
+	case netmodel.Connected:
+		br := func(k int, own, others numeric.Point2) numeric.Point2 {
+			return miner.BestResponseConnected(params, cp.Classes[k].Budget, envFromOthers(others), own)
+		}
+		res := game.SolveNEClassed(start, counts, br, opts)
+		if reps, ok := cfg.escapeZeroCollapseClassed(cp, p, res.Profile); ok {
+			res = game.SolveNEClassed(reps, counts, br, opts)
+		}
+		return cfg.classedSummarize(p, cp, res.Profile, res.Iterations, res.Converged, 0), nil
+	default:
+		brAt := func(mu float64) game.AggregateBestResponse {
+			return func(k int, own, others numeric.Point2) numeric.Point2 {
+				return miner.BestResponseStandalonePenalized(params, mu, cp.Classes[k].Budget, envFromOthers(others), own)
+			}
+		}
+		shared := func(reps []numeric.Point2) float64 {
+			return cp.Aggregate(reps).Edge
+		}
+		capTol := 1e-4 * cfg.EdgeCapacity
+		res, err := game.SolveVariationalGNEClassed(start, counts, brAt, shared, cfg.EdgeCapacity, capTol, opts)
+		if err != nil {
+			return ClassedEquilibrium{}, fmt.Errorf("standalone classed miner subgame: %w", err)
+		}
+		if reps, ok := cfg.escapeZeroCollapseClassed(cp, p, res.Profile); ok {
+			res, err = game.SolveVariationalGNEClassed(reps, counts, brAt, shared, cfg.EdgeCapacity, capTol, opts)
+			if err != nil {
+				return ClassedEquilibrium{}, fmt.Errorf("standalone classed miner subgame: %w", err)
+			}
+		}
+		return cfg.classedSummarize(p, cp, res.Profile, res.Iterations, res.Converged, res.Multiplier), nil
+	}
+}
+
+// classedObserver resolves the observer the classed solvers record
+// their compression gauges through.
+func classedObserver(opts game.NEOptions) *obs.Observer {
+	if opts.Observer != nil {
+		return opts.Observer
+	}
+	return obs.Default()
+}
+
+// DeviationsClassed returns each class's maximal unilateral deviation
+// gain at the classed profile — the O(K) ε-Nash certificate material.
+// Because every member of a class plays the identical request against
+// the identical environment, gains[k] is EXACTLY the deviation gain of
+// each of the class's count_k members, so max_k gains[k] ≤ ε certifies
+// all N expanded miners at once.
+func DeviationsClassed(cfg Config, p Prices, cp miner.ClassedPopulation, reps []numeric.Point2) []float64 {
+	params := cfg.Params(p)
+	switch cfg.Mode {
+	case netmodel.Connected:
+		br := func(k int, own, others numeric.Point2) numeric.Point2 {
+			return miner.BestResponseConnected(params, cp.Classes[k].Budget, envFromOthers(others))
+		}
+		utility := func(k int, own, others numeric.Point2) float64 {
+			return miner.UtilityConnected(params, own, envFromOthers(others))
+		}
+		return game.DeviationsClassed(reps, cp.Counts(), br, utility)
+	default:
+		br := func(k int, own, others numeric.Point2) numeric.Point2 {
+			env := envFromOthers(others)
+			return miner.BestResponseStandalone(params, cp.Classes[k].Budget, cfg.EdgeCapacity-env.EdgeOthers, env)
+		}
+		utility := func(k int, own, others numeric.Point2) float64 {
+			return miner.UtilityStandalone(params, own, envFromOthers(others))
+		}
+		return game.DeviationsClassed(reps, cp.Counts(), br, utility)
+	}
+}
+
+// ClassedStackelbergResult is a solved two-stage game over a classed
+// population: the equilibrium prices, the compressed follower
+// equilibrium underneath them, and the provider profits.
+type ClassedStackelbergResult struct {
+	Prices   Prices
+	Follower ClassedEquilibrium
+	ProfitE  float64 // V_e = (P_e − C_e)·E
+	ProfitC  float64 // V_c = (P_c − C_c)·C
+	Iterations int
+	Converged  bool
+}
+
+// SolveStackelbergClassed runs backward induction on the full game with
+// the miner subgame compressed into classes: every leader-stage price
+// probe anticipates the classed follower equilibrium — O(K) per sweep —
+// so the price grids clear million-miner markets in the time the exact
+// solver needs for a thousand miners. The leader structure (Theorem 4
+// commitment by default, Algorithm 1 simultaneous play via
+// opts.Simultaneous, the Algorithm 2 market-clearing bargain in
+// standalone mode) matches SolveStackelberg; demand probes are memoized
+// per price point with single-flight semantics and seeded from the
+// per-class closed form at their own prices, so results are independent
+// of worker count.
+func SolveStackelbergClassed(cfg Config, cp miner.ClassedPopulation, opts StackelbergOptions) (ClassedStackelbergResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ClassedStackelbergResult{}, err
+	}
+	if err := cp.Validate(); err != nil {
+		return ClassedStackelbergResult{}, err
+	}
+	if cp.N() != cfg.N {
+		return ClassedStackelbergResult{}, fmt.Errorf("core: classed population has %d miners, config has %d", cp.N(), cfg.N)
+	}
+	opts = opts.withDefaults(cfg)
+	ob := opts.observer()
+	span := ob.StartSpan("core.stackelberg_classed", obs.Fields{
+		"mode": cfg.Mode.String(), "miners": cp.N(), "classes": cp.K(),
+	})
+	if ob.Enabled() {
+		ob.SetGauge("meanfield.class_count", float64(cp.K()))
+		ob.SetGauge("meanfield.compress_ratio", cp.CompressRatio())
+	}
+	probes := ob.Counter("core.demand_probes_total")
+	memoHits := ob.Counter("core.demand_memo_hits_total")
+
+	// Unlike the exact solver's demand memo there is NO cross-price
+	// anchor warm start: the classed seed (the per-class closed-form
+	// homogeneous solution AT THE PROBE'S OWN PRICES) starts inside the
+	// best responses' KKT acceptance pocket, where a stale anchor from
+	// the starting prices leaves the solver circling that pocket at the
+	// best responses' positional noise floor. Seeding per price point
+	// keeps every probe a pure function of its prices, so results remain
+	// independent of worker count.
+	memo := newDemandMemo()
+	oracle := func(p Prices) demand {
+		d, hit := memo.get(p, func() (demand, miner.Profile) {
+			probes.Inc()
+			eq, err := solveClassedValidated(cfg, cp, p, opts.Follower, nil)
+			if err != nil {
+				return demand{}, nil
+			}
+			// The memo's profile slot stores the K representatives (the
+			// same []numeric.Point2 shape), warm-starting later solves at
+			// the same price point.
+			return demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}, miner.Profile(eq.Requests)
+		})
+		if hit {
+			memoHits.Inc()
+		}
+		return d
+	}
+
+	esp := game.Leader{
+		Name: "ESP",
+		Profit: func(own, other float64) float64 {
+			d := oracle(Prices{Edge: own, Cloud: other})
+			if !d.ok {
+				return math.Inf(-1)
+			}
+			return (own - cfg.CostE) * d.edge
+		},
+		Bracket: func(other float64) (float64, float64) {
+			lo := cfg.CostE + 1e-6
+			if cfg.Mode == netmodel.Standalone && !math.IsNaN(other) && other >= lo {
+				lo = other * (1 + 1e-6)
+			}
+			return lo, math.Max(opts.MaxPriceE, lo*1.5)
+		},
+	}
+	csp := game.Leader{
+		Name: "CSP",
+		Profit: func(own, other float64) float64 {
+			d := oracle(Prices{Edge: other, Cloud: own})
+			if !d.ok {
+				return math.Inf(-1)
+			}
+			return (own - cfg.CostC) * d.cloud
+		},
+		Bracket: func(other float64) (float64, float64) {
+			return cfg.CostC + 1e-6, opts.MaxPriceC
+		},
+	}
+
+	var (
+		lead game.LeadersResult
+		err  error
+	)
+	switch {
+	case opts.Simultaneous:
+		lead, err = game.SolveLeaders(esp, csp, opts.StartE, opts.StartC, opts.Leader)
+	case cfg.Mode == netmodel.Standalone:
+		lead, err = cfg.solveStandaloneLeadersClassed(cp, opts)
+	default:
+		lead, err = game.SolveLeaderFollower(esp, csp, opts.Leader)
+	}
+	if err != nil {
+		span.End(obs.Fields{"failed": true})
+		return ClassedStackelbergResult{}, fmt.Errorf("classed leader stage: %w", err)
+	}
+	prices := Prices{Edge: lead.PriceA, Cloud: lead.PriceB}
+	// A memoized probe at the winning prices restarts the final solve at
+	// its own equilibrium; otherwise nil falls back to the closed-form
+	// classed seed at these prices.
+	follower, err := solveClassedValidated(cfg, cp, prices, opts.Follower, []numeric.Point2(memo.profileAt(prices)))
+	if err != nil {
+		span.End(obs.Fields{"failed": true})
+		return ClassedStackelbergResult{}, fmt.Errorf("classed follower stage at equilibrium prices %+v: %w", prices, err)
+	}
+	if opts.CertifyClassedAfterSolve != nil {
+		if err := opts.CertifyClassedAfterSolve(cfg, cp, prices, follower); err != nil {
+			span.End(obs.Fields{"failed": true})
+			return ClassedStackelbergResult{}, fmt.Errorf("certify classed follower equilibrium at prices %+v: %w", prices, err)
+		}
+	}
+	res := ClassedStackelbergResult{
+		Prices:     prices,
+		Follower:   follower,
+		ProfitE:    (prices.Edge - cfg.CostE) * follower.EdgeDemand,
+		ProfitC:    (prices.Cloud - cfg.CostC) * follower.CloudDemand,
+		Iterations: lead.Iterations,
+		Converged:  lead.Converged,
+	}
+	span.End(obs.Fields{
+		"price_e": res.Prices.Edge, "price_c": res.Prices.Cloud,
+		"profit_e": res.ProfitE, "profit_c": res.ProfitC,
+		"leader_iterations": res.Iterations, "converged": res.Converged,
+	})
+	if !res.Converged {
+		ob.ReportAnomaly("leader_not_converged", obs.Fields{
+			"mode": cfg.Mode.String(), "iterations": res.Iterations,
+			"price_e": prices.Edge, "price_c": prices.Cloud,
+		})
+	}
+	return res, nil
+}
+
+// solveStandaloneLeadersClassed is solveStandaloneLeaders with the
+// follower subgame compressed: the market-clearing edge price at each
+// CSP price is found by bisecting the capacity-unconstrained CLASSED
+// edge demand (the homogeneous closed form still short-circuits a
+// single-class population), and the CSP maximizes along that clearing
+// curve over its price grid.
+func (c Config) solveStandaloneLeadersClassed(cp miner.ClassedPopulation, opts StackelbergOptions) (game.LeadersResult, error) {
+	ob := opts.observer()
+	span := ob.StartSpan("core.standalone_bargain", obs.Fields{"miners": cp.N(), "capacity": c.EdgeCapacity, "classes": cp.K()})
+	clearingSolves := ob.Counter("core.clearing_price_solves_total")
+	clearing := func(pc float64) (float64, []numeric.Point2, bool) {
+		clearingSolves.Inc()
+		if cp.K() == 1 {
+			pe := miner.ClearingPriceEdge(c.Reward, c.Beta, pc, cp.N(), c.EdgeCapacity)
+			params := c.Params(Prices{Edge: pe, Cloud: pc})
+			if params.Validate() == nil && pe > pc && pe > c.CostE && pc < (1-c.Beta)*pe {
+				sol, err := miner.HomogeneousStandalone(params, cp.N(), c.EdgeCapacity)
+				if err == nil && params.Spend(sol.Request) <= cp.Classes[0].Budget {
+					return pe, nil, true
+				}
+			}
+		}
+		unconstrained := c
+		unconstrained.EdgeCapacity = math.Inf(1)
+		// Every bisection point seeds from the per-class closed form at
+		// its own prices (nil start) rather than the previous point's
+		// equilibrium: near-but-stale warm starts leave the classed solver
+		// circling the best responses' KKT pocket at its noise floor.
+		var last []numeric.Point2
+		demandAt := func(pe float64) float64 {
+			eq, err := solveClassedValidated(unconstrained, cp, Prices{Edge: pe, Cloud: pc}, opts.Follower, nil)
+			if err != nil {
+				return 0
+			}
+			last = eq.Requests
+			return eq.EdgeDemand
+		}
+		lo := math.Max(pc*(1+1e-6), c.CostE+1e-9)
+		hi := math.Max(opts.MaxPriceE, lo*1.5)
+		if demandAt(lo) < c.EdgeCapacity {
+			return 0, nil, false
+		}
+		if demandAt(hi) >= c.EdgeCapacity {
+			return hi, last, true
+		}
+		pe, err := numeric.Bisect(func(pe float64) float64 {
+			return demandAt(pe) - c.EdgeCapacity
+		}, lo, hi, 1e-6*(1+hi))
+		if err != nil {
+			return 0, nil, false
+		}
+		return pe, last, true
+	}
+	profitC := func(pc float64) float64 {
+		pe, warm, ok := clearing(pc)
+		if !ok {
+			return math.Inf(-1)
+		}
+		eq, err := solveClassedValidated(c, cp, Prices{Edge: pe, Cloud: pc}, opts.Follower, warm)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return (pc - c.CostC) * eq.CloudDemand
+	}
+	grid := opts.Leader.GridN
+	if grid <= 0 {
+		grid = 60
+	}
+	var (
+		pcStar, vc float64
+		err        error
+	)
+	if opts.Leader.CoarseGridN > 0 {
+		pcStar, vc, err = numeric.MaximizeGridTwoLevel(profitC, c.CostC+1e-6, opts.MaxPriceC, opts.Leader.CoarseGridN, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
+	} else {
+		pcStar, vc, err = numeric.MaximizeGridPool(profitC, c.CostC+1e-6, opts.MaxPriceC, grid, opts.MaxPriceC*1e-7, opts.Leader.Pool)
+	}
+	if err != nil {
+		span.End(obs.Fields{"failed": true})
+		return game.LeadersResult{}, fmt.Errorf("standalone classed SP stage: %w", err)
+	}
+	if math.IsInf(vc, -1) {
+		span.End(obs.Fields{"failed": true})
+		return game.LeadersResult{}, fmt.Errorf("standalone classed SP stage: capacity never binds; no market-clearing equilibrium (Problem 2c requires E = E_max)")
+	}
+	peStar, warm, ok := clearing(pcStar)
+	if !ok {
+		span.End(obs.Fields{"failed": true})
+		return game.LeadersResult{}, fmt.Errorf("standalone classed SP stage: no clearing price at P_c = %g", pcStar)
+	}
+	eq, err := solveClassedValidated(c, cp, Prices{Edge: peStar, Cloud: pcStar}, opts.Follower, warm)
+	if err != nil {
+		span.End(obs.Fields{"failed": true})
+		return game.LeadersResult{}, fmt.Errorf("standalone classed SP stage: %w", err)
+	}
+	span.End(obs.Fields{"price_e": peStar, "price_c": pcStar})
+	return game.LeadersResult{
+		PriceA:     peStar,
+		PriceB:     pcStar,
+		ProfitA:    (peStar - c.CostE) * eq.EdgeDemand,
+		ProfitB:    (pcStar - c.CostC) * eq.CloudDemand,
+		Iterations: 1,
+		Converged:  true,
+	}, nil
+}

@@ -49,7 +49,18 @@ type StackelbergOptions struct {
 	// enabling it cannot change the computed result, only reject it: a
 	// certification error fails the whole solve.
 	CertifyAfterSolve Certifier
+	// CertifyClassedAfterSolve is CertifyAfterSolve for the classed
+	// two-stage solver (SolveStackelbergClassed), which never
+	// materializes the full MinerEquilibrium the plain Certifier
+	// signature wants. Same contract: runs once, on the final follower
+	// solve, and an error fails the whole solve.
+	CertifyClassedAfterSolve ClassedCertifier
 }
+
+// ClassedCertifier independently validates a solved classed follower
+// equilibrium — the O(K) analog of Certifier (internal/verify supplies
+// implementations). A non-nil error means certification failed.
+type ClassedCertifier func(cfg Config, cp miner.ClassedPopulation, p Prices, eq ClassedEquilibrium) error
 
 // Certifier independently validates a solved miner equilibrium — an
 // ε-Nash / feasibility check that shares no solver internals. A non-nil

@@ -33,6 +33,7 @@ func All() []Runner {
 		{ID: "e2e", Title: "end-to-end: equilibrium through service network and PoW race", Run: runEndToEnd},
 		{ID: "adaptive", Title: "adaptive SP pricing against learning miners", Run: runAdaptivePricing},
 		{ID: "hetero", Title: "heterogeneous-budget Stackelberg (numeric oracle)", Run: runHeterogeneous},
+		{ID: "meanfield", Title: "mean-field class compression: million-miner markets in O(K)", Run: runMeanField},
 		{ID: "multiesp", Title: "extension: two edge providers competing with the cloud", Run: runMultiESP},
 		{ID: "wealth", Title: "extension: budget dynamics and mining centralization", Run: runWealth},
 		{ID: "gossip", Title: "extension: topology-driven propagation delay and fork rate", Run: runGossip},

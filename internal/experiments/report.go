@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"minegame/internal/core"
+	"minegame/internal/miner"
 	"minegame/internal/parallel"
 )
 
@@ -204,6 +205,35 @@ type Config struct {
 	// probes, so enabling it cannot change any table — it can only fail
 	// the run when an equilibrium flunks its certificate.
 	CertifyAfterSolve core.Certifier
+	// CertifyClassedAfterSolve is CertifyAfterSolve for the classed
+	// (mean-field compressed) solves of the "meanfield" runner, whose
+	// equilibria never materialize a full MinerEquilibrium.
+	// internal/verify.ClassedNECertifier supplies the standard
+	// implementation. Same contract: final solves only, a failure aborts
+	// the run.
+	CertifyClassedAfterSolve core.ClassedCertifier
+	// Miners overrides the largest population the "meanfield" runner
+	// scales to (0 keeps the default 10⁶; Quick caps it regardless).
+	Miners int
+	// Classes caps the number of budget classes the "meanfield" runner
+	// compresses to via quantile binning (0 means exact deduplication).
+	Classes int
+}
+
+// certifyClassed runs the configured classed-equilibrium certifier, if
+// any.
+func (c Config) certifyClassed(cfg core.Config, cp miner.ClassedPopulation, p core.Prices, eq core.ClassedEquilibrium) error {
+	if c.CertifyClassedAfterSolve == nil {
+		return nil
+	}
+	return c.CertifyClassedAfterSolve(cfg, cp, p, eq)
+}
+
+// stackClassedOpts threads the harness's classed certifier into the
+// classed two-stage solver's options.
+func (c Config) stackClassedOpts(o core.StackelbergOptions) core.StackelbergOptions {
+	o.CertifyClassedAfterSolve = c.CertifyClassedAfterSolve
+	return o
 }
 
 // certify runs the configured equilibrium certifier, if any.

@@ -1,0 +1,236 @@
+package game
+
+// Class-compressed best-response iteration. In an aggregative game a
+// player's best response depends on the opponents only through their
+// coordinate-wise total, so players that share every best-response
+// input (same budget, same game constants) are interchangeable: a
+// population of N miners collapses into K classes solved with
+// multiplicities, and a sweep costs O(K) best-response solves instead
+// of O(N). Expanding each class representative back over its members
+// yields an equilibrium of the full N-player game (see DESIGN.md §12
+// for the exactness conditions).
+
+import (
+	"math"
+
+	"minegame/internal/numeric"
+)
+
+// sumPointsWeighted re-sums a classed profile exactly:
+// Σ_k counts[k]·reps[k]. The sweep-boundary analog of sumPoints.
+func sumPointsWeighted(reps []numeric.Point2, counts []int) numeric.Point2 {
+	var t numeric.Point2
+	for k, r := range reps {
+		t = t.Add(r.Scale(float64(counts[k])))
+	}
+	return t
+}
+
+// SolveNEClassed runs Gauss–Seidel best-response iteration over class
+// representatives: start[k] is the shared strategy of counts[k]
+// identical players, and br(k, own, others) is the aggregate best
+// response of one member of class k (others = population totals minus
+// that member's own strategy). Each outer sweep visits the K classes in
+// index order; moving a whole class of m players at once re-creates the
+// oscillatory symmetric fixed-point map, so each class is advanced by a
+// damped inner sub-equilibrium solve of r = br(outside + (m−1)·r) —
+// near the equilibrium the KKT warm path settles it in a single call.
+// Population totals are delta-updated by multiplicity as classes move
+// and exactly re-summed at every sweep boundary, exactly like
+// SolveNEAggregate.
+//
+// The returned Profile holds the K representatives (expand via
+// miner.ClassedPopulation.Expand for a full profile). MaxDelta is the
+// largest per-member strategy change of the last sweep. The Jacobi
+// option is ignored: whole-class moves are already "simultaneous"
+// within a class, and cross-class Gauss–Seidel is what keeps the outer
+// iteration contractive. A counts/start length mismatch returns a zero
+// NEResult.
+func SolveNEClassed(start []numeric.Point2, counts []int, br AggregateBestResponse, opts NEOptions) NEResult {
+	if len(start) != len(counts) {
+		return NEResult{}
+	}
+	opts = opts.withDefaults()
+	tel := newSolveTelemetry(opts, "game.solve_ne_classed", "classed_best_response", len(start))
+	reps := make([]numeric.Point2, len(start))
+	copy(reps, start)
+	res := NEResult{Profile: reps}
+	totals := sumPointsWeighted(reps, counts)
+	// The inner sub-equilibrium must settle below the outer tolerance,
+	// or the outer deltas would dither at the inner residual floor.
+	innerTol := opts.Tol / 2
+	for it := 0; it < opts.MaxIter; it++ {
+		res.Iterations = it + 1
+		res.MaxDelta = 0
+		for k := range reps {
+			m := counts[k]
+			if m <= 0 {
+				continue
+			}
+			old := reps[k]
+			// outside aggregates every OTHER class; the inner solve adds
+			// the (m−1) same-class peers around the moving representative.
+			outside := totals.Sub(old.Scale(float64(m)))
+			next, inner := classSubEquilibrium(k, m, old, outside, br, innerTol)
+			if opts.Damping < 1 {
+				next = old.Scale(1 - opts.Damping).Add(next.Scale(opts.Damping))
+			}
+			// An unsettled inner fixed point counts as sweep movement even
+			// when the representative barely moved: otherwise a stalled
+			// sub-equilibrium would read as outer convergence and the solver
+			// could certify a non-equilibrium (observed before this guard:
+			// corner-hopping classes drifting below Tol per sweep).
+			if d := math.Max(next.Sub(old).Norm(), inner); d > res.MaxDelta {
+				res.MaxDelta = d
+			}
+			// O(1) delta update by multiplicity keeps totals current for
+			// the next class in this sweep.
+			totals = totals.Add(next.Sub(old).Scale(float64(m)))
+			reps[k] = next
+		}
+		// Sweep boundary: exact re-summation bounds incremental drift.
+		totals = sumPointsWeighted(reps, counts)
+		if opts.OnSweep != nil {
+			opts.OnSweep(res.Iterations, res.MaxDelta)
+		}
+		tel.sweep(res.Iterations, res.MaxDelta)
+		if res.MaxDelta < opts.Tol {
+			res.Converged = true
+			tel.finish(res)
+			return res
+		}
+	}
+	tel.finish(res)
+	return res
+}
+
+// classSubEquilibrium solves the symmetric within-class fixed point
+// r = br(k, r, outside + (m−1)·r): the strategy at which one member of
+// an m-player class is best-responding while its m−1 identical peers
+// play the same thing. It returns the settled point and the norm of its
+// remaining fixed-point residual ‖g(r)−r‖ (0 when m ≤ 1); callers must
+// treat a residual above tol as non-convergence — the point is the best
+// iterate found, not an equilibrium.
+//
+// The map g(r) = br(outside + (m−1)·r) has slope magnitude up to
+// (m−1)·|∂br/∂others| — hundreds for a large class — so any FIXED
+// damping either diverges (too large) or crawls (too small). Each step
+// therefore damps by 1/(1+L) with L the secant estimate of the local
+// slope: for the monotone-decreasing best-response maps of aggregative
+// games the damped map's slope is ≈ 1 − (1+|s|)/(1+L) ≈ 0, near-Newton.
+// Because br clamps at the polytope corners the slope estimate can
+// collapse (L = 0 on a pinned stretch) and launch a corner-to-corner
+// jump, so steps are additionally confined to a trust radius that only
+// grows with accepted (residual-decreasing) steps and shrinks when a
+// step overshoots. Once the outer iteration is near equilibrium the
+// first best response is already a KKT point and the loop exits after
+// one call.
+func classSubEquilibrium(k, m int, r, outside numeric.Point2, br AggregateBestResponse, tol float64) (numeric.Point2, float64) {
+	if m <= 1 {
+		return br(k, r, outside), 0
+	}
+	const maxInner = 200
+	peers := float64(m - 1)
+	g := func(x numeric.Point2) numeric.Point2 {
+		return br(k, x, outside.Add(x.Scale(peers)))
+	}
+	cur := r
+	gCur := g(cur)
+	res := gCur.Sub(cur)
+	resN := res.Norm()
+	if resN <= tol {
+		return gCur, 0
+	}
+	// Conservative first radius: the worst-case damping 1/m assuming
+	// |∂br/∂others| ≤ 1.
+	radius := resN / (1 + peers)
+	prev, gPrev := cur, gCur
+	for it := 0; it < maxInner; it++ {
+		// Secant slope of g along the last accepted step.
+		L := 0.0
+		if n := cur.Sub(prev).Norm(); n > 0 {
+			L = gCur.Sub(gPrev).Norm() / n
+		}
+		step := resN / (1 + L)
+		if step > radius {
+			step = radius
+		}
+		next := cur.Add(res.Scale(step / resN))
+		gNext := g(next)
+		nres := gNext.Sub(next)
+		nresN := nres.Norm()
+		if nresN <= tol {
+			return gNext, 0
+		}
+		if nresN < resN {
+			// Accepted: move, remember the secant pair, let the region grow.
+			prev, gPrev = cur, gCur
+			cur, gCur, res, resN = next, gNext, nres, nresN
+			radius = 2 * step
+		} else {
+			// Overshot (corner jump or slope underestimate): shrink and retry
+			// from the same point.
+			radius = step / 4
+			if radius <= 1e-18 {
+				break
+			}
+		}
+	}
+	return cur, resN
+}
+
+// SolveVariationalGNEClassed is SolveVariationalGNE over a classed
+// population: brAt(μ) must return the μ-penalized aggregate best
+// response of one class member, and shared evaluates the constraint on
+// the K representatives (weight by the class counts — the solver passes
+// representatives, not an expanded profile). Every inner NEP solve runs
+// O(K) sweeps via SolveNEClassed; the multiplier search (slackness
+// check, doubling, bisection) is shared with SolveVariationalGNE.
+func SolveVariationalGNEClassed(
+	start []numeric.Point2,
+	counts []int,
+	brAt func(mu float64) AggregateBestResponse,
+	shared func(reps []numeric.Point2) float64,
+	capacity float64,
+	capTol float64,
+	opts NEOptions,
+) (VGNEResult, error) {
+	neAt := func(mu float64, from []numeric.Point2) NEResult {
+		return SolveNEClassed(from, counts, brAt(mu), opts)
+	}
+	return solveVariationalGNE(start, neAt, shared, capacity, capTol, opts)
+}
+
+// DeviationsClassed returns each class's maximal unilateral
+// best-response gain (clamped below at zero): gains[k] is the utility
+// one member of class k could gain by deviating while everyone else —
+// including its m−1 identical peers — stays put. Because all members of
+// a class play the same strategy against the same aggregate, one
+// computation certifies every member exactly, so an ε-Nash certificate
+// for all N expanded players costs O(K) best responses.
+// utility(k, own, others) evaluates a class-k member's payoff. A
+// reps/counts length mismatch returns nil.
+func DeviationsClassed(
+	reps []numeric.Point2,
+	counts []int,
+	br AggregateBestResponse,
+	utility func(k int, own, others numeric.Point2) float64,
+) []float64 {
+	if len(reps) != len(counts) {
+		return nil
+	}
+	totals := sumPointsWeighted(reps, counts)
+	gains := make([]float64, len(reps))
+	for k, own := range reps {
+		if counts[k] <= 0 {
+			continue
+		}
+		others := totals.Sub(own)
+		current := utility(k, own, others)
+		dev := br(k, own, others)
+		if gain := utility(k, dev, others) - current; gain > 0 {
+			gains[k] = gain
+		}
+	}
+	return gains
+}

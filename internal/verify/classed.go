@@ -1,0 +1,273 @@
+package verify
+
+// Classed certificates: the O(K) ε-Nash / feasibility verdicts behind
+// the mean-field compression layer. Because every member of a class
+// plays the identical request against the identical environment, one
+// deviation gain per class certifies all of its members EXACTLY — the
+// certificate for a million-miner market costs K best responses, not N.
+// CertifyExpandedSample complements that with a spot check on the
+// actual O(N) expansion: it verifies the expansion is faithful to the
+// representatives and re-derives a sampled subset of per-miner gains
+// from the expanded rows alone.
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/core"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/numeric"
+)
+
+// CertifyClassed checks a solved classed miner-subgame equilibrium in
+// O(K): per-class ε-Nash deviation gains (exact for every member),
+// feasibility against the representative budgets, the weighted
+// Theorem 1 winning-probability identities, internal consistency of
+// the reported aggregates and per-class statistics, and the standalone
+// shared-multiplier conditions. A population built by quantile binning
+// certifies the BINNED game — its verdict transfers to the original
+// budgets up to the population's BudgetSpread (DESIGN.md §12). The
+// returned error reports malformed inputs only; the verification
+// verdict is Certificate.OK.
+func CertifyClassed(cfg core.Config, cp miner.ClassedPopulation, p core.Prices, eq core.ClassedEquilibrium, opts Options) (Certificate, error) {
+	cert, err := certifyClassed(cfg, cp, p, eq, opts)
+	if err == nil {
+		opts.recordCert(cert)
+	}
+	return cert, err
+}
+
+func certifyClassed(cfg core.Config, cp miner.ClassedPopulation, p core.Prices, eq core.ClassedEquilibrium, opts Options) (Certificate, error) {
+	if err := classedInputs(cfg, cp, p, len(eq.Requests)); err != nil {
+		return Certificate{}, err
+	}
+	opts = opts.withDefaults()
+	params := cfg.Params(p)
+	cert := Certificate{Kind: "miner_ne_classed", Mode: cfg.Mode.String(), N: cfg.N, OK: true}
+
+	// Feasibility residuals per class (one member certifies all).
+	var nonneg, budget float64
+	for k, r := range eq.Requests {
+		nonneg = math.Max(nonneg, math.Max(-r.E, -r.C))
+		b := cp.Classes[k].Budget
+		if over := (params.Spend(r) - b) / (1 + b); over > budget {
+			budget = over
+		}
+	}
+	cert.add("nonneg", nonneg, opts.FeasTol, "negative request coordinates")
+	cert.add("budget", budget, opts.FeasTol, "relative budget overspend max_k (spend_k - B_k)/(1 + B_k)")
+	tot := cp.Aggregate(eq.Requests)
+	if cfg.Mode == netmodel.Standalone && !math.IsInf(cfg.EdgeCapacity, 1) {
+		cert.add("capacity", (tot.Edge-cfg.EdgeCapacity)/cfg.EdgeCapacity, opts.SlackTol,
+			fmt.Sprintf("relative shared-capacity overshoot, E=%g E_max=%g", tot.Edge, cfg.EdgeCapacity))
+	}
+
+	// ε-Nash: per-class deviation gains — exact for every one of the
+	// class's count_k members, so max_k certifies all N expanded miners.
+	gains := core.DeviationsClassed(cfg, p, cp, eq.Requests)
+	var eps float64
+	for _, g := range gains {
+		if g > eps {
+			eps = g
+		}
+	}
+	cert.Gains = gains
+	cert.Epsilon = eps
+	cert.EpsilonRel = eps / cfg.Reward
+	cert.add("deviation", cert.EpsilonRel, opts.GainTol, "worst per-class best-response gain relative to R (exact for all members)")
+
+	// Theorem 1 with multiplicities: Σ_k count_k·W_k = 1 in full form,
+	// and the connected-mode mass identity on the weighted sum.
+	if tot.Edge+tot.Cloud > 0 {
+		var wFull, wConn float64
+		for k, r := range eq.Requests {
+			m := float64(cp.Classes[k].Count)
+			env := tot.Env(r)
+			wFull += m * miner.WinProbFull(cfg.Beta, r, env)
+			if cfg.Mode == netmodel.Connected {
+				wConn += m * miner.WinProbConnected(cfg.Beta, cfg.SatisfyProb, r, env)
+			}
+		}
+		cert.add("winprob_sum_full", math.Abs(wFull-1), opts.ProbTol,
+			"Theorem 1: weighted fully satisfied winning probabilities must sum to 1")
+		if cfg.Mode == netmodel.Connected {
+			want := 1 - cfg.Beta
+			if tot.Edge > 1e-12 {
+				want += cfg.Beta * cfg.SatisfyProb
+			}
+			cert.add("winprob_sum_connected", math.Abs(wConn-want), opts.ProbTol,
+				"connected-mode mass identity ΣW = (1−β) + βh·1{E>0}")
+		}
+	}
+
+	// Internal consistency: reported aggregates and per-class statistics
+	// vs recomputation from the representatives.
+	scale := 1 + math.Abs(tot.Edge) + math.Abs(tot.Cloud)
+	aggRes := math.Max(math.Abs(tot.Edge-eq.EdgeDemand), math.Abs(tot.Cloud-eq.CloudDemand))
+	aggRes = math.Max(aggRes, math.Abs(tot.Edge+tot.Cloud-eq.TotalDemand))
+	cert.add("aggregates", aggRes/scale, opts.ConsistTol,
+		fmt.Sprintf("reported E=%g C=%g S=%g", eq.EdgeDemand, eq.CloudDemand, eq.TotalDemand))
+	us := make([]float64, len(eq.Requests))
+	ws := make([]float64, len(eq.Requests))
+	for k, r := range eq.Requests {
+		env := tot.Env(r)
+		if cfg.Mode == netmodel.Connected {
+			us[k] = miner.UtilityConnected(params, r, env)
+			ws[k] = miner.WinProbConnected(cfg.Beta, cfg.SatisfyProb, r, env)
+		} else {
+			us[k] = miner.UtilityStandalone(params, r, env)
+			ws[k] = miner.WinProbFull(cfg.Beta, r, env)
+		}
+	}
+	uRes, uScale := sliceResidual(us, eq.Utilities)
+	cert.add("utilities", uRes/uScale, opts.ConsistTol, "reported vs recomputed per-class utilities")
+	wRes, _ := sliceResidual(ws, eq.WinProbs)
+	cert.add("winprobs_reported", wRes, opts.ConsistTol, "reported vs recomputed per-class winning probabilities")
+
+	// GNEP shared-multiplier consistency (standalone only).
+	if cfg.Mode == netmodel.Standalone {
+		cert.add("multiplier_sign", math.Max(0, -eq.Multiplier), 0, "shared-capacity shadow price must be non-negative")
+		if !math.IsInf(cfg.EdgeCapacity, 1) {
+			slack := math.Max(0, cfg.EdgeCapacity-tot.Edge)
+			res := 0.0
+			if eq.Multiplier > opts.ConsistTol*params.PriceE {
+				res = slack / cfg.EdgeCapacity
+			}
+			cert.add("multiplier_slackness", res, opts.SlackTol,
+				fmt.Sprintf("mu=%g, capacity slack=%g", eq.Multiplier, slack))
+		}
+	}
+	return cert, nil
+}
+
+// CertifyExpandedSample certifies the O(N) EXPANSION of a classed
+// equilibrium: it materializes the full profile, checks that the
+// weighted class totals match an exact re-summation of all N rows, that
+// the winning probabilities over the full expansion obey Theorem 1, and
+// re-derives feasibility plus the ε-Nash deviation gain for an
+// evenly-strided sample of individual miners straight from the expanded
+// rows (sample ≤ 0 picks 64). This is the million-miner spot check: the
+// per-class certificate already covers every miner exactly, so the
+// sample's job is to catch a broken expansion, not to re-prove the
+// equilibrium. The returned error reports malformed inputs only; the
+// verification verdict is Certificate.OK.
+func CertifyExpandedSample(cfg core.Config, cp miner.ClassedPopulation, p core.Prices, eq core.ClassedEquilibrium, sample int, opts Options) (Certificate, error) {
+	if err := classedInputs(cfg, cp, p, len(eq.Requests)); err != nil {
+		return Certificate{}, err
+	}
+	opts = opts.withDefaults()
+	if sample <= 0 {
+		sample = 64
+	}
+	if sample > cp.N() {
+		sample = cp.N()
+	}
+	params := cfg.Params(p)
+	cert := Certificate{Kind: "miner_ne_expanded_sample", Mode: cfg.Mode.String(), N: cfg.N, OK: true}
+
+	prof := eq.Expand()
+	cert.add("expansion_size", math.Abs(float64(len(prof)-cp.N())), 0,
+		fmt.Sprintf("expanded %d rows for %d miners", len(prof), cp.N()))
+	if len(prof) != cp.N() {
+		return cert, nil // remaining checks need the full expansion
+	}
+
+	// Exact re-summation of all N rows vs the O(K) weighted totals.
+	tot := cp.Aggregate(eq.Requests)
+	full := prof.Aggregate()
+	scale := 1 + math.Abs(full.Edge) + math.Abs(full.Cloud)
+	aggRes := math.Max(math.Abs(full.Edge-tot.Edge), math.Abs(full.Cloud-tot.Cloud))
+	// The weighted sum multiplies where the expansion adds N times, so
+	// agreement is to summation roundoff, not bitwise: allow an N·ulp
+	// cushion on top of the relative consistency tolerance.
+	cert.add("totals_weighted_vs_expanded", aggRes/scale, opts.ConsistTol+float64(cp.N())*1e-16,
+		fmt.Sprintf("weighted (%g, %g) vs expanded (%g, %g)", tot.Edge, tot.Cloud, full.Edge, full.Cloud))
+
+	if full.Edge+full.Cloud > 0 {
+		wFull := numeric.Sum(miner.WinProbsFull(cfg.Beta, prof))
+		cert.add("winprob_sum_full", math.Abs(wFull-1), opts.ProbTol,
+			"Theorem 1 over the full expansion")
+	}
+
+	// Strided per-miner sample: each sampled row must be its class's
+	// representative bit for bit, feasible for its budget, and unable to
+	// gain more than ε by a unilateral best-response deviation.
+	stride := cp.N() / sample
+	if stride < 1 {
+		stride = 1
+	}
+	var rowMismatch, nonneg, budget, eps float64
+	checked := 0
+	for i := 0; i < cp.N() && checked < sample; i += stride {
+		k := cp.ClassOf(i)
+		own := prof[i]
+		if own != eq.Requests[k] {
+			rowMismatch++
+		}
+		nonneg = math.Max(nonneg, math.Max(-own.E, -own.C))
+		b := cp.Classes[k].Budget
+		if over := (params.Spend(own) - b) / (1 + b); over > budget {
+			budget = over
+		}
+		env := tot.Env(own)
+		var gain float64
+		if cfg.Mode == netmodel.Connected {
+			cur := miner.UtilityConnected(params, own, env)
+			dev := miner.BestResponseConnected(params, b, env)
+			gain = miner.UtilityConnected(params, dev, env) - cur
+		} else {
+			cur := miner.UtilityStandalone(params, own, env)
+			dev := miner.BestResponseStandalone(params, b, cfg.EdgeCapacity-env.EdgeOthers, env)
+			gain = miner.UtilityStandalone(params, dev, env) - cur
+		}
+		if gain > eps {
+			eps = gain
+		}
+		checked++
+	}
+	cert.add("sample_rows_match", rowMismatch, 0,
+		fmt.Sprintf("%d of %d sampled rows differ from their class representative", int(rowMismatch), checked))
+	cert.add("nonneg", nonneg, opts.FeasTol, "negative request coordinates in the sample")
+	cert.add("budget", budget, opts.FeasTol, "relative budget overspend across the sample")
+	cert.Epsilon = eps
+	cert.EpsilonRel = eps / cfg.Reward
+	cert.add("deviation", cert.EpsilonRel, opts.GainTol,
+		fmt.Sprintf("worst best-response gain over %d sampled miners, relative to R", checked))
+	opts.recordCert(cert)
+	return cert, nil
+}
+
+// classedInputs validates the shared preconditions of the classed
+// certificates.
+func classedInputs(cfg core.Config, cp miner.ClassedPopulation, p core.Prices, reps int) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if err := cfg.Params(p).Validate(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if err := cp.Validate(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if cp.N() != cfg.N {
+		return fmt.Errorf("verify: classed population has %d miners, config has %d", cp.N(), cfg.N)
+	}
+	if reps != cp.K() {
+		return fmt.Errorf("verify: equilibrium has %d representatives, population has %d classes", reps, cp.K())
+	}
+	return nil
+}
+
+// ClassedNECertifier adapts CertifyClassed into a core.ClassedCertifier
+// for core.StackelbergOptions.CertifyClassedAfterSolve: it returns nil
+// exactly when the certificate passes.
+func ClassedNECertifier(opts Options) core.ClassedCertifier {
+	return func(cfg core.Config, cp miner.ClassedPopulation, p core.Prices, eq core.ClassedEquilibrium) error {
+		cert, err := CertifyClassed(cfg, cp, p, eq, opts)
+		if err != nil {
+			return err
+		}
+		return cert.Err()
+	}
+}

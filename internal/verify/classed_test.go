@@ -1,0 +1,222 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"minegame/internal/core"
+	"minegame/internal/game"
+	"minegame/internal/netmodel"
+)
+
+// classedHeteroConfig builds an n-miner, 7-budget-level connected
+// market matching the core package's classed fixtures.
+func classedHeteroConfig(n int) core.Config {
+	budgets := make([]float64, n)
+	for i := range budgets {
+		budgets[i] = 150 + 15*float64(i%7)
+	}
+	return core.Config{
+		N: n, Budgets: budgets, Reward: 1000, Beta: 0.2, SatisfyProb: 0.7,
+		Mode: netmodel.Connected, CostE: 2, CostC: 1,
+	}
+}
+
+func solveClassed(t *testing.T, cfg core.Config, p core.Prices) (core.ClassedEquilibrium, func() core.Config) {
+	t.Helper()
+	cp, err := cfg.Classes(0)
+	if err != nil {
+		t.Fatalf("Classes: %v", err)
+	}
+	eq, err := core.SolveMinerEquilibriumClassed(cfg, cp, p, game.NEOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("SolveMinerEquilibriumClassed: %v", err)
+	}
+	return eq, func() core.Config { return cfg }
+}
+
+func TestCertifyClassedConnected(t *testing.T) {
+	cfg := classedHeteroConfig(100)
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, _ := solveClassed(t, cfg, p)
+	cert, err := CertifyClassed(cfg, eq.Population, p, eq, Options{})
+	if err != nil {
+		t.Fatalf("CertifyClassed: %v", err)
+	}
+	if !cert.OK {
+		t.Fatalf("classed connected NE failed certification: %v", cert.Err())
+	}
+	if cert.Kind != "miner_ne_classed" || cert.N != cfg.N {
+		t.Errorf("certificate header = %q/%d, want miner_ne_classed/%d", cert.Kind, cert.N, cfg.N)
+	}
+	if got, want := len(cert.Gains), eq.Population.K(); got != want {
+		t.Errorf("want %d per-class gains, got %d", want, got)
+	}
+	if cert.EpsilonRel > 1e-8 {
+		t.Errorf("converged classed solver should be essentially exact, EpsilonRel = %g", cert.EpsilonRel)
+	}
+	checkByName(t, cert, "winprob_sum_full")
+	checkByName(t, cert, "winprob_sum_connected")
+	for _, c := range cert.Checks {
+		if strings.HasPrefix(c.Name, "multiplier") || c.Name == "capacity" {
+			t.Errorf("connected classed certificate carries standalone check %q", c.Name)
+		}
+	}
+}
+
+func TestCertifyClassedStandalone(t *testing.T) {
+	budgets := make([]float64, 24)
+	for i := range budgets {
+		budgets[i] = 180 + 20*float64(i%4)
+	}
+	cfg := core.Config{
+		N: 24, Budgets: budgets, Reward: 1000, Beta: 0.2, SatisfyProb: 0.7,
+		Mode: netmodel.Standalone, EdgeCapacity: 30, CostE: 2, CostC: 1,
+	}
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, _ := solveClassed(t, cfg, p)
+	cert, err := CertifyClassed(cfg, eq.Population, p, eq, Options{})
+	if err != nil {
+		t.Fatalf("CertifyClassed: %v", err)
+	}
+	if !cert.OK {
+		t.Fatalf("classed standalone GNE failed certification: %v", cert.Err())
+	}
+	checkByName(t, cert, "capacity")
+	checkByName(t, cert, "multiplier_sign")
+	checkByName(t, cert, "multiplier_slackness")
+}
+
+func TestCertifyClassedTamperedFails(t *testing.T) {
+	cfg := classedHeteroConfig(70)
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, _ := solveClassed(t, cfg, p)
+
+	// Dragging one class's representative away from its best response
+	// must show up as a deviation gain for every member of that class.
+	tampered := eq
+	tampered.Requests = append(tampered.Requests[:0:0], eq.Requests...)
+	tampered.Requests[0].E *= 0.3
+	cert, err := CertifyClassed(cfg, eq.Population, p, tampered, Options{})
+	if err != nil {
+		t.Fatalf("CertifyClassed: %v", err)
+	}
+	if cert.OK {
+		t.Fatal("tampered representative passed certification")
+	}
+	names := make(map[string]bool)
+	for _, c := range cert.Failures() {
+		names[c.Name] = true
+	}
+	if !names["deviation"] && !names["aggregates"] {
+		t.Errorf("expected deviation or aggregates failure, got %v", cert.Failures())
+	}
+}
+
+func TestCertifyClassedInputErrors(t *testing.T) {
+	cfg := classedHeteroConfig(70)
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, _ := solveClassed(t, cfg, p)
+
+	bad := cfg
+	bad.N = 71
+	if _, err := CertifyClassed(bad, eq.Population, p, eq, Options{}); err == nil {
+		t.Error("population/config miner-count mismatch should error")
+	}
+	short := eq
+	short.Requests = eq.Requests[:len(eq.Requests)-1]
+	if _, err := CertifyClassed(cfg, eq.Population, p, short, Options{}); err == nil {
+		t.Error("representative/class-count mismatch should error")
+	}
+	if _, err := CertifyExpandedSample(bad, eq.Population, p, eq, 8, Options{}); err == nil {
+		t.Error("expanded-sample mismatch should error")
+	}
+}
+
+func TestCertifyExpandedSampleMillionMiners(t *testing.T) {
+	// The headline satellite: solve a million-miner market in classed
+	// form (K = 7), certify all members exactly in O(K), then expand and
+	// spot-check a strided sample of individual miners on the O(N)
+	// profile.
+	const n = 1_000_000
+	cfg := classedHeteroConfig(n)
+	p := core.Prices{Edge: 8, Cloud: 4}
+	cp, err := cfg.Classes(0)
+	if err != nil {
+		t.Fatalf("Classes: %v", err)
+	}
+	if cp.K() != 7 {
+		t.Fatalf("exact dedup should give 7 classes, got %d", cp.K())
+	}
+	eq, err := core.SolveMinerEquilibriumClassed(cfg, cp, p, game.NEOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("SolveMinerEquilibriumClassed: %v", err)
+	}
+	classCert, err := CertifyClassed(cfg, cp, p, eq, Options{})
+	if err != nil {
+		t.Fatalf("CertifyClassed: %v", err)
+	}
+	if !classCert.OK {
+		t.Fatalf("million-miner classed certificate failed: %v", classCert.Err())
+	}
+	cert, err := CertifyExpandedSample(cfg, cp, p, eq, 64, Options{})
+	if err != nil {
+		t.Fatalf("CertifyExpandedSample: %v", err)
+	}
+	if !cert.OK {
+		t.Fatalf("million-miner expanded sample failed: %v", cert.Err())
+	}
+	if cert.Kind != "miner_ne_expanded_sample" || cert.N != n {
+		t.Errorf("certificate header = %q/%d, want miner_ne_expanded_sample/%d", cert.Kind, cert.N, n)
+	}
+	checkByName(t, cert, "totals_weighted_vs_expanded")
+	checkByName(t, cert, "sample_rows_match")
+	if cert.EpsilonRel > 1e-6 {
+		t.Errorf("sampled miners should have negligible deviation gains, EpsilonRel = %g", cert.EpsilonRel)
+	}
+}
+
+func TestCertifyExpandedSampleCatchesBrokenExpansion(t *testing.T) {
+	cfg := classedHeteroConfig(70)
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, _ := solveClassed(t, cfg, p)
+	// Corrupt the reported aggregates: the classed certificate's
+	// consistency check catches it, and the expanded-sample certificate
+	// stays clean because it never trusts the reported numbers.
+	broken := eq
+	broken.EdgeDemand *= 2
+	cert, err := CertifyClassed(cfg, eq.Population, p, broken, Options{})
+	if err != nil {
+		t.Fatalf("CertifyClassed: %v", err)
+	}
+	if cert.OK {
+		t.Fatal("doubled reported edge demand passed the classed certificate")
+	}
+	sampleCert, err := CertifyExpandedSample(cfg, eq.Population, p, broken, 16, Options{})
+	if err != nil {
+		t.Fatalf("CertifyExpandedSample: %v", err)
+	}
+	if !sampleCert.OK {
+		t.Fatalf("expanded-sample certificate depends only on the requests, got: %v", sampleCert.Err())
+	}
+}
+
+func TestClassedNECertifierAdapter(t *testing.T) {
+	cfg := classedHeteroConfig(35)
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, _ := solveClassed(t, cfg, p)
+	certifier := ClassedNECertifier(Options{})
+	if err := certifier(cfg, eq.Population, p, eq); err != nil {
+		t.Errorf("adapter rejected a valid classed equilibrium: %v", err)
+	}
+	tampered := eq
+	tampered.Requests = append(tampered.Requests[:0:0], eq.Requests...)
+	tampered.Requests[0].C += 50
+	if err := certifier(cfg, eq.Population, p, tampered); err == nil {
+		t.Error("adapter accepted a tampered classed equilibrium")
+	}
+	if math.IsNaN(eq.TotalDemand) || eq.TotalDemand <= 0 {
+		t.Fatalf("degenerate fixture demand %g", eq.TotalDemand)
+	}
+}

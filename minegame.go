@@ -222,6 +222,70 @@ func SolvePopulationEquilibrium(p MinerParams, pmf MinerCountPMF, budget float64
 	return population.SymmetricEquilibrium(p, pmf, budget, opts)
 }
 
+// Mean-field class compression (DESIGN.md §12): miners sharing a budget
+// are interchangeable in the aggregative subgame, so a population of N
+// miners collapses into K budget classes solved with multiplicities —
+// O(K) best responses per sweep — and million-miner markets clear in
+// the time the exact solver needs for a thousand miners.
+type (
+	// MinerClass is one (budget, count) group of identical miners.
+	MinerClass = miner.Class
+	// ClassedPopulation is a miner population in compressed class form;
+	// build one with ClassifyBudgets, MinersFromClasses or
+	// Config.Classes.
+	ClassedPopulation = miner.ClassedPopulation
+	// ClassedEquilibrium is a solved miner subgame in compressed form —
+	// one representative request per class; Expand materializes the full
+	// profile.
+	ClassedEquilibrium = core.ClassedEquilibrium
+	// ClassedStackelbergResult is a solved two-stage game over a classed
+	// population.
+	ClassedStackelbergResult = core.ClassedStackelbergResult
+	// PopulationStream is an evolving classed population: arrivals and
+	// departures mutate class counts between pricing periods.
+	PopulationStream = population.Stream
+	// PopulationStreamConfig parameterizes the arrival/departure process.
+	PopulationStreamConfig = population.StreamConfig
+	// PopulationPeriod is one pricing period of a streaming run.
+	PopulationPeriod = population.PeriodPoint
+)
+
+// ClassifyBudgets compresses a budget vector into a classed population:
+// exact deduplication, falling back to quantile binning when the
+// distinct budgets exceed maxClasses (≤ 0 means no cap). The
+// population's BudgetSpread reports the worst within-class budget
+// distance introduced by binning.
+func ClassifyBudgets(budgets []float64, maxClasses int) ClassedPopulation {
+	return miner.ClassifyQuantile(budgets, maxClasses)
+}
+
+// MinersFromClasses builds a classed population directly from (budget,
+// count) pairs, never materializing per-miner state.
+func MinersFromClasses(classes []MinerClass) (ClassedPopulation, error) {
+	return miner.FromClasses(classes)
+}
+
+// SolveMinerEquilibriumClassed computes the miner-subgame equilibrium
+// over a classed population at fixed prices in O(K) per sweep; cfg.N
+// must equal cp.N().
+func SolveMinerEquilibriumClassed(cfg Config, cp ClassedPopulation, p Prices, opts NEOptions) (ClassedEquilibrium, error) {
+	return core.SolveMinerEquilibriumClassed(cfg, cp, p, opts)
+}
+
+// SolveStackelbergClassed runs backward induction on the full two-stage
+// game with the miner subgame compressed into classes: every
+// leader-stage price probe clears the classed follower market.
+func SolveStackelbergClassed(cfg Config, cp ClassedPopulation, opts StackelbergOptions) (ClassedStackelbergResult, error) {
+	return core.SolveStackelbergClassed(cfg, cp, opts)
+}
+
+// NewPopulationStream creates a streaming classed population; Step
+// advances one period of churn and SolvePeriods runs the full
+// simulate-then-price loop.
+func NewPopulationStream(classes []MinerClass, cfg PopulationStreamConfig, seed int64) (*PopulationStream, error) {
+	return population.NewStream(classes, cfg, sim.NewRNG(seed, "minegame.PopulationStream"))
+}
+
 // Blockchain substrate (package chain).
 type (
 	// RaceConfig parameterizes the proof-of-work mining race.
