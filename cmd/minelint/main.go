@@ -1,25 +1,35 @@
 // Command minelint runs the repository's static-analysis suite
 // (internal/analysis) over one or more package patterns and exits
-// nonzero when it finds violations. It enforces the invariants the
-// test suite can only probe dynamically: solver determinism (no wall
-// clock, no global math/rand, no map-order-dependent output), error
-// discipline (no undocumented panic in library code), float-comparison
-// safety (no exact ==/!= on floats), and doc coverage for every
-// exported symbol. See DESIGN.md §8 for the check catalog and the
-// //lint:allow directive syntax.
+// nonzero when it finds violations. Nine checks run by default:
+// determinism (no wall clock, no global math/rand, no map-order-
+// dependent output — enforced transitively over the module call
+// graph), nopanic (no undocumented panic reachable from an exported
+// function), floateq (no exact ==/!= on floats), exporteddoc (doc
+// coverage for every exported symbol), metricname (telemetry naming
+// discipline), errflow (no discarded or silently overwritten errors),
+// concurrency (goroutines, channels and sync primitives confined to
+// the packages that own them), hotalloc (//minelint:hotpath functions
+// must not allocate in loops, transitively), and directive hygiene for
+// //lint:allow comments. See DESIGN.md §8 for the check catalog and
+// §13 for the interprocedural call-graph machinery behind the
+// transitive checks.
 //
 // Usage:
 //
-//	minelint [-json] [-C dir] [patterns ...]
+//	minelint [-json|-sarif] [-C dir] [patterns ...]
 //
 // Patterns are directory-based ("./...", "internal/core"); the default
 // is "./...". Exit status: 0 clean, 1 findings, 2 the run itself
-// failed (bad pattern, parse or type-check error).
+// failed (bad pattern, parse or type-check error). Transitive findings
+// print their full call chain, root to sink, as indented continuation
+// lines; -json carries the same chain in a "chain" array and -sarif
+// renders it as a SARIF 2.1.0 codeFlow for code-scanning upload.
 //
 // Examples:
 //
 //	minelint ./...
 //	minelint -json ./internal/... ./cmd/...
+//	minelint -sarif ./... > minelint.sarif
 package main
 
 import (
@@ -47,8 +57,13 @@ func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("minelint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON (file/line/col/check/message) instead of text")
+	asSARIF := fs.Bool("sarif", false, "emit SARIF 2.1.0 for code-scanning upload instead of text")
 	dir := fs.String("C", ".", "resolve patterns relative to this directory (and its enclosing module)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(errw, "minelint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	patterns := fs.Args()
@@ -60,7 +75,8 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "minelint:", err)
 		return 2
 	}
-	if *asJSON {
+	switch {
+	case *asJSON:
 		if diags == nil {
 			diags = []analysis.Diagnostic{} // a clean run is an empty list, not null
 		}
@@ -70,9 +86,21 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintln(errw, "minelint:", err)
 			return 2
 		}
-	} else {
+	case *asSARIF:
+		if err := writeSARIF(out, diags); err != nil {
+			fmt.Fprintln(errw, "minelint:", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(out, d)
+			for _, f := range d.Chain {
+				line := fmt.Sprintf("\t%s (%s:%d)", f.Func, f.File, f.Line)
+				if f.Kind != "" {
+					line += " [" + f.Kind + "]"
+				}
+				fmt.Fprintln(out, line)
+			}
 		}
 		if len(diags) > 0 {
 			fmt.Fprintf(out, "minelint: %d finding(s)\n", len(diags))

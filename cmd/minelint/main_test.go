@@ -86,6 +86,162 @@ func TestJSONCleanEmitsEmptyList(t *testing.T) {
 	}
 }
 
+// TestChainTextOutput pins the text rendering of a transitive finding
+// over the seeded chainmod fixture: the root message names the chain
+// inline and each frame prints as an indented continuation line with
+// its call site and edge kind.
+func TestChainTextOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "testdata/chainmod", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"chainmod.Solve transitively reaches time.Now: chainmod.Solve → chainmod.stamp",
+		"\tchainmod.Solve (chain.go:14) [static]",
+		"\tchainmod.stamp (chain.go:10)",
+		"2 finding(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// sarifDoc mirrors the slice of the SARIF schema the tests inspect.
+type sarifDoc struct {
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			Level     string `json:"level"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+			CodeFlows []struct {
+				ThreadFlows []struct {
+					Locations []struct {
+						Location struct {
+							Message struct {
+								Text string `json:"text"`
+							} `json:"message"`
+						} `json:"location"`
+					} `json:"locations"`
+				} `json:"threadFlows"`
+			} `json:"codeFlows"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestSARIFOutput pins the -sarif document shape over badmod: version
+// 2.1.0, a rule table covering all nine checks, and one located result
+// per finding.
+func TestSARIFOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "testdata/badmod", "-sarif", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, errb.String())
+	}
+	var doc sarifDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("bad SARIF JSON: %v\n%s", err, out.String())
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
+	}
+	runDoc := doc.Runs[0]
+	if runDoc.Tool.Driver.Name != "minelint" {
+		t.Errorf("driver name %q, want minelint", runDoc.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range runDoc.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, id := range []string{
+		"determinism", "nopanic", "floateq", "exporteddoc", "metricname",
+		"errflow", "concurrency", "hotalloc", "directive",
+	} {
+		if !ruleIDs[id] {
+			t.Errorf("rule table missing %q (have %v)", id, ruleIDs)
+		}
+	}
+	if len(runDoc.Results) != 2 {
+		t.Fatalf("results = %d, want 2:\n%s", len(runDoc.Results), out.String())
+	}
+	got := map[string]int{}
+	for _, r := range runDoc.Results {
+		if r.Level != "error" || len(r.Locations) != 1 {
+			t.Errorf("result %+v: want level=error with one location", r)
+			continue
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != "bad.go" {
+			t.Errorf("result uri %q, want bad.go", loc.ArtifactLocation.URI)
+		}
+		got[r.RuleID] = loc.Region.StartLine
+	}
+	if got["floateq"] != 7 || got["exporteddoc"] != 9 {
+		t.Errorf("result lines %v, want floateq:7 exporteddoc:9", got)
+	}
+}
+
+// TestSARIFCodeFlow pins that a transitive finding carries its call
+// chain as a codeFlow, root frame first, sink frame last.
+func TestSARIFCodeFlow(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "testdata/chainmod", "-sarif", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, errb.String())
+	}
+	var doc sarifDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("bad SARIF JSON: %v\n%s", err, out.String())
+	}
+	var flows []string
+	for _, r := range doc.Runs[0].Results {
+		if len(r.CodeFlows) == 0 {
+			continue
+		}
+		for _, tfl := range r.CodeFlows[0].ThreadFlows[0].Locations {
+			flows = append(flows, tfl.Location.Message.Text)
+		}
+	}
+	if len(flows) != 2 {
+		t.Fatalf("thread-flow frames = %v, want 2", flows)
+	}
+	if flows[0] != "chainmod.Solve (static call)" || flows[1] != "chainmod.stamp" {
+		t.Errorf("frames = %v, want [chainmod.Solve (static call), chainmod.stamp]", flows)
+	}
+}
+
+// TestJSONAndSARIFMutuallyExclusive pins the flag-validation path.
+func TestJSONAndSARIFMutuallyExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-sarif", "./..."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Errorf("stderr %q should explain the flag conflict", errb.String())
+	}
+}
+
 // TestBadPatternExitsTwo pins the run-failure exit status.
 func TestBadPatternExitsTwo(t *testing.T) {
 	var out, errb bytes.Buffer

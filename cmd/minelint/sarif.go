@@ -1,0 +1,148 @@
+package main
+
+// sarif.go — SARIF 2.1.0 rendering of a minelint run, the interchange
+// format CI code-scanning services ingest (-sarif). One run, one tool
+// driver whose rules are the suite's analyzers (plus the directive
+// pseudo-check), one result per finding; transitive findings carry
+// their call chain as a codeFlow so viewers can step root → sink.
+
+import (
+	"encoding/json"
+	"io"
+
+	"minegame/internal/analysis"
+)
+
+// The sarif* types model the (small) subset of SARIF 2.1.0 minelint
+// emits. Field names follow the spec's camelCase property names.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          *sarifMessage         `json:"message,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLocation `json:"locations"`
+}
+
+type sarifThreadFlowLocation struct {
+	Location sarifLocation `json:"location"`
+}
+
+// sarifRules derives the run's rule table from the default suite's
+// analyzer docs, plus the directive pseudo-check.
+func sarifRules() []sarifRule {
+	var rules []sarifRule
+	for _, a := range analysis.DefaultSuite() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID: "directive",
+		ShortDescription: sarifMessage{
+			Text: "directive hygiene: malformed, unknown-check, and stale //lint:allow comments",
+		},
+	})
+	return rules
+}
+
+// writeSARIF renders the findings as one SARIF 2.1.0 run.
+func writeSARIF(out io.Writer, diags []analysis.Diagnostic) error {
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		}
+		if len(d.Chain) > 0 {
+			flow := sarifThreadFlow{Locations: make([]sarifThreadFlowLocation, 0, len(d.Chain))}
+			for _, f := range d.Chain {
+				msg := f.Func
+				if f.Kind != "" {
+					msg += " (" + f.Kind + " call)"
+				}
+				flow.Locations = append(flow.Locations, sarifThreadFlowLocation{
+					Location: sarifLocation{
+						PhysicalLocation: sarifPhysicalLocation{
+							ArtifactLocation: sarifArtifactLocation{URI: f.File},
+							Region:           sarifRegion{StartLine: f.Line},
+						},
+						Message: &sarifMessage{Text: msg},
+					},
+				})
+			}
+			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{flow}}}
+		}
+		results = append(results, res)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "minelint", Rules: sarifRules()}},
+			Results: results,
+		}},
+	})
+}

@@ -1,0 +1,14 @@
+// Package chainmod is a standalone fixture module for the minelint CLI
+// test: it seeds one transitive determinism violation (an exported
+// function reaching the wall clock through a helper) so the chain
+// rendering of the text, -json, and -sarif output modes can be pinned.
+package chainmod
+
+import "time"
+
+// stamp reads the wall clock: the sink.
+func stamp() int64 { return time.Now().Unix() }
+
+// Solve reaches the clock one call away: the transitive finding, with
+// its chain, lands on this function's call site.
+func Solve() int64 { return stamp() }

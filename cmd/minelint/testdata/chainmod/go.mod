@@ -1,0 +1,3 @@
+module chainmod
+
+go 1.22

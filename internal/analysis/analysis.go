@@ -24,6 +24,21 @@ type Diagnostic struct {
 	Check string `json:"check"`
 	// Message explains the finding and how to fix or suppress it.
 	Message string `json:"message"`
+	// Chain, present only on transitive findings, is the offending
+	// call chain from the reported function down to the sink, one
+	// frame per function with the call site it continues through.
+	Chain []Frame `json:"chain,omitempty"`
+}
+
+// Frame is one step of a transitive finding's call chain. File/Line
+// locate the call site (or, for the final frame, the sink itself);
+// Kind is the resolution of the edge leaving this frame (static,
+// interface, funcvalue), empty on the final frame.
+type Frame struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Kind string `json:"kind,omitempty"`
 }
 
 // String renders the diagnostic in the conventional
@@ -40,8 +55,13 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the check enforces.
 	Doc string
-	// Run executes the check over one package.
+	// Run executes the check over one package. Nil for module-only
+	// analyzers (e.g. hotalloc).
 	Run func(*Pass) error
+	// RunModule, when non-nil, executes the check's whole-module
+	// (interprocedural) half over the call graph, after every
+	// per-package pass has run.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -71,6 +91,65 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Check:   p.analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// ModulePass carries one analyzer's whole-module view: the call graph
+// over every loaded package, plus the subset of pattern-selected
+// packages the check actually examines.
+type ModulePass struct {
+	// Mod is the loaded module.
+	Mod *Module
+	// Graph is the call graph over every package the loader has seen
+	// (analyzed packages and their module-internal dependencies).
+	Graph *CallGraph
+	// Analyzed are the pattern-selected packages this check examines,
+	// with its package-level skips already removed, in import-path
+	// order. Findings may only be reported inside these packages.
+	Analyzed []*Package
+
+	analyzer *Analyzer
+	skipRel  func(rel string) bool
+	allowed  map[string]map[int]bool // file -> target line with //lint:allow for this check
+	report   func(Diagnostic)
+}
+
+// Reportf records a module-level finding at pos, with an optional call
+// chain attached.
+func (p *ModulePass) Reportf(pos token.Pos, chain []Frame, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}
+
+// Skipped reports whether the check's package-level allowlist excludes
+// pkg: skipped packages are neither traversed nor scanned for sinks.
+func (p *ModulePass) Skipped(pkg *Package) bool {
+	return p.skipRel(relImportPath(p.Mod, pkg.ImportPath))
+}
+
+// Allowed reports whether a //lint:allow directive for this check
+// targets the source line of pos (anywhere in the module), i.e. the
+// site has a recorded rationale and must not count as a sink.
+func (p *ModulePass) Allowed(pos token.Pos) bool {
+	position := p.Mod.Fset.Position(pos)
+	return p.allowed[p.Mod.Rel(position.Filename)][position.Line]
+}
+
+// FrameAt builds a chain frame for fn whose edge continues at pos.
+func (p *ModulePass) FrameAt(fn *types.Func, pos token.Pos, kind EdgeKind) Frame {
+	position := p.Mod.Fset.Position(pos)
+	return Frame{
+		Func: FuncDisplayName(fn),
+		File: p.Mod.Rel(position.Filename),
+		Line: position.Line,
+		Kind: string(kind),
+	}
 }
 
 // sortDiagnostics orders findings by file, line, column, check, and

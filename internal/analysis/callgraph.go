@@ -1,0 +1,339 @@
+package analysis
+
+// callgraph.go — the whole-module static call graph behind the
+// transitive checks (determinism, nopanic, hotalloc). Nodes are the
+// module's own functions and methods (every *types.Func with a body in
+// a loaded package); edges are call sites, each carrying its position
+// and the resolution kind, so findings can print the offending chain
+// with per-edge provenance.
+//
+// Resolution is deliberately conservative (see DESIGN.md §13):
+//
+//   - Static calls (direct function and concrete-method calls) resolve
+//     exactly.
+//   - Interface method calls fan out to every module type whose method
+//     set satisfies the interface (value and pointer receivers), i.e.
+//     class-hierarchy analysis over the module's named types.
+//   - Function values are handled at the point a function's VALUE is
+//     taken: any reference to a module function outside call position
+//     (assigned, passed as an argument, stored in a table, taken as a
+//     method value) adds a "funcvalue" edge from the referencing
+//     function — the referencer is assumed to (eventually) invoke it.
+//     Calls through variables and parameters therefore need no global
+//     signature matching: the edge exists where the value was taken.
+//   - Function literals are folded into their enclosing declared
+//     function: a closure's calls are edges of the function that
+//     defines it.
+//
+// Known over- and under-approximations: a function value stored by one
+// function and invoked by another is charged to the storer, not the
+// invoker; function references in package-level variable initializers
+// (outside any function body) are not tracked.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind string
+
+// The three edge provenances: exact static resolution, conservative
+// interface-dispatch fan-out, and function-value reference.
+const (
+	EdgeStatic    EdgeKind = "static"
+	EdgeInterface EdgeKind = "interface"
+	EdgeFuncValue EdgeKind = "funcvalue"
+)
+
+// CallEdge is one resolved call (or function-value reference) from
+// Caller to Callee at Pos.
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// CallGraph is the module's call graph: functions with bodies, their
+// outgoing and incoming edges, and the packages they belong to.
+type CallGraph struct {
+	mod   *Module
+	decls map[*types.Func]*ast.FuncDecl
+	pkgOf map[*types.Func]*Package
+	funcs []*types.Func // deterministic order: file name, then position
+	order map[*types.Func]int
+	out   map[*types.Func][]CallEdge
+	in    map[*types.Func][]CallEdge
+}
+
+// BuildCallGraph constructs the call graph over the given loaded
+// packages (normally every package the module loader has seen:
+// the analyzed set plus its module-internal dependencies).
+func BuildCallGraph(mod *Module, pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		mod:   mod,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		pkgOf: make(map[*types.Func]*Package),
+		order: make(map[*types.Func]int),
+		out:   make(map[*types.Func][]CallEdge),
+		in:    make(map[*types.Func][]CallEdge),
+	}
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+
+	// Pass 1: nodes — every declared function/method with a body — and
+	// the module's named types (the interface-dispatch universe).
+	var named []*types.Named
+	for _, pkg := range sorted {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[obj] = fd
+				g.pkgOf[obj] = pkg
+				g.funcs = append(g.funcs, obj)
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if n, ok := tn.Type().(*types.Named); ok {
+					named = append(named, n)
+				}
+			}
+		}
+	}
+	sort.SliceStable(g.funcs, func(i, j int) bool {
+		a, b := g.mod.Fset.Position(g.decls[g.funcs[i]].Pos()), g.mod.Fset.Position(g.decls[g.funcs[j]].Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for i, fn := range g.funcs {
+		g.order[fn] = i
+	}
+
+	// Pass 2: edges.
+	for _, caller := range g.funcs {
+		g.addEdgesFrom(caller, named)
+	}
+	for fn := range g.out {
+		edges := g.out[fn]
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Pos != edges[j].Pos {
+				return edges[i].Pos < edges[j].Pos
+			}
+			return g.order[edges[i].Callee] < g.order[edges[j].Callee]
+		})
+	}
+	for fn := range g.in {
+		edges := g.in[fn]
+		sort.Slice(edges, func(i, j int) bool {
+			if a, b := g.order[edges[i].Caller], g.order[edges[j].Caller]; a != b {
+				return a < b
+			}
+			return edges[i].Pos < edges[j].Pos
+		})
+	}
+	return g
+}
+
+// addEdgesFrom walks one declared function's body (function literals
+// included — closures belong to their declarer) and records its edges.
+func (g *CallGraph) addEdgesFrom(caller *types.Func, named []*types.Named) {
+	pkg := g.pkgOf[caller]
+	fd := g.decls[caller]
+
+	// Identifiers in direct-callee position: these resolve as calls, so
+	// the same identifier must not also count as a value reference.
+	calleeIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			calleeIdents[fun] = true
+		case *ast.SelectorExpr:
+			calleeIdents[fun.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeOf(pkg.Info, node)
+			if fn == nil {
+				return true // call through a value; edged where the value was taken
+			}
+			if recv := recvOf(fn); recv != nil && types.IsInterface(recv.Type()) {
+				g.addInterfaceEdges(caller, node, fn, recv, named)
+				return true
+			}
+			if _, inModule := g.decls[fn]; inModule {
+				g.addEdge(CallEdge{Caller: caller, Callee: fn, Pos: node.Pos(), Kind: EdgeStatic})
+			}
+		case *ast.Ident:
+			if calleeIdents[node] {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[node].(*types.Func); ok {
+				if _, inModule := g.decls[fn]; inModule {
+					g.addEdge(CallEdge{Caller: caller, Callee: fn, Pos: node.Pos(), Kind: EdgeFuncValue})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// addInterfaceEdges fans an interface method call out to every module
+// type whose method set satisfies the receiver interface.
+func (g *CallGraph) addInterfaceEdges(caller *types.Func, call *ast.CallExpr, ifaceMethod *types.Func, recv *types.Var, named []*types.Named) {
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	for _, n := range named {
+		if types.IsInterface(n) {
+			continue
+		}
+		var impl types.Type
+		switch {
+		case types.Implements(n, iface):
+			impl = n
+		case types.Implements(types.NewPointer(n), iface):
+			impl = types.NewPointer(n)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, ifaceMethod.Pkg(), ifaceMethod.Name())
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if _, inModule := g.decls[m]; inModule {
+			g.addEdge(CallEdge{Caller: caller, Callee: m, Pos: call.Pos(), Kind: EdgeInterface})
+		}
+	}
+}
+
+func (g *CallGraph) addEdge(e CallEdge) {
+	g.out[e.Caller] = append(g.out[e.Caller], e)
+	g.in[e.Callee] = append(g.in[e.Callee], e)
+}
+
+// Functions returns every module function with a body, in deterministic
+// (file, position) order.
+func (g *CallGraph) Functions() []*types.Func { return g.funcs }
+
+// Decl returns the declaration of a module function, or nil if fn is
+// not a node of the graph.
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// PkgOf returns the loaded package a module function belongs to.
+func (g *CallGraph) PkgOf(fn *types.Func) *Package { return g.pkgOf[fn] }
+
+// CalleesOf returns fn's outgoing edges (sorted by call position).
+func (g *CallGraph) CalleesOf(fn *types.Func) []CallEdge { return g.out[fn] }
+
+// CallersOf returns fn's incoming edges (sorted by caller, position).
+func (g *CallGraph) CallersOf(fn *types.Func) []CallEdge { return g.in[fn] }
+
+// ReverseReach runs a deterministic reverse BFS from the sink functions:
+// dist[f] is the minimum number of call edges from f to a sink (0 for
+// the sinks themselves) and via[f] is the first edge of one shortest
+// path. Functions for which exclude returns true are never traversed.
+func (g *CallGraph) ReverseReach(sinks []*types.Func, exclude func(*types.Func) bool) (dist map[*types.Func]int, via map[*types.Func]CallEdge) {
+	dist = make(map[*types.Func]int)
+	via = make(map[*types.Func]CallEdge)
+	queue := make([]*types.Func, 0, len(sinks))
+	for _, s := range sinks {
+		if exclude != nil && exclude(s) {
+			continue
+		}
+		if _, seen := dist[s]; !seen {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return g.order[queue[i]] < g.order[queue[j]] })
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, e := range g.in[fn] {
+			caller := e.Caller
+			if _, seen := dist[caller]; seen {
+				continue
+			}
+			if exclude != nil && exclude(caller) {
+				continue
+			}
+			dist[caller] = dist[fn] + 1
+			via[caller] = e
+			queue = append(queue, caller)
+		}
+	}
+	return dist, via
+}
+
+// FuncDisplayName renders a module function for humans and chains:
+// "game.solveNE", "(*core.demandMemo).get", "(miner.Profile).Aggregate".
+func FuncDisplayName(fn *types.Func) string {
+	qual := func(p *types.Package) string { return p.Name() }
+	if recv := recvOf(fn); recv != nil {
+		return "(" + types.TypeString(recv.Type(), qual) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// recvOf returns fn's receiver variable, or nil for plain functions.
+func recvOf(fn *types.Func) *types.Var {
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		return sig.Recv()
+	}
+	return nil
+}
+
+// calleeOf resolves the function or method object a call invokes, or
+// nil when the callee is not a named function (e.g. a func value).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// chainString joins a chain's function names with arrows for inline
+// diagnostic messages.
+func chainString(frames []Frame) string {
+	parts := make([]string, len(frames))
+	for i, f := range frames {
+		parts[i] = f.Func
+	}
+	return strings.Join(parts, " → ")
+}

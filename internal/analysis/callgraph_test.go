@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+
+	"testing"
+)
+
+// TestCallGraphFixtureTransitiveDeterminism pins the transitive
+// determinism findings over every edge kind — static cross-package
+// calls, interface fan-out, method values, recursion cycles — against
+// the fixture's want annotations.
+func TestCallGraphFixtureTransitiveDeterminism(t *testing.T) {
+	testFixture(t, "callgraph", false, Determinism())
+}
+
+// TestTransitiveFindingCarriesChain pins the machine-readable chain
+// attached to a transitive finding: one frame per function with the
+// call-site position and edge kind, ending at the sink.
+func TestTransitiveFindingCarriesChain(t *testing.T) {
+	diags := fixtureDiags(t, "callgraph", false, Determinism())
+	var entry *Diagnostic
+	for i := range diags {
+		if len(diags[i].Chain) > 0 && diags[i].Chain[0].Func == "callgraph.Entry" {
+			entry = &diags[i]
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatalf("no transitive finding rooted at callgraph.Entry in %v", diags)
+	}
+	if len(entry.Chain) != 2 {
+		t.Fatalf("Entry chain = %+v, want 2 frames", entry.Chain)
+	}
+	if k := entry.Chain[0].Kind; k != string(EdgeStatic) {
+		t.Errorf("Entry chain[0].Kind = %q, want %q", k, EdgeStatic)
+	}
+	if f := entry.Chain[1]; f.Func != "sub.Leaf" || f.Kind != "" {
+		t.Errorf("Entry chain[1] = %+v, want sub.Leaf with no edge kind", f)
+	}
+	if f := entry.Chain[1].File; !strings.HasSuffix(f, "testdata/callgraph/sub/sub.go") {
+		t.Errorf("Entry sink frame file = %q, want the sub package source", f)
+	}
+	// The finding itself is reported at the root's outgoing call site.
+	if !strings.HasSuffix(entry.File, "testdata/callgraph/callgraph.go") {
+		t.Errorf("finding reported in %q, want the root's file", entry.File)
+	}
+	if entry.Line != entry.Chain[0].Line {
+		t.Errorf("finding line %d != chain[0] call-site line %d", entry.Line, entry.Chain[0].Line)
+	}
+}
+
+// loadCallgraphFixture loads the callgraph fixture package and its sub
+// package under a fresh module loader.
+func loadCallgraphFixture(t *testing.T) (*Module, *Package, *Package) {
+	t.Helper()
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	main, err := mod.CheckDir("testdata/callgraph", mod.Path+"/internal/analysis/testdata/callgraph")
+	if err != nil {
+		t.Fatalf("CheckDir(callgraph): %v", err)
+	}
+	sub, err := mod.Load(mod.Path + "/internal/analysis/testdata/callgraph/sub")
+	if err != nil {
+		t.Fatalf("Load(sub): %v", err)
+	}
+	return mod, main, sub
+}
+
+// edgeSet renders a function's outgoing edges as "kind callee" strings.
+func edgeSet(g *CallGraph, name string) map[string]bool {
+	fn := findFunc(g, name)
+	set := make(map[string]bool)
+	if fn == nil {
+		return set
+	}
+	for _, e := range g.CalleesOf(fn) {
+		set[string(e.Kind)+" "+FuncDisplayName(e.Callee)] = true
+	}
+	return set
+}
+
+// findFunc locates a graph node by its display name.
+func findFunc(g *CallGraph, name string) *types.Func {
+	for _, fn := range g.Functions() {
+		if FuncDisplayName(fn) == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// TestBuildCallGraphEdgeKinds asserts the exact resolution of each
+// fixture call shape: static cross-package edges, interface dispatch
+// fan-out to every satisfying implementation, method-value reference
+// edges, and self/mutual recursion edges.
+func TestBuildCallGraphEdgeKinds(t *testing.T) {
+	mod, main, sub := loadCallgraphFixture(t)
+	g := BuildCallGraph(mod, []*Package{main, sub})
+
+	cases := []struct {
+		from string
+		want []string // "kind callee" entries that must be present
+		all  bool     // when true, want is the complete edge set
+	}{
+		{from: "callgraph.Entry", want: []string{"static sub.Leaf"}, all: true},
+		{from: "callgraph.CleanEntry", want: []string{"static sub.Clean"}, all: true},
+		{from: "callgraph.RunTicker", want: []string{
+			"interface (callgraph.clockTicker).Tick",
+			"interface (callgraph.pureTicker).Tick",
+		}, all: true},
+		{from: "callgraph.MethodValue", want: []string{"funcvalue (callgraph.clockTicker).Tick"}, all: true},
+		{from: "callgraph.Recurse", want: []string{
+			"static callgraph.Recurse",
+			"static callgraph.cycleLeaf",
+		}, all: true},
+		{from: "callgraph.pingA", want: []string{"static sub.Leaf", "static callgraph.pingB"}, all: true},
+		{from: "callgraph.pingB", want: []string{"static callgraph.pingA"}, all: true},
+	}
+	for _, tc := range cases {
+		got := edgeSet(g, tc.from)
+		for _, w := range tc.want {
+			if !got[w] {
+				t.Errorf("%s: missing edge %q (have %v)", tc.from, w, got)
+			}
+		}
+		if tc.all && len(got) != len(tc.want) {
+			t.Errorf("%s: edge set %v, want exactly %v", tc.from, got, tc.want)
+		}
+	}
+}
+
+// TestReverseReachTerminatesOnCycles pins the reverse-BFS distances
+// through the fixture's self- and mutual-recursion cycles.
+func TestReverseReachTerminatesOnCycles(t *testing.T) {
+	mod, main, sub := loadCallgraphFixture(t)
+	g := BuildCallGraph(mod, []*Package{main, sub})
+	leaf := findFunc(g, "sub.Leaf")
+	if leaf == nil {
+		t.Fatal("sub.Leaf not in graph")
+	}
+	dist, via := g.ReverseReach([]*types.Func{leaf}, nil)
+
+	wantDist := map[string]int{
+		"sub.Leaf":        0,
+		"callgraph.Entry": 1,
+		"callgraph.pingA": 1,
+		"callgraph.pingB": 2,
+		"callgraph.Cycle": 2,
+	}
+	for name, want := range wantDist {
+		fn := findFunc(g, name)
+		if fn == nil {
+			t.Fatalf("%s not in graph", name)
+		}
+		got, ok := dist[fn]
+		if !ok || got != want {
+			t.Errorf("dist[%s] = %d (reached=%v), want %d", name, got, ok, want)
+		}
+	}
+	// Functions with no path to the sink must stay unreached.
+	for _, name := range []string{"callgraph.CleanEntry", "sub.Clean", "callgraph.Recurse"} {
+		fn := findFunc(g, name)
+		if fn == nil {
+			t.Fatalf("%s not in graph", name)
+		}
+		if d, ok := dist[fn]; ok {
+			t.Errorf("dist[%s] = %d, want unreached", name, d)
+		}
+	}
+	// via edges walk back to the sink.
+	cycle := findFunc(g, "callgraph.Cycle")
+	cur := cycle
+	for steps := 0; dist[cur] > 0; steps++ {
+		if steps > 10 {
+			t.Fatal("via chain from Cycle did not terminate")
+		}
+		cur = via[cur].Callee
+	}
+	if cur != leaf {
+		t.Errorf("via chain from Cycle ends at %s, want sub.Leaf", FuncDisplayName(cur))
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// approvedConcurrencyNote names the packages allowed to own
+// concurrency primitives, for diagnostic messages.
+const approvedConcurrencyNote = "internal/parallel, internal/obs, internal/population"
+
+// Concurrency returns the analyzer confining concurrency ownership to
+// the approved packages (the deterministic pool in internal/parallel,
+// the observability servers in internal/obs, and the streaming
+// population layer in internal/population — expressed as the check's
+// package skips). Everywhere else it flags:
+//
+//   - `go` statements — fan-out must ride internal/parallel so results
+//     stay byte-identical at any worker count;
+//   - raw channel construction (`make(chan ...)`);
+//   - sync/sync-atomic primitive ownership: naming a sync type
+//     (sync.Mutex, sync.Once, ...) in a declaration, or calling a
+//     sync package-level function.
+//
+// Using a sync value someone else owns (calling Lock/Unlock on a field
+// of an approved type) is not flagged — the check polices ownership,
+// not use.
+func Concurrency() *Analyzer {
+	return &Analyzer{
+		Name: "concurrency",
+		Doc: "confines go statements, raw channel construction, and sync primitive " +
+			"ownership to the approved concurrency packages (" + approvedConcurrencyNote + ")",
+		Run: runConcurrency,
+	}
+}
+
+func runConcurrency(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(node.Pos(),
+					"go statement outside the approved concurrency packages (%s); "+
+						"fan out through internal/parallel so output stays deterministic",
+					approvedConcurrencyNote)
+			case *ast.CallExpr:
+				checkChanMake(pass, node)
+			case *ast.SelectorExpr:
+				checkSyncUse(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkChanMake flags make(chan ...) — raw channel plumbing belongs to
+// the approved concurrency packages.
+func checkChanMake(pass *Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return
+	}
+	if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+		return
+	}
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		pass.Reportf(call.Pos(),
+			"raw channel constructed outside the approved concurrency packages (%s); "+
+				"use internal/parallel for fan-out and collection", approvedConcurrencyNote)
+	}
+}
+
+// checkSyncUse flags qualified references to sync / sync/atomic types
+// and package-level functions (sync.Mutex fields, sync.OnceFunc calls,
+// ...). Method calls on sync values are deliberately not flagged.
+func checkSyncUse(pass *Pass, sel *ast.SelectorExpr) {
+	reportSyncObject(pass, sel.Sel, pass.Info.Uses[sel.Sel])
+}
+
+// reportSyncObject flags an identifier resolving to a sync or
+// sync/atomic type name or package-level function.
+func reportSyncObject(pass *Pass, id *ast.Ident, obj types.Object) {
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if path != "sync" && path != "sync/atomic" {
+		return
+	}
+	switch o := obj.(type) {
+	case *types.TypeName:
+		pass.Reportf(id.Pos(),
+			"%s.%s primitive owned outside the approved concurrency packages (%s); "+
+				"move the synchronization into an approved package or record a rationale",
+			obj.Pkg().Name(), obj.Name(), approvedConcurrencyNote)
+	case *types.Func:
+		if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() == nil {
+			pass.Reportf(id.Pos(),
+				"call to %s.%s outside the approved concurrency packages (%s); "+
+					"move the synchronization into an approved package or record a rationale",
+				obj.Pkg().Name(), obj.Name(), approvedConcurrencyNote)
+		}
+	}
+}

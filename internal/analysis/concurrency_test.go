@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestConcurrencyFixture diffs the concurrency analyzer against its
+// fixture: go statements, raw channel construction, and sync primitive
+// ownership are flagged; using a lock someone else owns and scoped
+// directives stay silent.
+func TestConcurrencyFixture(t *testing.T) {
+	testFixture(t, "concurrency", false, Concurrency())
+}

@@ -28,13 +28,18 @@ var timeForbidden = map[string]bool{
 // must not read the wall clock, must not draw from the global
 // math/rand source (every RNG is an injected, explicitly seeded
 // *rand.Rand), and must not emit output directly from a map iteration
-// (Go randomizes map order per run).
+// (Go randomizes map order per run). The per-package half flags direct
+// violations; the module half walks the call graph and flags any
+// exported function from which an (un-allowed) violation is reachable,
+// reporting the full call chain.
 func Determinism() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
 		Doc: "forbids wall-clock reads (time.Now/Since/...), global math/rand draws, " +
-			"and output emitted from map-range iteration in solver/experiment packages",
-		Run: runDeterminism,
+			"and output emitted from map-range iteration in solver/experiment packages, " +
+			"directly or transitively from any exported function",
+		Run:       runDeterminism,
+		RunModule: runDeterminismModule,
 	}
 }
 
@@ -43,9 +48,13 @@ func runDeterminism(pass *Pass) error {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch node := n.(type) {
 			case *ast.CallExpr:
-				checkDeterminismCall(pass, node)
+				if msg := determinismCallViolation(pass.Info, node); msg != "" {
+					pass.Reportf(node.Pos(), "%s", msg)
+				}
 			case *ast.RangeStmt:
-				checkMapRange(pass, node)
+				if emit := mapRangeEmit(pass.Info, node); emit != nil {
+					pass.Reportf(emit.Pos(), "%s", mapRangeMessage)
+				}
 			}
 			return true
 		})
@@ -53,44 +62,49 @@ func runDeterminism(pass *Pass) error {
 	return nil
 }
 
-// checkDeterminismCall flags wall-clock reads and global-source
-// math/rand draws.
-func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
-	fn := calleeFunc(pass, call)
+// mapRangeMessage is the shared diagnostic text for output emitted in
+// map-iteration order.
+const mapRangeMessage = "output emitted inside range over map: iteration order is randomized per run; " +
+	"collect and sort keys first"
+
+// determinismCallViolation returns the diagnostic message for a
+// wall-clock read or global-source math/rand draw, or "" when the call
+// is fine.
+func determinismCallViolation(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeOf(info, call)
 	if fn == nil || fn.Pkg() == nil {
-		return
+		return ""
 	}
 	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-		return // methods (e.g. (*rand.Rand).Intn, (time.Time).Sub) are fine
+		return "" // methods (e.g. (*rand.Rand).Intn, (time.Time).Sub) are fine
 	}
 	switch fn.Pkg().Path() {
 	case "time":
 		if timeForbidden[fn.Name()] {
-			pass.Reportf(call.Pos(),
-				"call to time.%s reads the wall clock; solver output must be reproducible — "+
-					"inject timestamps or move telemetry behind internal/obs", fn.Name())
+			return "call to time." + fn.Name() + " reads the wall clock; solver output must be " +
+				"reproducible — inject timestamps or move telemetry behind internal/obs"
 		}
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[fn.Name()] {
-			pass.Reportf(call.Pos(),
-				"call to %s.%s draws from the process-global random source; "+
-					"inject an explicitly seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+			return "call to " + fn.Pkg().Name() + "." + fn.Name() + " draws from the process-global " +
+				"random source; inject an explicitly seeded *rand.Rand instead"
 		}
 	}
+	return ""
 }
 
-// checkMapRange flags `for ... := range m` over a map when the loop
-// body emits output directly (fmt print family or Write* methods):
-// map iteration order is randomized per run, so anything written in
-// iteration order is nondeterministic. Collecting keys and sorting
-// before output is the fix (and is not flagged).
-func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
-	t := pass.Info.TypeOf(rng.X)
+// mapRangeEmit returns the first output-emitting call inside a
+// `for ... := range m` over a map, or nil. Map iteration order is
+// randomized per run, so anything written in iteration order is
+// nondeterministic; collecting keys and sorting before output is the
+// fix (and is not flagged).
+func mapRangeEmit(info *types.Info, rng *ast.RangeStmt) ast.Node {
+	t := info.TypeOf(rng.X)
 	if t == nil {
-		return
+		return nil
 	}
 	if _, ok := t.Underlying().(*types.Map); !ok {
-		return
+		return nil
 	}
 	var emit ast.Node
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
@@ -101,24 +115,20 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
 		if !ok {
 			return true
 		}
-		if emitsOutput(pass, call) {
+		if emitsOutput(info, call) {
 			emit = call
 			return false
 		}
 		return true
 	})
-	if emit != nil {
-		pass.Reportf(emit.Pos(),
-			"output emitted inside range over map: iteration order is randomized per run; "+
-				"collect and sort keys first")
-	}
+	return emit
 }
 
 // emitsOutput reports whether a call writes output whose order the
 // caller would observe: the fmt Print/Fprint/Sprint/Append families,
 // or any Write*-named method (io.Writer, strings.Builder, ...).
-func emitsOutput(pass *Pass, call *ast.CallExpr) bool {
-	fn := calleeFunc(pass, call)
+func emitsOutput(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
 	if fn == nil {
 		return false
 	}
@@ -131,20 +141,4 @@ func emitsOutput(pass *Pass, call *ast.CallExpr) bool {
 			strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append")
 	}
 	return false
-}
-
-// calleeFunc resolves the function or method object a call invokes,
-// or nil when the callee is not a named function (e.g. a func value).
-func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.Info.Uses[id].(*types.Func)
-	return fn
 }

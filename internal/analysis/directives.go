@@ -27,6 +27,56 @@ type directive struct {
 	used      bool
 }
 
+// minelintPrefix introduces a function-annotation comment:
+//
+//	//minelint:<verb> [note]
+//
+// The only supported verb is hotpath, which marks a function
+// declaration for the hotalloc check. Unlike //lint:allow, a minelint
+// annotation must live in the function's doc comment group.
+const minelintPrefix = "//minelint:"
+
+// parseAllowDirective parses one comment's text as a //lint:allow
+// directive. ok is false when the comment is not a //lint:allow
+// directive at all (including //lint:allowX-style near-misses, which
+// are some other tool's token). When ok, either check+reason are
+// populated or malformed says why the directive cannot be honored.
+func parseAllowDirective(text string) (check, reason, malformed string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", "", false
+	}
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		return "", "", "missing check name and reason (want //lint:allow <check> <reason>)", true
+	case len(fields) == 1:
+		return fields[0], "", "missing reason (want //lint:allow <check> <reason>)", true
+	default:
+		return fields[0], strings.Join(fields[1:], " "), "", true
+	}
+}
+
+// parseMinelintDirective parses one comment's text as a
+// //minelint:<verb> annotation. ok is false when the comment does not
+// carry the //minelint: prefix. verb is the token directly after the
+// colon (possibly empty for a bare "//minelint:"); note is any
+// trailing free text.
+func parseMinelintDirective(text string) (verb, note string, ok bool) {
+	if !strings.HasPrefix(text, minelintPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, minelintPrefix)
+	verb = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, note = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	return verb, note, true
+}
+
 // scanDirectives extracts every //lint:allow directive from a loaded
 // package. The module's retained sources decide whether a directive
 // shares its line with code (suppressing that line) or stands alone
@@ -36,31 +86,20 @@ func scanDirectives(m *Module, pkg *Package) []*directive {
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
+				check, reason, malformed, ok := parseAllowDirective(c.Text)
+				if !ok {
 					continue
-				}
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // some other //lint:allowX token, not ours
 				}
 				pos := m.Fset.Position(c.Pos())
 				d := &directive{
-					file:   m.Rel(pos.Filename),
-					line:   pos.Line,
-					target: pos.Line,
+					file:      m.Rel(pos.Filename),
+					line:      pos.Line,
+					target:    pos.Line,
+					check:     check,
+					reason:    reason,
+					malformed: malformed,
 				}
 				d.pos = Diagnostic{File: d.file, Line: pos.Line, Col: pos.Column, Check: "directive"}
-				fields := strings.Fields(rest)
-				switch {
-				case len(fields) == 0:
-					d.malformed = "missing check name and reason (want //lint:allow <check> <reason>)"
-				case len(fields) == 1:
-					d.check = fields[0]
-					d.malformed = "missing reason (want //lint:allow <check> <reason>)"
-				default:
-					d.check = fields[0]
-					d.reason = strings.Join(fields[1:], " ")
-				}
 				if standsAlone(m.Source(pos.Filename), pos.Line, pos.Column) {
 					d.target = pos.Line + 1
 				}

@@ -63,11 +63,10 @@ func TestDirectiveSkippedChecksNotStale(t *testing.T) {
 		t.Fatalf("CheckDir: %v", err)
 	}
 	analyzers := []*Analyzer{FloatEq(), NoPanic()}
-	known := map[string]bool{"floateq": true, "nopanic": true}
 	skips := map[string][]string{"nopanic": {rel}}
-	diags, err := runPackage(mod, pkg, analyzers, skips, known, false)
+	diags, err := runSuite(mod, []*Package{pkg}, analyzers, skips, false)
 	if err != nil {
-		t.Fatalf("runPackage: %v", err)
+		t.Fatalf("runSuite: %v", err)
 	}
 	var stale int
 	for _, d := range diags {

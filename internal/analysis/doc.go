@@ -8,18 +8,38 @@
 // math/rand source inside a solver would silently break reproducibility
 // long before a golden test caught it).
 //
-// The suite ships four checks (see DESIGN.md §8 for the full policy):
+// The suite ships eight analyzers plus the directive pseudo-check
+// (see DESIGN.md §8 for the full policy and §13 for the call-graph
+// machinery):
 //
 //   - determinism: no wall-clock reads, no global math/rand source, no
 //     time-seeded RNG construction, no output emitted directly from a
-//     map iteration, in any solver or experiment package.
+//     map iteration, in any solver or experiment package — enforced
+//     transitively: an exported function reaching such a sink through
+//     the module call graph is a finding with its full call chain.
 //   - nopanic: no panic in non-test library code outside functions
-//     whose doc comment documents the panic as an invariant violation.
+//     whose doc comment documents the panic as an invariant violation;
+//     also transitive from exported functions.
 //   - floateq: no ==/!= between floating-point operands outside named
 //     epsilon helpers (exact comparisons against the zero constant,
 //     ±Inf sentinels, and x != x NaN probes are allowed).
 //   - exporteddoc: every exported declaration carries a doc comment
 //     (the ported lint_test.go walker).
+//   - metricname: literal metric names passed to the obs recording
+//     methods follow the subsystem.name_unit convention.
+//   - errflow: no discarded error results, no error-returning calls as
+//     bare statements, no err variable overwritten before it is read.
+//   - concurrency: go statements, raw channel construction, and sync
+//     primitive ownership confined to the approved concurrency
+//     packages (internal/parallel, internal/obs, internal/population).
+//   - hotalloc: functions annotated //minelint:hotpath must not
+//     allocate (append, make, map literals, closures) inside loops,
+//     transitively through static and interface calls to depth 3.
+//
+// The call graph behind the transitive checks (callgraph.go) resolves
+// static calls exactly, fans interface calls out to every satisfying
+// module type, and treats function-value references as conservative
+// edges from the referencing function.
 //
 // Findings are suppressed either package-wide (the suite's
 // PackageSkips table — e.g. obs/parallel/sim may read the wall clock
@@ -33,6 +53,8 @@
 // directives that no longer suppress anything, so allowlists cannot
 // rot silently.
 //
-// The suite runs as `go run ./cmd/minelint ./...` (CI) and as the
-// TestMinelint gate in the root package (tier-1).
+// The suite runs as `go run ./cmd/minelint ./...` (CI, with -json and
+// -sarif output modes) and as the TestMinelint gate in the root
+// package (tier-1); BenchmarkMinelintModule logs the wall time of a
+// full-module sweep.
 package analysis

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrFlow returns the analyzer enforcing the repository's error-flow
+// discipline in library code: error results must be inspected, not
+// dropped. It flags three shapes:
+//
+//   - discarded errors: `_ = f()` and `v, _ := f()` where the blanked
+//     result is an error;
+//   - unchecked calls: an error-returning call used as a bare
+//     statement, so the error vanishes without even a blank;
+//   - overwritten errors: an err variable assigned from one call and
+//     reassigned before any statement reads it (straight-line within a
+//     block; branches conservatively reset tracking).
+//
+// Calls into package fmt and methods on *bytes.Buffer and
+// *strings.Builder are exempt — their error results are structurally
+// nil by documented contract. Deferred calls are also exempt (wrapping
+// deferred cleanup to capture its error is a policy the repo does not
+// impose).
+func ErrFlow() *Analyzer {
+	return &Analyzer{
+		Name: "errflow",
+		Doc: "forbids discarding error results (_ =, v, _ :=), calling error-returning " +
+			"functions as bare statements, and overwriting an err variable before it is read",
+		Run: runErrFlow,
+	}
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ExprStmt:
+				checkUncheckedCall(pass, node)
+			case *ast.AssignStmt:
+				checkDiscardedError(pass, node)
+			case *ast.BlockStmt:
+				checkErrOverwrite(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface (the
+// type error results are declared as).
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// errflowExempt reports whether a call's error result is structurally
+// uninteresting: the fmt print family and the never-failing builder
+// types (bytes.Buffer, strings.Builder) document nil errors.
+func errflowExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if recv := recvOf(fn); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+			full := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+			return full == "bytes.Buffer" || full == "strings.Builder"
+		}
+	}
+	return false
+}
+
+// callDisplay renders a call's target for messages ("foo", "x.Close").
+func callDisplay(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeOf(info, call); fn != nil {
+		if recv := recvOf(fn); recv != nil {
+			qual := func(p *types.Package) string { return p.Name() }
+			return "(" + types.TypeString(recv.Type(), qual) + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "the call"
+}
+
+// checkUncheckedCall flags an error-returning call used as a bare
+// statement.
+func checkUncheckedCall(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	hasErr := false
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				hasErr = true
+			}
+		}
+	default:
+		hasErr = isErrorType(rt)
+	}
+	if hasErr && !errflowExempt(pass.Info, call) {
+		pass.Reportf(call.Pos(),
+			"%s returns an error that is never checked; inspect it, return it, or log it via internal/obs",
+			callDisplay(pass.Info, call))
+	}
+}
+
+// checkDiscardedError flags blank-assigned error results:
+// `_ = f()`, `v, _ := f()`, and the element-wise form `_, _ = a(), b()`.
+func checkDiscardedError(pass *Pass, assign *ast.AssignStmt) {
+	report := func(call *ast.CallExpr) {
+		if !errflowExempt(pass.Info, call) {
+			pass.Reportf(call.Pos(),
+				"error result of %s discarded with _; inspect it, return it, or log it via internal/obs",
+				callDisplay(pass.Info, call))
+		}
+	}
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// v, err := f() — a single multi-value call.
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(assign.Lhs) {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				report(call)
+				return
+			}
+		}
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isErrorType(pass.Info.TypeOf(call)) {
+			report(call)
+		}
+	}
+}
+
+// isBlank reports whether an expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// checkErrOverwrite walks one block's statements in straight-line
+// order, tracking error variables assigned from a call, and flags a
+// reassignment that happens before any statement reads the pending
+// value. Any statement with nested control flow resets tracking — the
+// check is deliberately conservative and only catches the
+// unconditionally-lost case.
+func checkErrOverwrite(pass *Pass, block *ast.BlockStmt) {
+	type pendingErr struct {
+		pos  ast.Node // the assignment whose value gets lost
+		name string
+	}
+	pending := make(map[types.Object]pendingErr)
+	for _, stmt := range block.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			// Non-assignment statement: any mention of a pending err
+			// counts as a read; nested control flow resets everything.
+			reads := stmtReads(pass, stmt, nil)
+			for obj := range pending {
+				if reads[obj] {
+					delete(pending, obj)
+				}
+			}
+			if hasNestedFlow(stmt) {
+				pending = make(map[types.Object]pendingErr)
+			}
+			continue
+		}
+		// Reads on the RHS (and in LHS index expressions) clear first.
+		lhsTargets := make(map[*ast.Ident]bool)
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				lhsTargets[id] = true
+			}
+		}
+		reads := stmtReads(pass, assign, lhsTargets)
+		for obj := range pending {
+			if reads[obj] {
+				delete(pending, obj)
+			}
+		}
+		// Now process writes: a write to a still-pending err is the
+		// finding; afterwards, error-typed targets assigned from a
+		// call become pending themselves.
+		fromCall := false
+		for _, rhs := range assign.Rhs {
+			if _, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				fromCall = true
+			}
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			if prev, ok := pending[obj]; ok {
+				pass.Reportf(prev.pos.Pos(),
+					"error assigned to %s is overwritten on line %d before it is read; "+
+						"inspect each error before reusing the variable",
+					prev.name, pass.Fset.Position(id.Pos()).Line)
+			}
+			if fromCall {
+				pending[obj] = pendingErr{pos: assign, name: id.Name}
+			} else {
+				delete(pending, obj)
+			}
+		}
+	}
+}
+
+// stmtReads collects the objects read by a statement: every identifier
+// use except the direct assignment targets passed in lhs.
+func stmtReads(pass *Pass, stmt ast.Stmt, lhs map[*ast.Ident]bool) map[types.Object]bool {
+	reads := make(map[types.Object]bool)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhs[id] {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil {
+			reads[obj] = true
+		}
+		return true
+	})
+	return reads
+}
+
+// hasNestedFlow reports whether a statement contains control flow that
+// could read or skip pending assignments on some path.
+func hasNestedFlow(stmt ast.Stmt) bool {
+	switch stmt.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.BlockStmt:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestErrFlowFixture diffs the errflow analyzer against its fixture:
+// discarded, unchecked, and overwritten errors are flagged; fmt and
+// builder calls, deferred cleanup, reads between assignments, and
+// scoped directives stay silent.
+func TestErrFlowFixture(t *testing.T) {
+	testFixture(t, "errflow", false, ErrFlow())
+}

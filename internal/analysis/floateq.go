@@ -113,6 +113,6 @@ func isMathInf(pass *Pass, e ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	fn := calleeFunc(pass, call)
+	fn := calleeOf(pass.Info, call)
 	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf"
 }

@@ -1,0 +1,91 @@
+package analysis
+
+// Native fuzz target for the directive grammar. The two parsers —
+// //lint:allow suppressions and //minelint: annotations — sit on every
+// comment of every analyzed file, so they must never panic and must
+// uphold their structural contracts on arbitrary input. The committed
+// corpus under testdata/fuzz/FuzzDirectiveParser seeds the interesting
+// boundary shapes (near-miss prefixes, tabs, empty verbs, unicode).
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzDirectiveParser(f *testing.F) {
+	seeds := []string{
+		"//lint:allow determinism seeded telemetry clock",
+		"//lint:allow errflow",
+		"//lint:allow",
+		"//lint:allowX not a directive",
+		"//lint:allow\tfloateq\ttab separated reason",
+		"//minelint:hotpath",
+		"//minelint:hotpath keep the sweep allocation-free",
+		"//minelint:",
+		"//minelint:hotpth typo",
+		"// plain comment",
+		"//lint:allow nopanic reason with //minelint:hotpath inside",
+		"//minelint:hotpath\t note after tab",
+		"//lint:allow métricas unicode check name",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		check, reason, malformed, ok := parseAllowDirective(text)
+		wantOK := strings.HasPrefix(text, directivePrefix) &&
+			(len(text) == len(directivePrefix) ||
+				text[len(directivePrefix)] == ' ' || text[len(directivePrefix)] == '\t')
+		if ok != wantOK {
+			t.Fatalf("parseAllowDirective(%q) ok = %v, want %v", text, ok, wantOK)
+		}
+		if !ok && (check != "" || reason != "" || malformed != "") {
+			t.Fatalf("parseAllowDirective(%q): non-directive returned content %q %q %q",
+				text, check, reason, malformed)
+		}
+		if ok {
+			if malformed == "" && (check == "" || reason == "") {
+				t.Fatalf("parseAllowDirective(%q): well-formed but check=%q reason=%q",
+					text, check, reason)
+			}
+			if strings.ContainsAny(check, " \t\n") {
+				t.Fatalf("parseAllowDirective(%q): check %q contains whitespace", text, check)
+			}
+			if utf8.ValidString(text) && !strings.Contains(text, check) {
+				t.Fatalf("parseAllowDirective(%q): check %q not a substring of input", text, check)
+			}
+		}
+
+		verb, note, mok := parseMinelintDirective(text)
+		if wantMOK := strings.HasPrefix(text, minelintPrefix); mok != wantMOK {
+			t.Fatalf("parseMinelintDirective(%q) ok = %v, want %v", text, mok, wantMOK)
+		}
+		if !mok && (verb != "" || note != "") {
+			t.Fatalf("parseMinelintDirective(%q): non-directive returned %q %q", text, verb, note)
+		}
+		if mok {
+			if strings.ContainsAny(verb, " \t") {
+				t.Fatalf("parseMinelintDirective(%q): verb %q contains whitespace", text, verb)
+			}
+			if !strings.HasPrefix(strings.TrimPrefix(text, minelintPrefix), verb) {
+				t.Fatalf("parseMinelintDirective(%q): verb %q is not the text after the colon",
+					text, verb)
+			}
+			if note != strings.TrimSpace(note) {
+				t.Fatalf("parseMinelintDirective(%q): note %q not trimmed", text, note)
+			}
+		}
+
+		// Both parsers are pure: a second call must agree exactly.
+		c2, r2, m2, ok2 := parseAllowDirective(text)
+		if c2 != check || r2 != reason || m2 != malformed || ok2 != ok {
+			t.Fatalf("parseAllowDirective(%q) is not deterministic", text)
+		}
+		v2, n2, mok2 := parseMinelintDirective(text)
+		if v2 != verb || n2 != note || mok2 != mok {
+			t.Fatalf("parseMinelintDirective(%q) is not deterministic", text)
+		}
+	})
+}

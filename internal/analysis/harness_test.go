@@ -37,13 +37,9 @@ func fixtureDiags(t *testing.T, name string, directiveFindings bool, analyzers .
 	if err != nil {
 		t.Fatalf("CheckDir(%s): %v", dir, err)
 	}
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-	diags, err := runPackage(mod, pkg, analyzers, map[string][]string{}, known, !directiveFindings)
+	diags, err := runSuite(mod, []*Package{pkg}, analyzers, map[string][]string{}, !directiveFindings)
 	if err != nil {
-		t.Fatalf("runPackage(%s): %v", name, err)
+		t.Fatalf("runSuite(%s): %v", name, err)
 	}
 	sortDiagnostics(diags)
 	return diags

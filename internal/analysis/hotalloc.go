@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotallocDepth is how many call edges deep the hotalloc check follows
+// a loop-contained call looking for allocations. Beyond this
+// (documented) depth chains are not examined — the dynamic
+// allocation-budget benchmarks remain the backstop.
+const hotallocDepth = 3
+
+// HotAlloc returns the analyzer protecting the solver hot paths'
+// allocation budget. Functions annotated `//minelint:hotpath` (in
+// their doc comment group) must not allocate inside loops: no append,
+// no make, no map literals, no closures. The rule is transitive —
+// a loop-contained call whose (static or interface-resolved) callee
+// allocates anywhere, up to hotallocDepth call edges deep, is flagged
+// with the full chain. Calls through function values are not followed
+// (the graph's funcvalue edges are reference edges, not call sites);
+// the ≤8-allocs budget tests are the dynamic backstop for those.
+// Packages on the check's skip list (obs, parallel) are a trust
+// boundary whose disabled-mode cost is pinned by benchmarks.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc: "forbids append/make/map-literal/closure allocations inside loops of " +
+			"//minelint:hotpath-annotated functions, transitively through static and " +
+			"interface calls to a documented depth",
+		RunModule: runHotAlloc,
+	}
+}
+
+func runHotAlloc(mp *ModulePass) error {
+	targets := collectHotpathTargets(mp)
+	summaries := make(map[*types.Func]*allocSummary)
+	for _, fn := range targets {
+		checkHotFunction(mp, fn, summaries)
+	}
+	return nil
+}
+
+// collectHotpathTargets scans the analyzed packages for //minelint:
+// annotations, reporting misuse (unknown verbs, duplicates,
+// annotations not attached to a function declaration) and returning
+// the annotated functions in deterministic graph order.
+func collectHotpathTargets(mp *ModulePass) []*types.Func {
+	annotated := make(map[*types.Func]bool)
+	for _, pkg := range mp.Analyzed {
+		for _, file := range pkg.Files {
+			// Attachment map: which comment groups are function docs.
+			funcDocs := make(map[*ast.CommentGroup]*ast.FuncDecl)
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+					funcDocs[fd.Doc] = fd
+				}
+			}
+			for _, group := range file.Comments {
+				fd := funcDocs[group]
+				seen := false
+				for _, c := range group.List {
+					verb, _, ok := parseMinelintDirective(c.Text)
+					if !ok {
+						continue
+					}
+					switch {
+					case verb != "hotpath":
+						mp.Reportf(c.Pos(), nil,
+							"unknown minelint directive %q (supported: //minelint:hotpath)", verb)
+					case fd == nil:
+						mp.Reportf(c.Pos(), nil,
+							"//minelint:hotpath is not attached to a function declaration; "+
+								"put it in the function's doc comment group")
+					case fd.Body == nil:
+						mp.Reportf(c.Pos(), nil,
+							"//minelint:hotpath annotates a function with no body")
+					case seen:
+						mp.Reportf(c.Pos(), nil,
+							"duplicate //minelint:hotpath on %s; delete the extra annotation", fd.Name.Name)
+					default:
+						seen = true
+						if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+							annotated[fn] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	var targets []*types.Func
+	for _, fn := range mp.Graph.Functions() {
+		if annotated[fn] {
+			targets = append(targets, fn)
+		}
+	}
+	return targets
+}
+
+// checkHotFunction inspects one annotated function: direct allocations
+// inside its loops, and loop-contained calls whose callees allocate
+// within hotallocDepth edges.
+func checkHotFunction(mp *ModulePass, hot *types.Func, summaries map[*types.Func]*allocSummary) {
+	fd := mp.Graph.Decl(hot)
+	pkg := mp.Graph.PkgOf(hot)
+	name := FuncDisplayName(hot)
+	edgesAt := make(map[token.Pos][]CallEdge)
+	for _, e := range mp.Graph.CalleesOf(hot) {
+		if e.Kind != EdgeFuncValue {
+			edgesAt[e.Pos] = append(edgesAt[e.Pos], e)
+		}
+	}
+	var inLoop func(n ast.Node)
+	inLoop = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if kind, pos, ok := allocNodeKind(pkg.Info, n); ok {
+				mp.Reportf(pos, nil,
+					"%s inside a loop of hotpath function %s; hoist it out of the loop "+
+						"(the solve allocation budget is pinned by benchmarks)", kind, name)
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false // the closure is the finding; don't re-flag its innards
+				}
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, e := range edgesAt[call.Pos()] {
+				if mp.Skipped(mp.Graph.PkgOf(e.Callee)) {
+					continue
+				}
+				chain, alloc := allocChain(mp, e.Callee, hotallocDepth-1, summaries,
+					map[*types.Func]bool{hot: true})
+				if chain != nil {
+					full := append([]Frame{mp.FrameAt(hot, e.Pos, e.Kind)}, chain...)
+					mp.Reportf(call.Pos(), full,
+						"call inside a loop of hotpath function %s allocates (%s): %s; "+
+							"hoist the work out of the loop or allocate up front",
+						name, alloc.kind, chainString(full))
+					break
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if loop.Post != nil {
+				inLoop(loop.Post)
+			}
+			inLoop(loop.Body)
+			return false
+		case *ast.RangeStmt:
+			inLoop(loop.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// allocSummary caches one function's first direct allocation site.
+type allocSummary struct {
+	computed bool
+	kind     string
+	pos      token.Pos
+}
+
+// directAlloc returns the earliest direct allocation anywhere in fn's
+// body (loops or not — a callee invoked per iteration allocates per
+// iteration), memoized.
+func directAlloc(mp *ModulePass, fn *types.Func, summaries map[*types.Func]*allocSummary) *allocSummary {
+	if s, ok := summaries[fn]; ok {
+		return s
+	}
+	s := &allocSummary{}
+	summaries[fn] = s
+	pkg := mp.Graph.PkgOf(fn)
+	ast.Inspect(mp.Graph.Decl(fn), func(n ast.Node) bool {
+		if s.computed {
+			return false
+		}
+		if kind, pos, ok := allocNodeKind(pkg.Info, n); ok {
+			s.computed, s.kind, s.pos = true, kind, pos
+			return false
+		}
+		return true
+	})
+	return s
+}
+
+// allocChain searches fn (and its static/interface callees, up to
+// depth further edges) for an allocation, returning the chain of
+// frames from fn down to the allocation site, or nil.
+func allocChain(mp *ModulePass, fn *types.Func, depth int,
+	summaries map[*types.Func]*allocSummary, visited map[*types.Func]bool) ([]Frame, *allocSummary) {
+
+	if visited[fn] || mp.Graph.Decl(fn) == nil || mp.Skipped(mp.Graph.PkgOf(fn)) {
+		return nil, nil
+	}
+	visited[fn] = true
+	defer delete(visited, fn)
+	if s := directAlloc(mp, fn, summaries); s.computed {
+		return []Frame{mp.FrameAt(fn, s.pos, "")}, s
+	}
+	if depth == 0 {
+		return nil, nil
+	}
+	for _, e := range mp.Graph.CalleesOf(fn) {
+		if e.Kind == EdgeFuncValue {
+			continue
+		}
+		sub, alloc := allocChain(mp, e.Callee, depth-1, summaries, visited)
+		if sub != nil {
+			return append([]Frame{mp.FrameAt(fn, e.Pos, e.Kind)}, sub...), alloc
+		}
+	}
+	return nil, nil
+}
+
+// allocNodeKind classifies the four allocation forms hotalloc polices.
+func allocNodeKind(info *types.Info, n ast.Node) (kind string, pos token.Pos, ok bool) {
+	switch node := n.(type) {
+	case *ast.CallExpr:
+		id, isIdent := ast.Unparen(node.Fun).(*ast.Ident)
+		if !isIdent {
+			return "", token.NoPos, false
+		}
+		if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+			return "", token.NoPos, false
+		}
+		switch id.Name {
+		case "append":
+			return "append", node.Pos(), true
+		case "make":
+			return "make", node.Pos(), true
+		}
+	case *ast.CompositeLit:
+		if t := info.TypeOf(node); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return "map literal", node.Pos(), true
+			}
+		}
+	case *ast.FuncLit:
+		return "closure", node.Pos(), true
+	}
+	return "", token.NoPos, false
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotAllocFixture diffs the hotalloc analyzer against its fixture:
+// every direct allocation form inside hotpath loops, transitive chains
+// up to the documented depth, and the silent shapes (hoisted
+// allocations, funcvalue calls, beyond-depth chains, scoped
+// directives).
+func TestHotAllocFixture(t *testing.T) {
+	testFixture(t, "hotalloc", false, HotAlloc())
+}
+
+// TestHotAllocDirectiveMisuse pins the misuse findings — unknown
+// verbs, detached annotations, bodyless targets, duplicates — which
+// are reported on the directive comment's own line and therefore
+// cannot carry want annotations.
+func TestHotAllocDirectiveMisuse(t *testing.T) {
+	diags := fixtureDiags(t, "hotallocmisuse", false, HotAlloc())
+	wants := []string{
+		`unknown minelint directive "hotpth"`,
+		"not attached to a function declaration",
+		"annotates a function with no body",
+		"duplicate //minelint:hotpath on doubled",
+		// The doubly-annotated function is still checked.
+		"append inside a loop of hotpath function hotallocmisuse.doubled",
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Check == "hotalloc" && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no hotalloc finding containing %q in %v", want, diags)
+		}
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("got %d findings, want %d: %v", len(diags), len(wants), diags)
+	}
+}

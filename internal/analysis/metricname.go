@@ -90,7 +90,7 @@ func runMetricName(pass *Pass) error {
 // metricKind resolves a call to an obs recording method and returns the
 // series kind its name argument creates.
 func metricKind(pass *Pass, call *ast.CallExpr) (string, bool) {
-	fn := calleeFunc(pass, call)
+	fn := calleeOf(pass.Info, call)
 	if fn == nil || fn.Pkg() == nil {
 		return "", false
 	}

@@ -10,13 +10,18 @@ import (
 // discipline: library code returns errors, it does not panic. A panic
 // is tolerated only inside a function whose doc comment documents the
 // panic as an invariant violation (the word "panic" must appear in the
-// doc), which is the convention for must-style helpers.
+// doc), which is the convention for must-style helpers. The module
+// half additionally flags exported functions from which an
+// undocumented panic is reachable through the call graph, with the
+// full chain.
 func NoPanic() *Analyzer {
 	return &Analyzer{
 		Name: "nopanic",
 		Doc: "forbids panic in non-test library code unless the enclosing function's " +
-			"doc comment documents the panic as an invariant violation",
-		Run: runNoPanic,
+			"doc comment documents the panic as an invariant violation; exported " +
+			"functions must not transitively reach an undocumented panic",
+		Run:       runNoPanic,
+		RunModule: runNoPanicModule,
 	}
 }
 

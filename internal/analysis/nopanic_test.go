@@ -5,3 +5,10 @@ import "testing"
 func TestNoPanicFixture(t *testing.T) {
 	testFixture(t, "nopanic", false, NoPanic())
 }
+
+// TestNoPanicTransitiveFixture diffs the module half: exported
+// functions reaching an undocumented panic through the call graph are
+// flagged with the chain; documented must-helpers are a boundary.
+func TestNoPanicTransitiveFixture(t *testing.T) {
+	testFixture(t, "nopanictrans", false, NoPanic())
+}

@@ -1,24 +1,44 @@
 package analysis
 
 import (
+	"sort"
 	"strings"
 )
 
-// DefaultSuite returns the repository's five analyzers in their
+// DefaultSuite returns the repository's eight analyzers in their
 // canonical order: determinism, nopanic, floateq, exporteddoc,
-// metricname.
+// metricname, errflow, concurrency, hotalloc. Together with the
+// directive-hygiene pseudo-check this is the nine-check suite
+// cmd/minelint runs by default.
 func DefaultSuite() []*Analyzer {
-	return []*Analyzer{Determinism(), NoPanic(), FloatEq(), ExportedDoc(), MetricName()}
+	return []*Analyzer{
+		Determinism(), NoPanic(), FloatEq(), ExportedDoc(), MetricName(),
+		ErrFlow(), Concurrency(), HotAlloc(),
+	}
 }
 
 // DefaultPackageSkips is the package-level allowlist: for each check,
 // the module-relative package prefixes it does not examine (the prefix
-// covers subpackages). The observability, parallel, and simulation
-// layers legitimately read the wall clock for telemetry — their output
-// never feeds solver results — so the determinism check skips them.
+// covers subpackages).
+//
+//   - determinism skips the observability, parallel, and simulation
+//     layers, which legitimately read the wall clock for telemetry —
+//     their output never feeds solver results. The transitive half of
+//     the check treats the same packages as a trust boundary: call
+//     chains stop at their edge rather than traversing through.
+//   - concurrency skips the approved concurrency owners: the
+//     deterministic pool (internal/parallel), observability servers
+//     (internal/obs), and the streaming population layer
+//     (internal/population). Everyone else must ride those.
+//   - hotalloc skips internal/obs and internal/parallel: telemetry and
+//     pool plumbing allocate only in enabled/startup modes, and the
+//     disabled-mode cost is pinned by the allocation-budget benchmarks,
+//     so hot-path chains stop at that boundary.
 func DefaultPackageSkips() map[string][]string {
 	return map[string][]string{
 		"determinism": {"internal/obs", "internal/parallel", "internal/sim"},
+		"concurrency": {"internal/parallel", "internal/obs", "internal/population"},
+		"hotalloc":    {"internal/obs", "internal/parallel"},
 	}
 }
 
@@ -46,10 +66,12 @@ type RunConfig struct {
 
 // Run loads every package matching the config's patterns, runs the
 // configured analyzers over each (honoring the package-level
-// allowlist), filters findings through //lint:allow directives, and
-// returns the surviving diagnostics sorted by position. A non-nil
-// error means the run itself failed (unreadable pattern, parse or
-// type-check failure) — findings are not errors.
+// allowlist), builds the whole-module call graph and runs the
+// module-level (interprocedural) passes, filters findings through
+// //lint:allow directives, and returns the surviving diagnostics
+// sorted by position. A non-nil error means the run itself failed
+// (unreadable pattern, parse or type-check failure) — findings are
+// not errors.
 func Run(cfg RunConfig) ([]Diagnostic, error) {
 	dir := cfg.Dir
 	if dir == "" {
@@ -76,64 +98,198 @@ func Run(cfg RunConfig) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-
-	var all []Diagnostic
+	analyzed := make([]*Package, 0, len(paths))
 	for _, importPath := range paths {
 		pkg, err := mod.Load(importPath)
 		if err != nil {
 			return nil, err
 		}
-		diags, err := runPackage(mod, pkg, analyzers, skips, known, cfg.NoDirectiveFindings)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, diags...)
+		analyzed = append(analyzed, pkg)
 	}
-	sortDiagnostics(all)
-	return all, nil
+	return runSuite(mod, analyzed, analyzers, skips, cfg.NoDirectiveFindings)
 }
 
-// runPackage executes the applicable analyzers over one loaded package
-// and resolves directives against the raw findings.
-func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer,
-	skips map[string][]string, known map[string]bool, noDirectives bool) ([]Diagnostic, error) {
+// runSuite is the shared driver behind Run and the fixture harness:
+// per-package passes, then the whole-module passes over the call
+// graph, then directive resolution across all raw findings.
+func runSuite(mod *Module, analyzed []*Package, analyzers []*Analyzer,
+	skips map[string][]string, noDirectives bool) ([]Diagnostic, error) {
 
-	rel := strings.TrimPrefix(strings.TrimPrefix(pkg.ImportPath, mod.Path), "/")
-	ran := make(map[string]bool)
-	var raw []Diagnostic
+	known := make(map[string]bool, len(analyzers))
+	hasModulePass := false
 	for _, a := range analyzers {
-		if skipped(skips[a.Name], rel) {
+		known[a.Name] = true
+		if a.RunModule != nil {
+			hasModulePass = true
+		}
+	}
+
+	// Per-package state: the package's directives and the set of
+	// checks that examined it (which decides directive eligibility
+	// and staleness).
+	type pkgState struct {
+		pkg        *Package
+		rel        string
+		directives []*directive
+		ran        map[string]bool
+	}
+	states := make([]*pkgState, 0, len(analyzed))
+	stateByFile := make(map[string]*pkgState)
+	for _, pkg := range analyzed {
+		st := &pkgState{
+			pkg:        pkg,
+			rel:        relImportPath(mod, pkg.ImportPath),
+			directives: scanDirectives(mod, pkg),
+			ran:        make(map[string]bool),
+		}
+		states = append(states, st)
+		for _, file := range pkg.Files {
+			stateByFile[mod.Rel(mod.Fset.Position(file.Pos()).Filename)] = st
+		}
+	}
+
+	var raw []Diagnostic
+	report := func(d Diagnostic) {
+		d.File = mod.Rel(d.File)
+		raw = append(raw, d)
+	}
+
+	// Per-package (intra-procedural) passes.
+	for _, st := range states {
+		for _, a := range analyzers {
+			if skipped(skips[a.Name], st.rel) {
+				continue
+			}
+			st.ran[a.Name] = true
+			if a.Run == nil {
+				continue // module-only analyzer; ran-marking still applies
+			}
+			pass := &Pass{
+				Fset:       mod.Fset,
+				Files:      st.pkg.Files,
+				Pkg:        st.pkg.Types,
+				Info:       st.pkg.Info,
+				ImportPath: st.pkg.ImportPath,
+				analyzer:   a,
+				report:     report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Whole-module (interprocedural) passes. The graph spans every
+	// package the loader has seen — analyzed packages plus their
+	// module-internal dependencies — so chains cross package
+	// boundaries; //lint:allow directives anywhere in that universe
+	// neutralize sinks.
+	if hasModulePass {
+		all := loadedUniverse(mod, analyzed)
+		graph := BuildCallGraph(mod, all)
+		allowIdx := buildAllowIndex(mod, all)
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			prefixes := skips[a.Name]
+			var examined []*Package
+			for _, st := range states {
+				if !skipped(prefixes, st.rel) {
+					examined = append(examined, st.pkg)
+				}
+			}
+			mp := &ModulePass{
+				Mod:      mod,
+				Graph:    graph,
+				Analyzed: examined,
+				analyzer: a,
+				skipRel:  func(rel string) bool { return skipped(prefixes, rel) },
+				allowed:  allowIdx[a.Name],
+				report:   report,
+			}
+			if err := a.RunModule(mp); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Directive resolution: suppress allowed findings, then report
+	// directive hygiene (malformed, unknown, stale).
+	var final []Diagnostic
+	for _, diag := range raw {
+		st := stateByFile[diag.File]
+		if st == nil {
+			final = append(final, diag)
 			continue
 		}
-		ran[a.Name] = true
-		pass := &Pass{
-			Fset:       mod.Fset,
-			Files:      pkg.Files,
-			Pkg:        pkg.Types,
-			Info:       pkg.Info,
-			ImportPath: pkg.ImportPath,
-			analyzer:   a,
-			report: func(d Diagnostic) {
-				d.File = mod.Rel(d.File)
-				raw = append(raw, d)
-			},
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, err
+		if len(applyDirectives([]Diagnostic{diag}, st.directives, st.ran)) > 0 {
+			final = append(final, diag)
 		}
 	}
-
-	directives := scanDirectives(mod, pkg)
-	diags := applyDirectives(raw, directives, ran)
 	if !noDirectives {
-		diags = append(diags, directiveFindings(directives, known, ran)...)
+		for _, st := range states {
+			final = append(final, directiveFindings(st.directives, known, st.ran)...)
+		}
 	}
-	return diags, nil
+	sortDiagnostics(final)
+	return final, nil
+}
+
+// loadedUniverse returns every package the module loader has seen —
+// the analyzed set plus all module-internal dependencies loaded while
+// type-checking — deduplicated and sorted by import path.
+func loadedUniverse(mod *Module, analyzed []*Package) []*Package {
+	seen := make(map[string]bool, len(analyzed))
+	var all []*Package
+	for _, pkg := range analyzed {
+		if !seen[pkg.ImportPath] {
+			seen[pkg.ImportPath] = true
+			all = append(all, pkg)
+		}
+	}
+	for path, pkg := range mod.pkgs {
+		if pkg == nil || seen[path] {
+			continue
+		}
+		seen[path] = true
+		all = append(all, pkg)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ImportPath < all[j].ImportPath })
+	return all
+}
+
+// buildAllowIndex maps check -> file -> target line for every
+// well-formed //lint:allow directive in the given packages. Module
+// passes consult it so a directive at a sink call site neutralizes the
+// sink for transitive traversal, not just the local finding.
+func buildAllowIndex(mod *Module, pkgs []*Package) map[string]map[string]map[int]bool {
+	idx := make(map[string]map[string]map[int]bool)
+	for _, pkg := range pkgs {
+		for _, d := range scanDirectives(mod, pkg) {
+			if d.malformed != "" {
+				continue
+			}
+			files := idx[d.check]
+			if files == nil {
+				files = make(map[string]map[int]bool)
+				idx[d.check] = files
+			}
+			lines := files[d.file]
+			if lines == nil {
+				lines = make(map[int]bool)
+				files[d.file] = lines
+			}
+			lines[d.target] = true
+		}
+	}
+	return idx
+}
+
+// relImportPath strips the module path prefix from an import path,
+// yielding the module-relative package path skip prefixes match on.
+func relImportPath(mod *Module, importPath string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(importPath, mod.Path), "/")
 }
 
 // skipped reports whether a module-relative package path matches one

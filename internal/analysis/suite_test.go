@@ -28,7 +28,10 @@ func TestRandDisciplineAudit(t *testing.T) {
 }
 
 func TestDefaultSuiteCheckNames(t *testing.T) {
-	want := []string{"determinism", "nopanic", "floateq", "exporteddoc", "metricname"}
+	want := []string{
+		"determinism", "nopanic", "floateq", "exporteddoc", "metricname",
+		"errflow", "concurrency", "hotalloc",
+	}
 	suite := DefaultSuite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,97 @@
+// Package callgraph is a minelint fixture exercising the transitive
+// half of the determinism check over every call-graph edge kind:
+// static cross-package calls, interface dispatch fan-out, method
+// values (funcvalue reference edges), and recursion cycles. The
+// expected findings pin both the reporting position (the root's
+// outgoing call site) and the rendered chain.
+package callgraph
+
+import (
+	"time"
+
+	"minegame/internal/analysis/testdata/callgraph/sub"
+)
+
+// Entry reaches the wall clock through a static cross-package edge.
+func Entry() time.Time {
+	return sub.Leaf() // want "determinism: callgraph.Entry transitively reaches time.Now: callgraph.Entry → sub.Leaf"
+}
+
+// CleanEntry only reaches determinism-safe code: no finding.
+func CleanEntry() int {
+	return sub.Clean()
+}
+
+// Ticker is the fixture's dispatch interface; RunTicker's call fans
+// out to every implementation below.
+type Ticker interface {
+	Tick() int
+}
+
+// clockTicker reads the wall clock: the dirty implementation.
+type clockTicker struct{}
+
+func (clockTicker) Tick() int {
+	return time.Now().Nanosecond() // want "determinism: call to time.Now reads the wall clock"
+}
+
+// pureTicker is the clean implementation.
+type pureTicker struct{ n int }
+
+func (p pureTicker) Tick() int { return p.n }
+
+// RunTicker dispatches through the interface: the fan-out includes
+// clockTicker, so the sink is reachable.
+func RunTicker(t Ticker) int {
+	return t.Tick() // want "determinism: callgraph.RunTicker transitively reaches time.Now: callgraph.RunTicker → \(callgraph.clockTicker\).Tick"
+}
+
+// MethodValue takes a dirty method as a value: the reference edge is
+// charged where the value is taken, not where it is finally invoked.
+func MethodValue() int {
+	f := clockTicker{}.Tick // want "determinism: callgraph.MethodValue transitively reaches time.Now: callgraph.MethodValue → \(callgraph.clockTicker\).Tick"
+	return f()
+}
+
+// cycleLeaf is a direct sink reached from inside a recursion cycle.
+func cycleLeaf() int {
+	return time.Now().Second() // want "determinism: call to time.Now reads the wall clock"
+}
+
+// Recurse calls itself: the reverse traversal must terminate on the
+// self-edge and still flag the path to the leaf.
+func Recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	Recurse(n - 1)
+	return cycleLeaf() // want "determinism: callgraph.Recurse transitively reaches time.Now: callgraph.Recurse → callgraph.cycleLeaf"
+}
+
+// pingA and pingB form a two-function cycle on the way to the sink.
+func pingA(n int) int {
+	if n <= 0 {
+		return int(sub.Leaf().Unix())
+	}
+	return pingB(n - 1)
+}
+
+func pingB(n int) int { return pingA(n - 1) }
+
+// Cycle enters the mutual recursion: the shortest chain threads the
+// cycle once and ends at the cross-package sink.
+func Cycle(n int) int {
+	return pingA(n) // want "determinism: callgraph.Cycle transitively reaches time.Now: callgraph.Cycle → callgraph.pingA → sub.Leaf"
+}
+
+// allowedLeaf reads the clock under a recorded rationale: the directive
+// at the sink line neutralizes it for the whole module.
+func allowedLeaf() time.Time {
+	return time.Now() //lint:allow determinism fixture: sink waived with a recorded rationale
+}
+
+// AllowedPath only reaches the waived sink: no finding anywhere on the
+// chain.
+func AllowedPath() time.Time {
+	return allowedLeaf()
+}

@@ -1,0 +1,16 @@
+// Package sub provides the cross-package leaves of the callgraph
+// fixture: the determinism sinks live here, one package boundary away
+// from the exported roots the transitive check must flag.
+package sub
+
+import "time"
+
+// Leaf reads the wall clock. It is a sink; the direct finding is not
+// reported here (only the enclosing fixture package is analyzed), but
+// chains from the fixture package must cross into it.
+func Leaf() time.Time {
+	return time.Now()
+}
+
+// Clean is a determinism-safe leaf for control paths.
+func Clean() int { return 42 }

@@ -1,0 +1,52 @@
+// Package concurrency is a minelint fixture seeding concurrency
+// ownership outside the approved packages: go statements, raw channel
+// construction, and sync primitive ownership, next to the accepted
+// forms (using a lock someone else owns, and scoped //lint:allow
+// directives).
+package concurrency
+
+import "sync"
+
+// Spawn fans out by hand instead of riding internal/parallel.
+func Spawn(fns []func()) {
+	for _, fn := range fns {
+		go fn() // want "concurrency: go statement outside the approved concurrency packages"
+	}
+}
+
+// Channels builds raw channel plumbing.
+func Channels() chan int {
+	done := make(chan struct{}, 1) // want "concurrency: raw channel constructed outside the approved concurrency packages"
+	close(done)
+	return make(chan int) // want "concurrency: raw channel constructed outside the approved concurrency packages"
+}
+
+// owner declares a mutex field: primitive ownership.
+type owner struct {
+	mu sync.Mutex // want "concurrency: sync.Mutex primitive owned outside the approved concurrency packages"
+	n  int
+}
+
+// Bump calls a sync package-level constructor.
+func Bump(o *owner) func() {
+	return sync.OnceFunc(func() { o.n++ }) // want "concurrency: call to sync.OnceFunc outside the approved concurrency packages"
+}
+
+// locker is the subset of sync.Locker the fixture needs, declared
+// locally so that using a lock someone else owns involves no sync
+// reference of its own.
+type locker interface {
+	Lock()
+	Unlock()
+}
+
+// WithLock locks a mutex it does not own: method calls are use, not
+// ownership, and are not flagged.
+func WithLock(mu locker, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	fn()
+}
+
+// allowedOnce owns a primitive under a recorded rationale.
+var allowedOnce sync.Once //lint:allow concurrency fixture: explicitly waived

@@ -1,0 +1,84 @@
+// Package errflow is a minelint fixture seeding error-flow
+// violations — discarded results, unchecked calls, and overwritten err
+// variables — next to the idioms the check accepts (fmt and builder
+// exemptions, deferred cleanup, reads between assignments, and scoped
+// //lint:allow directives).
+package errflow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// fail always errors, giving the fixture an in-package error source.
+func fail() error { return errors.New("boom") }
+
+// failPair returns a value-and-error pair.
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+// Discarded blanks error results in every shape the check flags.
+func Discarded() int {
+	_ = fail()         // want "errflow: error result of errflow.fail discarded with _"
+	v, _ := failPair() // want "errflow: error result of errflow.failPair discarded with _"
+	_, _ = 1, fail()   // want "errflow: error result of errflow.fail discarded with _"
+	return v
+}
+
+// Unchecked drops an error without even a blank.
+func Unchecked() {
+	fail() // want "errflow: errflow.fail returns an error that is never checked"
+}
+
+// Overwritten assigns err twice with no read in between: the first
+// error is unconditionally lost.
+func Overwritten() error {
+	_, err := failPair() // want "errflow: error assigned to err is overwritten on line \d+ before it is read"
+	_, err = failPair()
+	return err
+}
+
+// ReadBetween inspects the first error before reusing the variable:
+// no finding.
+func ReadBetween() error {
+	_, err := failPair()
+	if err != nil {
+		return err
+	}
+	_, err = failPair()
+	return err
+}
+
+// BranchReset assigns inside nested control flow, which conservatively
+// resets tracking: no finding.
+func BranchReset(flip bool) error {
+	err := fail()
+	if flip {
+		return nil
+	}
+	err = fail()
+	return err
+}
+
+// Exempt uses the never-failing writers and deferred cleanup the check
+// leaves alone.
+func Exempt() string {
+	var b strings.Builder
+	b.WriteString("hello")
+	var buf bytes.Buffer
+	buf.WriteByte('!')
+	fmt.Println("hello")
+	f, err := os.Open(os.DevNull)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	return b.String() + buf.String()
+}
+
+// Allowed discards under a scoped directive with a rationale.
+func Allowed() {
+	_ = fail() //lint:allow errflow fixture: explicitly waived
+}

@@ -1,0 +1,119 @@
+// Package hotalloc is a minelint fixture for the hot-path allocation
+// check: //minelint:hotpath-annotated functions must not allocate
+// inside loops, directly or through static/interface callees up to the
+// documented depth. Allocations outside loops, calls through function
+// values, chains beyond the depth limit, and scoped //lint:allow
+// directives stay silent.
+package hotalloc
+
+// Sweep is the annotated kernel with every direct allocation form in
+// its loop, plus the accepted shapes.
+//
+//minelint:hotpath
+func Sweep(xs []int) []int {
+	// Allocating up front is the sanctioned pattern.
+	out := make([]int, 0, len(xs))
+	scale := func(v int) int { return 2 * v }
+	for _, x := range xs {
+		out = append(out, scale(x))  // want "hotalloc: append inside a loop of hotpath function hotalloc.Sweep"
+		buf := make([]int, 4)        // want "hotalloc: make inside a loop of hotpath function hotalloc.Sweep"
+		m := map[int]int{x: x}       // want "hotalloc: map literal inside a loop of hotpath function hotalloc.Sweep"
+		f := func() int { return x } // want "hotalloc: closure inside a loop of hotpath function hotalloc.Sweep"
+		_ = buf
+		_ = m
+		_ = f
+	}
+	return out
+}
+
+// grow allocates: a callee the transitive rule must see.
+func grow(xs []int) []int {
+	return append(xs, 0)
+}
+
+// relay sits one hop above grow.
+func relay(xs []int) []int { return grow(xs) }
+
+// relay2 sits two hops above grow.
+func relay2(xs []int) []int { return relay(xs) }
+
+// relay3 sits three hops above grow: one edge past the documented
+// depth, so chains through it are not examined.
+func relay3(xs []int) []int { return relay2(xs) }
+
+// Transitive calls allocating callees from its loop at one, two, and
+// three edges of depth; the fourth hop is past the limit and relies on
+// the dynamic budget benchmarks instead.
+//
+//minelint:hotpath
+func Transitive(xs []int) []int {
+	var out []int
+	for range xs {
+		out = grow(out)   // want "hotalloc: call inside a loop of hotpath function hotalloc.Transitive allocates \(append\): hotalloc.Transitive → hotalloc.grow"
+		out = relay(out)  // want "hotalloc: call inside a loop of hotpath function hotalloc.Transitive allocates \(append\): hotalloc.Transitive → hotalloc.relay → hotalloc.grow"
+		out = relay2(out) // want "hotalloc: call inside a loop of hotpath function hotalloc.Transitive allocates \(append\): hotalloc.Transitive → hotalloc.relay2 → hotalloc.relay → hotalloc.grow"
+		out = relay3(out) // past hotallocDepth: not flagged
+	}
+	return out
+}
+
+// sizer is the dispatch interface for the interface-edge case.
+type sizer interface {
+	size(n int) []int
+}
+
+// slabSizer allocates in its implementation.
+type slabSizer struct{}
+
+func (slabSizer) size(n int) []int { return make([]int, n) }
+
+// Dispatch calls through the interface from its loop: the fan-out
+// reaches the allocating implementation.
+//
+//minelint:hotpath
+func Dispatch(s sizer, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += len(s.size(x)) // want "hotalloc: call inside a loop of hotpath function hotalloc.Dispatch allocates \(make\): hotalloc.Dispatch → \(hotalloc.slabSizer\).size"
+	}
+	return total
+}
+
+// FuncValue calls through a function value: the graph's funcvalue
+// edges are reference edges, not call sites, so the loop call is not
+// followed (the allocation budget benchmarks are the backstop).
+//
+//minelint:hotpath
+func FuncValue(f func(int) []int, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += len(f(x))
+	}
+	return total
+}
+
+// Hoisted allocates only outside its loop: no finding.
+//
+//minelint:hotpath
+func Hoisted(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = out[:len(out):cap(out)]
+		if len(out) < cap(out) {
+			out = out[:len(out)+1]
+			out[len(out)-1] = x
+		}
+	}
+	return out
+}
+
+// Allowed allocates in its loop under a recorded rationale.
+//
+//minelint:hotpath
+func Allowed(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) //lint:allow hotalloc fixture: explicitly waived
+	}
+	return out
+}

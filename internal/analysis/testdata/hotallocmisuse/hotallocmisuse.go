@@ -1,0 +1,36 @@
+// Package hotallocmisuse seeds every misuse of the //minelint:
+// directive family: unknown verbs, annotations not attached to a
+// function, annotations on bodyless declarations, and duplicates.
+// Findings land on the directive comment's own line, so the companion
+// test asserts them positionally instead of with want comments.
+package hotallocmisuse
+
+//minelint:hotpth
+
+// floating is below the misplaced directive; the typo'd verb above is
+// an unknown-directive finding and, being detached, would also not
+// anchor to any function.
+
+//minelint:hotpath
+var notAFunc int
+
+// external has no body (an assembly-style declaration), which hotpath
+// cannot police statically.
+//
+//minelint:hotpath
+func external(n int) int
+
+// doubled carries the annotation twice.
+//
+//minelint:hotpath
+//minelint:hotpath
+func doubled(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+var _ = notAFunc
+var _ = doubled

@@ -1,0 +1,43 @@
+// Package nopanictrans exercises the transitive half of the nopanic
+// check: exported functions that reach an undocumented panic through
+// the call graph are flagged with the chain, while documented
+// must-style helpers form a boundary chains do not cross.
+package nopanictrans
+
+// leaf blows up on bad input without declaring it.
+func leaf(v int) int {
+	if v < 0 {
+		panic("negative") // want "nopanic: panic in library code"
+	}
+	return v
+}
+
+// Unchecked reaches the undocumented blow-up one hop down.
+func Unchecked(v int) int {
+	return leaf(v) // want "nopanic: nopanictrans.Unchecked transitively reaches an undocumented panic: nopanictrans.Unchecked → nopanictrans.leaf"
+}
+
+// mid relays to the leaf.
+func mid(v int) int { return leaf(v) }
+
+// Deep reaches the same blow-up two hops down; the chain names every
+// intermediate function.
+func Deep(v int) int {
+	return mid(v) // want "nopanic: nopanictrans.Deep transitively reaches an undocumented panic: nopanictrans.Deep → nopanictrans.mid → nopanictrans.leaf"
+}
+
+// mustPositive returns v, panicking if v is negative: a documented
+// invariant-violation helper. Its panic is not a sink and chains stop
+// at it.
+func mustPositive(v int) int {
+	if v < 0 {
+		panic("negative")
+	}
+	return v
+}
+
+// Checked reaches a blow-up only through the documented must-helper:
+// the contract is declared, so there is no finding.
+func Checked(v int) int {
+	return mustPositive(v)
+}

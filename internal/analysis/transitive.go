@@ -1,0 +1,198 @@
+package analysis
+
+// transitive.go — the whole-module halves of the determinism and
+// nopanic checks. Both share one shape: scan every module function for
+// direct "sink" sites (wall-clock reads, global-rand draws, map-ordered
+// output; undocumented panics), drop sinks neutralized by a
+// //lint:allow directive at their line, reverse-BFS the call graph
+// from the sink functions, and flag every exported function in an
+// analyzed package that can reach a sink through at least one call
+// edge. The finding is reported at the root's outgoing call site (so a
+// line directive there can suppress it) and carries the full shortest
+// chain down to the sink.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sinkSite is one direct violation inside a module function.
+type sinkSite struct {
+	pos   token.Pos
+	label string // short name for messages, e.g. "time.Now (wall clock)"
+}
+
+// runDeterminismModule flags exported functions from which a
+// determinism violation is transitively reachable. Packages on the
+// check's skip list (obs, parallel, sim) are a trust boundary: they
+// are neither scanned for sinks nor traversed through.
+func runDeterminismModule(mp *ModulePass) error {
+	sinks := collectSinks(mp, func(pkg *Package, fd *ast.FuncDecl) *sinkSite {
+		var found *sinkSite
+		ast.Inspect(fd, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if determinismCallViolation(pkg.Info, node) != "" && !mp.Allowed(node.Pos()) {
+					fn := calleeOf(pkg.Info, node)
+					found = &sinkSite{pos: node.Pos(), label: fn.Pkg().Name() + "." + fn.Name()}
+					return false
+				}
+			case *ast.RangeStmt:
+				if emit := mapRangeEmit(pkg.Info, node); emit != nil && !mp.Allowed(emit.Pos()) {
+					found = &sinkSite{pos: emit.Pos(), label: "map-ordered output"}
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	})
+	reportTransitive(mp, sinks, nil,
+		"%s transitively reaches %s: %s; solver output must be reproducible — "+
+			"fix the leaf or record a //lint:allow determinism rationale at the sink")
+	return nil
+}
+
+// runNoPanicModule flags exported functions from which an undocumented
+// panic is transitively reachable. Functions whose doc comment
+// documents panicking behavior (must-style helpers) are a boundary:
+// their panics are not sinks and chains do not traverse through them —
+// the contract is declared, so callers are presumed to know.
+func runNoPanicModule(mp *ModulePass) error {
+	sinks := collectSinks(mp, func(pkg *Package, fd *ast.FuncDecl) *sinkSite {
+		if docMentionsPanic(fd.Doc) {
+			return nil
+		}
+		var found *sinkSite
+		ast.Inspect(fd, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin && !mp.Allowed(call.Pos()) {
+					found = &sinkSite{pos: call.Pos(), label: "an undocumented panic"}
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	})
+	documented := func(fn *types.Func) bool {
+		fd := mp.Graph.Decl(fn)
+		return fd != nil && docMentionsPanic(fd.Doc)
+	}
+	reportTransitive(mp, sinks, documented,
+		"%s transitively reaches %s: %s; return an error from the leaf or document "+
+			"the panic as an invariant violation along the chain")
+	return nil
+}
+
+// collectSinks scans every non-skipped module function for its first
+// direct sink site.
+func collectSinks(mp *ModulePass, scan func(*Package, *ast.FuncDecl) *sinkSite) map[*types.Func]*sinkSite {
+	sinks := make(map[*types.Func]*sinkSite)
+	for _, fn := range mp.Graph.Functions() {
+		pkg := mp.Graph.PkgOf(fn)
+		if mp.Skipped(pkg) {
+			continue
+		}
+		if s := scan(pkg, mp.Graph.Decl(fn)); s != nil {
+			sinks[fn] = s
+		}
+	}
+	return sinks
+}
+
+// reportTransitive runs the reverse reachability pass and reports one
+// finding per exported root (in an analyzed, non-skipped package) that
+// can reach a sink through at least one call edge. extraExclude, when
+// non-nil, removes additional functions from the traversal (e.g.
+// documented-panic helpers).
+func reportTransitive(mp *ModulePass, sinks map[*types.Func]*sinkSite,
+	extraExclude func(*types.Func) bool, format string) {
+
+	if len(sinks) == 0 {
+		return
+	}
+	sinkFns := make([]*types.Func, 0, len(sinks))
+	for fn := range sinks {
+		sinkFns = append(sinkFns, fn)
+	}
+	exclude := func(fn *types.Func) bool {
+		if mp.Skipped(mp.Graph.PkgOf(fn)) {
+			return true
+		}
+		return extraExclude != nil && extraExclude(fn)
+	}
+	dist, via := mp.Graph.ReverseReach(sinkFns, exclude)
+
+	analyzed := make(map[*Package]bool, len(mp.Analyzed))
+	for _, pkg := range mp.Analyzed {
+		analyzed[pkg] = true
+	}
+	for _, fn := range mp.Graph.Functions() {
+		if !analyzed[mp.Graph.PkgOf(fn)] || dist[fn] < 1 || !exportedRoot(fn) {
+			continue
+		}
+		chain := buildChain(mp, fn, via, dist, sinks)
+		sink := sinks[chainSinkFunc(fn, via, dist)]
+		mp.Reportf(via[fn].Pos, chain, format, FuncDisplayName(fn), sink.label, chainString(chain))
+	}
+}
+
+// buildChain follows the shortest-path edges from root down to its
+// sink, producing one frame per function plus a final frame at the
+// sink site itself.
+func buildChain(mp *ModulePass, root *types.Func, via map[*types.Func]CallEdge,
+	dist map[*types.Func]int, sinks map[*types.Func]*sinkSite) []Frame {
+
+	frames := make([]Frame, 0, dist[root]+1)
+	cur := root
+	for dist[cur] > 0 {
+		e := via[cur]
+		frames = append(frames, mp.FrameAt(cur, e.Pos, e.Kind))
+		cur = e.Callee
+	}
+	frames = append(frames, mp.FrameAt(cur, sinks[cur].pos, ""))
+	return frames
+}
+
+// chainSinkFunc returns the sink function a root's shortest path ends
+// at.
+func chainSinkFunc(root *types.Func, via map[*types.Func]CallEdge, dist map[*types.Func]int) *types.Func {
+	cur := root
+	for dist[cur] > 0 {
+		cur = via[cur].Callee
+	}
+	return cur
+}
+
+// exportedRoot reports whether fn is part of the module's exported
+// surface: an exported function, or an exported method on an exported
+// named type.
+func exportedRoot(fn *types.Func) bool {
+	if !fn.Exported() {
+		return false
+	}
+	recv := recvOf(fn)
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Exported()
+	}
+	return true
+}

@@ -308,10 +308,10 @@ func DeviationsClassed(cfg Config, p Prices, cp miner.ClassedPopulation, reps []
 // population: the equilibrium prices, the compressed follower
 // equilibrium underneath them, and the provider profits.
 type ClassedStackelbergResult struct {
-	Prices   Prices
-	Follower ClassedEquilibrium
-	ProfitE  float64 // V_e = (P_e − C_e)·E
-	ProfitC  float64 // V_c = (P_c − C_c)·C
+	Prices     Prices
+	Follower   ClassedEquilibrium
+	ProfitE    float64 // V_e = (P_e − C_e)·E
+	ProfitC    float64 // V_c = (P_c − C_c)·C
 	Iterations int
 	Converged  bool
 }

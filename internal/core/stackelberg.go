@@ -134,7 +134,7 @@ type demand struct {
 // which keeps the memo's contents — and therefore every result read from
 // it — independent of the arrival order of concurrent probes.
 type demandMemo struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //lint:allow concurrency single-flight memo guarding pure price-point probes; results are order-independent by construction (see the type doc)
 	entries map[Prices]*demandEntry
 }
 
@@ -155,6 +155,8 @@ func newDemandMemo() *demandMemo {
 // get returns the memoized demand at p, computing it via compute on
 // first probe. The boolean reports a memo hit (including joins on an
 // in-flight computation).
+//
+//minelint:hotpath
 func (m *demandMemo) get(p Prices, compute func() (demand, miner.Profile)) (demand, bool) {
 	m.mu.Lock()
 	if e, ok := m.entries[p]; ok {
@@ -162,7 +164,7 @@ func (m *demandMemo) get(p Prices, compute func() (demand, miner.Profile)) (dema
 		<-e.done
 		return e.d, true
 	}
-	e := &demandEntry{done: make(chan struct{})}
+	e := &demandEntry{done: make(chan struct{})} //lint:allow concurrency single-flight completion signal for the memo above; closed exactly once, never used for fan-out
 	m.entries[p] = e
 	m.mu.Unlock()
 	e.d, e.prof = compute()

@@ -49,7 +49,7 @@ func All() []Runner {
 // called per experiment per seed, and rebuilding the runner slice for
 // every lookup was measurable in replication loops.
 var (
-	byIDOnce sync.Once
+	byIDOnce sync.Once //lint:allow concurrency build-once lookup index over the immutable registry; no ordering or fan-out involved
 	byID     map[string]Runner
 )
 

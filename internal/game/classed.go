@@ -46,6 +46,8 @@ func sumPointsWeighted(reps []numeric.Point2, counts []int) numeric.Point2 {
 // within a class, and cross-class Gauss–Seidel is what keeps the outer
 // iteration contractive. A counts/start length mismatch returns a zero
 // NEResult.
+//
+//minelint:hotpath
 func SolveNEClassed(start []numeric.Point2, counts []int, br AggregateBestResponse, opts NEOptions) NEResult {
 	if len(start) != len(counts) {
 		return NEResult{}
@@ -93,11 +95,10 @@ func SolveNEClassed(start []numeric.Point2, counts []int, br AggregateBestRespon
 		if opts.OnSweep != nil {
 			opts.OnSweep(res.Iterations, res.MaxDelta)
 		}
-		tel.sweep(res.Iterations, res.MaxDelta)
+		tel.sweep(res.Iterations, res.MaxDelta) //lint:allow hotalloc sweep telemetry appends to the delta history; disabled-mode cost is zero and pinned by the classed solve benchmarks
 		if res.MaxDelta < opts.Tol {
 			res.Converged = true
-			tel.finish(res)
-			return res
+			break
 		}
 	}
 	tel.finish(res)
@@ -125,17 +126,19 @@ func SolveNEClassed(start []numeric.Point2, counts []int, br AggregateBestRespon
 // step overshoots. Once the outer iteration is near equilibrium the
 // first best response is already a KKT point and the loop exits after
 // one call.
+//
+//minelint:hotpath
 func classSubEquilibrium(k, m int, r, outside numeric.Point2, br AggregateBestResponse, tol float64) (numeric.Point2, float64) {
 	if m <= 1 {
 		return br(k, r, outside), 0
 	}
 	const maxInner = 200
 	peers := float64(m - 1)
-	g := func(x numeric.Point2) numeric.Point2 {
-		return br(k, x, outside.Add(x.Scale(peers)))
-	}
+	// g(x) = br(k, x, outside + peers·x), written out at both call
+	// sites: a closure here would allocate on every class visit of
+	// every sweep, and this is a //minelint:hotpath kernel.
 	cur := r
-	gCur := g(cur)
+	gCur := br(k, cur, outside.Add(cur.Scale(peers)))
 	res := gCur.Sub(cur)
 	resN := res.Norm()
 	if resN <= tol {
@@ -156,7 +159,7 @@ func classSubEquilibrium(k, m int, r, outside numeric.Point2, br AggregateBestRe
 			step = radius
 		}
 		next := cur.Add(res.Scale(step / resN))
-		gNext := g(next)
+		gNext := br(k, next, outside.Add(next.Scale(peers)))
 		nres := gNext.Sub(next)
 		nresN := nres.Norm()
 		if nresN <= tol {

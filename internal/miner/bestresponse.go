@@ -30,6 +30,8 @@ func kktSatisfied(k numeric.RequestPolytope, x, grad numeric.Point2, tol float64
 // analytically awkward regimes (P_e ≤ P_c, no rival edge demand) fall
 // back to projected-gradient ascent. The objective is concave in the
 // miner's own request, so the numeric path is globally correct.
+//
+//minelint:hotpath
 func BestResponseConnected(p Params, budget float64, env Env, hints ...numeric.Point2) numeric.Point2 {
 	k := numeric.RequestPolytope{
 		PriceE:  p.PriceE,
@@ -186,6 +188,10 @@ func BestResponseStandalonePenalized(p Params, mu, budget float64, env Env, hint
 	return bestResponsePenalized(p, mu, budget, math.Inf(1), env, hints...)
 }
 
+// bestResponsePenalized is the shared numeric core of the standalone
+// best responses: μ = 0 recovers the plain capped problem.
+//
+//minelint:hotpath
 func bestResponsePenalized(p Params, mu, budget, edgeCap float64, env Env, hints ...numeric.Point2) numeric.Point2 {
 	if edgeCap < 0 {
 		edgeCap = 0

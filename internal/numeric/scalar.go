@@ -57,7 +57,7 @@ func MaximizeGrid(f func(float64) float64, lo, hi float64, n int, tol float64) (
 	// A nil pool takes the sequential path, which never produces an
 	// error (a panic in f propagates to the caller unchanged), so the
 	// discarded error is structurally nil here.
-	x, fx, _ = MaximizeGridPool(f, lo, hi, n, tol, nil)
+	x, fx, _ = MaximizeGridPool(f, lo, hi, n, tol, nil) //lint:allow errflow the sequential (nil-pool) path never produces an error, per the comment above
 	return x, fx
 }
 

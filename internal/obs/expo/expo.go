@@ -83,7 +83,7 @@ func MetricsHandler(src SnapshotFunc, help map[string]string) http.Handler {
 		w.Header().Set("Content-Type", ContentType)
 		// The snapshot is consistent by construction; rendering to the
 		// response writer directly keeps the handler allocation-light.
-		_ = WriteOpenMetrics(w, src(), help)
+		_ = WriteOpenMetrics(w, src(), help) //lint:allow errflow a write failure here is a client disconnect mid-response; headers are already sent, so there is no channel left to report it on
 	})
 }
 
@@ -93,7 +93,7 @@ func MetricsHandler(src SnapshotFunc, help map[string]string) http.Handler {
 func DebugHandler(src SnapshotFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = src().WriteJSON(w)
+		_ = src().WriteJSON(w) //lint:allow errflow a write failure here is a client disconnect mid-response; headers are already sent, so there is no channel left to report it on
 	})
 }
 

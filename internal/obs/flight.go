@@ -13,6 +13,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -191,13 +192,11 @@ func writePostmortem(path string, recs []TraceRecord) error {
 	enc := json.NewEncoder(buf)
 	for _, rec := range recs {
 		if err := enc.Encode(rec); err != nil {
-			f.Close()
-			return err
+			return errors.Join(err, f.Close())
 		}
 	}
 	if err := buf.Flush(); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

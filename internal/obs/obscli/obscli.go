@@ -9,6 +9,7 @@
 package obscli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -125,9 +126,8 @@ func (o *Options) Start() (*Session, error) {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
 			s.abort()
-			return nil, fmt.Errorf("cpuprofile: %w", err)
+			return nil, errors.Join(fmt.Errorf("cpuprofile: %w", err), f.Close())
 		}
 		s.cpuFile = f
 	}
@@ -175,11 +175,11 @@ func (s *Session) abort() {
 		// The profile is running by the time a later step (pprof listen)
 		// can fail; leaving it running would poison the next Start.
 		pprof.StopCPUProfile()
-		s.cpuFile.Close()
+		s.cpuFile.Close() //lint:allow errflow best-effort teardown; the Start error that triggered abort is already propagating
 		s.cpuFile = nil
 	}
 	if s.metricsLn != nil {
-		s.metricsLn.Close()
+		s.metricsLn.Close() //lint:allow errflow best-effort teardown; the Start error that triggered abort is already propagating
 		<-s.metricsErrCh
 		s.metricsLn = nil
 	}
@@ -187,7 +187,7 @@ func (s *Session) abort() {
 		obs.SetDefault(s.prev)
 	}
 	if s.traceFile != nil {
-		s.traceFile.Close()
+		s.traceFile.Close() //lint:allow errflow best-effort teardown; the Start error that triggered abort is already propagating
 	}
 }
 
@@ -208,17 +208,21 @@ func (s *Session) Close(w io.Writer, asJSON bool) error {
 		}
 		s.cpuFile = nil
 	}
+	var firstErr error
 	if s.pprofLn != nil {
-		s.pprofLn.Close()
+		if err := s.pprofLn.Close(); err != nil {
+			firstErr = fmt.Errorf("pprof listener close: %w", err)
+		}
 		<-s.pprofErrCh // http.Serve returns once the listener closes
 		s.pprofLn = nil
 	}
 	if s.metricsLn != nil {
-		s.metricsLn.Close()
+		if err := s.metricsLn.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("metrics listener close: %w", err)
+		}
 		<-s.metricsErrCh
 		s.metricsLn = nil
 	}
-	var firstErr error
 	if s.observer != nil {
 		if err := s.observer.Flush(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("trace flush: %w", err)

@@ -126,10 +126,14 @@ func (o *Observer) emit(rec TraceRecord) {
 		return
 	}
 	tw.mu.Lock()
-	defer tw.mu.Unlock()
-	// Encoding errors (e.g. a closed file) are deliberately swallowed:
-	// observability must never fail the computation it watches.
-	_ = tw.enc.Encode(rec)
+	err := tw.enc.Encode(rec)
+	tw.mu.Unlock()
+	if err != nil {
+		// A failed write (e.g. a closed file) must never fail the
+		// computation being watched, but the dropped record should not
+		// vanish silently either: surface it in the metrics snapshot.
+		o.Count("obs.trace_write_errors_total", 1)
+	}
 }
 
 // Span is a timed region. Obtain one with StartSpan (or Child for a

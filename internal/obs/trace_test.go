@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails every write after the first failAfter bytes.
+type failWriter struct {
+	written int
+	limit   int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestTraceWriteErrorCountedNotFatal pins the error-flow contract of
+// the trace sink: a failing underlying writer must never fail or panic
+// the instrumented computation, and the dropped records must surface
+// in the metrics snapshot as obs.trace_write_errors_total instead of
+// vanishing silently. (Regression: emit used to discard the encoder's
+// error outright.)
+func TestTraceWriteErrorCountedNotFatal(t *testing.T) {
+	o := New()
+	o.SetTrace(&failWriter{}) // limit 0: every flush fails
+
+	// A record larger than the bufio buffer forces a flush inside
+	// Encode, so the write error is observed at emit time.
+	big := strings.Repeat("x", 64<<10)
+	o.Emit("solver.event", Fields{"payload": big})
+	o.Emit("solver.event", Fields{"payload": big})
+
+	snap := o.Snapshot()
+	if got := snap.Counters["obs.trace_write_errors_total"]; got != 2 {
+		t.Errorf("obs.trace_write_errors_total = %d, want 2", got)
+	}
+	// The computation-side surface stays usable after the failures.
+	o.Count("solver.sweeps_total", 1)
+	if got := o.Snapshot().Counters["solver.sweeps_total"]; got != 1 {
+		t.Errorf("counter after trace failure = %d, want 1", got)
+	}
+}
+
+// TestTraceHealthyWriterCountsNothing is the control: successful
+// writes must not touch the error counter.
+func TestTraceHealthyWriterCountsNothing(t *testing.T) {
+	o := New()
+	var sb strings.Builder
+	o.SetTrace(&sb)
+	o.Emit("solver.event", Fields{"k": 1})
+	if err := o.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := o.Snapshot().Counters["obs.trace_write_errors_total"]; got != 0 {
+		t.Errorf("obs.trace_write_errors_total = %d, want 0", got)
+	}
+	if !strings.Contains(sb.String(), `"solver.event"`) {
+		t.Errorf("trace output missing event: %q", sb.String())
+	}
+}

@@ -190,6 +190,6 @@ func (e *Engine) Reset() {
 // re-run or reordered without perturbing one another's randomness.
 func NewRNG(seed int64, label string) *rand.Rand {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(label))
+	_, _ = h.Write([]byte(label)) //lint:allow errflow hash.Hash.Write is documented to never return an error
 	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
 }

@@ -1,8 +1,10 @@
 package minegame_test
 
 // Tier-1 static-analysis gate: the whole module must come back clean
-// from the minelint suite (internal/analysis) — determinism, error
-// discipline, float-comparison safety, doc coverage, and directive
+// from the minelint suite (internal/analysis) — determinism and panic
+// reachability (transitive over the module call graph), error flow,
+// concurrency confinement, hot-path allocation discipline,
+// float-comparison safety, doc coverage, metric naming, and directive
 // hygiene. This replaces the old lint_test.go doc walker, which is now
 // the suite's exporteddoc check (sharing the driver and the
 // //lint:allow directive syntax with the other checks).
@@ -23,5 +25,22 @@ func TestMinelint(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("minelint: %d finding(s); fix them or add a scoped //lint:allow <check> <reason> (see DESIGN.md §8)", len(diags))
+	}
+}
+
+// BenchmarkMinelintModule times one full-module run of the suite —
+// load, type-check, call-graph construction, and all nine checks — so
+// CI can log the analyzer's wall-time and catch pathological
+// regressions in the interprocedural machinery. Run with -benchtime 1x
+// for a single timed sweep.
+func BenchmarkMinelintModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		diags, err := analysis.Run(analysis.RunConfig{Dir: ".", Patterns: []string{"./..."}})
+		if err != nil {
+			b.Fatalf("minelint run failed: %v", err)
+		}
+		if len(diags) > 0 {
+			b.Fatalf("minelint: %d finding(s) during benchmark", len(diags))
+		}
 	}
 }
