@@ -10,7 +10,8 @@
 // Usage:
 //
 //	benchjson [-bench regex] [-benchtime d] [-count n] [-o file]
-//	          [-compare baseline.json] [-max-ratio r] [packages ...]
+//	          [-compare baseline.json] [-max-ratio r]
+//	          [-load report.json[,report.json...]] [packages ...]
 //
 // Packages default to ".". Without -o the snapshot is written to the
 // first free BENCH_<n>.json in the current directory (BENCH_1.json,
@@ -19,10 +20,18 @@
 // 2 the run itself failed (go test error, unparsable output, no
 // overlapping benchmarks to compare).
 //
+// With -load the snapshot is built from minegameload LoadReport files
+// instead of a `go test -bench` run: each report becomes one benchmark
+// entry (mean request latency as ns/op, plus p50_ns/p99_ns), so served
+// latency percentiles ride the same -compare gate — a p99 regression
+// past -max-ratio fails exactly like an ns/op regression.
+//
 // Examples:
 //
 //	benchjson -bench 'BenchmarkSolveNE' ./internal/core
 //	benchjson -compare BENCH_1.json -benchtime 1x -bench 'SolveNE|Fig5Revenue' . ./internal/core
+//	benchjson -load warm.json,cold.json -o BENCH_3.json
+//	benchjson -load warm.json -compare BENCH_3.json
 package main
 
 import (
@@ -36,6 +45,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"minegame/internal/serve"
 )
 
 func main() {
@@ -60,6 +71,11 @@ type Benchmark struct {
 	BytesPerOp float64 `json:"bytes_per_op"`
 	// AllocsPerOp is heap allocations per operation (-benchmem).
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// P50Ns and P99Ns are per-request latency percentiles, present only
+	// on entries ingested from minegameload reports (-load). A p99
+	// growth past -max-ratio is a regression like any other.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // Snapshot is the BENCH_<n>.json document: the invocation that
@@ -105,7 +121,8 @@ func run(args []string, out, errw io.Writer, runner testRunner) int {
 	count := fs.Int("count", 1, "go test -count; with >1 each benchmark keeps its fastest run")
 	outPath := fs.String("o", "", "snapshot output path; empty auto-numbers BENCH_<n>.json (and skips writing in -compare mode)")
 	comparePath := fs.String("compare", "", "baseline snapshot to compare against; any shared benchmark slower by more than -max-ratio fails the run")
-	maxRatio := fs.Float64("max-ratio", 2, "maximum allowed new/old ns/op ratio in -compare mode")
+	maxRatio := fs.Float64("max-ratio", 2, "maximum allowed new/old ns/op (and p99_ns) ratio in -compare mode")
+	loadPaths := fs.String("load", "", "comma-separated minegameload report files to snapshot instead of running go test")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -114,29 +131,38 @@ func run(args []string, out, errw io.Writer, runner testRunner) int {
 		pkgs = []string{"."}
 	}
 
-	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
-	if *benchtime != "" {
-		goArgs = append(goArgs, "-benchtime", *benchtime)
+	var snap Snapshot
+	if *loadPaths != "" {
+		var err error
+		snap, err = loadSnapshot(strings.Split(*loadPaths, ","))
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 2
+		}
+	} else {
+		goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+		if *benchtime != "" {
+			goArgs = append(goArgs, "-benchtime", *benchtime)
+		}
+		if *count > 1 {
+			goArgs = append(goArgs, "-count", strconv.Itoa(*count))
+		}
+		goArgs = append(goArgs, pkgs...)
+		raw, err := runner(goArgs, errw)
+		if err != nil {
+			fmt.Fprintf(errw, "benchjson: go %s: %v\n", strings.Join(goArgs, " "), err)
+			return 2
+		}
+		snap, err = parseBenchOutput(raw)
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 2
+		}
+		snap.Bench = *bench
+		snap.Benchtime = *benchtime
+		snap.Count = *count
+		snap.Packages = pkgs
 	}
-	if *count > 1 {
-		goArgs = append(goArgs, "-count", strconv.Itoa(*count))
-	}
-	goArgs = append(goArgs, pkgs...)
-	raw, err := runner(goArgs, errw)
-	if err != nil {
-		fmt.Fprintf(errw, "benchjson: go %s: %v\n", strings.Join(goArgs, " "), err)
-		return 2
-	}
-
-	snap, err := parseBenchOutput(raw)
-	if err != nil {
-		fmt.Fprintln(errw, "benchjson:", err)
-		return 2
-	}
-	snap.Bench = *bench
-	snap.Benchtime = *benchtime
-	snap.Count = *count
-	snap.Packages = pkgs
 
 	if *comparePath != "" {
 		base, err := readSnapshot(*comparePath)
@@ -168,6 +194,7 @@ func run(args []string, out, errw io.Writer, runner testRunner) int {
 
 	path := *outPath
 	if path == "" {
+		var err error
 		path, err = nextSnapshotPath(".")
 		if err != nil {
 			fmt.Fprintln(errw, "benchjson:", err)
@@ -272,6 +299,61 @@ func parseBenchLine(line string) (Benchmark, bool, error) {
 	return b, true, nil
 }
 
+// loadSnapshot builds a snapshot from minegameload LoadReport files
+// (each holding one report object or an array of them). Every report
+// becomes one benchmark entry named Load/<endpoint>[/<label>] under
+// the serving package, with the mean request latency as ns/op and the
+// latency percentiles in p50_ns/p99_ns.
+func loadSnapshot(paths []string) (Snapshot, error) {
+	snap := Snapshot{Bench: "load", Count: 1, Packages: []string{"minegame/internal/serve"}}
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		var reps []serve.LoadReport
+		if err := json.Unmarshal(raw, &reps); err != nil {
+			var one serve.LoadReport
+			if err := json.Unmarshal(raw, &one); err != nil {
+				return Snapshot{}, fmt.Errorf("%s: not a minegameload report: %v", path, err)
+			}
+			reps = []serve.LoadReport{one}
+		}
+		for _, r := range reps {
+			if r.Endpoint == "" || r.Requests <= 0 {
+				return Snapshot{}, fmt.Errorf("%s: report missing endpoint or requests", path)
+			}
+			name := "Load/" + r.Endpoint
+			if r.Label != "" {
+				name += "/" + r.Label
+			}
+			snap.Benchmarks = append(snap.Benchmarks, Benchmark{
+				Pkg:     "minegame/internal/serve",
+				Name:    name,
+				Runs:    r.Requests,
+				NsPerOp: float64(r.MeanNs),
+				P50Ns:   float64(r.P50Ns),
+				P99Ns:   float64(r.P99Ns),
+			})
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		return Snapshot{}, fmt.Errorf("no load reports in %s", strings.Join(paths, ","))
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		a, b := snap.Benchmarks[i], snap.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return snap, nil
+}
+
 // compareSnapshots reports, as printable lines, every benchmark shared
 // by base and cur whose ns/op grew by more than maxRatio, plus how
 // many benchmarks overlapped. Zero overlap is an error: a gate that
@@ -291,6 +373,13 @@ func compareSnapshots(base, cur Snapshot, maxRatio float64) (regressions []strin
 			regressions = append(regressions, fmt.Sprintf(
 				"REGRESSION %s %s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx)",
 				b.Pkg, b.Name, b.NsPerOp, old.NsPerOp, ratio, maxRatio))
+		}
+		if old.P99Ns > 0 && b.P99Ns > 0 {
+			if ratio := b.P99Ns / old.P99Ns; ratio > maxRatio {
+				regressions = append(regressions, fmt.Sprintf(
+					"REGRESSION %s %s: p99 %.0f ns vs baseline %.0f ns (%.2fx > %.2fx)",
+					b.Pkg, b.Name, b.P99Ns, old.P99Ns, ratio, maxRatio))
+			}
 		}
 	}
 	if compared == 0 {

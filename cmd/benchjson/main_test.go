@@ -163,6 +163,117 @@ func TestRunWritesSnapshotAndComparesClean(t *testing.T) {
 	}
 }
 
+const sampleLoadReport = `{
+  "endpoint": "solve",
+  "label": "warm",
+  "concurrency": 4,
+  "batch": 8,
+  "requests": 1200,
+  "items": 9600,
+  "errors": 0,
+  "duration_ns": 5000000000,
+  "items_per_sec": 1920,
+  "mean_ns": 1500000,
+  "p50_ns": 1200000,
+  "p99_ns": 4000000
+}`
+
+func TestLoadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "warm.json")
+	if err := os.WriteFile(single, []byte(sampleLoadReport), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	many := filepath.Join(dir, "many.json")
+	if err := os.WriteFile(many, []byte("["+sampleLoadReport+","+
+		strings.Replace(sampleLoadReport, `"warm"`, `"cold"`, 1)+"]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := loadSnapshot([]string{single, many})
+	if err != nil {
+		t.Fatalf("loadSnapshot: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d entries, want 3", len(snap.Benchmarks))
+	}
+	// Sorted by name: Load/solve/cold before the two Load/solve/warm.
+	b := snap.Benchmarks[0]
+	if b.Name != "Load/solve/cold" || b.Pkg != "minegame/internal/serve" {
+		t.Errorf("first entry = %s %s", b.Pkg, b.Name)
+	}
+	w := snap.Benchmarks[1]
+	if w.Name != "Load/solve/warm" || w.Runs != 1200 {
+		t.Errorf("warm entry = %+v", w)
+	}
+	if math.Abs(w.NsPerOp-1.5e6) > 0.5 || math.Abs(w.P50Ns-1.2e6) > 0.5 || math.Abs(w.P99Ns-4e6) > 0.5 {
+		t.Errorf("latency fields = %+v", w)
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"requests": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot([]string{bad}); err == nil {
+		t.Error("want error for report without endpoint/requests")
+	}
+}
+
+func TestCompareSnapshotsGatesP99(t *testing.T) {
+	base := Snapshot{Benchmarks: []Benchmark{
+		{Pkg: "minegame/internal/serve", Name: "Load/solve/warm", NsPerOp: 1e6, P99Ns: 2e6},
+	}}
+	cur := Snapshot{Benchmarks: []Benchmark{
+		// Mean within the gate, p99 blown: still a regression.
+		{Pkg: "minegame/internal/serve", Name: "Load/solve/warm", NsPerOp: 1.5e6, P99Ns: 5e6},
+	}}
+	regressions, compared, err := compareSnapshots(base, cur, 2)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if compared != 1 {
+		t.Errorf("compared %d, want 1", compared)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "p99") {
+		t.Errorf("regressions = %v, want exactly one p99 regression", regressions)
+	}
+}
+
+func TestRunLoadModeWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	rep := filepath.Join(dir, "warm.json")
+	if err := os.WriteFile(rep, []byte(sampleLoadReport), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_3.json")
+	fake := &fakeRunner{out: sampleOutput}
+	var stdout, errw strings.Builder
+	if code := run([]string{"-load", rep, "-o", out}, &stdout, &errw, fake.run); code != 0 {
+		t.Fatalf("load-mode run exited %d: %s%s", code, stdout.String(), errw.String())
+	}
+	if fake.args != nil {
+		t.Errorf("load mode invoked go test with %v; want no invocation", fake.args)
+	}
+	snap, err := readSnapshot(out)
+	if err != nil {
+		t.Fatalf("read snapshot back: %v", err)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].P99Ns != 4e6 {
+		t.Errorf("round-tripped load snapshot = %+v", snap)
+	}
+
+	// Same report vs itself rides the -compare gate cleanly.
+	stdout.Reset()
+	if code := run([]string{"-load", rep, "-compare", out}, &stdout, &errw, fake.run); code != 0 {
+		t.Fatalf("load compare exited %d: %s%s", code, stdout.String(), errw.String())
+	}
+	if !strings.Contains(stdout.String(), "0 regression(s)") {
+		t.Errorf("compare output = %q", stdout.String())
+	}
+}
+
 func TestRunCompareFailsOnRegression(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_1.json")

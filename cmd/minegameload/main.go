@@ -1,0 +1,124 @@
+// Command minegameload is the closed-loop load generator for
+// minegamed: -c client workers each keep one batched request in
+// flight against a live daemon, cycling through -distinct market
+// variants, and the run's throughput plus per-request latency
+// percentiles are emitted as a JSON LoadReport. benchjson ingests the
+// report (-load) so serving latency rides the BENCH_<n>.json
+// regression gate.
+//
+// Usage:
+//
+//	minegameload -url http://127.0.0.1:8080 [-endpoint solve]
+//	             [-n miners] [-distinct m] [-batch k] [-c workers]
+//	             [-duration d] [-warmup d] [-pe p] [-pc p]
+//	             [-label tag] [-o report.json]
+//
+// The human-readable summary goes to stderr; the report JSON goes to
+// -o, or stdout when -o is empty.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"minegame/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses flags, executes the load run, and writes the report.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("minegameload", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	url := fs.String("url", "", "daemon base URL (required), e.g. http://127.0.0.1:8080")
+	endpoint := fs.String("endpoint", "solve", "endpoint to load: solve, price, or certify")
+	n := fs.Int("n", 5, "miners per market")
+	distinct := fs.Int("distinct", 16, "distinct market variants cycled through")
+	batch := fs.Int("batch", 8, "items per request")
+	workers := fs.Int("workers", 0, "per-request solver fan-out sent to the server (0 = server default)")
+	c := fs.Int("c", 4, "closed-loop client workers")
+	duration := fs.Duration("duration", 5*time.Second, "measured window")
+	warmup := fs.Duration("warmup", time.Second, "unrecorded warmup window")
+	pe := fs.Float64("pe", 8, "edge price for solve/certify items")
+	pc := fs.Float64("pc", 4, "cloud price for solve/certify items")
+	label := fs.String("label", "", "report label (e.g. warm, cold)")
+	outPath := fs.String("o", "", "report output path (empty = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *url == "" {
+		fmt.Fprintln(errw, "minegameload: -url is required")
+		return 2
+	}
+	if *endpoint != "solve" && *endpoint != "price" && *endpoint != "certify" {
+		fmt.Fprintf(errw, "minegameload: unknown endpoint %q\n", *endpoint)
+		return 2
+	}
+
+	items := make([]serve.Item, *distinct)
+	for i := range items {
+		it := serve.Item{Market: serve.Market{
+			N: *n, Reward: 100, Beta: 0.5, H: 0.9, CE: 1, CC: 0.5,
+			// Distinct budgets make distinct markets (distinct cache
+			// keys), so the run exercises more than one resident entry.
+			Budget: 10 + 0.25*float64(i),
+		}}
+		if *endpoint != "price" {
+			it.PriceE, it.PriceC = *pe, *pc
+		}
+		items[i] = it
+	}
+
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:     *url,
+		Endpoint:    *endpoint,
+		Items:       items,
+		Batch:       *batch,
+		Workers:     *workers,
+		Concurrency: *c,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Label:       *label,
+	})
+	if err != nil {
+		fmt.Fprintln(errw, "minegameload:", err)
+		return 1
+	}
+
+	fmt.Fprintf(errw,
+		"minegameload: %s%s %.0f solves/sec (%d items, %d reqs, %d errors) p50 %.3fms p99 %.3fms over %s\n",
+		rep.Endpoint, labelSuffix(rep.Label), rep.ItemsPerSec, rep.Items, rep.Requests, rep.Errors,
+		float64(rep.P50Ns)/1e6, float64(rep.P99Ns)/1e6, time.Duration(rep.DurationNs))
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(errw, "minegameload:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(errw, "minegameload:", err)
+		return 1
+	}
+	return 0
+}
+
+// labelSuffix formats an optional report label for the summary line.
+func labelSuffix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "/" + label
+}

@@ -4,7 +4,10 @@ package minegame_test
 // tests: extensions, substrates and the RL surface.
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"minegame"
@@ -170,5 +173,44 @@ func TestFacadeGossip(t *testing.T) {
 	}
 	if d <= 0 {
 		t.Errorf("delay %g", d)
+	}
+}
+
+func TestFacadeServingExports(t *testing.T) {
+	// A resident DemandCache shared across repeat solves of the same
+	// market turns the second solve into pure cache hits without
+	// changing a single field of the result.
+	cache := minegame.NewDemandCache(0, nil)
+	cfg := defaultBenchConfig()
+	opts := minegame.StackelbergOptions{Workers: 1, DemandCache: cache}
+	first, err := minegame.SolveStackelberg(cfg, opts)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	second, err := minegame.SolveStackelberg(cfg, opts)
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("warm-start repeat changed the result")
+	}
+	if stats := cache.Stats(); stats.Hits == 0 || stats.Entries == 0 {
+		t.Errorf("resident cache never hit: %+v", stats)
+	}
+
+	// A pre-canceled context surfaces the exported sentinel.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := minegame.SolveStackelberg(cfg, minegame.StackelbergOptions{Ctx: ctx}); !errors.Is(err, minegame.ErrSolveCanceled) {
+		t.Errorf("canceled solve error = %v, want ErrSolveCanceled", err)
+	}
+
+	// The daemon constructor wires up a ready server.
+	s, err := minegame.NewServer(minegame.ServeConfig{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if !s.Ready() || s.Handler() == nil {
+		t.Error("fresh server not ready")
 	}
 }

@@ -7,13 +7,14 @@ import (
 
 // approvedConcurrencyNote names the packages allowed to own
 // concurrency primitives, for diagnostic messages.
-const approvedConcurrencyNote = "internal/parallel, internal/obs, internal/population"
+const approvedConcurrencyNote = "internal/parallel, internal/obs, internal/population, internal/serve"
 
 // Concurrency returns the analyzer confining concurrency ownership to
 // the approved packages (the deterministic pool in internal/parallel,
-// the observability servers in internal/obs, and the streaming
-// population layer in internal/population — expressed as the check's
-// package skips). Everywhere else it flags:
+// the observability servers in internal/obs, the streaming
+// population layer in internal/population, and the serving daemon in
+// internal/serve — expressed as the check's package skips). Everywhere
+// else it flags:
 //
 //   - `go` statements — fan-out must ride internal/parallel so results
 //     stay byte-identical at any worker count;

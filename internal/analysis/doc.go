@@ -31,7 +31,8 @@
 //     bare statements, no err variable overwritten before it is read.
 //   - concurrency: go statements, raw channel construction, and sync
 //     primitive ownership confined to the approved concurrency
-//     packages (internal/parallel, internal/obs, internal/population).
+//     packages (internal/parallel, internal/obs, internal/population,
+//     internal/serve).
 //   - hotalloc: functions annotated //minelint:hotpath must not
 //     allocate (append, make, map literals, closures) inside loops,
 //     transitively through static and interface calls to depth 3.

@@ -238,8 +238,14 @@ func solveClassedValidated(cfg Config, cp miner.ClassedPopulation, p Prices, opt
 			return miner.BestResponseConnected(params, cp.Classes[k].Budget, envFromOthers(others), own)
 		}
 		res := game.SolveNEClassed(start, counts, br, opts)
+		if res.Canceled {
+			return ClassedEquilibrium{}, fmt.Errorf("connected classed miner subgame: %w", game.ErrCanceled)
+		}
 		if reps, ok := cfg.escapeZeroCollapseClassed(cp, p, res.Profile); ok {
 			res = game.SolveNEClassed(reps, counts, br, opts)
+			if res.Canceled {
+				return ClassedEquilibrium{}, fmt.Errorf("connected classed miner subgame: %w", game.ErrCanceled)
+			}
 		}
 		return cfg.classedSummarize(p, cp, res.Profile, res.Iterations, res.Converged, 0), nil
 	default:
@@ -357,18 +363,18 @@ func SolveStackelbergClassed(cfg Config, cp miner.ClassedPopulation, opts Stacke
 	// best responses' positional noise floor. Seeding per price point
 	// keeps every probe a pure function of its prices, so results remain
 	// independent of worker count.
-	memo := newDemandMemo()
+	memo := opts.demandCacheOrNew()
 	oracle := func(p Prices) demand {
-		d, hit := memo.get(p, func() (demand, miner.Profile) {
+		d, hit := memo.get(p, func() (demand, miner.Profile, error) {
 			probes.Inc()
 			eq, err := solveClassedValidated(cfg, cp, p, opts.Follower, nil)
 			if err != nil {
-				return demand{}, nil
+				return demand{}, nil, err
 			}
-			// The memo's profile slot stores the K representatives (the
+			// The cache's profile slot stores the K representatives (the
 			// same []numeric.Point2 shape), warm-starting later solves at
 			// the same price point.
-			return demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}, miner.Profile(eq.Requests)
+			return demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}, miner.Profile(eq.Requests), nil
 		})
 		if hit {
 			memoHits.Inc()
@@ -422,6 +428,13 @@ func SolveStackelbergClassed(cfg Config, cp miner.ClassedPopulation, opts Stacke
 	if err != nil {
 		span.End(obs.Fields{"failed": true})
 		return ClassedStackelbergResult{}, fmt.Errorf("classed leader stage: %w", err)
+	}
+	// A cancellation that landed mid-grid leaves the leader result
+	// computed from abandoned (-Inf) probes: discard it rather than
+	// solving a follower stage at meaningless prices.
+	if opts.canceled() {
+		span.End(obs.Fields{"canceled": true})
+		return ClassedStackelbergResult{}, fmt.Errorf("classed stackelberg %s mode: %w", cfg.Mode, game.ErrCanceled)
 	}
 	prices := Prices{Edge: lead.PriceA, Cloud: lead.PriceB}
 	// A memoized probe at the winning prices restarts the final solve at

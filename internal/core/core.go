@@ -356,8 +356,14 @@ func SolveMinerEquilibriumFrom(cfg Config, p Prices, opts game.NEOptions, start 
 			return miner.BestResponseConnected(params, cfg.Budget(i), envFromOthers(others), own)
 		}
 		res := game.SolveNEAggregate(start, br, opts)
+		if res.Canceled {
+			return MinerEquilibrium{}, fmt.Errorf("connected miner subgame: %w", game.ErrCanceled)
+		}
 		if prof, ok := cfg.escapeZeroCollapse(p, res.Profile); ok {
 			res = game.SolveNEAggregate(prof, br, opts)
+			if res.Canceled {
+				return MinerEquilibrium{}, fmt.Errorf("connected miner subgame: %w", game.ErrCanceled)
+			}
 		}
 		return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, 0), nil
 	default:
@@ -419,6 +425,9 @@ func SolveMinerGNE(cfg Config, p Prices, opts game.NEOptions) (MinerEquilibrium,
 	// The GNEP's equilibrium selection depends on the starting point, so
 	// keep the historical heuristic start rather than the closed-form seed.
 	res := game.SolveNEAggregate(cfg.startProfile(p), br, opts)
+	if res.Canceled {
+		return MinerEquilibrium{}, fmt.Errorf("standalone miner GNE: %w", game.ErrCanceled)
+	}
 	return cfg.summarize(p, res.Profile, res.Iterations, res.Converged, 0), nil
 }
 

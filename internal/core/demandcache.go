@@ -1,0 +1,258 @@
+package core
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/obs"
+)
+
+// DefaultDemandCacheCap bounds a demand cache when the caller does not
+// pick a cap: large enough that a single two-stage solve (a few hundred
+// grid probes) never evicts its own working set, small enough that a
+// resident server holds thousands of market caches without growing
+// without limit.
+const DefaultDemandCacheCap = 4096
+
+// DemandCache is a bounded, concurrency-safe warm-start cache for the
+// Stackelberg demand oracle: per-price follower equilibria (aggregate
+// demand plus the solved profile) and per-start-price anchor equilibria,
+// with single-flight semantics — when several grid workers (or several
+// server requests) probe the same price point at once, exactly one runs
+// the follower solve and the rest block on its entry, so no solve is
+// ever duplicated.
+//
+// Every entry is a pure function of its price point: anchors are fixed
+// before the price grids fan out, and numeric probes warm-start from the
+// anchor only — never from another probe's result — so the cache's
+// contents, and therefore every result read from it, are independent of
+// the arrival order of concurrent probes AND of which earlier solves
+// populated them. That purity is what makes it safe to keep a
+// DemandCache resident across requests: reuse changes only how many
+// sweeps a solve takes, never what it returns.
+//
+// A cache must only ever be shared across solves of the identical
+// market: same Config (including mode and budgets), same follower
+// options, and the same solver family (exact vs classed — the classed
+// oracle stores K representatives where the exact one stores N-miner
+// profiles). The serve layer enforces this by keying caches on the full
+// market signature; SolveStackelberg enforces nothing and will happily
+// serve stale demand if misused.
+//
+// Entries are evicted least-recently-used once the cap is exceeded.
+// Only completed probes enter the LRU ring, so an eviction can never
+// break an in-flight single-flight join; a canceled probe
+// (game.ErrCanceled from the follower solve) is discarded rather than
+// cached, and joined waiters transparently re-probe, so cancellation of
+// one request can never poison the cache for the next.
+type DemandCache struct {
+	mu      sync.Mutex //lint:allow concurrency single-flight warm-start cache guarding pure price-point probes; results are order-independent by construction (see the type doc)
+	cap     int
+	entries map[Prices]*demandEntry
+	lru     *list.List // front = most recent; values are Prices keys
+	anchors map[Prices]*anchorEntry
+
+	hits, misses, evictions int64
+
+	// serve.* instrumentation (nil-safe: a zero observer is disabled).
+	hitsC, missesC, evictsC *obs.Counter
+	ratioG                  *obs.Gauge
+}
+
+type demandEntry struct {
+	done chan struct{} // closed once the probe finished (or was abandoned)
+	d    demand
+	// prof is the solved follower profile behind d — nil on the
+	// closed-form path, which never materializes one. It lets later
+	// solves at exactly the same price point warm-start from the
+	// already-known equilibrium.
+	prof miner.Profile
+	// canceled marks an abandoned probe: the entry was removed from the
+	// table before done closed, and joined waiters must re-probe.
+	canceled bool
+	// elem is the entry's LRU ring slot, set only once the probe
+	// completed (in-flight entries are not evictable).
+	elem *list.Element
+}
+
+// anchorEntry is the single-flight slot for one anchor equilibrium
+// (keyed by its start prices). Anchors sit outside the LRU ring: there
+// is one per start-price, they are tiny relative to the probe set, and
+// evicting one would silently cold-start every later probe.
+type anchorEntry struct {
+	done chan struct{} // closed once prof/ok are populated
+	prof miner.Profile
+	ok   bool
+}
+
+// NewDemandCache returns a demand cache holding at most capEntries
+// completed probes (capEntries <= 0 picks DefaultDemandCacheCap).
+// Metrics (serve.cache_hits_total, serve.cache_misses_total,
+// serve.cache_evictions_total, serve.cache_hit_ratio) are recorded
+// through ob; nil falls back to the process default observer.
+func NewDemandCache(capEntries int, ob *obs.Observer) *DemandCache {
+	if capEntries <= 0 {
+		capEntries = DefaultDemandCacheCap
+	}
+	if ob == nil {
+		ob = obs.Default()
+	}
+	return &DemandCache{
+		cap:     capEntries,
+		entries: make(map[Prices]*demandEntry),
+		lru:     list.New(),
+		anchors: make(map[Prices]*anchorEntry),
+		hitsC:   ob.Counter("serve.cache_hits_total"),
+		missesC: ob.Counter("serve.cache_misses_total"),
+		evictsC: ob.Counter("serve.cache_evictions_total"),
+		ratioG:  ob.Gauge("serve.cache_hit_ratio"),
+	}
+}
+
+// DemandCacheStats is a point-in-time snapshot of a cache's counters.
+type DemandCacheStats struct {
+	Hits      int64 // probes served from a completed or in-flight entry
+	Misses    int64 // probes that ran a follower solve
+	Evictions int64 // completed entries dropped by the LRU bound
+	Entries   int   // live completed + in-flight entries
+}
+
+// Stats snapshots the cache counters (hit/miss/eviction totals and the
+// current entry count).
+func (m *DemandCache) Stats() DemandCacheStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return DemandCacheStats{
+		Hits: m.hits, Misses: m.misses, Evictions: m.evictions,
+		Entries: len(m.entries),
+	}
+}
+
+// get returns the memoized demand at p, computing it via compute on
+// first probe. The boolean reports a cache hit (including joins on an
+// in-flight computation). A compute that fails with game.ErrCanceled is
+// not cached: the entry is withdrawn and any joined waiters re-probe.
+//
+//minelint:hotpath
+func (m *DemandCache) get(p Prices, compute func() (demand, miner.Profile, error)) (demand, bool) {
+	for {
+		m.mu.Lock()
+		if e, ok := m.entries[p]; ok {
+			if e.elem != nil {
+				m.lru.MoveToFront(e.elem)
+			}
+			m.hits++
+			ratio := m.ratioLocked()
+			m.mu.Unlock()
+			m.hitsC.Inc()
+			m.ratioG.Set(ratio)
+			<-e.done
+			if e.canceled {
+				// The probe we joined was abandoned by a canceled request;
+				// its entry is already withdrawn, so probe again ourselves.
+				continue
+			}
+			return e.d, true
+		}
+		//lint:allow concurrency single-flight completion signal for the cache above; closed exactly once, never used for fan-out
+		e := &demandEntry{done: make(chan struct{})} //lint:allow hotalloc miss-path bookkeeping: the steady hot path is the hit branch above, and this channel is amortized over a full follower solve
+		m.entries[p] = e
+		m.misses++
+		ratio := m.ratioLocked()
+		m.mu.Unlock()
+		m.missesC.Inc()
+		m.ratioG.Set(ratio)
+		d, prof, err := compute()
+		m.mu.Lock()
+		if err != nil && errors.Is(err, game.ErrCanceled) {
+			e.canceled = true
+			delete(m.entries, p)
+		} else {
+			e.d, e.prof = d, prof
+			e.elem = m.lru.PushFront(p)
+			m.evictLocked()
+		}
+		m.mu.Unlock()
+		close(e.done)
+		return d, false
+	}
+}
+
+// ratioLocked computes the lifetime hit ratio; callers hold mu.
+func (m *DemandCache) ratioLocked() float64 {
+	total := m.hits + m.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(total)
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache is back under its cap; callers hold mu. In-flight entries are
+// never in the ring, so a join can never be severed.
+func (m *DemandCache) evictLocked() {
+	for m.lru.Len() > m.cap {
+		back := m.lru.Back()
+		delete(m.entries, back.Value.(Prices))
+		m.lru.Remove(back)
+		m.evictions++
+		m.evictsC.Inc()
+	}
+}
+
+// profileAt returns the follower profile memoized at exactly p, or nil
+// when p was never probed, was evicted, or was served by the closed
+// form. Because every entry is a pure function of its price point, the
+// returned profile — like every other cache read — is independent of
+// the arrival order of concurrent probes.
+func (m *DemandCache) profileAt(p Prices) miner.Profile {
+	m.mu.Lock()
+	e, ok := m.entries[p]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	<-e.done
+	if e.canceled {
+		return nil
+	}
+	return e.prof
+}
+
+// anchorAt returns the anchor equilibrium memoized at the start prices
+// p, computing it via compute on first use (single-flight: concurrent
+// requests for the same anchor run one solve). A failed compute — a
+// canceled request, an infeasible start — is not cached, so a later
+// request recomputes; since the anchor is a pure function of the market
+// and its start prices, every successful compute yields identical bits.
+func (m *DemandCache) anchorAt(p Prices, compute func() (miner.Profile, error)) miner.Profile {
+	m.mu.Lock()
+	if a, ok := m.anchors[p]; ok {
+		m.mu.Unlock()
+		<-a.done
+		if a.ok {
+			return a.prof
+		}
+		// A failed anchor solve is not retried within a join: the joined
+		// request proceeds anchorless exactly like the request it joined.
+		return nil
+	}
+	a := &anchorEntry{done: make(chan struct{})} //lint:allow concurrency single-flight completion signal for the anchor slot; closed exactly once, never used for fan-out
+	m.anchors[p] = a
+	m.mu.Unlock()
+	prof, err := compute()
+	if err == nil {
+		a.prof, a.ok = prof, true
+	} else {
+		// Withdraw so the next request recomputes (the failure may have
+		// been a cancellation rather than an infeasible market).
+		m.mu.Lock()
+		delete(m.anchors, p)
+		m.mu.Unlock()
+	}
+	close(a.done)
+	return a.prof
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+	"minegame/internal/obs"
+)
+
+// probe runs one cache get with a compute that records whether it ran.
+func probe(t *testing.T, m *DemandCache, p Prices) (hit bool, computed bool) {
+	t.Helper()
+	_, hit = m.get(p, func() (demand, miner.Profile, error) {
+		computed = true
+		return demand{edge: p.Edge, cloud: p.Cloud, ok: true}, nil, nil
+	})
+	return hit, computed
+}
+
+func TestDemandCacheLRUEviction(t *testing.T) {
+	ob := obs.New()
+	m := NewDemandCache(2, ob)
+	p1, p2, p3 := Prices{Edge: 1}, Prices{Edge: 2}, Prices{Edge: 3}
+
+	for _, p := range []Prices{p1, p2} {
+		if hit, computed := probe(t, m, p); hit || !computed {
+			t.Fatalf("first probe of %+v: hit=%v computed=%v", p, hit, computed)
+		}
+	}
+	// Touch p1 so p2 becomes least recently used, then overflow the cap.
+	if hit, _ := probe(t, m, p1); !hit {
+		t.Fatal("repeat probe of p1 should hit")
+	}
+	if hit, _ := probe(t, m, p3); hit {
+		t.Fatal("first probe of p3 should miss")
+	}
+	st := m.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("after overflow: want 1 eviction and 2 entries, got %+v", st)
+	}
+	// The recently-touched p1 survived; the LRU p2 was evicted and
+	// recomputes on its next probe.
+	if hit, _ := probe(t, m, p1); !hit {
+		t.Fatal("p1 was touched most recently before the overflow; it must survive eviction")
+	}
+	if hit, computed := probe(t, m, p2); hit || !computed {
+		t.Fatalf("p2 was the LRU entry; it must have been evicted (hit=%v computed=%v)", hit, computed)
+	}
+	if got := ob.Counter("serve.cache_evictions_total").Value(); got != 2 {
+		t.Fatalf("serve.cache_evictions_total = %d, want 2 (p2 evicted, then p3 evicted by p2's re-probe)", got)
+	}
+	if got := ob.Counter("serve.cache_hits_total").Value(); got != 2 {
+		t.Fatalf("serve.cache_hits_total = %d, want 2", got)
+	}
+	if ratio := ob.Gauge("serve.cache_hit_ratio").Value(); ratio <= 0 || ratio >= 1 {
+		t.Fatalf("serve.cache_hit_ratio = %v, want strictly between 0 and 1", ratio)
+	}
+}
+
+func TestDemandCacheCanceledProbeNotCached(t *testing.T) {
+	m := NewDemandCache(8, obs.New())
+	p := Prices{Edge: 1, Cloud: 2}
+	computes := 0
+	canceled := func() (demand, miner.Profile, error) {
+		computes++
+		return demand{}, nil, fmt.Errorf("probe: %w", game.ErrCanceled)
+	}
+	if _, hit := m.get(p, canceled); hit {
+		t.Fatal("first canceled probe cannot be a hit")
+	}
+	// The canceled probe must have been withdrawn: the next probe
+	// recomputes instead of serving the abandoned result.
+	d, hit := m.get(p, func() (demand, miner.Profile, error) {
+		computes++
+		return demand{edge: 7, ok: true}, nil, nil
+	})
+	if hit || computes != 2 || !d.ok || d.edge != 7 {
+		t.Fatalf("post-cancel probe: hit=%v computes=%d d=%+v; want a fresh compute", hit, computes, d)
+	}
+	// Ordinary (non-cancel) failures ARE cached — a pure function of the
+	// price point fails the same way every time.
+	pBad := Prices{Edge: 9}
+	fails := 0
+	fail := func() (demand, miner.Profile, error) {
+		fails++
+		return demand{}, nil, errors.New("infeasible market")
+	}
+	m.get(pBad, fail)
+	if _, hit := m.get(pBad, fail); !hit || fails != 1 {
+		t.Fatalf("non-cancel failure should be cached: hit=%v fails=%d", hit, fails)
+	}
+	if st := m.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (the canceled entry withdrawn)", st.Entries)
+	}
+}
+
+// TestDemandCacheDefaultCap pins that the zero value of DemandCacheCap
+// resolves to the documented default rather than an unbounded table.
+func TestDemandCacheDefaultCap(t *testing.T) {
+	m := NewDemandCache(0, nil)
+	if m.cap != DefaultDemandCacheCap {
+		t.Fatalf("cap = %d, want DefaultDemandCacheCap (%d)", m.cap, DefaultDemandCacheCap)
+	}
+}
+
+// heteroConfig is a small heterogeneous market (numeric demand oracle,
+// so the cache actually carries profiles).
+func heteroConfig() Config {
+	cfg := Config{
+		N: 6, Reward: 100, Beta: 0.6, SatisfyProb: 0.9,
+		CostE: 1, CostC: 0.5, Mode: netmodel.Connected,
+	}
+	cfg.Budgets = make([]float64, cfg.N)
+	for i := range cfg.Budgets {
+		cfg.Budgets[i] = 8 + float64(i)
+	}
+	return cfg
+}
+
+// TestStackelbergResidentCacheIdentical pins the purity invariant the
+// serving daemon relies on: re-solving the same market through a shared
+// resident DemandCache returns exactly the result of a fresh cold
+// solve, while the repeat solve's probes are all cache hits.
+func TestStackelbergResidentCacheIdentical(t *testing.T) {
+	cfg := heteroConfig()
+	opts := StackelbergOptions{Workers: 1}
+	opts.Leader.GridN = 12
+	cold, err := SolveStackelberg(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewDemandCache(0, nil)
+	warmOpts := opts
+	warmOpts.DemandCache = cache
+	first, err := SolveStackelberg(cfg, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := cache.Stats().Misses
+	second, err := SolveStackelberg(cfg, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, cold) || !reflect.DeepEqual(second, cold) {
+		t.Fatalf("resident-cache solves diverged from the cold solve:\ncold   %+v\nfirst  %+v\nsecond %+v", cold, first, second)
+	}
+	st := cache.Stats()
+	if st.Misses != missesAfterFirst {
+		t.Fatalf("repeat solve ran %d new follower solves; want 0 (all probes cached)", st.Misses-missesAfterFirst)
+	}
+	if st.Hits == 0 {
+		t.Fatal("repeat solve recorded no cache hits")
+	}
+}
+
+// TestStackelbergCanceled pins the documented cancellation error on the
+// two-stage solver, and that a canceled request leaves no entries
+// behind in a resident cache (no poisoning).
+func TestStackelbergCanceled(t *testing.T) {
+	cfg := heteroConfig()
+	cache := NewDemandCache(0, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := StackelbergOptions{Workers: 1, Ctx: ctx, DemandCache: cache}
+	opts.Leader.GridN = 12
+	_, err := SolveStackelberg(cfg, opts)
+	if !errors.Is(err, game.ErrCanceled) {
+		t.Fatalf("expected game.ErrCanceled, got %v", err)
+	}
+	if st := cache.Stats(); st.Entries != 0 {
+		t.Fatalf("canceled solve left %d cache entries behind", st.Entries)
+	}
+	// The same cache then serves an uncanceled solve that matches a
+	// fresh one bit for bit.
+	clean := StackelbergOptions{Workers: 1}
+	clean.Leader.GridN = 12
+	want, err := SolveStackelberg(cfg, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCached := clean
+	cleanCached.DemandCache = cache
+	got, err := SolveStackelberg(cfg, cleanCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-cancel cache poisoned the solve:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestMinerEquilibriumCanceled pins the Canceled → error mapping on the
+// follower-level entry points.
+func TestMinerEquilibriumCanceled(t *testing.T) {
+	cfg := heteroConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveMinerEquilibrium(cfg, Prices{Edge: 2, Cloud: 1}, game.NEOptions{Ctx: ctx})
+	if !errors.Is(err, game.ErrCanceled) {
+		t.Fatalf("connected: expected game.ErrCanceled, got %v", err)
+	}
+	alone := cfg
+	alone.Mode = netmodel.Standalone
+	alone.EdgeCapacity = 30
+	_, err = SolveMinerEquilibrium(alone, Prices{Edge: 2, Cloud: 1}, game.NEOptions{Ctx: ctx})
+	if !errors.Is(err, game.ErrCanceled) {
+		t.Fatalf("standalone: expected game.ErrCanceled, got %v", err)
+	}
+}

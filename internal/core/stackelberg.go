@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"minegame/internal/game"
 	"minegame/internal/miner"
@@ -55,6 +55,26 @@ type StackelbergOptions struct {
 	// signature wants. Same contract: runs once, on the final follower
 	// solve, and an error fails the whole solve.
 	CertifyClassedAfterSolve ClassedCertifier
+	// DemandCache, when non-nil, is an external warm-start cache kept
+	// resident across solves: anchor equilibria and per-price demand
+	// probes survive from one SolveStackelberg call to the next, so a
+	// repeat or near-neighbor query re-solves in a couple of sweeps.
+	// The cache must only ever be reused for the IDENTICAL market —
+	// same Config, same follower options, same exact/classed family
+	// (see DemandCache). Nil gets a fresh per-solve cache bounded by
+	// DemandCacheCap.
+	DemandCache *DemandCache
+	// DemandCacheCap bounds the per-solve cache created when
+	// DemandCache is nil; 0 picks DefaultDemandCacheCap. Ignored when
+	// an external DemandCache is supplied (it carries its own cap).
+	DemandCacheCap int
+	// Ctx, when non-nil, cancels the whole two-stage solve
+	// cooperatively: it is threaded into the follower options (making
+	// every demand probe abandon at its next sweep boundary) and
+	// checked between stages. A canceled solve returns an error
+	// wrapping game.ErrCanceled, and nothing computed under a canceled
+	// context is ever cached.
+	Ctx context.Context
 }
 
 // ClassedCertifier independently validates a solved classed follower
@@ -86,6 +106,9 @@ func (o StackelbergOptions) withDefaults(cfg Config) StackelbergOptions {
 	}
 	if o.Leader.Pool == nil {
 		o.Leader.Pool = parallel.New(o.Workers).WithObserver(o.Observer)
+	}
+	if o.Ctx != nil && o.Follower.Ctx == nil {
+		o.Follower.Ctx = o.Ctx
 	}
 	if o.Observer != nil {
 		if o.Leader.Observer == nil {
@@ -126,66 +149,19 @@ type demand struct {
 	ok          bool
 }
 
-// demandMemo is a concurrency-safe memoization table for the demand
-// oracle with single-flight semantics: when several grid workers probe
-// the same price point at once, exactly one runs the follower solve and
-// the rest block on its entry's done channel, so no solve is ever
-// duplicated. The computed values are pure functions of the price point,
-// which keeps the memo's contents — and therefore every result read from
-// it — independent of the arrival order of concurrent probes.
-type demandMemo struct {
-	mu      sync.Mutex //lint:allow concurrency single-flight memo guarding pure price-point probes; results are order-independent by construction (see the type doc)
-	entries map[Prices]*demandEntry
-}
-
-type demandEntry struct {
-	done chan struct{} // closed once d and prof are populated
-	d    demand
-	// prof is the solved follower profile behind d — nil on the
-	// closed-form path, which never materializes one. It lets later
-	// solves at exactly the same price point warm-start from the
-	// already-known equilibrium.
-	prof miner.Profile
-}
-
-func newDemandMemo() *demandMemo {
-	return &demandMemo{entries: make(map[Prices]*demandEntry)}
-}
-
-// get returns the memoized demand at p, computing it via compute on
-// first probe. The boolean reports a memo hit (including joins on an
-// in-flight computation).
-//
-//minelint:hotpath
-func (m *demandMemo) get(p Prices, compute func() (demand, miner.Profile)) (demand, bool) {
-	m.mu.Lock()
-	if e, ok := m.entries[p]; ok {
-		m.mu.Unlock()
-		<-e.done
-		return e.d, true
+// demandCacheOrNew resolves the warm-start cache for one solve: the
+// caller-supplied resident cache, or a fresh per-solve one bounded by
+// DemandCacheCap.
+func (o StackelbergOptions) demandCacheOrNew() *DemandCache {
+	if o.DemandCache != nil {
+		return o.DemandCache
 	}
-	e := &demandEntry{done: make(chan struct{})} //lint:allow concurrency single-flight completion signal for the memo above; closed exactly once, never used for fan-out
-	m.entries[p] = e
-	m.mu.Unlock()
-	e.d, e.prof = compute()
-	close(e.done)
-	return e.d, false
+	return NewDemandCache(o.DemandCacheCap, o.Observer)
 }
 
-// profileAt returns the follower profile memoized at exactly p, or nil
-// when p was never probed (or was served by the closed form). Because
-// every memo entry is a pure function of its price point, the returned
-// profile — like every other memo read — is independent of the arrival
-// order of concurrent probes.
-func (m *demandMemo) profileAt(p Prices) miner.Profile {
-	m.mu.Lock()
-	e, ok := m.entries[p]
-	m.mu.Unlock()
-	if !ok {
-		return nil
-	}
-	<-e.done
-	return e.prof
+// canceled reports whether the solve's context (if any) is done.
+func (o StackelbergOptions) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // SolveStackelberg runs backward induction on the full game: the leader
@@ -215,32 +191,43 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 	// result stays a pure function of its price point — worker count and
 	// arrival order cannot reach it — while each solve starts within a
 	// few sweeps of its equilibrium instead of from the heuristic spread.
+	// With a resident DemandCache the anchor itself is cached (it is a
+	// pure function of the market and its start prices), so repeat
+	// requests skip even this one cold solve.
+	memo := opts.demandCacheOrNew()
 	var anchor miner.Profile
 	if !useClosedForm {
-		if eq, err := SolveMinerEquilibrium(cfg, Prices{Edge: opts.StartE, Cloud: opts.StartC}, opts.Follower); err == nil {
-			anchor = eq.Requests
-		}
+		anchor = memo.anchorAt(Prices{Edge: opts.StartE, Cloud: opts.StartC}, func() (miner.Profile, error) {
+			eq, err := SolveMinerEquilibrium(cfg, Prices{Edge: opts.StartE, Cloud: opts.StartC}, opts.Follower)
+			if err != nil {
+				return nil, err
+			}
+			return eq.Requests, nil
+		})
+	}
+	if opts.canceled() {
+		span.End(obs.Fields{"canceled": true})
+		return StackelbergResult{}, fmt.Errorf("stackelberg %s mode: %w", cfg.Mode, game.ErrCanceled)
 	}
 
-	memo := newDemandMemo()
 	oracle := func(p Prices) demand {
-		d, hit := memo.get(p, func() (demand, miner.Profile) {
+		d, hit := memo.get(p, func() (demand, miner.Profile, error) {
 			probes.Inc()
 			var d demand
 			if useClosedForm {
 				d = cfg.closedFormDemand(p)
 			}
 			if d.ok {
-				return d, nil
+				return d, nil, nil
 			}
 			eq, err := SolveMinerEquilibriumFrom(cfg, p, opts.Follower, anchor)
 			if err != nil {
-				return d, nil
+				return d, nil, err
 			}
 			if warmDist != nil {
 				warmDist.Observe(profileDistance(anchor, eq.Requests))
 			}
-			return demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}, eq.Requests
+			return demand{edge: eq.EdgeDemand, cloud: eq.CloudDemand, ok: true}, eq.Requests, nil
 		})
 		if hit {
 			memoHits.Inc()
@@ -300,6 +287,13 @@ func SolveStackelberg(cfg Config, opts StackelbergOptions) (StackelbergResult, e
 	if err != nil {
 		span.End(obs.Fields{"failed": true})
 		return StackelbergResult{}, fmt.Errorf("leader stage: %w", err)
+	}
+	// A cancellation that landed mid-grid leaves the leader result
+	// computed from abandoned (-Inf) probes: discard it rather than
+	// solving a follower stage at meaningless prices.
+	if opts.canceled() {
+		span.End(obs.Fields{"canceled": true})
+		return StackelbergResult{}, fmt.Errorf("stackelberg %s mode: %w", cfg.Mode, game.ErrCanceled)
 	}
 	prices := Prices{Edge: lead.PriceA, Cloud: lead.PriceB}
 	// The leader search almost always probed the winning price pair; its
@@ -533,6 +527,10 @@ func CompareModes(cfg Config, opts StackelbergOptions) (ModeComparison, error) {
 	conn.Mode = netmodel.Connected
 	alone := cfg
 	alone.Mode = netmodel.Standalone
+	// A resident DemandCache is keyed to ONE market; the two mode
+	// variants are different markets, so never share a cache across
+	// them — each mode solve builds its own per-solve cache.
+	opts.DemandCache = nil
 	ob := opts.observer()
 	span := ob.StartSpan("core.compare_modes", obs.Fields{"miners": cfg.N})
 	pool := parallel.New(opts.Workers).WithObserver(opts.Observer)

@@ -1,0 +1,95 @@
+package game
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"minegame/internal/numeric"
+)
+
+// crawlBR is a slowly contracting best response: the fixed point is
+// (2, 2) but each sweep only halves the distance, so a default-tolerance
+// solve needs tens of sweeps — room to cancel mid-solve.
+func crawlBR(i int, own, others numeric.Point2) numeric.Point2 {
+	return numeric.Point2{E: 0.5*own.E + 1, C: 0.5*own.C + 1}
+}
+
+func TestSolveNECanceledMidSolve(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := NEOptions{
+		Ctx: ctx,
+		Tol: 1e-12,
+		OnSweep: func(iteration int, maxDelta float64) {
+			if iteration == 3 {
+				cancel()
+			}
+		},
+	}
+	res := SolveNEAggregate([]numeric.Point2{{E: 100, C: 100}, {E: 100, C: 100}}, crawlBR, opts)
+	if !res.Canceled {
+		t.Fatalf("expected Canceled=true, got %+v", res)
+	}
+	if res.Converged {
+		t.Fatalf("canceled solve must not report convergence: %+v", res)
+	}
+	// Cancellation is checked at sweep boundaries: the solve must stop
+	// on the sweep after the cancel fired, not run to MaxIter.
+	if res.Iterations != 3 {
+		t.Fatalf("expected the solve to stop right after the canceling sweep, ran %d sweeps", res.Iterations)
+	}
+}
+
+func TestSolveNEClassedCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := SolveNEClassed([]numeric.Point2{{E: 5, C: 5}}, []int{4}, crawlBR, NEOptions{Ctx: ctx, Tol: 1e-12})
+	if !res.Canceled || res.Iterations != 0 {
+		t.Fatalf("pre-canceled classed solve should stop before the first sweep, got %+v", res)
+	}
+}
+
+func TestSolveNEFictitiousCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := SolveNEFictitiousAggregate([]numeric.Point2{{E: 5, C: 5}, {E: 3, C: 3}}, crawlBR, NEOptions{Ctx: ctx, Tol: 1e-12})
+	if !res.Canceled || res.Iterations != 0 {
+		t.Fatalf("pre-canceled fictitious solve should stop before the first sweep, got %+v", res)
+	}
+}
+
+func TestSolveVariationalGNECanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel during the very first inner NEP solve.
+	opts := NEOptions{
+		Ctx: ctx,
+		Tol: 1e-12,
+		OnSweep: func(iteration int, maxDelta float64) {
+			if iteration == 2 {
+				cancel()
+			}
+		},
+	}
+	brAt := func(mu float64) AggregateBestResponse { return crawlBR }
+	shared := func(prof []numeric.Point2) float64 {
+		var e float64
+		for _, r := range prof {
+			e += r.E
+		}
+		return e
+	}
+	_, err := SolveVariationalGNEAggregate(
+		[]numeric.Point2{{E: 100, C: 100}, {E: 100, C: 100}}, brAt, shared, 1.0, 1e-6, opts)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("expected ErrCanceled, got %v", err)
+	}
+}
+
+// TestSolveNENilContext pins that a nil Ctx (every pre-existing caller)
+// behaves exactly as before: no cancel, normal convergence.
+func TestSolveNENilContext(t *testing.T) {
+	res := SolveNEAggregate([]numeric.Point2{{E: 100, C: 100}}, crawlBR, NEOptions{})
+	if res.Canceled || !res.Converged {
+		t.Fatalf("nil-context solve should converge uncanceled, got %+v", res)
+	}
+}

@@ -62,6 +62,10 @@ func SolveNEClassed(start []numeric.Point2, counts []int, br AggregateBestRespon
 	// or the outer deltas would dither at the inner residual floor.
 	innerTol := opts.Tol / 2
 	for it := 0; it < opts.MaxIter; it++ {
+		if opts.canceled() {
+			res.Canceled = true
+			break
+		}
 		res.Iterations = it + 1
 		res.MaxDelta = 0
 		for k := range reps {

@@ -10,6 +10,7 @@
 package game
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,6 +70,20 @@ type NEOptions struct {
 	// Gauss–Seidel (the default) usually converges faster; Jacobi models
 	// fully distributed miners updating in parallel.
 	Jacobi bool
+	// Ctx, when non-nil, cancels the solve cooperatively: the iteration
+	// checks it at every SWEEP BOUNDARY only (one interface call per
+	// sweep, no per-player cost, no allocation — the hot path stays
+	// within its allocation budget) and abandons the solve when the
+	// context is done. An abandoned solve reports Canceled=true on its
+	// NEResult; solvers that return errors (the variational GNEP family
+	// and everything in internal/core) surface it as ErrCanceled.
+	Ctx context.Context
+}
+
+// canceled reports whether the options' context has been canceled. It
+// is the sweep-boundary check: nil contexts never cancel.
+func (o NEOptions) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o NEOptions) withDefaults() NEOptions {
@@ -99,6 +114,11 @@ type NEResult struct {
 	Iterations int              // sweeps performed
 	Converged  bool             // true when MaxDelta fell below Tol
 	MaxDelta   float64          // last sweep's largest strategy change
+	// Canceled reports that NEOptions.Ctx was canceled mid-solve: the
+	// iteration stopped at a sweep boundary and Profile is the best
+	// iterate reached, NOT an equilibrium. Callers that return errors
+	// must surface ErrCanceled instead of using the profile.
+	Canceled bool
 }
 
 // SolveNE runs damped Gauss–Seidel best-response iteration from the given
@@ -145,6 +165,10 @@ func solveNE(start []numeric.Point2, br BestResponse, abr AggregateBestResponse,
 		totals = sumPoints(prof)
 	}
 	for it := 0; it < opts.MaxIter; it++ {
+		if opts.canceled() {
+			res.Canceled = true
+			break
+		}
 		res.Iterations = it + 1
 		res.MaxDelta = 0
 		view := prof
@@ -261,8 +285,13 @@ func (t *solveTelemetry) finish(res NEResult) {
 		t.ob.Observe("game.contraction_rate", rate)
 		end["contraction_rate"] = rate
 	}
+	if res.Canceled {
+		end["canceled"] = true
+	}
 	t.span.End(end)
-	if !res.Converged {
+	// A canceled solve is an abandoned one, not a convergence failure —
+	// no anomaly, no postmortem.
+	if !res.Converged && !res.Canceled {
 		t.ob.ReportAnomaly("solve_not_converged", obs.Fields{
 			"solve": t.name, "solver": t.solver,
 			"iterations": res.Iterations, "max_delta": res.MaxDelta,
@@ -329,6 +358,10 @@ func solveNEFictitious(start []numeric.Point2, br BestResponse, abr AggregateBes
 		totals = sumPoints(avg)
 	}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if opts.canceled() {
+			res.Canceled = true
+			break
+		}
 		res.Iterations = it
 		res.MaxDelta = 0
 		step := 1 / float64(it+1)
@@ -438,6 +471,12 @@ func DeviationsAggregate(
 // equilibrium within its iteration budget.
 var ErrNoEquilibrium = errors.New("game: equilibrium search did not converge")
 
+// ErrCanceled is returned (wrapped) when a solve was abandoned because
+// its NEOptions.Ctx was canceled: cancellation is checked at sweep
+// boundaries only, so the solve stops within one sweep of the cancel
+// and the partial iterate is discarded. Test with errors.Is.
+var ErrCanceled = errors.New("game: solve canceled")
+
 // VGNEResult is the outcome of the variational GNEP solver.
 type VGNEResult struct {
 	NEResult
@@ -516,7 +555,8 @@ func solveVariationalGNE(
 				"failed":       err != nil,
 			})
 		}
-		if err != nil {
+		// A canceled search is abandoned on purpose — not an anomaly.
+		if err != nil && !errors.Is(err, ErrCanceled) {
 			ob.ReportAnomaly("gne_no_equilibrium", obs.Fields{
 				"players": len(start), "capacity": capacity, "error": err.Error(),
 			})
@@ -533,6 +573,9 @@ func solveVariationalGNE(
 		return res
 	}
 	base := solve(0, start)
+	if base.Canceled {
+		return VGNEResult{}, ErrCanceled
+	}
 	g := shared(base.Profile)
 	if g <= capacity+capTol {
 		return VGNEResult{NEResult: base, SharedValue: g}, nil
@@ -545,6 +588,9 @@ func solveVariationalGNE(
 			return VGNEResult{}, fmt.Errorf("shared constraint %g > capacity %g at any multiplier: %w", g, capacity, ErrNoEquilibrium)
 		}
 		res = solve(hi, res.Profile)
+		if res.Canceled {
+			return VGNEResult{}, ErrCanceled
+		}
 		g = shared(res.Profile)
 		if g <= capacity {
 			break
@@ -555,6 +601,9 @@ func solveVariationalGNE(
 	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
 		mid := (lo + hi) / 2
 		res = solve(mid, res.Profile)
+		if res.Canceled {
+			return VGNEResult{}, ErrCanceled
+		}
 		g = shared(res.Profile)
 		if math.Abs(g-capacity) <= capTol {
 			return VGNEResult{NEResult: res, Multiplier: mid, SharedValue: g}, nil
@@ -566,6 +615,9 @@ func solveVariationalGNE(
 		}
 	}
 	res = solve(hi, res.Profile)
+	if res.Canceled {
+		return VGNEResult{}, ErrCanceled
+	}
 	g = shared(res.Profile)
 	if g > capacity+capTol {
 		return VGNEResult{}, fmt.Errorf("bisection ended with g=%g > capacity %g: %w", g, capacity, ErrNoEquilibrium)

@@ -58,4 +58,19 @@ var DefaultHelp = map[string]string{
 	// obs: the instrumentation layer itself.
 	"obs.anomalies_total":   "Anomalies reported (non-converged solves, failed certificates, slow spans)",
 	"obs.postmortems_total": "Flight-recorder postmortem bundles written",
+	// serve: the resident warm-start serving daemon.
+	"serve.requests_total":               "Batch requests received across the /v1 endpoints",
+	"serve.request_errors_total":         "Requests rejected before solving (bad method, body, or batch size)",
+	"serve.items_total":                  "Batch items resolved across all requests",
+	"serve.item_errors_total":            "Batch items that resolved to an error",
+	"serve.request_latency_ms":           "Per-request wall time across the /v1 endpoints",
+	"serve.cache_hits_total":             "Demand-cache lookups answered from a resident entry",
+	"serve.cache_misses_total":           "Demand-cache lookups that ran a fresh follower solve",
+	"serve.cache_evictions_total":        "Demand-cache entries dropped by the per-market LRU bound",
+	"serve.cache_hit_ratio":              "Resident demand-cache hit ratio since process start",
+	"serve.result_cache_hits_total":      "Item responses answered from the marshaled-result cache",
+	"serve.result_cache_misses_total":    "Item responses that ran a solve",
+	"serve.result_cache_evictions_total": "Marshaled responses dropped by the result-cache LRU bound",
+	"serve.market_cache_evictions_total": "Whole market caches dropped by the registry LRU bound",
+	"serve.market_caches":                "Resident per-market demand caches currently alive",
 }

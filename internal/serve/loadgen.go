@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives one closed-loop load run against a live daemon:
+// Concurrency workers each keep exactly one request in flight, cycling
+// through batches drawn from Items, until Duration elapses.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Endpoint is "solve", "price", or "certify".
+	Endpoint string
+	// Items is the market pool requests cycle through.
+	Items []Item
+	// Batch is the number of items per request (cycled from Items);
+	// 0 picks 1.
+	Batch int
+	// Workers is the per-request solver fan-out sent to the server
+	// (Request.Workers); 0 keeps the server default.
+	Workers int
+	// Concurrency is the number of closed-loop client workers; 0
+	// picks 4.
+	Concurrency int
+	// Duration is the measured window; 0 picks 5s.
+	Duration time.Duration
+	// Warmup runs the same loop unrecorded first, letting the resident
+	// caches reach steady state before measurement.
+	Warmup time.Duration
+	// Label tags the report (e.g. "warm", "cold").
+	Label string
+	// Client overrides the HTTP client (nil picks a pooled default).
+	Client *http.Client
+}
+
+// LoadReport is one load run's result, emitted as JSON by
+// cmd/minegameload and ingested by benchjson -load so serving latency
+// rides the BENCH_<n>.json regression gate.
+type LoadReport struct {
+	Endpoint    string  `json:"endpoint"`
+	Label       string  `json:"label,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	Batch       int     `json:"batch"`
+	Requests    int64   `json:"requests"`
+	Items       int64   `json:"items"`
+	Errors      int64   `json:"errors"`
+	DurationNs  int64   `json:"duration_ns"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	MeanNs      int64   `json:"mean_ns"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+}
+
+// loadWorkerResult is one client worker's tally.
+type loadWorkerResult struct {
+	latencies []int64
+	items     int64
+	errs      int64
+}
+
+// RunLoad executes one closed-loop load run and aggregates throughput
+// plus per-request latency percentiles across all client workers.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	if len(cfg.Items) == 0 {
+		return LoadReport{}, errors.New("serve: load run needs at least one item")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	url := cfg.BaseURL + "/v1/" + cfg.Endpoint
+
+	// Pre-marshal one rotation of request bodies so the client loop
+	// measures the server, not the client's encoder.
+	n := len(cfg.Items)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		batch := make([]Item, cfg.Batch)
+		for j := range batch {
+			batch[j] = cfg.Items[(i+j)%n]
+		}
+		b, err := json.Marshal(Request{Items: batch, Workers: cfg.Workers})
+		if err != nil {
+			return LoadReport{}, err
+		}
+		bodies[i] = b
+	}
+
+	if cfg.Warmup > 0 {
+		warm := cfg
+		warm.Warmup = 0
+		warm.Duration = cfg.Warmup
+		if _, err := RunLoad(warm); err != nil {
+			return LoadReport{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	results := make([]loadWorkerResult, cfg.Concurrency)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			for k := w; time.Now().Before(deadline); k++ {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[k%n]))
+				if err != nil {
+					r.errs++
+					continue
+				}
+				raw, rerr := io.ReadAll(resp.Body)
+				cerr := resp.Body.Close()
+				lat := time.Since(t0).Nanoseconds()
+				if rerr != nil || cerr != nil || resp.StatusCode != http.StatusOK {
+					r.errs++
+					continue
+				}
+				r.latencies = append(r.latencies, lat)
+				r.items += int64(cfg.Batch)
+				r.errs += int64(bytes.Count(raw, []byte(`{"error":`)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := LoadReport{
+		Endpoint:    cfg.Endpoint,
+		Label:       cfg.Label,
+		Concurrency: cfg.Concurrency,
+		Batch:       cfg.Batch,
+		DurationNs:  elapsed.Nanoseconds(),
+	}
+	var all []int64
+	var sum int64
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		rep.Items += r.items
+		rep.Errors += r.errs
+		for _, l := range r.latencies {
+			sum += l
+		}
+	}
+	rep.Requests = int64(len(all))
+	if len(all) == 0 {
+		return rep, errors.New("serve: load run completed zero requests")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.MeanNs = sum / int64(len(all))
+	rep.P50Ns = percentileNs(all, 0.50)
+	rep.P99Ns = percentileNs(all, 0.99)
+	rep.ItemsPerSec = float64(rep.Items) / elapsed.Seconds()
+	return rep, nil
+}
+
+// percentileNs reads the q-quantile from sorted latencies by the
+// nearest-rank method.
+func percentileNs(sorted []int64, q float64) int64 {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

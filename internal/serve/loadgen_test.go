@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunLoad drives a short closed-loop run against an in-process
+// server and sanity-checks the report's accounting.
+func TestRunLoad(t *testing.T) {
+	_, ts := newTestServer(t)
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Endpoint: "solve",
+		Items: []Item{
+			{Market: testMarket(), PriceE: 8, PriceC: 4},
+			{Market: heteroMarket(), PriceE: 8, PriceC: 4},
+		},
+		Batch:       2,
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		Label:       "test",
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Requests <= 0 || rep.Items != rep.Requests*2 {
+		t.Errorf("accounting: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("load run saw %d errors", rep.Errors)
+	}
+	if rep.P50Ns <= 0 || rep.P99Ns < rep.P50Ns || rep.MeanNs <= 0 {
+		t.Errorf("latency percentiles: %+v", rep)
+	}
+	if rep.ItemsPerSec <= 0 {
+		t.Errorf("throughput: %+v", rep)
+	}
+	if rep.Endpoint != "solve" || rep.Label != "test" || rep.Batch != 2 || rep.Concurrency != 2 {
+		t.Errorf("config echo: %+v", rep)
+	}
+}
+
+// TestRunLoadRejectsEmptyPool pins the guard against a no-item run.
+func TestRunLoadRejectsEmptyPool(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{BaseURL: "http://127.0.0.1:1", Endpoint: "solve"}); err == nil {
+		t.Error("want error for empty item pool")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"minegame/internal/parallel"
 	"minegame/internal/population"
 	"minegame/internal/rl"
+	"minegame/internal/serve"
 	"minegame/internal/sim"
 )
 
@@ -511,3 +512,41 @@ func SetDefaultParallelism(n int) int { return parallel.SetDefaultWorkers(n) }
 
 // DefaultParallelism reports the current process-default worker count.
 func DefaultParallelism() int { return parallel.DefaultWorkers() }
+
+// Serving layer (package serve): the resident warm-start daemon behind
+// cmd/minegamed, exposing the solvers as a batched JSON API whose
+// responses are byte-identical to single-shot solves (DESIGN.md §14).
+type (
+	// ServeConfig tunes the resident serving daemon.
+	ServeConfig = serve.Config
+	// ServeServer is the daemon: batched /v1 solver endpoints plus the
+	// /metrics–/readyz telemetry surface, backed by resident caches.
+	ServeServer = serve.Server
+	// DemandCache is a bounded, concurrency-safe, single-flight
+	// warm-start cache of follower demand probes and anchor equilibria,
+	// shareable across solves of the SAME market via
+	// StackelbergOptions.DemandCache.
+	DemandCache = core.DemandCache
+	// DemandCacheStats is a point-in-time copy of a cache's counters.
+	DemandCacheStats = core.DemandCacheStats
+)
+
+// ErrSolveCanceled is the sentinel wrapped into solver errors when the
+// context on NEOptions.Ctx or StackelbergOptions.Ctx was canceled
+// mid-solve; match it with errors.Is. Canceled work is never cached.
+var ErrSolveCanceled = game.ErrCanceled
+
+// NewDemandCache builds a resident warm-start cache bounded to
+// capEntries demand probes (0 picks the default cap), registering its
+// hit/miss/eviction series on ob (nil skips instrumentation).
+func NewDemandCache(capEntries int, ob *Observer) *DemandCache {
+	return core.NewDemandCache(capEntries, ob)
+}
+
+// NewServer builds a serving daemon; mount Handler on a listener or
+// call Run.
+func NewServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
+
+// ListenAndServe runs the serving daemon until SIGINT or SIGTERM, then
+// drains gracefully. It is the whole body of cmd/minegamed.
+func ListenAndServe(cfg ServeConfig) error { return serve.ListenAndServe(cfg) }
