@@ -40,7 +40,16 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		dump     = fs.String("dump", "", "write the full block tree as JSON to this file")
 		topo     = fs.Int("topology", 0, "derive the delay from a 200-node gossip overlay with this many chords per node (overrides -delay)")
-		par      = fs.Int("parallel", 0, "worker count for the topology delay estimation (0 = GOMAXPROCS, 1 = sequential; output is identical at any count)")
+		par      = fs.Int("parallel", 0, "worker count for the topology delay estimation and the -topo race replicas (0 = GOMAXPROCS, 1 = sequential; output is identical at any count)")
+
+		topoShape = fs.String("topo", "", "race an explicit peer graph instead of the two-tier model: star, ring, line, or scale-free")
+		nodes     = fs.Int("nodes", 5, "peer count for -topo graphs")
+		linkDelay = fs.Float64("link-delay", 30, "base link relay delay (s) for -topo graphs; star spokes scale it per node")
+		quorum    = fs.Float64("quorum", 0.6, "hashrate fraction that must hear a block before it is final (-topo)")
+		replicas  = fs.Int("replicas", 4, "independent race replicas pooled into the -topo estimate")
+		jsonOut   = fs.Bool("json", false, "emit the -topo report as deterministic JSON")
+		solve     = fs.Bool("solve", false, "feed the measured per-miner fork rates into the topology Stackelberg solver (-topo)")
+		certify   = fs.Bool("certify", false, "independently re-verify the -solve result and fail on a bad certificate")
 	)
 	obsFlags := obscli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -54,7 +63,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runErr := simulate(out, blocks, interval, delay, miners, edge, cloud, seed, dump, topo)
+	var runErr error
+	if *topoShape != "" {
+		runErr = topoRace(out, *topoShape, *nodes, *linkDelay, *quorum, *blocks, *interval, *replicas, *seed, *jsonOut, *solve, *certify)
+	} else {
+		runErr = simulate(out, blocks, interval, delay, miners, edge, cloud, seed, dump, topo)
+	}
 	closeErr := sess.Close(out, false)
 	if runErr != nil {
 		return runErr

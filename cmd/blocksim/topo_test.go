@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTopoModeReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "ring", "-nodes", "4", "-blocks", "200", "-replicas", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ring topology: 4 nodes",
+		"beta ±95%CI",
+		"canonical",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestTopoModeJSONDeterministicAcrossWorkers: the golden determinism
+// contract — same seed and topology give byte-identical -json output at
+// any -parallel worker count.
+func TestTopoModeJSONDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers string) string {
+		var out bytes.Buffer
+		args := []string{"-topo", "star", "-nodes", "5", "-blocks", "300", "-replicas", "3",
+			"-seed", "9", "-json", "-parallel", workers}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run -parallel %s: %v", workers, err)
+		}
+		return out.String()
+	}
+	seq := render("1")
+	if par := render("7"); par != seq {
+		t.Errorf("-json output differs across worker counts:\n%s\nvs\n%s", seq, par)
+	}
+	var report map[string]any
+	if err := json.Unmarshal([]byte(seq), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if report["shape"] != "star" {
+		t.Errorf("report shape = %v, want star", report["shape"])
+	}
+}
+
+func TestTopoModeSolveCertify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Stackelberg solve")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-topo", "scale-free", "-nodes", "5", "-blocks", "300", "-replicas", "2",
+		"-solve", "-certify"}, &out)
+	if err != nil {
+		t.Fatalf("run -solve -certify: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "stackelberg under measured betas") || !strings.Contains(got, "certificate: OK") {
+		t.Errorf("missing solve/certify report:\n%s", got)
+	}
+}
+
+func TestTopoModeBadShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "torus"}, &out); err == nil {
+		t.Error("unknown shape must error")
+	}
+}

@@ -1,0 +1,87 @@
+package chain
+
+import (
+	"container/heap"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"minegame/internal/parallel"
+	"minegame/internal/sim"
+)
+
+// TestArrivalQueueOrdering: pops come out in nondecreasing time with the
+// node index breaking exact ties, regardless of push order. The queue is
+// the Dijkstra frontier for both the gossip flood and the topo race's
+// finality delays, so this ordering is what makes those deterministic.
+func TestArrivalQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		items := make([]Arrival, n)
+		for i := range items {
+			// Coarse times force plenty of exact ties.
+			items[i] = Arrival{Node: rng.Intn(8), Time: float64(rng.Intn(4))}
+		}
+
+		pq := &ArrivalQueue{}
+		heap.Init(pq)
+		for _, it := range items {
+			heap.Push(pq, it)
+		}
+		got := make([]Arrival, 0, n)
+		for pq.Len() > 0 {
+			got = append(got, heap.Pop(pq).(Arrival))
+		}
+
+		want := append([]Arrival(nil), items...)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Time != want[j].Time { //lint:allow floateq exact tie-break mirror of ArrivalQueue.Less
+				return want[i].Time < want[j].Time
+			}
+			return want[i].Node < want[j].Node
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: pop order %v, want sorted %v", trial, got, want)
+		}
+
+		// Deterministic irrespective of insertion history: pushing a
+		// shuffled permutation pops the identical sequence.
+		rng.Shuffle(n, func(i, j int) { items[i], items[j] = items[j], items[i] })
+		pq2 := &ArrivalQueue{}
+		for _, it := range items {
+			heap.Push(pq2, it)
+		}
+		got2 := make([]Arrival, 0, n)
+		for pq2.Len() > 0 {
+			got2 = append(got2, heap.Pop(pq2).(Arrival))
+		}
+		if !reflect.DeepEqual(got, got2) {
+			t.Fatalf("trial %d: pop order depends on insertion order:\n %v\n %v", trial, got, got2)
+		}
+	}
+}
+
+// TestPropagationDelayWorkerInvariant: the delay estimate is bit-identical
+// whether the per-source floods run on one worker or many — sources are
+// drawn up front and the reduction is in submission order.
+func TestPropagationDelayWorkerInvariant(t *testing.T) {
+	g, err := NewGossipNetwork(GossipConfig{Nodes: 40, Degree: 2, MeanLatency: 3}, sim.NewRNG(9, "worker-invariant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) float64 {
+		prev := parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(prev)
+		d, err := g.PropagationDelay(0.9, 32, sim.NewRNG(17, "worker-invariant-samples"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	seq, par := run(1), run(7)
+	if seq != par { //lint:allow floateq determinism contract: identical inputs must give identical bits
+		t.Errorf("PropagationDelay differs by worker count: 1 worker %v vs 7 workers %v", seq, par)
+	}
+}

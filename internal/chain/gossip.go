@@ -98,16 +98,16 @@ func (g *GossipNetwork) PropagationTimes(source int) ([]float64, error) {
 		dist[i] = math.Inf(1)
 	}
 	dist[source] = 0
-	pq := &gossipQueue{{node: source, time: 0}}
+	pq := &ArrivalQueue{{Node: source, Time: 0}}
 	for pq.Len() > 0 {
-		item := heap.Pop(pq).(gossipItem)
-		if item.time > dist[item.node] {
+		item := heap.Pop(pq).(Arrival)
+		if item.Time > dist[item.Node] {
 			continue
 		}
-		for _, link := range g.adjacency[item.node] {
-			if t := item.time + link.latency; t < dist[link.to] {
+		for _, link := range g.adjacency[item.Node] {
+			if t := item.Time + link.latency; t < dist[link.to] {
 				dist[link.to] = t
-				heap.Push(pq, gossipItem{node: link.to, time: t})
+				heap.Push(pq, Arrival{Node: link.to, Time: t})
 			}
 		}
 	}
@@ -172,27 +172,40 @@ func kthSmallest(xs []float64, k int) float64 {
 	return tmp[k]
 }
 
-type gossipItem struct {
-	node int
-	time float64
+// Arrival is one (node, time) entry of an ArrivalQueue.
+type Arrival struct {
+	Node int
+	Time float64
 }
 
-type gossipQueue []gossipItem
+// ArrivalQueue is a min-heap of block arrivals ordered by time — the
+// Dijkstra frontier of the gossip flood. It is exported as a seam for the
+// topology-aware fork simulator (chain/topo), whose finality-delay
+// computation runs the same earliest-arrival relaxation over an explicit
+// peer graph. Use with container/heap.
+type ArrivalQueue []Arrival
 
 // Len implements heap.Interface.
-func (q gossipQueue) Len() int { return len(q) }
+func (q ArrivalQueue) Len() int { return len(q) }
 
-// Less implements heap.Interface: earlier arrival times pop first.
-func (q gossipQueue) Less(i, j int) bool { return q[i].time < q[j].time }
+// Less implements heap.Interface: earlier arrival times pop first, with
+// the node index breaking exact-time ties so the pop order is
+// deterministic regardless of insertion history.
+func (q ArrivalQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time { //lint:allow floateq exact tie-break: equal times must fall through to the node comparison
+		return q[i].Time < q[j].Time
+	}
+	return q[i].Node < q[j].Node
+}
 
 // Swap implements heap.Interface.
-func (q gossipQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q ArrivalQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 
 // Push implements heap.Interface.
-func (q *gossipQueue) Push(x any) { *q = append(*q, x.(gossipItem)) }
+func (q *ArrivalQueue) Push(x any) { *q = append(*q, x.(Arrival)) }
 
 // Pop implements heap.Interface.
-func (q *gossipQueue) Pop() any {
+func (q *ArrivalQueue) Pop() any {
 	old := *q
 	n := len(old)
 	item := old[n-1]

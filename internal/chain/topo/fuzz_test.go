@@ -1,0 +1,92 @@
+package topo
+
+import (
+	"testing"
+
+	"minegame/internal/sim"
+)
+
+// FuzzTopoRace drives the race simulator across arbitrary topology
+// shapes, hashrate vectors, link delays and race configurations. The
+// invariant under fuzz: every input either errors cleanly (malformed
+// config, disconnected graph) or converges to a result that satisfies
+// the credit-accounting identities — never a hang or a panic. Degenerate
+// corners are seeded explicitly: disconnected graphs, zero-delay links,
+// single-miner races, zero-hashrate observers, huge and tiny intervals.
+func FuzzTopoRace(f *testing.F) {
+	// shape, n, attach, hashBits, delay, quorum, interval, blocks, seed
+	f.Add(uint8(0), uint8(2), uint8(1), uint16(0x5555), 30.0, 0.51, 600.0, uint8(10), int64(1)) // two-node anchor
+	f.Add(uint8(1), uint8(5), uint8(1), uint16(0x1b1b), 10.0, 0.6, 100.0, uint8(8), int64(7))   // star
+	f.Add(uint8(2), uint8(6), uint8(1), uint16(0xffff), 0.0, 0.75, 50.0, uint8(5), int64(3))    // zero-delay ring
+	f.Add(uint8(3), uint8(4), uint8(1), uint16(0x9c3), 5.0, 1.0, 600.0, uint8(6), int64(11))    // line, full quorum
+	f.Add(uint8(4), uint8(9), uint8(2), uint16(0x7a2d), 8.0, 0.6, 200.0, uint8(7), int64(42))   // scale-free
+	f.Add(uint8(5), uint8(3), uint8(1), uint16(0x15), 1.0, 0.5, 10.0, uint8(4), int64(5))       // disconnected islands
+	f.Add(uint8(5), uint8(1), uint8(1), uint16(0x3), 1.0, 1.0, 10.0, uint8(3), int64(9))        // single miner
+	f.Add(uint8(1), uint8(4), uint8(1), uint16(0x40), 2.0, 0.9, 1e300, uint8(3), int64(13))     // huge interval
+	f.Add(uint8(2), uint8(5), uint8(1), uint16(0x2a), 1e6, 0.99, 1e-9, uint8(4), int64(17))     // tiny interval, slow links
+	f.Add(uint8(0), uint8(2), uint8(1), uint16(0x1), -3.0, 0.5, 600.0, uint8(5), int64(19))     // negative delay (rejected)
+	f.Add(uint8(3), uint8(7), uint8(3), uint16(0x0), 4.0, 0.5, 300.0, uint8(6), int64(23))      // all hashrates zero (rejected)
+
+	f.Fuzz(func(t *testing.T, shape, n, attach uint8, hashBits uint16, delay, quorum, interval float64, blocks uint8, seed int64) {
+		nodes := make([]Node, 1+int(n)%10)
+		for i := range nodes {
+			nodes[i] = Node{Hashrate: float64((hashBits >> (2 * (i % 8))) & 3), Location: Location(1 + i%2)}
+		}
+		var (
+			tp  *Topology
+			err error
+		)
+		switch shape % 6 {
+		case 0:
+			if len(nodes) >= 2 {
+				tp, err = TwoNode(nodes[0].Hashrate, nodes[1].Hashrate, delay, 0)
+			} else {
+				tp = New(nodes)
+			}
+		case 1:
+			spokes := make([]float64, len(nodes)-1)
+			for i := range spokes {
+				spokes[i] = delay * float64(1+i)
+			}
+			tp, err = Star(nodes, spokes)
+		case 2:
+			tp, err = Ring(nodes, delay)
+		case 3:
+			tp, err = Line(nodes, delay)
+		case 4:
+			tp, err = ScaleFree(nodes, 1+int(attach)%3, delay, sim.NewRNG(seed, "fuzz-scale-free"))
+		default:
+			tp = New(nodes) // no links: disconnected unless a node holds the quorum alone
+		}
+		if err != nil {
+			return // malformed topology rejected cleanly
+		}
+		cfg := Config{Interval: interval, Blocks: 1 + int(blocks)%20, Quorum: quorum}
+		res, err := Estimate(tp, cfg, sim.NewRNG(seed, "fuzz-topo-race"))
+		if err != nil {
+			return // invalid config or disconnected graph rejected cleanly
+		}
+		var mined, credited, orphaned int
+		for i, s := range res.Stats {
+			if s.Mined != s.Credited+s.Orphaned {
+				t.Fatalf("node %d: mined %d != credited %d + orphaned %d", i, s.Mined, s.Credited, s.Orphaned)
+			}
+			if s.Credited+s.DirectLosses != s.Eligible {
+				t.Fatalf("node %d: credited %d + direct losses %d != eligible %d", i, s.Credited, s.DirectLosses, s.Eligible)
+			}
+			if s.Beta < 0 || s.Beta > 1 || s.WinProb < 0 || s.WinProb > 1 {
+				t.Fatalf("node %d: rates outside [0,1]: %+v", i, s)
+			}
+			mined += s.Mined
+			credited += s.Credited
+			orphaned += s.Orphaned
+		}
+		if mined != res.Decided || credited != res.Canonical || mined != credited+orphaned {
+			t.Fatalf("aggregate accounting broken: mined=%d decided=%d credited=%d canonical=%d orphaned=%d",
+				mined, res.Decided, credited, res.Canonical, orphaned)
+		}
+		if res.Canonical < cfg.Blocks {
+			t.Fatalf("canonical chain %d below target %d despite successful run", res.Canonical, cfg.Blocks)
+		}
+	})
+}

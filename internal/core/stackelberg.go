@@ -49,6 +49,12 @@ type StackelbergOptions struct {
 	// enabling it cannot change the computed result, only reject it: a
 	// certification error fails the whole solve.
 	CertifyAfterSolve Certifier
+	// CertifyTopoAfterSolve is CertifyAfterSolve for the topology-aware
+	// two-stage solver (SolveStackelbergTopo), whose follower equilibrium
+	// is solved under per-miner fork rates the plain Certifier signature
+	// never sees. Same contract: runs once, on the final follower solve
+	// at the equilibrium prices, and an error fails the whole solve.
+	CertifyTopoAfterSolve TopoCertifier
 	// CertifyClassedAfterSolve is CertifyAfterSolve for the classed
 	// two-stage solver (SolveStackelbergClassed), which never
 	// materializes the full MinerEquilibrium the plain Certifier

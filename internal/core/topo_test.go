@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+)
+
+var errBoom = errors.New("boom")
+
+func uniformBetas(n int, b float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// TestTopoDegenerateBitIdentical pins the degenerate case: a uniform
+// betas vector must make the topology solvers reproduce the scalar
+// numeric solvers bit for bit. paramsTopo with betas[i] == cfg.Beta is
+// the identical Params struct, both paths share seedProfile, the anchor
+// warm start, and the leader stage, so any drift here means the topology
+// path forked the arithmetic.
+func TestTopoDegenerateBitIdentical(t *testing.T) {
+	cfg := testConfig()
+	betas := uniformBetas(cfg.N, cfg.Beta)
+	p := testPrices()
+
+	eqTopo, err := SolveMinerEquilibriumTopo(cfg, betas, p, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("SolveMinerEquilibriumTopo: %v", err)
+	}
+	eqScalar, err := SolveMinerEquilibrium(cfg, p, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("SolveMinerEquilibrium: %v", err)
+	}
+	if !reflect.DeepEqual(eqTopo, eqScalar) {
+		t.Errorf("uniform-betas NE diverged from scalar NE:\n topo   %+v\n scalar %+v", eqTopo, eqScalar)
+	}
+
+	resTopo, err := SolveStackelbergTopo(cfg, betas, StackelbergOptions{})
+	if err != nil {
+		t.Fatalf("SolveStackelbergTopo: %v", err)
+	}
+	resScalar, err := SolveStackelberg(cfg, StackelbergOptions{ForceNumericFollower: true})
+	if err != nil {
+		t.Fatalf("SolveStackelberg: %v", err)
+	}
+	// ClosedFormDemand is a scalar-only field; everything else must match
+	// exactly, prices and profile included.
+	resScalar.ClosedFormDemand = false
+	if !reflect.DeepEqual(resTopo, resScalar) {
+		t.Errorf("uniform-betas Stackelberg diverged from scalar numeric solve:\n topo   %+v\n scalar %+v", resTopo, resScalar)
+	}
+}
+
+// TestTopoHeterogeneousBetasShiftEquilibrium: raising some miners' fork
+// rates must move the equilibrium measurably — lower win probabilities
+// for the penalized miners at fixed prices, and a different price point
+// from the two-stage solve.
+func TestTopoHeterogeneousBetasShiftEquilibrium(t *testing.T) {
+	cfg := testConfig()
+	uniform := uniformBetas(cfg.N, cfg.Beta)
+	hetero := uniformBetas(cfg.N, cfg.Beta)
+	// Miners 3 and 4 sit far from the hashpower: triple their orphan risk.
+	hetero[3], hetero[4] = 3*cfg.Beta, 3*cfg.Beta
+
+	p := testPrices()
+	eqU, err := SolveMinerEquilibriumTopo(cfg, uniform, p, game.NEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqH, err := SolveMinerEquilibriumTopo(cfg, hetero, p, game.NEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqH.Converged {
+		t.Fatal("heterogeneous NE did not converge")
+	}
+	// Holding the uniform equilibrium profile fixed, a higher β_i strictly
+	// lowers W_i at the symmetric point: e_i/E equals (e_i+c_i)/S there,
+	// so ΔW = Δβ·(h·e_i/E − (e_i+c_i)/S) = Δβ·(h−1)·share < 0 for h < 1.
+	wsFixed, err := miner.WinProbsTopo(hetero, cfg.SatisfyProb, eqU.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsFixed[4] >= eqU.WinProbs[4] {
+		t.Errorf("at the fixed uniform profile, raising beta left W_4 at %g (uniform %g)", wsFixed[4], eqU.WinProbs[4])
+	}
+	// At the re-solved equilibrium the comparative static is the edge
+	// tilt: only the fork term β·h·e/E rewards edge, so the high-β miner's
+	// best response shifts composition toward edge relative to a low-β
+	// miner facing the same prices, budget, and aggregate environment.
+	frac := func(eq MinerEquilibrium, i int) float64 {
+		r := eq.Requests[i]
+		return r.E / (r.E + r.C)
+	}
+	if frac(eqH, 4) <= frac(eqH, 0) {
+		t.Errorf("penalized miner edge fraction %g should exceed unpenalized %g", frac(eqH, 4), frac(eqH, 0))
+	}
+
+	resU, err := SolveStackelbergTopo(cfg, uniform, StackelbergOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resH, err := SolveStackelbergTopo(cfg, hetero, StackelbergOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := math.Abs(resH.Prices.Edge-resU.Prices.Edge) + math.Abs(resH.Prices.Cloud-resU.Prices.Cloud)
+	if shift < 1e-4 {
+		t.Errorf("heterogeneous betas left equilibrium prices unmoved: uniform %+v vs hetero %+v", resU.Prices, resH.Prices)
+	}
+}
+
+func TestTopoDeviationsSmallAtEquilibrium(t *testing.T) {
+	cfg := testConfig()
+	betas := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	p := testPrices()
+	eq, err := SolveMinerEquilibriumTopo(cfg, betas, p, game.NEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gains, err := DeviationsTopo(cfg, betas, p, eq.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gains {
+		if g > 1e-4*cfg.Reward {
+			t.Errorf("miner %d gains %g from unilateral deviation at the solved NE", i, g)
+		}
+	}
+}
+
+func TestTopoValidationErrors(t *testing.T) {
+	cfg := testConfig()
+	good := uniformBetas(cfg.N, cfg.Beta)
+
+	standalone := cfg
+	standalone.Mode = netmodel.Standalone
+	standalone.EdgeCapacity = 25
+	if _, err := SolveMinerEquilibriumTopo(standalone, good, testPrices(), game.NEOptions{}); err == nil {
+		t.Error("standalone mode must be rejected")
+	}
+	if _, err := SolveStackelbergTopo(standalone, good, StackelbergOptions{}); err == nil {
+		t.Error("standalone Stackelberg must be rejected")
+	}
+	if _, err := SolveMinerEquilibriumTopo(cfg, good[:3], testPrices(), game.NEOptions{}); err == nil {
+		t.Error("short betas vector must be rejected")
+	}
+	bad := uniformBetas(cfg.N, cfg.Beta)
+	bad[2] = 1.0
+	if _, err := SolveStackelbergTopo(cfg, bad, StackelbergOptions{}); err == nil {
+		t.Error("beta = 1 must be rejected")
+	}
+	bad[2] = math.NaN()
+	if _, err := DeviationsTopo(cfg, bad, testPrices(), nil); err == nil {
+		t.Error("NaN beta must be rejected")
+	}
+	short := make(miner.Profile, cfg.N-1)
+	if _, err := SolveMinerEquilibriumTopoFrom(cfg, good, testPrices(), game.NEOptions{}, short); err == nil {
+		t.Error("wrong-length start profile must be rejected")
+	}
+}
+
+// TestTopoCertifierHookRuns wires a TopoCertifier through
+// CertifyTopoAfterSolve and checks both directions: a recording hook
+// sees the final equilibrium, and a failing hook fails the whole solve.
+func TestTopoCertifierHookRuns(t *testing.T) {
+	cfg := testConfig()
+	betas := []float64{0.1, 0.15, 0.2, 0.25, 0.3}
+	called := 0
+	opts := StackelbergOptions{
+		CertifyTopoAfterSolve: func(c Config, b []float64, p Prices, eq MinerEquilibrium) error {
+			called++
+			if !reflect.DeepEqual(b, betas) {
+				t.Errorf("certifier saw betas %v, want %v", b, betas)
+			}
+			if len(eq.Requests) != c.N {
+				t.Errorf("certifier saw %d requests for %d miners", len(eq.Requests), c.N)
+			}
+			return nil
+		},
+	}
+	if _, err := SolveStackelbergTopo(cfg, betas, opts); err != nil {
+		t.Fatalf("solve with passing certifier: %v", err)
+	}
+	if called != 1 {
+		t.Errorf("certifier ran %d times, want exactly once", called)
+	}
+
+	opts.CertifyTopoAfterSolve = func(Config, []float64, Prices, MinerEquilibrium) error {
+		return errBoom
+	}
+	if _, err := SolveStackelbergTopo(cfg, betas, opts); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("failing certifier must fail the solve, got %v", err)
+	}
+}

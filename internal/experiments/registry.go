@@ -37,6 +37,7 @@ func All() []Runner {
 		{ID: "multiesp", Title: "extension: two edge providers competing with the cloud", Run: runMultiESP},
 		{ID: "wealth", Title: "extension: budget dynamics and mining centralization", Run: runWealth},
 		{ID: "gossip", Title: "extension: topology-driven propagation delay and fork rate", Run: runGossip},
+		{ID: "topo", Title: "extension: per-miner fork rates from an explicit peer graph", Run: runTopo},
 		{ID: "sens", Title: "parameter sensitivity of the connected equilibrium", Run: runSensitivity},
 		{ID: "selfish", Title: "extension: selfish mining vs the honest-miner assumption", Run: runSelfish},
 		{ID: "retarget", Title: "difficulty retargeting under a hash-power shock", Run: runRetarget},

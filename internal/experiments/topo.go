@@ -1,0 +1,118 @@
+package experiments
+
+// Topology-aware fork-rate experiments: the peer-graph race (chain/topo)
+// measures an effective β_i per miner from its network position, and the
+// topology Stackelberg solver prices against that heterogeneous demand.
+// Three scenarios bracket the mechanism: a uniform ring (the degenerate
+// case — per-miner betas collapse to the scalar model and so must the
+// prices), a star with near-edge and far-cloud spokes (placement spreads
+// the betas and shifts the equilibrium prices), and a scale-free overlay
+// (hub position decides orphan risk).
+
+import (
+	"fmt"
+
+	"minegame/internal/chain/topo"
+	"minegame/internal/core"
+	"minegame/internal/sim"
+)
+
+// topoScenario is one named topology whose measured betas feed the
+// two-stage game.
+type topoScenario struct {
+	name  string
+	id    float64 // row key (tables are numeric)
+	build func(seed int64) (*topo.Topology, error)
+}
+
+// topoMiners builds n equal-hashrate mining peers.
+func topoMiners(n int) []topo.Node {
+	nodes := make([]topo.Node, n)
+	for i := range nodes {
+		nodes[i] = topo.Node{Hashrate: 1, Location: topo.LocationCloud}
+	}
+	return nodes
+}
+
+func runTopo(cfg Config) (Result, error) {
+	scenarios := []topoScenario{
+		{name: "uniform ring", id: 0, build: func(int64) (*topo.Topology, error) {
+			return topo.Ring(topoMiners(defaultN), 30)
+		}},
+		{name: "star near-edge vs far-cloud", id: 1, build: func(int64) (*topo.Topology, error) {
+			// Hub plus two near spokes (edge-side) and two far spokes
+			// (behind the cloud path).
+			nodes := topoMiners(defaultN)
+			nodes[0].Location = topo.LocationEdge
+			nodes[1].Location = topo.LocationEdge
+			nodes[2].Location = topo.LocationEdge
+			return topo.Star(nodes, []float64{5, 5, 120, 120})
+		}},
+		{name: "scale-free", id: 2, build: func(seed int64) (*topo.Topology, error) {
+			return topo.ScaleFree(topoMiners(defaultN), 2, 45, sim.NewRNG(seed, "topo-scale-free"))
+		}},
+	}
+
+	t := Table{
+		ID:    "topo",
+		Title: "peer-graph position → per-miner fork rate β_i → equilibrium prices",
+		Columns: []string{
+			"scenario", "beta_min", "beta_max", "beta_spread",
+			"price_e", "price_c", "dprice_vs_scalar",
+		},
+	}
+	race := topo.Config{
+		Interval: blockInterval,
+		Blocks:   cfg.rounds(1200),
+		Quorum:   0.6,
+	}
+	for _, sc := range scenarios {
+		tp, err := sc.build(cfg.Seed)
+		if err != nil {
+			return Result{}, fmt.Errorf("topo %s: %w", sc.name, err)
+		}
+		est, err := topo.EstimateReplicated(tp, race, cfg.Seed, cfg.rounds(8))
+		if err != nil {
+			return Result{}, fmt.Errorf("topo %s race: %w", sc.name, err)
+		}
+		betas := est.Betas()
+		bMin, bMax := betas[0], betas[0]
+		for _, b := range betas {
+			if b < bMin {
+				bMin = b
+			}
+			if b > bMax {
+				bMax = b
+			}
+		}
+
+		game := baseConfig()
+		opts := core.StackelbergOptions{}
+		res, err := core.SolveStackelbergTopo(game, betas, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("topo %s stackelberg: %w", sc.name, err)
+		}
+
+		// Scalar baseline: the same game under one network-average β —
+		// what the paper's model would charge everyone.
+		var mean float64
+		for _, b := range betas {
+			mean += b
+		}
+		mean /= float64(len(betas))
+		scalarCfg := game
+		scalarCfg.Beta = mean
+		scalar, err := core.SolveStackelberg(scalarCfg, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("topo %s scalar baseline: %w", sc.name, err)
+		}
+		dPrice := abs(res.Prices.Edge-scalar.Prices.Edge) + abs(res.Prices.Cloud-scalar.Prices.Cloud)
+		t.AddRow(sc.id, bMin, bMax, bMax-bMin, res.Prices.Edge, res.Prices.Cloud, dPrice)
+	}
+	t.Notes = append(t.Notes,
+		"scenario 0 = uniform ring, 1 = star with near-edge/far-cloud spokes, 2 = scale-free overlay",
+		"a symmetric topology collapses to the scalar model: beta_spread ≈ 0 and dprice_vs_scalar ≈ 0",
+		"asymmetric placement spreads β_i and moves the equilibrium prices off the scalar solution",
+	)
+	return Result{Tables: []Table{t}}, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"minegame/internal/parallel"
+)
+
+func TestRunTopoQuick(t *testing.T) {
+	res, err := runTopo(Config{Seed: 1, Quick: true, Parallel: 1})
+	if err != nil {
+		t.Fatalf("runTopo: %v", err)
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(res.Tables))
+	}
+	tab := res.Tables[0]
+	if tab.ID != "topo" || len(tab.Rows) != 3 {
+		t.Fatalf("table %q has %d rows, want topo/3", tab.ID, len(tab.Rows))
+	}
+	col := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	spread, dprice := col("beta_spread"), col("dprice_vs_scalar")
+	bMin, bMax := col("beta_min"), col("beta_max")
+	for i, row := range tab.Rows {
+		if row[bMin] < 0 || row[bMax] >= 1 || row[bMin] > row[bMax] {
+			t.Errorf("row %d: betas [%g, %g] outside [0, 1) or inverted", i, row[bMin], row[bMax])
+		}
+	}
+	// The star's near/far placement must spread the fork rates and move
+	// prices more than the symmetric ring does.
+	ring, star := tab.Rows[0], tab.Rows[1]
+	if star[spread] <= ring[spread] {
+		t.Errorf("star beta spread %g should exceed ring %g", star[spread], ring[spread])
+	}
+	if star[dprice] <= ring[dprice] {
+		t.Errorf("star price shift %g should exceed ring %g", star[dprice], ring[dprice])
+	}
+}
+
+// TestRunTopoByteIdenticalAcrossWorkerCounts: the race replicas fan out
+// over the process-default pool, so the whole rendered experiment must
+// be byte-identical at any worker setting.
+func TestRunTopoByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs")
+	}
+	render := func(workers int) string {
+		prev := parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(prev)
+		res, err := runTopo(Config{Seed: 1, Quick: true, Parallel: 1})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		if err := res.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := render(1)
+	if got := render(runtime.GOMAXPROCS(0) + 2); got != want {
+		t.Error("topo experiment output differs across worker counts")
+	}
+}

@@ -1,0 +1,48 @@
+package miner
+
+// Per-miner fork-rate variants of the winning probabilities. The paper's
+// Eq. 6/9 charge every miner the same scalar β; the topology-aware race
+// (internal/chain/topo) measures an effective fork rate β_i per miner
+// from its position in the peer graph, and these evaluators thread that
+// vector through the same formulas — miner i's blocks are orphaned at
+// its own measured rate, not the network average.
+
+import "fmt"
+
+// WinProbsTopo evaluates the connected-mode expected winning probability
+// (Eq. 9) for every miner with a per-miner fork rate: miner i wins with
+//
+//	W_i = (1−β_i)(e_i+c_i)/S + β_i·h·e_i/E.
+//
+// With a uniform betas vector it reduces to WinProbsConnected. The
+// aggregates are summed once, so the whole profile costs O(N). It errors
+// when the betas vector does not match the profile length.
+func WinProbsTopo(betas []float64, h float64, p Profile) ([]float64, error) {
+	if len(betas) != len(p) {
+		return nil, fmt.Errorf("miner: %d fork rates for %d miners", len(betas), len(p))
+	}
+	ws := make([]float64, len(p))
+	t := p.Aggregate()
+	for i, r := range p {
+		ws[i] = WinProbConnected(betas[i], h, r, t.Env(r))
+	}
+	return ws, nil
+}
+
+// UtilitiesTopo evaluates every miner's connected-mode utility with a
+// per-miner fork rate: U_i = R·W_i − spend, where W_i charges miner i
+// its own β_i. The Beta field of p is ignored in favor of betas[i]. It
+// errors when the betas vector does not match the profile length.
+func UtilitiesTopo(p Params, betas []float64, prof Profile) ([]float64, error) {
+	if len(betas) != len(prof) {
+		return nil, fmt.Errorf("miner: %d fork rates for %d miners", len(betas), len(prof))
+	}
+	us := make([]float64, len(prof))
+	t := prof.Aggregate()
+	for i, r := range prof {
+		pi := p
+		pi.Beta = betas[i]
+		us[i] = UtilityConnected(pi, r, t.Env(r))
+	}
+	return us, nil
+}

@@ -1,0 +1,88 @@
+package miner
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWinProbsTopoUniformReducesToScalar: a uniform betas vector must
+// reproduce WinProbsConnected bit for bit — both paths call
+// WinProbConnected with the same arguments, so even the float rounding
+// matches.
+func TestWinProbsTopoUniformReducesToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		beta := rng.Float64() * 0.9
+		h := rng.Float64()
+		prof := randomProfile(rng, n)
+		betas := make([]float64, n)
+		for i := range betas {
+			betas[i] = beta
+		}
+		got, err := WinProbsTopo(betas, h, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := WinProbsConnected(beta, h, prof); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: WinProbsTopo %v != WinProbsConnected %v", trial, got, want)
+		}
+	}
+}
+
+func TestUtilitiesTopoUniformReducesToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := testParams()
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		prof := randomProfile(rng, n)
+		betas := make([]float64, n)
+		for i := range betas {
+			betas[i] = p.Beta
+		}
+		got, err := UtilitiesTopo(p, betas, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := UtilitiesConnected(p, prof); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: UtilitiesTopo %v != UtilitiesConnected %v", trial, got, want)
+		}
+	}
+}
+
+// TestTopoBetaDirection: at a symmetric profile, e_i/E equals the total
+// share (e_i+c_i)/S, so raising miner i's fork rate moves W_i by
+// Δβ·(h−1)·share — strictly down whenever h < 1.
+func TestTopoBetaDirection(t *testing.T) {
+	prof := randomProfile(rand.New(rand.NewSource(7)), 1)
+	sym := Profile{prof[0], prof[0], prof[0], prof[0]}
+	low := []float64{0.1, 0.1, 0.1, 0.1}
+	high := []float64{0.1, 0.1, 0.1, 0.5}
+	wLow, err := WinProbsTopo(low, 0.7, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wHigh, err := WinProbsTopo(high, 0.7, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wHigh[3] >= wLow[3] {
+		t.Errorf("raising beta at a symmetric profile with h<1 must lower W: %g >= %g", wHigh[3], wLow[3])
+	}
+	for i := 0; i < 3; i++ {
+		if wHigh[i] != wLow[i] {
+			t.Errorf("miner %d win prob changed (%g -> %g) though only beta[3] moved", i, wLow[i], wHigh[i])
+		}
+	}
+}
+
+func TestTopoLengthMismatch(t *testing.T) {
+	prof := randomProfile(rand.New(rand.NewSource(8)), 4)
+	if _, err := WinProbsTopo([]float64{0.1, 0.2}, 0.7, prof); err == nil {
+		t.Error("WinProbsTopo must reject a short betas vector")
+	}
+	if _, err := UtilitiesTopo(testParams(), []float64{0.1, 0.2, 0.3, 0.4, 0.5}, prof); err == nil {
+		t.Error("UtilitiesTopo must reject a long betas vector")
+	}
+}

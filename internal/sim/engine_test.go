@@ -147,3 +147,53 @@ func TestNewRNGStreams(t *testing.T) {
 		t.Error("different labels must derive distinct streams")
 	}
 }
+
+// TestRandomSchedulePropertyOrdering: under arbitrary interleaved
+// scheduling, events fire in nondecreasing time with insertion sequence
+// breaking exact ties — the (time, seq) contract the topology race's
+// parent-before-child finality argument rests on.
+func TestRandomSchedulePropertyOrdering(t *testing.T) {
+	rng := NewRNG(31, "engine-property")
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		type firing struct {
+			time float64
+			seq  int
+		}
+		var fired []firing
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			at := float64(rng.Intn(5)) // coarse times force ties
+			seq := i
+			e.ScheduleAt(at, func(*Engine) { fired = append(fired, firing{at, seq}) })
+		}
+		if got := e.RunAll(); got != n {
+			t.Fatalf("trial %d: executed %d of %d events", trial, got, n)
+		}
+		for i := 1; i < len(fired); i++ {
+			a, b := fired[i-1], fired[i]
+			if b.time < a.time || (b.time == a.time && b.seq < a.seq) { //lint:allow floateq exact tie check on coarse integer-valued times
+				t.Fatalf("trial %d: firing %d (t=%g seq=%d) before %d (t=%g seq=%d)",
+					trial, i-1, a.time, a.seq, i, b.time, b.seq)
+			}
+		}
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func(*Engine) {})
+	}
+	if hw := e.QueueHighWater(); hw != 5 {
+		t.Errorf("high water = %d, want 5", hw)
+	}
+	e.RunAll()
+	if hw := e.QueueHighWater(); hw != 5 {
+		t.Errorf("high water after drain = %d, want 5", hw)
+	}
+	e.Reset()
+	if hw := e.QueueHighWater(); hw != 0 {
+		t.Errorf("high water after reset = %d, want 0", hw)
+	}
+}

@@ -1,0 +1,211 @@
+package verify
+
+// Topology certificates: the per-miner-β analog of the miner-subgame and
+// Stackelberg certificates. Everything is re-derived from the public
+// per-miner oracles (DeviationsTopo, UtilitiesTopo, WinProbsTopo), so a
+// bug in the topology solver cannot certify its own output. Theorem 1's
+// sum identities are scalar-β facts — with heterogeneous β_i the fork
+// corrections no longer telescope — so the probability checks here bound
+// each W_i to [0, 1] instead and verify the reported vector against
+// recomputation.
+
+import (
+	"fmt"
+	"math"
+
+	"minegame/internal/core"
+	"minegame/internal/game"
+	"minegame/internal/miner"
+	"minegame/internal/netmodel"
+)
+
+// validateTopoInputs rejects malformed certification inputs.
+func validateTopoInputs(cfg core.Config, betas []float64, p core.Prices, prof miner.Profile) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if cfg.Mode != netmodel.Connected {
+		return fmt.Errorf("verify: topology certificate supports connected mode only, got %v", cfg.Mode)
+	}
+	if err := cfg.Params(p).Validate(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if len(betas) != cfg.N {
+		return fmt.Errorf("verify: %d fork rates for %d miners", len(betas), cfg.N)
+	}
+	for i, b := range betas {
+		if math.IsNaN(b) || b < 0 || b >= 1 {
+			return fmt.Errorf("verify: fork rate beta[%d] = %g outside [0, 1)", i, b)
+		}
+	}
+	if len(prof) != cfg.N {
+		return fmt.Errorf("verify: profile has %d entries, config has %d miners", len(prof), cfg.N)
+	}
+	return nil
+}
+
+// CertifyTopo checks a solved per-miner-β miner equilibrium: feasibility
+// residuals, the ε-Nash deviation bound under each miner's own fork
+// rate, range bounds on the winning probabilities, and internal
+// consistency of the summary against recomputation. The returned error
+// reports malformed inputs only; the verification verdict is
+// Certificate.OK.
+func CertifyTopo(cfg core.Config, betas []float64, p core.Prices, eq core.MinerEquilibrium, opts Options) (Certificate, error) {
+	cert, err := certifyTopo(cfg, betas, p, eq, opts)
+	if err == nil {
+		opts.recordCert(cert)
+	}
+	return cert, err
+}
+
+// certifyTopo is CertifyTopo without the telemetry record.
+func certifyTopo(cfg core.Config, betas []float64, p core.Prices, eq core.MinerEquilibrium, opts Options) (Certificate, error) {
+	if err := validateTopoInputs(cfg, betas, p, eq.Requests); err != nil {
+		return Certificate{}, err
+	}
+	opts = opts.withDefaults()
+	params := cfg.Params(p)
+	cert := Certificate{Kind: "topo_ne", Mode: cfg.Mode.String(), N: cfg.N, OK: true}
+
+	// Feasibility: every request in its budget polytope.
+	var nonneg, budget float64
+	for i, r := range eq.Requests {
+		nonneg = math.Max(nonneg, math.Max(-r.E, -r.C))
+		b := cfg.Budget(i)
+		if over := (params.Spend(r) - b) / (1 + b); over > budget {
+			budget = over
+		}
+	}
+	cert.add("nonneg", nonneg, opts.FeasTol, "negative request coordinates")
+	cert.add("budget", budget, opts.FeasTol, "relative budget overspend max_i (spend_i - B_i)/(1 + B_i)")
+
+	// ε-Nash under per-miner fork rates.
+	gains, err := core.DeviationsTopo(cfg, betas, p, eq.Requests)
+	if err != nil {
+		return Certificate{}, fmt.Errorf("verify: %w", err)
+	}
+	var eps float64
+	for _, g := range gains {
+		if g > eps {
+			eps = g
+		}
+	}
+	cert.Gains = gains
+	cert.Epsilon = eps
+	cert.EpsilonRel = eps / cfg.Reward
+	cert.add("deviation", cert.EpsilonRel, opts.GainTol,
+		"worst unilateral best-response gain relative to R, each miner under its own beta_i")
+
+	// Aggregate consistency: the summary's E, C, S vs fresh summation.
+	tot := eq.Requests.Aggregate()
+	scale := 1 + math.Abs(tot.Edge) + math.Abs(tot.Cloud)
+	aggRes := math.Max(math.Abs(tot.Edge-eq.EdgeDemand), math.Abs(tot.Cloud-eq.CloudDemand))
+	aggRes = math.Max(aggRes, math.Abs(tot.Edge+tot.Cloud-eq.TotalDemand))
+	cert.add("aggregates", aggRes/scale, opts.ConsistTol,
+		fmt.Sprintf("reported E=%g C=%g S=%g", eq.EdgeDemand, eq.CloudDemand, eq.TotalDemand))
+
+	// Reported utilities and winning probabilities vs recomputation with
+	// the per-miner evaluators, plus range bounds on each W_i (the
+	// scalar-β sum identities do not survive heterogeneous fork rates).
+	us, err := miner.UtilitiesTopo(params, betas, eq.Requests)
+	if err != nil {
+		return Certificate{}, fmt.Errorf("verify: %w", err)
+	}
+	ws, err := miner.WinProbsTopo(betas, cfg.SatisfyProb, eq.Requests)
+	if err != nil {
+		return Certificate{}, fmt.Errorf("verify: %w", err)
+	}
+	uRes, uScale := sliceResidual(us, eq.Utilities)
+	cert.add("utilities", uRes/uScale, opts.ConsistTol, "reported vs recomputed per-beta miner utilities")
+	wRes, _ := sliceResidual(ws, eq.WinProbs)
+	cert.add("winprobs_reported", wRes, opts.ConsistTol, "reported vs recomputed per-beta winning probabilities")
+	var wRange float64
+	for _, w := range ws {
+		wRange = math.Max(wRange, math.Max(-w, w-1))
+	}
+	cert.add("winprob_range", wRange, opts.ProbTol, "every W_i must lie in [0, 1]")
+	return cert, nil
+}
+
+// CertifyStackelbergTopo checks a solved topology-aware two-stage game:
+// the per-miner-β follower certificate plus the price stage's own
+// conditions — profit accounting, price floors above provider costs,
+// and (unless opts.SkipLeader) the leaders' first-order residuals, with
+// follower demand re-solved under the same betas at every probe. The
+// returned error reports malformed inputs only; the verification verdict
+// is Certificate.OK.
+func CertifyStackelbergTopo(cfg core.Config, betas []float64, res core.StackelbergResult, opts Options) (Certificate, error) {
+	cert, err := certifyStackelbergTopo(cfg, betas, res, opts)
+	if err == nil {
+		opts.recordCert(cert)
+	}
+	return cert, err
+}
+
+// certifyStackelbergTopo is CertifyStackelbergTopo without the record.
+func certifyStackelbergTopo(cfg core.Config, betas []float64, res core.StackelbergResult, opts Options) (Certificate, error) {
+	cert, err := certifyTopo(cfg, betas, res.Prices, res.Follower, opts)
+	if err != nil {
+		return Certificate{}, err
+	}
+	cert.Kind = "stackelberg_topo"
+	opts = opts.withDefaults()
+
+	profitScale := 1 + math.Max(math.Abs(res.ProfitE), math.Abs(res.ProfitC))
+	wantE := (res.Prices.Edge - cfg.CostE) * res.Follower.EdgeDemand
+	wantC := (res.Prices.Cloud - cfg.CostC) * res.Follower.CloudDemand
+	profitRes := math.Max(math.Abs(wantE-res.ProfitE), math.Abs(wantC-res.ProfitC))
+	cert.add("profits", profitRes/profitScale, opts.ConsistTol,
+		"reported leader profits vs margin × demand")
+
+	floor := math.Max(cfg.CostE-res.Prices.Edge, cfg.CostC-res.Prices.Cloud)
+	cert.add("price_floor", math.Max(0, floor), opts.FeasTol*(1+cfg.CostE+cfg.CostC),
+		"equilibrium prices must not undercut provider costs")
+
+	if opts.SkipLeader {
+		return cert, nil
+	}
+
+	warm := res.Follower.Requests.Clone()
+	profitAt := func(p core.Prices) (pe, pc float64, ok bool) {
+		eq, err := core.SolveMinerEquilibriumTopoFrom(cfg, betas, p, game.NEOptions{}, warm)
+		if err != nil {
+			return 0, 0, false
+		}
+		return (p.Edge - cfg.CostE) * eq.EdgeDemand, (p.Cloud - cfg.CostC) * eq.CloudDemand, true
+	}
+
+	// Price-stage stationarity: neither leader may improve its profit by
+	// a small unilateral own-price move, the other's price held fixed.
+	// Same probe ladder as the scalar certificate.
+	var gainE, gainC float64
+	for _, d := range [...]float64{
+		-4 * opts.LeaderProbe, -opts.LeaderProbe, -opts.LeaderProbe / 4,
+		opts.LeaderProbe / 4, opts.LeaderProbe, 4 * opts.LeaderProbe,
+	} {
+		if ve, _, ok := profitAt(core.Prices{Edge: res.Prices.Edge * (1 + d), Cloud: res.Prices.Cloud}); ok {
+			gainE = math.Max(gainE, ve-res.ProfitE)
+		}
+		if _, vc, ok := profitAt(core.Prices{Edge: res.Prices.Edge, Cloud: res.Prices.Cloud * (1 + d)}); ok {
+			gainC = math.Max(gainC, vc-res.ProfitC)
+		}
+	}
+	cert.add("leader_foc_esp", gainE/profitScale, opts.LeaderGainTol,
+		fmt.Sprintf("ESP profit gain from ±%.2g%% own-price probes under per-miner betas", 100*opts.LeaderProbe))
+	cert.add("leader_foc_csp", gainC/profitScale, opts.LeaderGainTol,
+		fmt.Sprintf("CSP profit gain from ±%.2g%% own-price probes under per-miner betas", 100*opts.LeaderProbe))
+	return cert, nil
+}
+
+// TopoNECertifier adapts CertifyTopo into a core.TopoCertifier suitable
+// for core.StackelbergOptions.CertifyTopoAfterSolve: it returns nil
+// exactly when the certificate passes.
+func TopoNECertifier(opts Options) core.TopoCertifier {
+	return func(cfg core.Config, betas []float64, p core.Prices, eq core.MinerEquilibrium) error {
+		cert, err := CertifyTopo(cfg, betas, p, eq, opts)
+		if err != nil {
+			return err
+		}
+		return cert.Err()
+	}
+}

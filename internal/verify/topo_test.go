@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"minegame/internal/core"
+	"minegame/internal/game"
+)
+
+func topoBetas() []float64 { return []float64{0.05, 0.1, 0.2, 0.3, 0.4} }
+
+func TestCertifyTopoNE(t *testing.T) {
+	cfg := connectedConfig()
+	betas := topoBetas()
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, err := core.SolveMinerEquilibriumTopo(cfg, betas, p, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	cert, err := CertifyTopo(cfg, betas, p, eq, Options{})
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if !cert.OK {
+		t.Fatalf("topology NE failed certification: %v", cert.Err())
+	}
+	if cert.Kind != "topo_ne" || cert.N != cfg.N {
+		t.Errorf("certificate header = %q/%d, want topo_ne/%d", cert.Kind, cert.N, cfg.N)
+	}
+	for _, name := range []string{"nonneg", "budget", "deviation", "aggregates", "utilities", "winprobs_reported", "winprob_range"} {
+		if c := checkByName(t, cert, name); !c.OK {
+			t.Errorf("check %q failed: residual %g > tol %g", name, c.Residual, c.Tol)
+		}
+	}
+}
+
+// TestCertifyTopoCatchesPerturbation: pushing one miner off its best
+// response must blow the deviation check, and lying about the reported
+// win probabilities must blow the consistency check.
+func TestCertifyTopoCatchesPerturbation(t *testing.T) {
+	cfg := connectedConfig()
+	betas := topoBetas()
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, err := core.SolveMinerEquilibriumTopo(cfg, betas, p, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+
+	bent := eq
+	bent.Requests = eq.Requests.Clone()
+	bent.Requests[2].E *= 0.2
+	cert, err := CertifyTopo(cfg, betas, p, bent, Options{})
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if cert.OK {
+		t.Error("perturbed profile must fail certification")
+	}
+	if c := checkByName(t, cert, "deviation"); c.OK {
+		t.Errorf("deviation check passed on a perturbed profile: residual %g", c.Residual)
+	}
+
+	lied := eq
+	lied.WinProbs = append([]float64(nil), eq.WinProbs...)
+	lied.WinProbs[0] += 0.05
+	cert, err = CertifyTopo(cfg, betas, p, lied, Options{})
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if c := checkByName(t, cert, "winprobs_reported"); c.OK {
+		t.Error("misreported win probabilities must fail the consistency check")
+	}
+}
+
+func TestCertifyTopoInputValidation(t *testing.T) {
+	cfg := connectedConfig()
+	p := core.Prices{Edge: 8, Cloud: 4}
+	eq, err := core.SolveMinerEquilibriumTopo(cfg, topoBetas(), p, game.NEOptions{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if _, err := CertifyTopo(cfg, topoBetas()[:2], p, eq, Options{}); err == nil {
+		t.Error("short betas vector must be rejected")
+	}
+	bad := topoBetas()
+	bad[1] = math.NaN()
+	if _, err := CertifyTopo(cfg, bad, p, eq, Options{}); err == nil {
+		t.Error("NaN beta must be rejected")
+	}
+	standalone := standaloneConfig()
+	if _, err := CertifyTopo(standalone, topoBetas(), p, eq, Options{}); err == nil || !strings.Contains(err.Error(), "connected") {
+		t.Errorf("standalone mode must be rejected, got %v", err)
+	}
+}
+
+func TestCertifyStackelbergTopo(t *testing.T) {
+	cfg := connectedConfig()
+	betas := topoBetas()
+	res, err := core.SolveStackelbergTopo(cfg, betas, core.StackelbergOptions{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	cert, err := CertifyStackelbergTopo(cfg, betas, res, Options{})
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if cert.Kind != "stackelberg_topo" {
+		t.Errorf("kind = %q, want stackelberg_topo", cert.Kind)
+	}
+	if !cert.OK {
+		t.Fatalf("solved topology Stackelberg failed certification: %v", cert.Err())
+	}
+	for _, name := range []string{"profits", "price_floor", "leader_foc_esp", "leader_foc_csp"} {
+		if c := checkByName(t, cert, name); !c.OK {
+			t.Errorf("check %q failed: residual %g > tol %g", name, c.Residual, c.Tol)
+		}
+	}
+}
+
+// TestTopoNECertifierWiring runs the full feedback loop: the verify
+// certifier plugged into the solver's CertifyTopoAfterSolve hook.
+func TestTopoNECertifierWiring(t *testing.T) {
+	cfg := connectedConfig()
+	betas := topoBetas()
+	opts := core.StackelbergOptions{CertifyTopoAfterSolve: TopoNECertifier(Options{})}
+	if _, err := core.SolveStackelbergTopo(cfg, betas, opts); err != nil {
+		t.Fatalf("solve with in-loop certification: %v", err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 
 	"minegame/internal/chain"
+	"minegame/internal/chain/topo"
 	"minegame/internal/core"
 	"minegame/internal/experiments"
 	"minegame/internal/game"
@@ -42,6 +43,7 @@ import (
 	"minegame/internal/rl"
 	"minegame/internal/serve"
 	"minegame/internal/sim"
+	"minegame/internal/verify"
 )
 
 // Request is a miner's request vector: E edge units and C cloud units.
@@ -550,3 +552,81 @@ func NewServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
 // ListenAndServe runs the serving daemon until SIGINT or SIGTERM, then
 // drains gracefully. It is the whole body of cmd/minegamed.
 func ListenAndServe(cfg ServeConfig) error { return serve.ListenAndServe(cfg) }
+
+type (
+	// VerifyOptions tunes certificate tolerances (zero value = defaults).
+	VerifyOptions = verify.Options
+	// VerifyCertificate is a machine-checkable verification verdict.
+	VerifyCertificate = verify.Certificate
+)
+
+// Topology-aware fork model (package chain/topo): an event-driven race
+// over an explicit peer graph with per-link delays measures an effective
+// fork rate β_i per miner from its position in the network, and the
+// topology-aware solvers price against that heterogeneous demand.
+type (
+	// Topology is an explicit peer graph with per-link relay delays.
+	Topology = topo.Topology
+	// TopoNode is one mining peer: its hashrate and placement.
+	TopoNode = topo.Node
+	// TopoConfig parameterizes the topology fork race.
+	TopoConfig = topo.Config
+	// TopoResult reports per-miner fork rates and win shares with CIs.
+	TopoResult = topo.Result
+	// TopoMinerStats is one miner's race accounting.
+	TopoMinerStats = topo.MinerStats
+)
+
+// Topology placements.
+const (
+	// TopoEdge marks a node co-located with the edge service.
+	TopoEdge = topo.LocationEdge
+	// TopoCloud marks a node placed behind the cloud path.
+	TopoCloud = topo.LocationCloud
+)
+
+// NewTopology builds an empty peer graph over the given nodes; add links
+// with AddLink/AddArc, or use the shape constructors below.
+func NewTopology(nodes []TopoNode) *Topology { return topo.New(nodes) }
+
+// TopoTwoNode is the two-node edge/cloud topology whose fork rate the
+// analytic BetaEdge model describes — the cross-validation anchor.
+func TopoTwoNode(edgeHash, cloudHash, upDelay, downDelay float64) (*Topology, error) {
+	return topo.TwoNode(edgeHash, cloudHash, upDelay, downDelay)
+}
+
+// TopoStar builds a hub-and-spoke topology (node 0 is the hub).
+func TopoStar(nodes []TopoNode, spokeDelays []float64) (*Topology, error) {
+	return topo.Star(nodes, spokeDelays)
+}
+
+// TopoRing builds a cycle with uniform link delay.
+func TopoRing(nodes []TopoNode, delay float64) (*Topology, error) {
+	return topo.Ring(nodes, delay)
+}
+
+// TopoScaleFree builds a preferential-attachment graph with exponential
+// link delays, deterministically from the seed.
+func TopoScaleFree(nodes []TopoNode, attach int, meanDelay float64, seed int64) (*Topology, error) {
+	return topo.ScaleFree(nodes, attach, meanDelay, sim.NewRNG(seed, "minegame.TopoScaleFree"))
+}
+
+// EstimateTopoBetas races the topology across replicas replicas and
+// returns per-miner fork rates β_i and win shares with confidence
+// intervals. The estimate is bit-identical at any parallelism setting.
+func EstimateTopoBetas(t *Topology, cfg TopoConfig, seed int64, replicas int) (TopoResult, error) {
+	return topo.EstimateReplicated(t, cfg, seed, replicas)
+}
+
+// SolveStackelbergTopo runs the two-stage game against per-miner fork
+// rates, e.g. the Betas() of an EstimateTopoBetas result (connected mode
+// only).
+func SolveStackelbergTopo(cfg Config, betas []float64, opts StackelbergOptions) (StackelbergResult, error) {
+	return core.SolveStackelbergTopo(cfg, betas, opts)
+}
+
+// CertifyStackelbergTopo independently re-verifies a topology-aware
+// Stackelberg solution and returns the machine-checkable certificate.
+func CertifyStackelbergTopo(cfg Config, betas []float64, res StackelbergResult, opts VerifyOptions) (VerifyCertificate, error) {
+	return verify.CertifyStackelbergTopo(cfg, betas, res, opts)
+}

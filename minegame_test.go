@@ -118,3 +118,45 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 		t.Error("want error for unknown experiment")
 	}
 }
+
+// TestFacadeTopologyPipeline runs the whole topology feedback loop
+// through the public surface: build a peer graph, measure per-miner fork
+// rates, solve the two-stage game under them, and certify the result.
+func TestFacadeTopologyPipeline(t *testing.T) {
+	tp, err := minegame.TopoStar([]minegame.TopoNode{
+		{Hashrate: 2, Location: minegame.TopoEdge},
+		{Hashrate: 1, Location: minegame.TopoEdge},
+		{Hashrate: 1, Location: minegame.TopoCloud},
+		{Hashrate: 1, Location: minegame.TopoCloud},
+		{Hashrate: 1, Location: minegame.TopoCloud},
+	}, []float64{10, 60, 90, 120})
+	if err != nil {
+		t.Fatalf("TopoStar: %v", err)
+	}
+	res, err := minegame.EstimateTopoBetas(tp, minegame.TopoConfig{
+		Interval: 600, Blocks: 400, Quorum: 0.6,
+	}, 3, 2)
+	if err != nil {
+		t.Fatalf("EstimateTopoBetas: %v", err)
+	}
+	betas := res.Betas()
+	if len(betas) != 5 {
+		t.Fatalf("got %d betas, want 5", len(betas))
+	}
+	// The hub hears everyone fastest; the farthest spoke forks most.
+	if betas[0] >= betas[4] {
+		t.Errorf("hub beta %g should sit below the far spoke's %g", betas[0], betas[4])
+	}
+	cfg := defaultBenchConfig()
+	sres, err := minegame.SolveStackelbergTopo(cfg, betas, minegame.StackelbergOptions{})
+	if err != nil {
+		t.Fatalf("SolveStackelbergTopo: %v", err)
+	}
+	cert, err := minegame.CertifyStackelbergTopo(cfg, betas, sres, minegame.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("CertifyStackelbergTopo: %v", err)
+	}
+	if !cert.OK {
+		t.Fatalf("certificate failed: %v", cert.Err())
+	}
+}
